@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation (paper extension): miss-speculation RECOVERY mechanism.
+ * Section 2 notes two ways to reduce the miss-speculation penalty
+ * beyond better prediction: minimize the work lost, or redo it faster —
+ * and cites selective invalidation (re-executing only the instructions
+ * that used erroneous data) as the former. The paper does not evaluate
+ * it; this ablation does, comparing NAS/NAV under squash invalidation
+ * vs. selective invalidation, with NAS/SYNC and NAS/ORACLE as the
+ * prediction-based alternatives.
+ *
+ * Expected shape: selective invalidation recovers part of the naive
+ * policy's penalty (it keeps unrelated work), narrowing — but not
+ * closing — the gap that speculation/synchronization closes by
+ * avoiding miss-speculation in the first place.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/harness.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+using namespace cwsim::harness;
+
+int
+main()
+{
+    Runner runner(benchScale() / 2);
+
+    std::printf("Ablation: recovery mechanism under naive speculation "
+                "(128-entry window)\n\n");
+
+    TextTable table;
+    table.setHeader({"Program", "NAV+squash", "NAV+selective",
+                     "selective gain", "SYNC", "ORACLE",
+                     "slices/fallbacks"});
+
+    std::map<std::string, double> squash, selective, sync, oracle;
+
+    auto sweep = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            RunResult r_squash = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::Naive));
+            SimConfig sel_cfg = withPolicy(makeW128Config(),
+                                           LsqModel::NAS,
+                                           SpecPolicy::Naive);
+            sel_cfg.mdp.recovery = RecoveryModel::Selective;
+            RunResult r_sel = runner.run(name, sel_cfg);
+            RunResult r_sync = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::SpecSync));
+            RunResult r_or = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::Oracle));
+            squash[name] = r_squash.ipc();
+            selective[name] = r_sel.ipc();
+            sync[name] = r_sync.ipc();
+            oracle[name] = r_or.ipc();
+            table.addRow({
+                name,
+                strfmt("%.2f", r_squash.ipc()),
+                strfmt("%.2f", r_sel.ipc()),
+                formatSpeedup(r_sel.ipc() / r_squash.ipc()),
+                strfmt("%.2f", r_sync.ipc()),
+                strfmt("%.2f", r_or.ipc()),
+                strfmt("%llu/%llu",
+                       static_cast<unsigned long long>(
+                           r_sel.selectiveRecoveries),
+                       static_cast<unsigned long long>(
+                           r_sel.selectiveFallbacks)),
+            });
+        }
+    };
+
+    sweep(workloads::intNames());
+    table.addSeparator();
+    sweep(workloads::fpNames());
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nGeomean vs NAV+squash: selective %s int / %s fp; "
+                "SYNC %s int / %s fp\n",
+                formatSpeedup(meanSpeedup(selective, squash,
+                                          workloads::intNames()))
+                    .c_str(),
+                formatSpeedup(meanSpeedup(selective, squash,
+                                          workloads::fpNames()))
+                    .c_str(),
+                formatSpeedup(
+                    meanSpeedup(sync, squash, workloads::intNames()))
+                    .c_str(),
+                formatSpeedup(
+                    meanSpeedup(sync, squash, workloads::fpNames()))
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Figure 3: naive memory dependence speculation on top of
+ * an ADDRESS-BASED scheduler. Part (a): relative performance of AS/NAV
+ * over AS/NO for scheduler latencies of 0, 1 and 2 cycles (each bar
+ * uses the AS/NO machine with the SAME latency as its base, as the
+ * paper does). Part (b): absolute IPC of the AS/NO base machines.
+ *
+ * Paper findings: AS/NAV wins modestly (+4.6% int / +5.3% fp at 0
+ * cycles), the win grows with scheduler latency, and 147.vortex /
+ * 145.fpppp lose from speculative-load resource contention.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/harness.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+using namespace cwsim::harness;
+
+int
+main()
+{
+    Runner runner(benchScale());
+
+    std::printf("Figure 3: naive speculation with an address-based "
+                "scheduler, by scheduler latency\n\n");
+
+    TextTable table;
+    table.setHeader({"Program", "NAV/NO @0cy", "NAV/NO @1cy",
+                     "NAV/NO @2cy", "AS/NO 0cy IPC", "AS/NO 1cy IPC",
+                     "AS/NO 2cy IPC"});
+
+    std::map<std::string, double> nav_ipc[3], no_ipc[3];
+
+    auto sweep = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            double rel[3];
+            double base_ipc[3];
+            for (Cycles lat = 0; lat <= 2; ++lat) {
+                RunResult r_no = runner.run(
+                    name, withPolicy(makeW128Config(), LsqModel::AS,
+                                     SpecPolicy::No, lat));
+                RunResult r_nav = runner.run(
+                    name, withPolicy(makeW128Config(), LsqModel::AS,
+                                     SpecPolicy::Naive, lat));
+                rel[lat] = r_nav.ipc() / r_no.ipc();
+                base_ipc[lat] = r_no.ipc();
+                nav_ipc[lat][name] = r_nav.ipc();
+                no_ipc[lat][name] = r_no.ipc();
+            }
+            table.addRow({
+                name,
+                formatSpeedup(rel[0]),
+                formatSpeedup(rel[1]),
+                formatSpeedup(rel[2]),
+                strfmt("%.2f", base_ipc[0]),
+                strfmt("%.2f", base_ipc[1]),
+                strfmt("%.2f", base_ipc[2]),
+            });
+        }
+    };
+
+    sweep(workloads::intNames());
+    table.addSeparator();
+    sweep(workloads::fpNames());
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nAS/NAV over AS/NO geomeans (same-latency base, as "
+                "in the paper):\n");
+    for (Cycles lat = 0; lat <= 2; ++lat) {
+        std::printf("  @%ucy: int %s   fp %s%s\n",
+                    static_cast<unsigned>(lat),
+                    formatSpeedup(meanSpeedup(nav_ipc[lat], no_ipc[lat],
+                                              workloads::intNames()))
+                        .c_str(),
+                    formatSpeedup(meanSpeedup(nav_ipc[lat], no_ipc[lat],
+                                              workloads::fpNames()))
+                        .c_str(),
+                    lat == 0 ? "   (paper: +4.6% / +5.3%)" : "");
+    }
+    std::printf("\nShape check: speculation's advantage over waiting "
+                "GROWS with scheduler latency,\nwhile absolute AS/NO "
+                "IPC falls — latency makes pure address scheduling an\n"
+                "under-performing option (Section 3.4).\n");
+    return 0;
+}

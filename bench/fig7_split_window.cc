@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Regenerates Figure 7 / Section 3.7: the interaction of window type
+ * and memory dependence speculation. Under the continuous window, a
+ * 0-cycle address-based scheduler with naive speculation eliminates
+ * virtually all miss-speculations; under a distributed split window —
+ * where units fetch their trace chunks independently, so a later unit's
+ * load can beat an earlier unit's store to the address stage — the same
+ * mechanism keeps miss-speculating.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "isa/builder.hh"
+#include "sim/table.hh"
+#include "split/split_window.hh"
+
+using namespace cwsim;
+using namespace cwsim::harness;
+
+namespace
+{
+
+/** The Figure 7(a) loop: a recurrence carried through memory. */
+Program
+figure7Loop(int n)
+{
+    ProgramBuilder b;
+    Addr a = b.dataAlloc(4 * (n + 2));
+    Addr side = b.dataAlloc(4 * (2 * n + 2));
+    b.dataW32(a, 3);
+    b.la(ir(1), a);
+    b.la(ir(10), side);
+    for (int i = 0; i < n; ++i) {
+        int32_t off = 4 * i;
+        b.lw(ir(3), ir(1), off);     // load a[i-1]
+        b.mul(ir(4), ir(3), ir(3));
+        b.andi(ir(4), ir(4), 1023);
+        b.sw(ir(4), ir(1), off + 4); // store a[i]
+        b.lw(ir(5), ir(10), off);
+        b.lw(ir(6), ir(10), off + 4);
+        b.add(ir(7), ir(5), ir(6));
+    }
+    b.halt();
+    return b.build();
+}
+
+struct ModelResult
+{
+    uint64_t violations;
+    double misspecPct;
+    double ipc;
+};
+
+ModelResult
+runModel(const std::vector<TraceEntry> &trace, bool split,
+         SpecPolicy policy = SpecPolicy::Naive)
+{
+    SplitConfig cfg;
+    if (!split)
+        cfg = SplitConfig::continuous();
+    cfg.lsqModel = LsqModel::AS;
+    cfg.policy = policy;
+    cfg.asLatency = 0;
+    SplitWindowSim sim(cfg, trace);
+    sim.run();
+    return {sim.violations(), 100.0 * sim.misspecRate(), sim.ipc()};
+}
+
+/** Rolled variant (8x unrolled body): shared static dependence PCs. */
+Program
+rolledLoop(int outer)
+{
+    constexpr int unroll = 8;
+    ProgramBuilder b;
+    Addr a = b.dataAlloc(4 * (outer * unroll + 2));
+    Addr side = b.dataAlloc(4 * (2 * unroll + 2));
+    b.dataW32(a, 3);
+    b.la(ir(1), a);
+    b.la(ir(10), side);
+    b.li32(ir(2), static_cast<uint32_t>(outer));
+    auto loop = b.hereLabel();
+    b.addi(ir(1), ir(1), 4 * unroll);
+    for (int u = 0; u < unroll; ++u) {
+        int32_t off = 4 * (u - unroll);
+        b.lw(ir(3), ir(1), off);
+        b.mul(ir(4), ir(3), ir(3));
+        b.andi(ir(4), ir(4), 1023);
+        b.sw(ir(4), ir(1), off + 4);
+        b.lw(ir(5), ir(10), 4 * u);
+        b.add(ir(7), ir(5), ir(4));
+    }
+    b.addi(ir(2), ir(2), -1);
+    b.bne(ir(2), reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Figure 7 / Section 3.7: AS/NAV (0-cycle scheduler) "
+                "under continuous vs split windows\n");
+    std::printf("(split = 4 units x 32-entry sub-windows fetching "
+                "independently)\n\n");
+
+    TextTable table;
+    table.setHeader({"Workload", "cont. misspec", "split misspec",
+                     "cont. IPC", "split IPC"});
+
+    // The paper's illustrative loop first.
+    {
+        PrepassOptions opts;
+        opts.recordTrace = true;
+        PrepassResult pre = runPrepass(figure7Loop(2000), opts);
+        ModelResult cont = runModel(pre.trace, false);
+        ModelResult split = runModel(pre.trace, true);
+        table.addRow({
+            "fig7 loop",
+            strfmt("%.3f%% (%llu)", cont.misspecPct,
+                   static_cast<unsigned long long>(cont.violations)),
+            strfmt("%.3f%% (%llu)", split.misspecPct,
+                   static_cast<unsigned long long>(split.violations)),
+            strfmt("%.2f", cont.ipc),
+            strfmt("%.2f", split.ipc),
+        });
+        table.addSeparator();
+    }
+
+    // The full workload suite on the same two models.
+    uint64_t scale = benchScale() / 2;
+    uint64_t cont_total = 0, split_total = 0;
+    for (const auto &name : workloads::allNames()) {
+        Workload w = workloads::build(name, scale);
+        PrepassOptions opts;
+        opts.recordTrace = true;
+        PrepassResult pre = runPrepass(w.program, opts);
+        ModelResult cont = runModel(pre.trace, false);
+        ModelResult split = runModel(pre.trace, true);
+        cont_total += cont.violations;
+        split_total += split.violations;
+        table.addRow({
+            name,
+            strfmt("%.3f%% (%llu)", cont.misspecPct,
+                   static_cast<unsigned long long>(cont.violations)),
+            strfmt("%.3f%% (%llu)", split.misspecPct,
+                   static_cast<unsigned long long>(split.violations)),
+            strfmt("%.2f", cont.ipc),
+            strfmt("%.2f", split.ipc),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nTotal miss-speculations: continuous %llu, split "
+                "%llu.\n",
+                static_cast<unsigned long long>(cont_total),
+                static_cast<unsigned long long>(split_total));
+    std::printf("Shape check: the continuous window avoids virtually "
+                "all miss-speculations;\nthe split window cannot, even "
+                "with a 0-cycle address-based scheduler (Section 3.7).\n");
+
+    // What DOES save the split window: speculation/synchronization
+    // (the paper's prior work [19], reproduced on the rolled loop
+    // whose static dependence pairs repeat).
+    {
+        PrepassOptions opts;
+        opts.recordTrace = true;
+        PrepassResult pre = runPrepass(rolledLoop(400), opts);
+        SplitConfig nav_cfg;
+        nav_cfg.chunkSize = 51;
+        nav_cfg.policy = SpecPolicy::Naive;
+        SplitWindowSim nav(nav_cfg, pre.trace);
+        nav.run();
+        SplitConfig sync_cfg = nav_cfg;
+        sync_cfg.policy = SpecPolicy::SpecSync;
+        SplitWindowSim sync(sync_cfg, pre.trace);
+        sync.run();
+        std::printf("\nRescuing the split window (rolled loop, one "
+                    "body per unit):\n");
+        std::printf("  split NAV:  %llu miss-speculations, IPC %.2f\n",
+                    static_cast<unsigned long long>(nav.violations()),
+                    nav.ipc());
+        std::printf("  split SYNC: %llu miss-speculations, IPC %.2f "
+                    "— advanced dependence prediction is what a split "
+                    "window needs.\n",
+                    static_cast<unsigned long long>(sync.violations()),
+                    sync.ipc());
+    }
+    return 0;
+}

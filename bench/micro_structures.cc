@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot structures:
+ * MDPT lookup/training, branch predictor lookups, cache accesses, the
+ * event queue, functional memory, and instruction decode. These guard
+ * the simulator's own performance (host-side), not the modelled
+ * machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "bpred/bpred.hh"
+#include "isa/builder.hh"
+#include "isa/static_inst.hh"
+#include "mdp/mdp_table.hh"
+#include "mem/functional_memory.hh"
+#include "mem/timing_cache.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+using namespace cwsim;
+
+namespace
+{
+
+void
+BM_MdptLookup(benchmark::State &state)
+{
+    MdpTable table{MdpConfig{}};
+    // Pre-train a working set of static PCs.
+    for (unsigned i = 0; i < 256; ++i)
+        table.pair(0x1000 + 8 * i, 0x9000 + 8 * i);
+    Random rng(1);
+    for (auto _ : state) {
+        Addr pc = 0x1000 + 8 * (rng.next() & 255);
+        benchmark::DoNotOptimize(table.synonymOf(pc));
+    }
+}
+BENCHMARK(BM_MdptLookup);
+
+void
+BM_MdptTrain(benchmark::State &state)
+{
+    MdpTable table{MdpConfig{}};
+    Random rng(2);
+    for (auto _ : state) {
+        Addr load_pc = 0x1000 + 8 * (rng.next() & 1023);
+        Addr store_pc = 0x9000 + 8 * (rng.next() & 1023);
+        benchmark::DoNotOptimize(table.pair(load_pc, store_pc));
+    }
+}
+BENCHMARK(BM_MdptTrain);
+
+void
+BM_BpredPredictUpdate(benchmark::State &state)
+{
+    BranchPredictor bp{BPredConfig{}};
+    StaticInst br(Opcode::BNE, reg_invalid, ir(1), ir(2), -4);
+    Random rng(3);
+    for (auto _ : state) {
+        Addr pc = 0x2000 + 4 * (rng.next() & 4095);
+        auto pred = bp.predict(br, pc);
+        bool taken = rng.chance(0.6);
+        bp.update(br, pc, taken, branchTarget(br, pc),
+                  pred.checkpoint.globalHist);
+        if (pred.taken != taken)
+            bp.repairAndResolve(pred.checkpoint, taken);
+    }
+}
+BENCHMARK(BM_BpredPredictUpdate);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    EventQueue eq;
+    MemConfig mem_cfg;
+    MainMemory mem(mem_cfg, eq);
+    TimingCache cache(mem_cfg.dcache, 0, eq, mem);
+    // Warm a small working set.
+    for (Addr a = 0; a < 8 * 1024; a += 32)
+        cache.probeWarm(a, false);
+    Random rng(4);
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        Addr addr = (rng.next() % (8 * 1024)) & ~Addr(7);
+        cache.access(addr, 8, false, [&sink] { ++sink; });
+        eq.runUntil(eq.curTick() + 1);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    EventQueue eq;
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.scheduleIn(3, [&sink] { ++sink; });
+        eq.runUntil(eq.curTick() + 1);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_FunctionalMemoryReadWrite(benchmark::State &state)
+{
+    FunctionalMemory mem;
+    Random rng(5);
+    for (auto _ : state) {
+        Addr addr = rng.next() % (1 << 20);
+        mem.write(addr, 8, addr);
+        benchmark::DoNotOptimize(mem.read(addr, 8));
+    }
+}
+BENCHMARK(BM_FunctionalMemoryReadWrite);
+
+void
+BM_DecodeInstruction(benchmark::State &state)
+{
+    StaticInst lw(Opcode::LW, ir(5), ir(3), reg_invalid, 16);
+    uint32_t word = lw.encode();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(StaticInst::decode(word));
+}
+BENCHMARK(BM_DecodeInstruction);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

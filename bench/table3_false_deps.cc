@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Table 3: the fraction of committed loads delayed by FALSE
+ * dependences under NAS/NO on the 128-entry window ("FD"), and the mean
+ * false-dependence resolution latency in cycles ("RL"). A load counts
+ * as false-dependence-delayed when it was ready to access memory but
+ * had to wait for preceding stores with which (per the oracle pre-pass)
+ * it has no true dependence.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+using namespace cwsim::harness;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double fd;
+    double rl;
+};
+
+// Table 3 of the paper.
+const PaperRow paper_rows[] = {
+    {"099.go", 26.4, 13.7},      {"124.m88ksim", 59.9, 14.8},
+    {"126.gcc", 39.0, 47.3},     {"129.compress", 70.3, 18.5},
+    {"130.li", 44.2, 39.1},      {"132.ijpeg", 70.3, 22.9},
+    {"134.perl", 59.8, 39.1},    {"147.vortex", 67.2, 54.5},
+    {"101.tomcatv", 61.2, 36.3}, {"102.swim", 91.0, 5.4},
+    {"103.su2cor", 79.6, 91.2},  {"104.hydro2d", 85.2, 9.7},
+    {"107.mgrid", 45.4, 26.6},   {"110.applu", 45.4, 26.6},
+    {"125.turb3d", 77.0, 55.6},  {"141.apsi", 77.5, 78.7},
+    {"145.fpppp", 88.7, 51.4},   {"146.wave5", 83.6, 9.7},
+};
+
+const PaperRow &
+paperRow(const std::string &name)
+{
+    for (const PaperRow &row : paper_rows) {
+        if (name == row.name)
+            return row;
+    }
+    return paper_rows[0];
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Runner runner(benchScale());
+
+    std::printf("Table 3: loads delayed by false dependences under "
+                "NAS/NO (128-entry window)\n");
+    std::printf("FD = fraction of committed loads with only-false "
+                "dependences; RL = mean resolution latency\n\n");
+
+    TextTable table;
+    table.setHeader({"Program", "FD", "RL", "FD(paper)", "RL(paper)"});
+
+    auto sweep = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            RunResult r = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::No));
+            const PaperRow &paper = paperRow(name);
+            table.addRow({
+                name,
+                formatPct(r.falseDepFraction()),
+                strfmt("%.1f", r.falseDepLatency),
+                strfmt("%.1f%%", paper.fd),
+                strfmt("%.1f", paper.rl),
+            });
+        }
+    };
+
+    sweep(workloads::intNames());
+    table.addSeparator();
+    sweep(workloads::fpNames());
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nShape check: many (often most) loads are delayed by "
+                "false dependences,\nwith fp codes skewing higher than "
+                "int codes, and multi-cycle resolution latencies.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Table 4: memory dependence miss-speculation rates (over
+ * all committed loads) under naive speculation ("NAV") and under the
+ * speculation/synchronization mechanism ("SYNC"). The paper's shape:
+ * NAV rates of 0.1%-7.8%, SYNC rates of 0.0001%-0.07% — synchronization
+ * makes miss-speculations virtually non-existent.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+using namespace cwsim::harness;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double nav;
+    double sync;
+};
+
+// Table 4 of the paper (percent of committed loads).
+const PaperRow paper_rows[] = {
+    {"099.go", 2.5, 0.0301},      {"124.m88ksim", 1.0, 0.0030},
+    {"126.gcc", 1.3, 0.0028},     {"129.compress", 7.8, 0.0034},
+    {"130.li", 3.2, 0.0035},      {"132.ijpeg", 0.8, 0.0090},
+    {"134.perl", 2.9, 0.0029},    {"147.vortex", 3.2, 0.0286},
+    {"101.tomcatv", 1.0, 0.0001}, {"102.swim", 0.9, 0.0017},
+    {"103.su2cor", 2.4, 0.0741},  {"104.hydro2d", 5.5, 0.0740},
+    {"107.mgrid", 0.1, 0.0019},   {"110.applu", 1.4, 0.0039},
+    {"125.turb3d", 0.7, 0.0009},  {"141.apsi", 2.1, 0.0148},
+    {"145.fpppp", 1.4, 0.0096},   {"146.wave5", 2.0, 0.0034},
+};
+
+const PaperRow &
+paperRow(const std::string &name)
+{
+    for (const PaperRow &row : paper_rows) {
+        if (name == row.name)
+            return row;
+    }
+    return paper_rows[0];
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Runner runner(benchScale());
+
+    std::printf("Table 4: miss-speculation rate per committed load — "
+                "NAV vs SYNC (128-entry window)\n\n");
+
+    TextTable table;
+    table.setHeader({"Program", "NAV", "SYNC", "NAV(paper)",
+                     "SYNC(paper)"});
+
+    auto sweep = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            RunResult r_nav = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::Naive));
+            RunResult r_sync = runner.run(
+                name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                 SpecPolicy::SpecSync));
+            const PaperRow &paper = paperRow(name);
+            table.addRow({
+                name,
+                formatPct(r_nav.misspecRate(), 2),
+                formatPct(r_sync.misspecRate(), 4),
+                strfmt("%.1f%%", paper.nav),
+                strfmt("%.4f%%", paper.sync),
+            });
+        }
+    };
+
+    sweep(workloads::intNames());
+    table.addSeparator();
+    sweep(workloads::fpNames());
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nShape check: SYNC reduces miss-speculation by 2-4 "
+                "orders of magnitude,\nleaving rates that are "
+                "virtually zero.\n");
+    return 0;
+}

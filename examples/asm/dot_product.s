@@ -1,0 +1,26 @@
+# Dot product of two 64-element vectors, written for the cwsim ISA.
+# Run with: ./build/examples/assembler_demo examples/asm/dot_product.s
+    .data
+vec_a:  .double 1.5 2.25 0.5 3.0 1.0 2.0 0.25 4.0
+        .space 448
+vec_b:  .double 2.0 1.0 4.0 0.5 3.0 1.5 8.0 0.25
+        .space 448
+result: .double 0.0
+
+    .text
+        la   r1, vec_a
+        la   r2, vec_b
+        la   r3, result
+        addi r4, r0, 64       # element count
+        fsub.d f2, f2, f2     # acc = 0
+loop:
+        ld.f f0, 0(r1)
+        ld.f f1, 0(r2)
+        fmul.d f0, f0, f1
+        fadd.d f2, f2, f0
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r4, r4, -1
+        bne  r4, r0, loop
+        sd.f f2, 0(r3)
+        halt

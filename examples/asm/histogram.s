@@ -1,0 +1,24 @@
+# Byte histogram with read-modify-write bucket updates: the classic
+# memory dependence race (probe address early, update data late).
+# Run with: ./build/examples/assembler_demo examples/asm/histogram.s
+    .data
+input:  .byte 3 1 4 1 5 9 2 6 5 3 5 8 9 7 9 3
+        .space 240
+counts: .space 64             # 16 buckets of 4 bytes
+
+    .text
+        la   r1, input
+        la   r2, counts
+        addi r3, r0, 256      # bytes to scan
+loop:
+        lbu  r4, 0(r1)        # next input byte
+        andi r4, r4, 15       # bucket index
+        slli r4, r4, 2
+        add  r4, r2, r4
+        lw   r5, 0(r4)        # bucket RMW: load...
+        addi r5, r5, 1
+        sw   r5, 0(r4)        # ...store
+        addi r1, r1, 1
+        addi r3, r3, -1
+        bne  r3, r0, loop
+        halt

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Assembler demo: write a kernel as assembly text (or load a .s file),
+ * assemble it, and simulate it under the paper's policies. The kernel
+ * below is the Figure 7 recurrence written by hand.
+ *
+ *   ./build/examples/assembler_demo            # built-in kernel
+ *   ./build/examples/assembler_demo foo.s      # your own file
+ */
+
+#include <cstdio>
+
+#include "cpu/processor.hh"
+#include "isa/asm_parser.hh"
+#include "mdp/oracle.hh"
+#include "sim/config.hh"
+
+using namespace cwsim;
+
+namespace
+{
+
+const char *demo_source = R"(
+    # Figure 7 of the paper: a loop with a recurrence through memory
+    # (store a[i] -> load a[i-1] of the next iteration), plus
+    # independent side loads an aggressive scheduler can hoist.
+    .data
+a:      .word 3
+        .space 2048
+side:   .word 5 6 7 8
+        .space 2048
+
+    .text
+        la   r1, a
+        la   r10, side
+        li   r2, 300          # iterations
+loop:
+        lw   r3, 0(r1)        # load a[i-1]
+        mul  r4, r3, r3       # slow data for the store
+        andi r4, r4, 1023
+        addi r4, r4, 1
+        sw   r4, 4(r1)        # store a[i]
+        lw   r5, 0(r10)       # independent loads
+        lw   r6, 4(r10)
+        add  r7, r5, r6
+        addi r1, r1, 4
+        addi r10, r10, 4
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt
+)";
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Program prog = argc > 1 ? assembleFile(argv[1])
+                            : assembleText(demo_source);
+    std::printf("assembled %zu static instructions\n",
+                prog.staticInstCount());
+
+    PrepassResult golden = runPrepass(prog, {5'000'000, false});
+    if (!golden.halted) {
+        std::printf("program did not halt within the budget\n");
+        return 1;
+    }
+    std::printf("functional run: %llu dynamic instructions "
+                "(%.1f%% loads, %.1f%% stores)\n\n",
+                static_cast<unsigned long long>(golden.instCount),
+                100.0 * golden.loadCount / golden.instCount,
+                100.0 * golden.storeCount / golden.instCount);
+
+    const std::tuple<const char *, LsqModel, SpecPolicy> configs[] = {
+        {"NAS/NO", LsqModel::NAS, SpecPolicy::No},
+        {"NAS/NAV", LsqModel::NAS, SpecPolicy::Naive},
+        {"NAS/SYNC", LsqModel::NAS, SpecPolicy::SpecSync},
+        {"AS/NAV", LsqModel::AS, SpecPolicy::Naive},
+        {"NAS/ORACLE", LsqModel::NAS, SpecPolicy::Oracle},
+    };
+    for (auto [label, model, policy] : configs) {
+        SimConfig cfg = withPolicy(makeW128Config(), model, policy);
+        Processor proc(cfg, prog, &golden.deps);
+        proc.run();
+        if (!proc.halted()) {
+            std::printf("%-12s did not halt\n", label);
+            continue;
+        }
+        std::printf("%-12s IPC %.2f  misspeculations %llu\n", label,
+                    proc.procStats().ipc(),
+                    static_cast<unsigned long long>(
+                        proc.procStats().memOrderViolations.value()));
+        if (proc.memory().fingerprint() != golden.memFingerprint) {
+            std::printf("architectural mismatch!\n");
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Custom workload walkthrough: write your own kernel against the cwsim
+ * ISA (here, open-addressing hash-table inserts — a memory dependence
+ * stress), then watch the memory dependence predictor learn it.
+ *
+ * Demonstrates the full public API surface: ProgramBuilder, the
+ * functional pre-pass (oracle + golden results), Processor
+ * configuration, and per-policy statistics including the MDPT.
+ *
+ *   ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+
+#include "cpu/processor.hh"
+#include "isa/builder.hh"
+#include "mdp/oracle.hh"
+#include "sim/config.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+
+namespace
+{
+
+/** Open-addressing hash inserts: probe, maybe collide, write back. */
+Program
+hashInsertKernel(int inserts)
+{
+    ProgramBuilder b;
+    constexpr unsigned buckets = 256;
+    Addr table = b.dataAlloc(4 * buckets);
+    Addr fill_count = b.dataAlloc(4);
+
+    const RegId p_tab = ir(1), p_n = ir(2), key = ir(3), hash = ir(4),
+                slot = ir(5), val = ir(6), iters = ir(7), tmp = ir(8),
+                state = ir(9);
+
+    b.la(p_tab, table);
+    b.la(p_n, fill_count);
+    b.li32(state, 0xbeef);
+    b.li32(iters, static_cast<uint32_t>(inserts));
+
+    auto loop = b.hereLabel();
+    auto occupied = b.newLabel();
+    auto done_insert = b.newLabel();
+
+    // key = next pseudo-random value
+    b.slli(tmp, state, 13);
+    b.xor_(state, state, tmp);
+    b.srli(tmp, state, 17);
+    b.xor_(state, state, tmp);
+    b.andi(key, state, 4095);
+    // probe slot = hash(key)
+    b.andi(hash, key, buckets - 1);
+    b.slli(slot, hash, 2);
+    b.add(slot, p_tab, slot);
+    b.lw(val, slot, 0);               // probe (load)
+    b.bne(val, reg_zero, occupied);
+    // empty: insert, bump the fill count (hot RMW cell)
+    b.sw(key, slot, 0);               // insert (store)
+    b.lw(tmp, p_n, 0);
+    b.addi(tmp, tmp, 1);
+    b.sw(tmp, p_n, 0);
+    b.j(done_insert);
+    b.bind(occupied);
+    // linear reprobe once, then overwrite
+    b.addi(hash, hash, 1);
+    b.andi(hash, hash, buckets - 1);
+    b.slli(slot, hash, 2);
+    b.add(slot, p_tab, slot);
+    b.mul(key, key, val);             // slow replacement value
+    b.andi(key, key, 4095);
+    b.sw(key, slot, 0);
+    b.bind(done_insert);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Program prog = hashInsertKernel(4000);
+    PrepassResult golden = runPrepass(prog);
+    std::printf("kernel: %llu dynamic instructions (%.1f%% loads, "
+                "%.1f%% stores)\n\n",
+                static_cast<unsigned long long>(golden.instCount),
+                100.0 * golden.loadCount / golden.instCount,
+                100.0 * golden.storeCount / golden.instCount);
+
+    TextTable table;
+    table.setHeader({"Config", "IPC", "misspec rate", "MDPT pairings",
+                     "sync'd loads"});
+
+    const std::pair<LsqModel, SpecPolicy> configs[] = {
+        {LsqModel::NAS, SpecPolicy::No},
+        {LsqModel::NAS, SpecPolicy::Naive},
+        {LsqModel::NAS, SpecPolicy::Selective},
+        {LsqModel::NAS, SpecPolicy::StoreBarrier},
+        {LsqModel::NAS, SpecPolicy::SpecSync},
+        {LsqModel::NAS, SpecPolicy::Oracle},
+    };
+
+    for (auto [model, policy] : configs) {
+        SimConfig cfg = withPolicy(makeW128Config(), model, policy);
+        Processor proc(cfg, prog, &golden.deps);
+        proc.run();
+        const ProcStats &s = proc.procStats();
+        table.addRow({
+            cfg.name(),
+            strfmt("%.2f", s.ipc()),
+            strfmt("%.3f%%", 100.0 * s.misspecRate()),
+            strfmt("%llu", static_cast<unsigned long long>(
+                               proc.mdpt().pairings.value())),
+            strfmt("%llu", static_cast<unsigned long long>(
+                               s.syncWaits.value())),
+        });
+
+        if (proc.memory().fingerprint() != golden.memFingerprint) {
+            std::printf("architectural mismatch under %s!\n",
+                        cfg.name().c_str());
+            return 1;
+        }
+    }
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nReading the table: naive speculation miss-"
+                "speculates on the fill-count cell;\nSYNC pairs the "
+                "offending (store, load) PCs through the MDPT and "
+                "synchronizes\nthem, recovering close to oracle "
+                "performance.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Policy explorer: run any of the 18 SPEC'95-like workloads under any
+ * (scheduler model, speculation policy) combination of the paper and
+ * dump the full statistics group.
+ *
+ *   ./build/examples/policy_explorer [workload] [MODEL/POLICY] [scale] \
+ *       [key=value ...] [@config-file]
+ *   ./build/examples/policy_explorer 129.compress NAS/SYNC 50000
+ *   ./build/examples/policy_explorer 147.vortex NAS/NAV 50000 \
+ *       core.windowSize=256 mdp.recovery=selective
+ *
+ * Run with no arguments for a matrix over one workload. Trailing
+ * key=value arguments (see sim/config_parse.hh for the key list) and
+ * @file config files override the Table 2 defaults.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/harness.hh"
+#include "sim/config_parse.hh"
+#include "sim/table.hh"
+
+using namespace cwsim;
+
+namespace
+{
+
+bool
+parseConfig(const std::string &text, LsqModel &model, SpecPolicy &policy)
+{
+    auto slash = text.find('/');
+    if (slash == std::string::npos)
+        return false;
+    std::string m = text.substr(0, slash);
+    std::string p = text.substr(slash + 1);
+    if (m == "NAS") {
+        model = LsqModel::NAS;
+    } else if (m == "AS") {
+        model = LsqModel::AS;
+    } else {
+        return false;
+    }
+    if (p == "NO") {
+        policy = SpecPolicy::No;
+    } else if (p == "NAV") {
+        policy = SpecPolicy::Naive;
+    } else if (p == "SEL") {
+        policy = SpecPolicy::Selective;
+    } else if (p == "STORE") {
+        policy = SpecPolicy::StoreBarrier;
+    } else if (p == "SYNC") {
+        policy = SpecPolicy::SpecSync;
+    } else if (p == "ORACLE") {
+        policy = SpecPolicy::Oracle;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "129.compress";
+    uint64_t scale = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                              : 60'000;
+    harness::Runner runner(scale);
+
+    if (argc > 2) {
+        // Single configuration: dump everything.
+        LsqModel model;
+        SpecPolicy policy;
+        if (!parseConfig(argv[2], model, policy)) {
+            std::fprintf(stderr,
+                         "bad config '%s' (want e.g. NAS/SYNC)\n",
+                         argv[2]);
+            return 1;
+        }
+        const Workload &w = runner.workload(workload);
+        const PrepassResult &pre = runner.prepass(workload);
+        SimConfig cfg = withPolicy(makeW128Config(), model, policy);
+        // Trailing key=value overrides and @file configs.
+        for (int i = 4; i < argc; ++i) {
+            if (argv[i][0] == '@')
+                cfg = parseConfigFile(argv[i] + 1, cfg);
+            else
+                applyConfigOption(cfg, argv[i]);
+        }
+        Processor proc(cfg, w.program, &pre.deps);
+        proc.run();
+        std::printf("%s under %s (scale %llu)\n\n", w.name.c_str(),
+                    cfg.name().c_str(),
+                    static_cast<unsigned long long>(scale));
+        proc.statsGroup().dump(std::cout);
+        std::printf("\nIPC: %.3f\n", proc.procStats().ipc());
+        return 0;
+    }
+
+    // No config given: sweep the whole paper matrix for this workload.
+    std::printf("%s across the paper's configuration matrix\n\n",
+                workload.c_str());
+    TextTable table;
+    table.setHeader({"Config", "IPC", "cycles", "misspec", "replays",
+                     "squashed insts"});
+    const std::pair<LsqModel, SpecPolicy> matrix[] = {
+        {LsqModel::NAS, SpecPolicy::No},
+        {LsqModel::NAS, SpecPolicy::Naive},
+        {LsqModel::NAS, SpecPolicy::Selective},
+        {LsqModel::NAS, SpecPolicy::StoreBarrier},
+        {LsqModel::NAS, SpecPolicy::SpecSync},
+        {LsqModel::NAS, SpecPolicy::Oracle},
+        {LsqModel::AS, SpecPolicy::No},
+        {LsqModel::AS, SpecPolicy::Naive},
+    };
+    for (auto [model, policy] : matrix) {
+        harness::RunResult r = runner.run(
+            workload, withPolicy(makeW128Config(), model, policy));
+        table.addRow({
+            r.config,
+            strfmt("%.2f", r.ipc()),
+            strfmt("%llu", static_cast<unsigned long long>(r.cycles)),
+            harness::formatPct(r.misspecRate(), 2),
+            strfmt("%llu", static_cast<unsigned long long>(r.replays)),
+            strfmt("%llu",
+                   static_cast<unsigned long long>(r.squashedInsts)),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Quickstart: assemble a tiny program with ProgramBuilder, simulate it
+ * on the paper's 128-entry-window machine under two load/store
+ * scheduling policies, and read the results.
+ *
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cpu/processor.hh"
+#include "isa/builder.hh"
+#include "mdp/oracle.hh"
+#include "sim/config.hh"
+
+using namespace cwsim;
+
+int
+main()
+{
+    // 1. Write a program: sum an array while a recurrence runs through
+    //    memory (a store feeding a later load).
+    ProgramBuilder b;
+    Addr array = b.dataAlloc(4 * 256);
+    Addr cell = b.dataAlloc(4);
+    for (int i = 0; i < 256; ++i)
+        b.dataW32(array + 4 * i, i * 7 + 1);
+
+    b.la(ir(1), array);
+    b.la(ir(2), cell);
+    b.addi(ir(3), reg_zero, 256); // loop counter
+    b.addi(ir(4), reg_zero, 0);   // sum
+    auto loop = b.hereLabel();
+    b.lw(ir(5), ir(1), 0);        // independent array load
+    b.add(ir(4), ir(4), ir(5));
+    b.mul(ir(6), ir(5), ir(4));   // slow value...
+    b.sw(ir(6), ir(2), 0);        // ...stored to the cell
+    b.lw(ir(7), ir(2), 0);        // and immediately reloaded
+    b.add(ir(4), ir(4), ir(7));
+    b.addi(ir(1), ir(1), 4);
+    b.addi(ir(3), ir(3), -1);
+    b.bne(ir(3), reg_zero, loop);
+    b.halt();
+    Program prog = b.build();
+
+    // 2. A functional pre-pass provides golden results and the oracle's
+    //    dependence knowledge.
+    PrepassResult golden = runPrepass(prog);
+    std::printf("functional execution: %llu instructions, sum=%lld\n\n",
+                static_cast<unsigned long long>(golden.instCount),
+                static_cast<long long>(
+                    static_cast<int64_t>(golden.finalState.regs[4])));
+
+    // 3. Simulate under three policies of the paper's design space.
+    struct Config
+    {
+        const char *label;
+        LsqModel model;
+        SpecPolicy policy;
+    };
+    const Config configs[] = {
+        {"NAS/NO  (no speculation)", LsqModel::NAS, SpecPolicy::No},
+        {"NAS/NAV (naive speculation)", LsqModel::NAS,
+         SpecPolicy::Naive},
+        {"NAS/SYNC (speculation/synchronization)", LsqModel::NAS,
+         SpecPolicy::SpecSync},
+    };
+
+    for (const Config &c : configs) {
+        SimConfig cfg = withPolicy(makeW128Config(), c.model, c.policy);
+        Processor proc(cfg, prog, &golden.deps);
+        proc.run();
+
+        const ProcStats &s = proc.procStats();
+        std::printf("%-40s IPC %.2f  cycles %6llu  misspeculations "
+                    "%llu\n",
+                    c.label, s.ipc(),
+                    static_cast<unsigned long long>(s.cycles.value()),
+                    static_cast<unsigned long long>(
+                        s.memOrderViolations.value()));
+
+        // Speculation never changes architectural results:
+        if (proc.memory().fingerprint() != golden.memFingerprint) {
+            std::printf("ARCHITECTURAL MISMATCH!\n");
+            return 1;
+        }
+    }
+
+    std::printf("\nAll configurations committed identical "
+                "architectural results.\n");
+    std::printf(
+        "\nWhat you are seeing (the paper's central tradeoff):\n"
+        "  - NAS/NO waits for every older store: safe but slow.\n"
+        "  - NAS/NAV speculates and miss-speculates on the recurrence "
+        "every iteration;\n    the squash penalty can make it LOSE to "
+        "not speculating at all.\n"
+        "  - NAS/SYNC learns the (store, load) pair after a few "
+        "squashes and synchronizes\n    exactly those two instructions "
+        "— fastest of the three.\n");
+    return 0;
+}

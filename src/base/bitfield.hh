@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bit-manipulation helpers for instruction encodings and cache indexing.
+ */
+
+#ifndef CWSIM_BASE_BITFIELD_HH
+#define CWSIM_BASE_BITFIELD_HH
+
+#include <cstdint>
+
+namespace cwsim
+{
+
+/** A mask of the low @p nbits bits. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~uint64_t(0) : (uint64_t(1) << nbits) - 1;
+}
+
+/** Extract bits [@p last : @p first] (inclusive, last >= first). */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract a single bit. */
+constexpr uint64_t
+bits(uint64_t val, unsigned bit)
+{
+    return bits(val, bit, bit);
+}
+
+/** Return @p val with bits [@p last : @p first] replaced by @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    uint64_t sign_bit = uint64_t(1) << (nbits - 1);
+    uint64_t low = val & mask(nbits);
+    return static_cast<int64_t>((low ^ sign_bit) - sign_bit);
+}
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_BITFIELD_HH

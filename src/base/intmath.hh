@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer-math helpers (power-of-two arithmetic, logs, alignment).
+ */
+
+#ifndef CWSIM_BASE_INTMATH_HH
+#define CWSIM_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace cwsim
+{
+
+constexpr bool
+isPowerOf2(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); n must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t n)
+{
+    unsigned lg = 0;
+    while (n >>= 1)
+        ++lg;
+    return lg;
+}
+
+/** ceil(log2(n)); n must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t n)
+{
+    return n == 1 ? 0 : floorLog2(n - 1) + 1;
+}
+
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p addr down to a multiple of the power-of-two @p align. */
+constexpr uint64_t
+alignDown(uint64_t addr, uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of the power-of-two @p align. */
+constexpr uint64_t
+alignUp(uint64_t addr, uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_INTMATH_HH

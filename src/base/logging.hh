@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal simulator invariant was violated (a cwsim bug);
+ *            aborts so a debugger or core dump can catch it.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, malformed workload); exits cleanly.
+ * warn()   — something is questionable but simulation continues.
+ * inform() — purely informational status output.
+ */
+
+#ifndef CWSIM_BASE_LOGGING_HH
+#define CWSIM_BASE_LOGGING_HH
+
+#include <string>
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace cwsim
+
+#define panic(...) \
+    ::cwsim::panicImpl(__FILE__, __LINE__, ::cwsim::strfmt(__VA_ARGS__))
+
+#define fatal(...) \
+    ::cwsim::fatalImpl(__FILE__, __LINE__, ::cwsim::strfmt(__VA_ARGS__))
+
+#define warn(...) ::cwsim::warnImpl(::cwsim::strfmt(__VA_ARGS__))
+
+#define inform(...) ::cwsim::informImpl(::cwsim::strfmt(__VA_ARGS__))
+
+/** Assert a simulator invariant with a formatted explanation. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                       \
+            ::cwsim::panicImpl(__FILE__, __LINE__,                         \
+                               ::cwsim::strfmt(__VA_ARGS__));              \
+        }                                                                  \
+    } while (0)
+
+/** Reject a user error with a formatted explanation. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                       \
+            ::cwsim::fatalImpl(__FILE__, __LINE__,                         \
+                               ::cwsim::strfmt(__VA_ARGS__));              \
+        }                                                                  \
+    } while (0)
+
+#endif // CWSIM_BASE_LOGGING_HH

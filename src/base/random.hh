@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A tiny deterministic PRNG (xorshift64*) used by workload generators.
+ *
+ * The standard library engines are avoided so that workload data is
+ * bit-identical across standard-library versions; determinism is what
+ * makes the oracle pre-pass and the timing run line up.
+ */
+
+#ifndef CWSIM_BASE_RANDOM_HH
+#define CWSIM_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace cwsim
+{
+
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_RANDOM_HH

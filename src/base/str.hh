@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal printf-style string formatting used by logging and tables.
+ */
+
+#ifndef CWSIM_BASE_STR_HH
+#define CWSIM_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace cwsim
+{
+
+/**
+ * Format a string printf-style into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on the separator character, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_STR_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across every cwsim subsystem.
+ */
+
+#ifndef CWSIM_BASE_TYPES_HH
+#define CWSIM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace cwsim
+{
+
+/** A byte address in the simulated machine's address space. */
+using Addr = uint64_t;
+
+/** An absolute simulation time, in processor cycles. */
+using Tick = uint64_t;
+
+/** A relative number of cycles (latency). */
+using Cycles = uint64_t;
+
+/**
+ * A dynamic-instruction sequence number. Sequence numbers increase
+ * monotonically in fetch order and are never reused, so comparing two
+ * sequence numbers establishes program order between in-flight
+ * instructions.
+ */
+using InstSeqNum = uint64_t;
+
+/**
+ * The position of an instruction within the committed dynamic execution
+ * trace. Unlike InstSeqNum, trace indices roll back on a squash so that a
+ * committed-path instruction always carries the same index the functional
+ * pre-pass assigned to it (this is what lets the oracle disambiguator and
+ * the split-window model line up with the timing core).
+ */
+using TraceIndex = uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalid_addr = ~Addr(0);
+
+/** Sentinel for "no trace index". */
+constexpr TraceIndex invalid_trace_index = ~TraceIndex(0);
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_TYPES_HH

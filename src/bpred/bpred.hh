@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The paper's branch predictor (Table 2): a McFarling-style combined
+ * predictor — a 2-bit bimodal component and a gselect component with
+ * 5-bit global history, arbitrated by a 2-bit selector — plus a 2K-entry
+ * BTB and a 64-entry return-address stack.
+ *
+ * Global history and the RAS are updated speculatively at predict time;
+ * each prediction returns a checkpoint the core uses to repair state on
+ * a squash. Counters and the BTB are trained at resolve time.
+ */
+
+#ifndef CWSIM_BPRED_BPRED_HH
+#define CWSIM_BPRED_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "base/types.hh"
+#include "isa/static_inst.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace cwsim
+{
+
+/** Speculative-state checkpoint taken at each prediction. */
+struct BPredCheckpoint
+{
+    uint32_t globalHist = 0;
+    unsigned rasTop = 0;
+    Addr rasTopValue = 0;
+    bool rasValid = false;
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BPredConfig &cfg);
+
+    struct Prediction
+    {
+        bool taken = false;       ///< Predicted direction.
+        Addr target = 0;          ///< Predicted target if taken.
+        bool targetKnown = false; ///< Target available this cycle.
+        BPredCheckpoint checkpoint;
+    };
+
+    /**
+     * Predict a control-transfer instruction sitting at @p pc, updating
+     * speculative history / RAS.
+     */
+    Prediction predict(const StaticInst &inst, Addr pc);
+
+    /**
+     * Train direction counters and the BTB with the resolved outcome.
+     * Call once per executed control instruction (on the correct path).
+     * @param hist_at_predict Global history value captured in the
+     *        prediction's checkpoint, so gselect trains the entry it
+     *        actually read.
+     */
+    void update(const StaticInst &inst, Addr pc, bool taken, Addr target,
+                uint32_t hist_at_predict);
+
+    /** Restore speculative state after a squash. */
+    void repair(const BPredCheckpoint &checkpoint);
+
+    /**
+     * Repair after a mispredicted conditional branch: restore the
+     * checkpoint, then shift the branch's actual outcome into the
+     * global history (the squashed prediction shifted in the wrong
+     * one).
+     */
+    void repairAndResolve(const BPredCheckpoint &checkpoint,
+                          bool actual_taken);
+
+    /**
+     * Warm-up hook for the fast-forward phase of sampled runs: trains
+     * counters, BTB and history as if the branch had been predicted and
+     * immediately resolved.
+     */
+    void warmUpdate(const StaticInst &inst, Addr pc, bool taken,
+                    Addr target);
+
+    // Statistics.
+    stats::Scalar lookups;
+    stats::Scalar mispredictedDirections;
+    stats::Scalar btbMisses;
+
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned gselectIndex(Addr pc, uint32_t hist) const;
+    unsigned selectorIndex(Addr pc) const;
+    bool directionLookup(Addr pc) const;
+    void directionUpdate(Addr pc, bool taken, uint32_t hist);
+    void pushRas(Addr return_pc);
+    Addr popRas();
+
+    struct BtbEntry
+    {
+        Addr tag = invalid_addr;
+        Addr target = 0;
+    };
+
+    unsigned tableEntries;
+    unsigned historyBits;
+    uint32_t globalHist;
+
+    std::vector<SatCounter> bimodal;
+    std::vector<SatCounter> gselect;
+    std::vector<SatCounter> selector;
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    unsigned rasTop;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_BPRED_BPRED_HH

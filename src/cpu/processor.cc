@@ -1,0 +1,743 @@
+/**
+ * @file
+ * Processor construction, run loops, and the fetch / dispatch / commit
+ * / squash machinery. The issue phase and the memory dependence
+ * speculation engine live in processor_issue.cc.
+ */
+
+#include "cpu/processor.hh"
+
+#include "base/logging.hh"
+#include "isa/exec_fn.hh"
+
+namespace cwsim
+{
+
+void
+ProcStats::registerIn(stats::StatGroup &group)
+{
+    group.addScalar("cycles", &cycles, "elapsed machine cycles");
+    group.addScalar("commits", &commits, "committed instructions");
+    group.addScalar("committed_loads", &committedLoads);
+    group.addScalar("committed_stores", &committedStores);
+    group.addScalar("fetched_insts", &fetchedInsts);
+    group.addScalar("squashed_insts", &squashedInsts);
+    group.addScalar("branch_mispredicts", &branchMispredicts);
+    group.addScalar("mem_order_violations", &memOrderViolations,
+                    "memory dependence miss-speculations (squashes)");
+    group.addScalar("load_replays", &loadReplays,
+                    "silent AS re-executions (no consumer had issued)");
+    group.addScalar("selective_recoveries", &selectiveRecoveries,
+                    "violations recovered by slice re-execution");
+    group.addScalar("selective_fallbacks", &selectiveFallbacks,
+                    "selective recoveries that fell back to a squash");
+    group.addAverage("slice_size", &sliceSize,
+                     "instructions re-executed per selective recovery");
+    group.addScalar("false_dep_loads", &falseDepLoads,
+                    "committed loads delayed only by false dependences");
+    group.addScalar("true_dep_stalled_loads", &trueDepStalledLoads);
+    group.addScalar("sync_waits", &syncWaits);
+    group.addScalar("sel_holds", &selHolds);
+    group.addScalar("barrier_holds", &barrierHolds);
+    group.addScalar("loads_forwarded", &loadsForwarded,
+                    "loads served entirely from the store buffer");
+    group.addAverage("false_dep_latency", &falseDepLatency,
+                     "mean false-dependence resolution latency");
+    group.addAverage("load_issue_delay", &loadIssueDelay);
+    group.addDistribution("window_occupancy", &windowOccupancy,
+                          "ROB entries in use, sampled per cycle");
+}
+
+Processor::Processor(const SimConfig &cfg, const Program &program,
+                     const OracleDeps *oracle)
+    : cfg(cfg), lsqModel(cfg.mdp.lsqModel), policy(cfg.mdp.policy),
+      usesMdpt(policy == SpecPolicy::Selective ||
+               policy == SpecPolicy::StoreBarrier ||
+               policy == SpecPolicy::SpecSync),
+      memSys(cfg.mem, eq), bpred(cfg.bpred),
+      decoder(funcMem, /*tolerate_invalid=*/true), mdpTable(cfg.mdp),
+      oracle(oracle), rob(cfg.core.windowSize),
+      sb(cfg.core.storeBufferSize), lsqCount(0), fetchPc(0),
+      fetchHalted(false), fetchStalledOnSeq(0), memPortsLeft(0),
+      lsqInPortsLeft(0), cycle(0), nextSeq(1), nextFetchTraceIdx(0),
+      commitCount(0), haltedFlag(false), lastMdptReset(0),
+      statGroup("proc")
+{
+    fatal_if(policy == SpecPolicy::Oracle && !oracle,
+             "NAS/ORACLE requires pre-pass dependence information");
+    fuUsed.fill(0);
+
+    program.loadInto(funcMem);
+    archRegs.pc = program.entry();
+    fetchPc = program.entry();
+
+    pstats.windowOccupancy.init(0, cfg.core.windowSize + 1, 16);
+    pstats.registerIn(statGroup);
+    memSys.registerStats(statGroup);
+    bpred.registerStats(statGroup);
+}
+
+void
+Processor::run()
+{
+    while (!haltedFlag && cycle < cfg.maxCycles &&
+           !(cfg.maxInsts && pstats.commits.value() >= cfg.maxInsts)) {
+        tick();
+    }
+}
+
+uint64_t
+Processor::runTiming(uint64_t max_commits)
+{
+    uint64_t start = pstats.commits.value();
+    while (!haltedFlag && cycle < cfg.maxCycles &&
+           pstats.commits.value() - start < max_commits) {
+        tick();
+    }
+    // Drain: discard all speculative state so a functional phase (or
+    // the caller) sees a clean architectural boundary.
+    if (!rob.empty() || !fetchQueue.empty()) {
+        squashYoungerThan(0, archRegs.pc, commitCount,
+                          /*repair_bpred=*/false);
+    }
+    eq.drain();
+    // Committed stores already updated architectural memory at commit;
+    // force-retire their buffer entries so a functional phase starts
+    // from an empty machine.
+    while (!sb.empty()) {
+        panic_if(!sb.front().committed,
+                 "uncommitted store survived the drain squash");
+        sb.popFront();
+    }
+    return pstats.commits.value() - start;
+}
+
+uint64_t
+Processor::fastForward(uint64_t n)
+{
+    panic_if(!rob.empty() || !fetchQueue.empty(),
+             "fastForward with a non-drained pipeline");
+
+    Executor ex(funcMem, archRegs.pc);
+    ex.state() = archRegs;
+    ex.state().halted = false;
+
+    Addr last_iblock = invalid_addr;
+    unsigned iblock_size = memSys.icacheBlock();
+
+    uint64_t steps = 0;
+    while (steps < n && !ex.halted()) {
+        StepInfo info = ex.step();
+        ++steps;
+
+        Addr block = info.pc & ~Addr(iblock_size - 1);
+        if (block != last_iblock) {
+            memSys.warmInst(block);
+            last_iblock = block;
+        }
+        if (info.isLoad || info.isStore)
+            memSys.warmData(info.memAddr, info.isStore);
+        if (info.inst.isControl()) {
+            bpred.warmUpdate(info.inst, info.pc, info.taken,
+                             info.nextPc);
+        }
+    }
+
+    archRegs = ex.state();
+    commitCount += steps;
+    nextFetchTraceIdx = commitCount;
+    fetchPc = archRegs.pc;
+    if (ex.halted())
+        haltedFlag = true;
+    return steps;
+}
+
+void
+Processor::tick()
+{
+    eq.runUntil(cycle);
+    if (haltedFlag)
+        return;
+
+    memPortsLeft = cfg.core.memPorts;
+    lsqInPortsLeft = cfg.core.lsqInputPorts;
+    fuUsed.fill(0);
+    pstats.windowOccupancy.sample(static_cast<double>(rob.size()));
+
+    doCommit();
+    if (!haltedFlag) {
+        releaseStores();
+        doIssue();
+        doDispatch();
+        doFetch();
+    }
+
+    ++cycle;
+    ++pstats.cycles;
+
+    if (usesMdpt && cycle - lastMdptReset >= cfg.mdp.resetInterval) {
+        mdpTable.reset();
+        lastMdptReset = cycle;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit.
+// ---------------------------------------------------------------------
+
+void
+Processor::doCommit()
+{
+    unsigned budget = cfg.core.commitWidth;
+    while (budget > 0 && !rob.empty()) {
+        DynInst &head = rob.front();
+        if (!head.done)
+            break;
+
+        if (head.si.isHalt()) {
+            haltedFlag = true;
+            ++commitCount;
+            ++pstats.commits;
+            rob.popFront();
+            return;
+        }
+
+        if (head.si.writesReg())
+            archRegs.writeReg(head.si.rd, head.result);
+
+        if (head.isStore()) {
+            SbEntry &entry = sb.slot(head.sbSlot);
+            panic_if(entry.seq != head.seq, "store buffer slot mismatch");
+            entry.committed = true;
+            // Architectural memory is updated at commit; the release
+            // queue models the D-cache write timing afterwards.
+            funcMem.write(entry.addr, entry.size, entry.data);
+            ++pstats.committedStores;
+        }
+
+        if (head.isLoad()) {
+            ++pstats.committedLoads;
+            if (head.fdEvaluated) {
+                if (head.fdIsFalse) {
+                    ++pstats.falseDepLoads;
+                    pstats.falseDepLatency.sample(
+                        static_cast<double>(head.fdLatency));
+                } else {
+                    ++pstats.trueDepStalledLoads;
+                }
+            }
+        }
+
+        if (head.si.isControl()) {
+            bpred.update(head.si, head.pc, head.actualTaken,
+                         head.actualTarget, head.checkpoint.globalHist);
+            archRegs.pc =
+                head.actualTaken ? head.actualTarget : head.pc + 4;
+        } else {
+            archRegs.pc = head.pc + 4;
+        }
+
+        if (head.si.writesReg()) {
+            RegMapEntry &rm = regMap[head.si.rd];
+            if (rm.busy && rm.producer == head.seq)
+                rm.busy = false;
+        }
+
+        if (head.si.isMem())
+            --lsqCount;
+
+        rob.popFront();
+        ++commitCount;
+        ++pstats.commits;
+        --budget;
+    }
+}
+
+void
+Processor::releaseStores()
+{
+    for (size_t i = 0; i < sb.size(); ++i) {
+        SbEntry &entry = sb.at(i);
+        if (!entry.committed)
+            break;
+        if (entry.released || entry.releasing)
+            continue;
+        if (memPortsLeft == 0)
+            break;
+        InstSeqNum seq = entry.seq;
+        bool accepted = memSys.dataAccess(
+            entry.addr, entry.size, true, [this, seq]() {
+                if (SbEntry *e = findSbEntry(seq)) {
+                    e->releasing = false;
+                    e->released = true;
+                }
+            });
+        if (!accepted)
+            break; // bank conflict; retry next cycle
+        entry.releasing = true;
+        --memPortsLeft;
+    }
+    while (!sb.empty() && sb.front().released)
+        sb.popFront();
+}
+
+// ---------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------
+
+void
+Processor::captureOperand(DynInst::Operand &op, RegId reg)
+{
+    op.reg = reg;
+    if (reg == reg_invalid || reg == reg_zero) {
+        op.ready = true;
+        op.value = 0;
+        return;
+    }
+    const RegMapEntry &rm = regMap[reg];
+    if (!rm.busy) {
+        op.ready = true;
+        op.value = archRegs.readReg(reg);
+        return;
+    }
+    op.producer = rm.producer;
+    op.hasProducer = true;
+    DynInst *producer = findInst(rm.producer);
+    if (!producer) {
+        // Producer committed between renaming and now (can happen after
+        // squash-undo restored an already-retired producer).
+        op.ready = true;
+        op.value = archRegs.readReg(reg);
+        return;
+    }
+    if (producer->done) {
+        op.ready = true;
+        op.value = producer->result;
+    } else {
+        op.ready = false;
+    }
+}
+
+void
+Processor::renameDest(DynInst &inst)
+{
+    if (!inst.si.writesReg())
+        return;
+    RegMapEntry &rm = regMap[inst.si.rd];
+    inst.renamedDest = true;
+    inst.prevDestBusy = rm.busy;
+    inst.prevDestProducer = rm.producer;
+    rm.busy = true;
+    rm.producer = inst.seq;
+}
+
+void
+Processor::doDispatch()
+{
+    unsigned budget = cfg.core.issueWidth;
+    while (budget > 0 && !fetchQueue.empty()) {
+        FetchedInst &fi = fetchQueue.front();
+        if (fi.readyAt > cycle)
+            break;
+        if (rob.full())
+            break;
+        if (fi.si.isMem() && lsqCount >= cfg.core.lsqSize)
+            break;
+        if (fi.si.isStore() && sb.full())
+            break;
+
+        rob.pushBack(DynInst{});
+        DynInst &inst = rob.back();
+        inst.seq = fi.seq;
+        inst.traceIdx = fi.traceIdx;
+        inst.pc = fi.pc;
+        inst.si = fi.si;
+        inst.predTaken = fi.predTaken;
+        inst.predTarget = fi.predTarget;
+        inst.predTargetKnown = fi.predTargetKnown;
+        inst.hasCheckpoint = fi.hasCheckpoint;
+        inst.checkpoint = fi.checkpoint;
+        inst.memSize = fi.si.memSize();
+
+        captureOperand(inst.src1, fi.si.rs1);
+        captureOperand(inst.src2, fi.si.rs2);
+        renameDest(inst);
+
+        if (inst.si.isHalt())
+            inst.done = true;
+
+        if (inst.isStore()) {
+            SbEntry entry;
+            entry.seq = inst.seq;
+            entry.traceIdx = inst.traceIdx;
+            entry.pc = inst.pc;
+            entry.size = inst.memSize;
+            inst.sbSlot = static_cast<int>(sb.pushBack(entry));
+            unissuedStores.insert(inst.seq);
+
+            if (policy == SpecPolicy::StoreBarrier &&
+                mdpTable.predictsDependence(inst.pc)) {
+                sb.slot(inst.sbSlot).barrier = true;
+                unissuedBarriers.insert(inst.seq);
+            }
+            if (policy == SpecPolicy::SpecSync) {
+                Synonym syn = mdpTable.synonymOf(inst.pc);
+                if (syn != invalid_synonym) {
+                    sb.slot(inst.sbSlot).producerSynonym = syn;
+                    inst.syncProducer = true;
+                }
+            }
+        }
+
+        if (inst.isLoad()) {
+            if (policy == SpecPolicy::Selective &&
+                mdpTable.predictsDependence(inst.pc)) {
+                inst.waitAllStores = true;
+                ++pstats.selHolds;
+            }
+            if (policy == SpecPolicy::SpecSync) {
+                Synonym syn = mdpTable.synonymOf(inst.pc);
+                if (syn != invalid_synonym) {
+                    inst.waitSynonym = syn;
+                    // Closest preceding store producing this synonym.
+                    for (size_t i = sb.size(); i-- > 0;) {
+                        const SbEntry &e = sb.at(i);
+                        if (e.seq < inst.seq &&
+                            e.producerSynonym == syn && !e.committed) {
+                            inst.hasSyncWait = true;
+                            inst.syncWaitStore = e.seq;
+                            ++pstats.syncWaits;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (oracle) {
+                inst.oracleProducer =
+                    oracle->producerOf(inst.traceIdx);
+            }
+        }
+
+        if (inst.si.isMem())
+            ++lsqCount;
+
+        fetchQueue.pop_front();
+        --budget;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch.
+// ---------------------------------------------------------------------
+
+void
+Processor::doFetch()
+{
+    if (fetchHalted || fetchStalledOnSeq != 0)
+        return;
+
+    const size_t fetch_queue_cap = 4 * cfg.core.fetchWidth;
+    unsigned iblock = memSys.icacheBlock();
+    auto block_of = [iblock](Addr pc) { return pc & ~Addr(iblock - 1); };
+
+    auto request_block = [this](Addr block) {
+        if (pendingIBlocks.count(block))
+            return;
+        if (pendingIBlocks.size() >= cfg.core.maxFetchRequests)
+            return;
+        bool accepted = memSys.instAccess(
+            block, [this, block]() { pendingIBlocks.erase(block); });
+        if (accepted)
+            pendingIBlocks.insert(block);
+    };
+
+    unsigned insts = 0;
+    unsigned blocks = 1;
+    unsigned preds = 0;
+
+    Addr cur_block = block_of(fetchPc);
+    if (!memSys.l1i().isResident(cur_block)) {
+        request_block(cur_block);
+        return;
+    }
+    // Next-line prefetch (Table 2 allows 4 in-flight fetch requests).
+    Addr next_block = cur_block + iblock;
+    if (!memSys.l1i().isResident(next_block))
+        request_block(next_block);
+
+    while (insts < cfg.core.fetchWidth &&
+           fetchQueue.size() < fetch_queue_cap) {
+        if (block_of(fetchPc) != cur_block) {
+            ++blocks;
+            if (blocks > cfg.core.fetchMaxBlocks)
+                break;
+            cur_block = block_of(fetchPc);
+            if (!memSys.l1i().isResident(cur_block)) {
+                request_block(cur_block);
+                break;
+            }
+        }
+
+        const StaticInst &si = decoder.lookup(fetchPc);
+
+        FetchedInst fi;
+        fi.seq = nextSeq++;
+        fi.traceIdx = nextFetchTraceIdx++;
+        fi.pc = fetchPc;
+        fi.si = si;
+        fi.readyAt = cycle + cfg.core.fetchToDispatch;
+
+        if (si.isHalt()) {
+            fetchQueue.push_back(fi);
+            ++pstats.fetchedInsts;
+            fetchHalted = true;
+            break;
+        }
+
+        if (si.isControl()) {
+            if (preds >= cfg.bpred.predictionsPerCycle)
+                break;
+            ++preds;
+            auto pred = bpred.predict(si, fetchPc);
+            fi.predTaken = pred.taken;
+            fi.predTarget = pred.target;
+            fi.predTargetKnown = pred.targetKnown;
+            fi.hasCheckpoint = true;
+            fi.checkpoint = pred.checkpoint;
+            fetchQueue.push_back(fi);
+            ++pstats.fetchedInsts;
+            ++insts;
+
+            if (pred.taken && pred.targetKnown) {
+                fetchPc = pred.target;
+            } else if (pred.taken && !pred.targetKnown) {
+                // Indirect target unknown: stall until it executes.
+                fetchStalledOnSeq = fi.seq;
+                break;
+            } else {
+                fetchPc += 4;
+            }
+            continue;
+        }
+
+        fetchQueue.push_back(fi);
+        ++pstats.fetchedInsts;
+        ++insts;
+        fetchPc += 4;
+    }
+}
+
+void
+Processor::resumeFetch(Addr target)
+{
+    fetchPc = target;
+    fetchStalledOnSeq = 0;
+}
+
+// ---------------------------------------------------------------------
+// Completion, resolution, squash.
+// ---------------------------------------------------------------------
+
+DynInst *
+Processor::findInst(InstSeqNum seq)
+{
+    // Window entries are sorted by sequence number, but squashes leave
+    // gaps, so binary-search by position.
+    size_t lo = 0;
+    size_t hi = rob.size();
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        DynInst &inst = rob.at(mid);
+        if (inst.seq == seq)
+            return &inst;
+        if (inst.seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return nullptr;
+}
+
+SbEntry *
+Processor::findSbEntry(InstSeqNum seq)
+{
+    for (size_t i = 0; i < sb.size(); ++i) {
+        if (sb.at(i).seq == seq)
+            return &sb.at(i);
+    }
+    return nullptr;
+}
+
+const SbEntry *
+Processor::findSbByTraceIdx(TraceIndex idx) const
+{
+    for (size_t i = 0; i < sb.size(); ++i) {
+        if (sb.at(i).traceIdx == idx)
+            return &sb.at(i);
+    }
+    return nullptr;
+}
+
+void
+Processor::broadcastResult(const DynInst &producer)
+{
+    for (size_t i = 0; i < rob.size(); ++i) {
+        DynInst &inst = rob.at(i);
+        if (inst.seq <= producer.seq)
+            continue;
+        if (inst.src1.hasProducer && !inst.src1.ready &&
+            inst.src1.producer == producer.seq) {
+            inst.src1.ready = true;
+            inst.src1.value = producer.result;
+        }
+        if (inst.src2.hasProducer && !inst.src2.ready &&
+            inst.src2.producer == producer.seq) {
+            inst.src2.ready = true;
+            inst.src2.value = producer.result;
+        }
+    }
+}
+
+void
+Processor::unbroadcast(const DynInst &producer)
+{
+    for (size_t i = 0; i < rob.size(); ++i) {
+        DynInst &inst = rob.at(i);
+        if (inst.seq <= producer.seq)
+            continue;
+        if (inst.src1.hasProducer && inst.src1.producer == producer.seq)
+            inst.src1.ready = false;
+        if (inst.src2.hasProducer && inst.src2.producer == producer.seq)
+            inst.src2.ready = false;
+    }
+}
+
+bool
+Processor::anyConsumerIssued(const DynInst &producer) const
+{
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const DynInst &inst = rob.at(i);
+        if (inst.seq <= producer.seq)
+            continue;
+        bool consumes =
+            (inst.src1.hasProducer &&
+             inst.src1.producer == producer.seq) ||
+            (inst.src2.hasProducer && inst.src2.producer == producer.seq);
+        if (consumes && inst.issued)
+            return true;
+    }
+    return false;
+}
+
+void
+Processor::completeInst(DynInst &inst)
+{
+    inst.done = true;
+    if (inst.si.writesReg())
+        broadcastResult(inst);
+    if (inst.si.isControl()) {
+        resolveControl(inst);
+    } else if (fetchStalledOnSeq == inst.seq) {
+        // Defensive: only control instructions stall fetch.
+        fetchStalledOnSeq = 0;
+    }
+}
+
+void
+Processor::resolveControl(DynInst &inst)
+{
+    if (inst.si.isBranch()) {
+        inst.actualTaken =
+            exec::branchTaken(inst.si.op, inst.src1.value,
+                              inst.src2.value);
+        inst.actualTarget = branchTarget(inst.si, inst.pc);
+    } else {
+        inst.actualTaken = true;
+        inst.actualTarget = inst.si.isIndirect()
+            ? static_cast<Addr>(static_cast<uint32_t>(inst.src1.value))
+            : branchTarget(inst.si, inst.pc);
+    }
+
+    bool mispredict;
+    if (inst.si.isBranch()) {
+        mispredict = inst.predTaken != inst.actualTaken ||
+                     (inst.actualTaken &&
+                      inst.predTarget != inst.actualTarget);
+    } else if (inst.predTargetKnown) {
+        mispredict = inst.predTarget != inst.actualTarget;
+    } else {
+        mispredict = false; // fetch stalled; nothing fetched after it
+    }
+
+    Addr next_pc = inst.actualTaken ? inst.actualTarget : inst.pc + 4;
+
+    if (mispredict) {
+        ++pstats.branchMispredicts;
+        bool repaired = false;
+        if (inst.si.isBranch()) {
+            bpred.repairAndResolve(inst.checkpoint, inst.actualTaken);
+            repaired = true;
+        }
+        squashYoungerThan(inst.seq, next_pc, inst.traceIdx + 1,
+                          /*repair_bpred=*/!repaired);
+    } else if (fetchStalledOnSeq == inst.seq) {
+        resumeFetch(next_pc);
+    }
+}
+
+void
+Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
+                             TraceIndex restart_trace_idx,
+                             bool repair_bpred)
+{
+    if (repair_bpred) {
+        // Repair to the state just before the oldest squashed
+        // prediction (which includes every older, surviving update).
+        const BPredCheckpoint *cp = nullptr;
+        for (size_t i = 0; i < rob.size() && !cp; ++i) {
+            const DynInst &inst = rob.at(i);
+            if (inst.seq > keep_seq && inst.hasCheckpoint)
+                cp = &inst.checkpoint;
+        }
+        if (!cp) {
+            for (const FetchedInst &fi : fetchQueue) {
+                if (fi.seq > keep_seq && fi.hasCheckpoint) {
+                    cp = &fi.checkpoint;
+                    break;
+                }
+            }
+        }
+        if (cp)
+            bpred.repair(*cp);
+    }
+
+    while (!rob.empty() && rob.back().seq > keep_seq) {
+        DynInst &inst = rob.back();
+        if (inst.renamedDest) {
+            RegMapEntry &rm = regMap[inst.si.rd];
+            rm.busy = inst.prevDestBusy;
+            rm.producer = inst.prevDestProducer;
+        }
+        if (inst.isStore()) {
+            unissuedStores.erase(inst.seq);
+            unissuedBarriers.erase(inst.seq);
+        }
+        if (inst.si.isMem())
+            --lsqCount;
+        ++pstats.squashedInsts;
+        rob.truncate(1);
+    }
+
+    while (!sb.empty() && !sb.back().committed &&
+           sb.back().seq > keep_seq) {
+        sb.truncate(1);
+    }
+
+    fetchQueue.clear();
+    fetchPc = restart_pc;
+    nextFetchTraceIdx = restart_trace_idx;
+    fetchStalledOnSeq = 0;
+    fetchHalted = false;
+}
+
+} // namespace cwsim

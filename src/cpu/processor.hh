@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The centralized, continuous-window out-of-order superscalar timing
+ * core (the paper's Table 2 machine).
+ *
+ * Execution-driven and cycle-stepped: instructions are fetched along
+ * the predicted path (wrong-path work is fetched, renamed, executed and
+ * squashed), inserted into a single RUU-style window in program order,
+ * and issued with program-order (oldest-first) priority. The
+ * event-driven memory hierarchy supplies load/fill latencies.
+ *
+ * Load/store scheduling is governed by the MdpConfig: the LsqModel
+ * selects whether an address-based scheduler exists, and the SpecPolicy
+ * selects among the paper's five speculation policies plus the oracle.
+ * This file is where the paper's mechanisms meet the pipeline; the
+ * prediction structures themselves live in src/mdp/.
+ */
+
+#ifndef CWSIM_CPU_PROCESSOR_HH
+#define CWSIM_CPU_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "base/types.hh"
+#include "bpred/bpred.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/store_buffer.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "mdp/mdp_table.hh"
+#include "mdp/oracle.hh"
+#include "mem/functional_memory.hh"
+#include "mem/timing_cache.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace cwsim
+{
+
+/** Aggregate statistics for one Processor run. */
+struct ProcStats
+{
+    stats::Scalar cycles;
+    stats::Scalar commits;
+    stats::Scalar committedLoads;
+    stats::Scalar committedStores;
+    stats::Scalar fetchedInsts;
+    stats::Scalar squashedInsts;
+    stats::Scalar branchMispredicts;
+    stats::Scalar memOrderViolations; ///< Dependence miss-speculations.
+    stats::Scalar loadReplays;        ///< AS silent re-executions.
+    stats::Scalar selectiveRecoveries; ///< Slice re-executions.
+    stats::Scalar selectiveFallbacks;  ///< Slices that needed a squash.
+    stats::Average sliceSize;          ///< Insts per selective recovery.
+    stats::Scalar falseDepLoads;      ///< Table 3 "FD" numerator.
+    stats::Scalar trueDepStalledLoads;
+    stats::Scalar syncWaits;          ///< Loads synchronized by SYNC.
+    stats::Scalar selHolds;           ///< Loads held by SEL prediction.
+    stats::Scalar barrierHolds;       ///< Loads held behind a barrier.
+    stats::Scalar loadsForwarded;     ///< Loads served fully by the SB.
+    stats::Average falseDepLatency;   ///< Table 3 "RL".
+    stats::Average loadIssueDelay;    ///< Ready-to-issue cycles, loads.
+    /** Window (ROB) occupancy, sampled every cycle. */
+    stats::Distribution windowOccupancy;
+
+    void registerIn(stats::StatGroup &group);
+
+    double
+    ipc() const
+    {
+        return cycles.value()
+            ? static_cast<double>(commits.value()) / cycles.value()
+            : 0.0;
+    }
+
+    double
+    misspecRate() const
+    {
+        return committedLoads.value()
+            ? static_cast<double>(memOrderViolations.value()) /
+                  committedLoads.value()
+            : 0.0;
+    }
+
+    double
+    falseDepFraction() const
+    {
+        return committedLoads.value()
+            ? static_cast<double>(falseDepLoads.value()) /
+                  committedLoads.value()
+            : 0.0;
+    }
+};
+
+class Processor
+{
+  public:
+    /**
+     * @param cfg Machine configuration (Table 2 presets + MdpConfig).
+     * @param program The workload image.
+     * @param oracle Pre-pass dependence information. Mandatory for
+     *        SpecPolicy::Oracle; optional otherwise (enables the
+     *        false-dependence probes of Table 3 when present).
+     */
+    Processor(const SimConfig &cfg, const Program &program,
+              const OracleDeps *oracle = nullptr);
+
+    /** Run until HALT commits, cfg.maxInsts commits, or cfg.maxCycles. */
+    void run();
+
+    /**
+     * Timing-simulate until @p max_commits more instructions commit (or
+     * HALT); then drain speculative state so a functional phase can
+     * take over. @return commits performed.
+     */
+    uint64_t runTiming(uint64_t max_commits);
+
+    /**
+     * Fast-forward @p n instructions functionally, warming the caches
+     * and the branch predictor (the paper's sampling methodology).
+     */
+    uint64_t fastForward(uint64_t n);
+
+    bool halted() const { return haltedFlag; }
+
+    ProcStats &procStats() { return pstats; }
+    const ProcStats &procStats() const { return pstats; }
+    stats::StatGroup &statsGroup() { return statGroup; }
+
+    const ArchState &archState() const { return archRegs; }
+    FunctionalMemory &memory() { return funcMem; }
+    MemorySystem &memorySystem() { return memSys; }
+    BranchPredictor &branchPredictor() { return bpred; }
+    MdpTable &mdpt() { return mdpTable; }
+
+    Tick curCycle() const { return cycle; }
+    uint64_t totalCommits() const { return commitCount; }
+
+  private:
+    // ---- pipeline phases (called once per cycle, in this order) ----
+    void tick();
+    void doCommit();
+    void releaseStores();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    // ---- issue helpers (processor_issue.cc) -------------------------
+    /** The policy gate: may this load access memory this cycle? */
+    bool loadMayIssue(DynInst &inst);
+    bool gateNasAllOlderStoresIssued(const DynInst &inst) const;
+    bool gateStoreBarrier(const DynInst &inst);
+    bool gateSync(DynInst &inst);
+    bool gateOracle(DynInst &inst);
+    bool gateAddressScheduler(DynInst &inst, bool speculate);
+
+    void executeLoad(DynInst &inst);
+    void executeStoreNas(DynInst &inst);
+    void postStoreAddr(DynInst &inst);
+    void postStoreData(DynInst &inst);
+    void storeBecameExecuted(DynInst &inst, SbEntry &entry);
+
+    void checkViolationsNas(const SbEntry &entry);
+    void checkStaleLoadsAs(const SbEntry &entry);
+    void trainPredictors(const DynInst &load, const SbEntry &store);
+    void replayLoad(DynInst &inst);
+
+    /**
+     * Selective invalidation: re-execute the violated load and,
+     * transitively, every instruction that consumed erroneous data
+     * (through registers or store-buffer forwarding).
+     * @return False if the slice reached resolved control flow (or a
+     *         replay-storm guard tripped) and the caller must fall
+     *         back to squash invalidation.
+     */
+    bool replayDependenceSlice(DynInst &victim);
+    void resetForReplay(DynInst &inst);
+
+    uint64_t assembleLoadBytes(Addr addr, unsigned size,
+                               InstSeqNum load_seq,
+                               InstSeqNum *source_seq) const;
+
+    void noteFalseDepStall(DynInst &inst);
+    void finishFalseDepStall(DynInst &inst);
+
+    // ---- shared helpers ----------------------------------------------
+    DynInst *findInst(InstSeqNum seq);
+    SbEntry *findSbEntry(InstSeqNum seq);
+    const SbEntry *findSbByTraceIdx(TraceIndex idx) const;
+    void completeInst(DynInst &inst);
+    void broadcastResult(const DynInst &producer);
+    void resolveControl(DynInst &inst);
+    bool anyConsumerIssued(const DynInst &producer) const;
+    void unbroadcast(const DynInst &producer);
+
+    /**
+     * Squash every instruction younger than @p keep_seq (everything if
+     * keep_seq == 0), repair the branch predictor, and redirect fetch.
+     */
+    void squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
+                           TraceIndex restart_trace_idx,
+                           bool repair_bpred);
+    void resumeFetch(Addr target);
+
+    void captureOperand(DynInst::Operand &op, RegId reg);
+    void renameDest(DynInst &inst);
+
+    // ---- configuration ------------------------------------------------
+    SimConfig cfg;
+    LsqModel lsqModel;
+    SpecPolicy policy;
+    bool usesMdpt;
+
+    // ---- structural state ----------------------------------------------
+    EventQueue eq;
+    FunctionalMemory funcMem;
+    MemorySystem memSys;
+    BranchPredictor bpred;
+    DecodeCache decoder;
+    MdpTable mdpTable;
+    const OracleDeps *oracle;
+
+    ArchState archRegs; ///< Committed register state + next commit PC.
+
+    struct RegMapEntry
+    {
+        bool busy = false;
+        InstSeqNum producer = 0;
+    };
+    std::array<RegMapEntry, num_arch_regs> regMap;
+
+    CircularQueue<DynInst> rob;
+    StoreBuffer sb;
+    unsigned lsqCount; ///< Memory instructions resident in the window.
+
+    /** Un-executed stores, by sequence number (the NAS "NO" gate). */
+    std::set<InstSeqNum> unissuedStores;
+    /** Un-executed barrier-predicted stores (the STORE gate). */
+    std::set<InstSeqNum> unissuedBarriers;
+
+    // ---- fetch state ------------------------------------------------------
+    struct FetchedInst
+    {
+        InstSeqNum seq = 0;
+        TraceIndex traceIdx = 0;
+        Addr pc = 0;
+        StaticInst si;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        bool predTargetKnown = false;
+        bool hasCheckpoint = false;
+        BPredCheckpoint checkpoint;
+        Tick readyAt = 0;
+    };
+    std::deque<FetchedInst> fetchQueue;
+    Addr fetchPc;
+    bool fetchHalted;
+    InstSeqNum fetchStalledOnSeq; ///< Waiting for an indirect target.
+    std::set<Addr> pendingIBlocks;
+
+    // ---- per-cycle resource budgets (reset in doIssue) ---------------
+    unsigned memPortsLeft;
+    unsigned lsqInPortsLeft;
+    std::array<unsigned, num_fu_classes> fuUsed;
+
+    // ---- bookkeeping -------------------------------------------------------
+    Tick cycle;
+    InstSeqNum nextSeq;
+    TraceIndex nextFetchTraceIdx;
+    uint64_t commitCount;
+    bool haltedFlag;
+    Tick lastMdptReset;
+
+    ProcStats pstats;
+    stats::StatGroup statGroup;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_CPU_PROCESSOR_HH

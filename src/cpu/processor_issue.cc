@@ -1,0 +1,644 @@
+/**
+ * @file
+ * The issue phase: oldest-first selection, the load scheduling gates
+ * for every (LsqModel x SpecPolicy) combination, store address/data
+ * posting, dependence-violation detection and recovery. This file is
+ * the paper's mechanism-under-study.
+ */
+
+#include "base/logging.hh"
+#include "cpu/processor.hh"
+#include "isa/exec_fn.hh"
+
+namespace cwsim
+{
+
+namespace
+{
+
+bool
+rangesOverlap(Addr a, unsigned as, Addr b, unsigned bs)
+{
+    return a < b + bs && b < a + as;
+}
+
+} // anonymous namespace
+
+void
+Processor::doIssue()
+{
+    unsigned slots = cfg.core.issueWidth;
+
+    for (size_t i = 0; i < rob.size() && slots > 0; ++i) {
+        DynInst &inst = rob.at(i);
+        if (inst.done)
+            continue;
+
+        if (inst.isStore()) {
+            SbEntry &entry = sb.slot(inst.sbSlot);
+            if (lsqModel == LsqModel::AS) {
+                // Two-phase store: post the address as soon as the base
+                // register is available, the data whenever it arrives.
+                if (!entry.addrValid && inst.src1.ready &&
+                    lsqInPortsLeft > 0) {
+                    postStoreAddr(inst);
+                    --slots;
+                    --lsqInPortsLeft;
+                }
+                if (!inst.done && !entry.dataValid && inst.src2.ready)
+                    postStoreData(inst);
+            } else {
+                // Table 2 base model: stores wait for both data and
+                // address operands before issuing.
+                if (!inst.issued && inst.srcsReady() &&
+                    lsqInPortsLeft > 0) {
+                    executeStoreNas(inst);
+                    --slots;
+                    --lsqInPortsLeft;
+                }
+            }
+            continue;
+        }
+
+        if (inst.isLoad()) {
+            if (inst.memIssued || !inst.src1.ready)
+                continue;
+            if (inst.effAddr == invalid_addr) {
+                inst.effAddr =
+                    exec::effectiveAddr(inst.si, inst.src1.value);
+            }
+            if (!loadMayIssue(inst)) {
+                noteFalseDepStall(inst);
+                continue;
+            }
+            if (memPortsLeft == 0 || lsqInPortsLeft == 0)
+                continue;
+            size_t rob_size_before = rob.size();
+            executeLoad(inst);
+            if (inst.memIssued) {
+                --slots;
+                --memPortsLeft;
+                --lsqInPortsLeft;
+            }
+            (void)rob_size_before;
+            continue;
+        }
+
+        // Plain computational / control instructions.
+        if (inst.issued || !inst.srcsReady())
+            continue;
+        unsigned fu = static_cast<unsigned>(inst.si.fuClass());
+        if (fuUsed[fu] >= cfg.core.fuCopies)
+            continue;
+        ++fuUsed[fu];
+        --slots;
+
+        inst.issued = true;
+        inst.issuedAt = cycle;
+        ++inst.epoch;
+        if (inst.si.writesReg()) {
+            inst.result = exec::compute(inst.si, inst.src1.value,
+                                        inst.src2.value, inst.pc);
+        }
+        InstSeqNum seq = inst.seq;
+        uint32_t epoch = inst.epoch;
+        eq.scheduleIn(inst.si.latency(), [this, seq, epoch]() {
+            DynInst *p = findInst(seq);
+            if (p && p->epoch == epoch && p->issued && !p->done)
+                completeInst(*p);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load scheduling gates (the heart of the study).
+// ---------------------------------------------------------------------
+
+bool
+Processor::loadMayIssue(DynInst &inst)
+{
+    if (lsqModel == LsqModel::AS) {
+        // AS configurations pair with NO or NAV only.
+        return gateAddressScheduler(inst,
+                                    policy == SpecPolicy::Naive);
+    }
+
+    switch (policy) {
+      case SpecPolicy::No:
+        return gateNasAllOlderStoresIssued(inst);
+      case SpecPolicy::Naive:
+        return true;
+      case SpecPolicy::Selective:
+        return inst.waitAllStores ? gateNasAllOlderStoresIssued(inst)
+                                  : true;
+      case SpecPolicy::StoreBarrier:
+        return gateStoreBarrier(inst);
+      case SpecPolicy::SpecSync:
+        return gateSync(inst);
+      case SpecPolicy::Oracle:
+        return gateOracle(inst);
+    }
+    panic("bad policy");
+}
+
+bool
+Processor::gateNasAllOlderStoresIssued(const DynInst &inst) const
+{
+    return unissuedStores.empty() ||
+           *unissuedStores.begin() > inst.seq;
+}
+
+bool
+Processor::gateStoreBarrier(const DynInst &inst)
+{
+    bool blocked = !unissuedBarriers.empty() &&
+                   *unissuedBarriers.begin() < inst.seq;
+    if (blocked && !inst.fdStallStarted)
+        ++pstats.barrierHolds;
+    return !blocked;
+}
+
+bool
+Processor::gateSync(DynInst &inst)
+{
+    if (!inst.hasSyncWait)
+        return true;
+    SbEntry *store = findSbEntry(inst.syncWaitStore);
+    if (!store || store->seq >= inst.seq) {
+        // The store was squashed or has fully retired; nothing to wait
+        // for any more.
+        inst.hasSyncWait = false;
+        return true;
+    }
+    // "A waiting load is free to issue one cycle after the store it
+    // speculatively depends upon issues."
+    return store->executed && cycle >= store->executedAt + 1;
+}
+
+bool
+Processor::gateOracle(DynInst &inst)
+{
+    TraceIndex producer = inst.oracleProducer;
+    if (producer == invalid_trace_index)
+        return true;
+    if (producer >= inst.traceIdx) {
+        // Wrong-path garbage mapping; never deadlock on it.
+        return true;
+    }
+    if (producer < commitCount)
+        return true; // the producing store already committed
+    const SbEntry *entry = findSbByTraceIdx(producer);
+    if (!entry)
+        return true;
+    return entry->executed;
+}
+
+bool
+Processor::gateAddressScheduler(DynInst &inst, bool speculate)
+{
+    bool ambiguous = false;
+    for (size_t i = 0; i < sb.size(); ++i) {
+        const SbEntry &entry = sb.at(i);
+        if (entry.seq >= inst.seq)
+            break;
+        if (entry.released)
+            continue;
+        if (!entry.addrValid || cycle < entry.addrVisibleAt) {
+            ambiguous = true;
+            continue;
+        }
+        if (entry.overlaps(inst.effAddr, inst.memSize) &&
+            !entry.dataValid) {
+            // Known true dependence: a load always waits for the data.
+            return false;
+        }
+    }
+    return speculate || !ambiguous;
+}
+
+// ---------------------------------------------------------------------
+// Load execution.
+// ---------------------------------------------------------------------
+
+uint64_t
+Processor::assembleLoadBytes(Addr addr, unsigned size,
+                             InstSeqNum load_seq,
+                             InstSeqNum *source_seq) const
+{
+    uint64_t value = 0;
+    InstSeqNum newest = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr byte_addr = addr + i;
+        bool forwarded = false;
+        for (size_t j = sb.size(); j-- > 0;) {
+            const SbEntry &entry = sb.at(j);
+            if (entry.seq >= load_seq)
+                continue;
+            if (!entry.dataValid || !entry.coversByte(byte_addr))
+                continue;
+            value |= static_cast<uint64_t>(entry.byteAt(byte_addr))
+                     << (8 * i);
+            if (entry.seq > newest)
+                newest = entry.seq;
+            forwarded = true;
+            break;
+        }
+        if (!forwarded) {
+            value |= static_cast<uint64_t>(funcMem.read8(byte_addr))
+                     << (8 * i);
+        }
+    }
+    if (source_seq)
+        *source_seq = newest;
+    return value;
+}
+
+void
+Processor::executeLoad(DynInst &inst)
+{
+    // Sample memory at access time: stores executing later than this
+    // point are exactly the ones that can violate the load.
+    InstSeqNum source = 0;
+    uint64_t raw = assembleLoadBytes(inst.effAddr, inst.memSize,
+                                     inst.seq, &source);
+
+    // Did the load execute with ambiguous older stores outstanding?
+    if (lsqModel == LsqModel::NAS) {
+        inst.speculativeLoad = !unissuedStores.empty() &&
+                               *unissuedStores.begin() < inst.seq;
+    } else {
+        inst.speculativeLoad = false;
+        for (size_t i = 0; i < sb.size(); ++i) {
+            const SbEntry &entry = sb.at(i);
+            if (entry.seq >= inst.seq)
+                break;
+            if (!entry.released &&
+                (!entry.addrValid || cycle < entry.addrVisibleAt)) {
+                inst.speculativeLoad = true;
+                break;
+            }
+        }
+    }
+
+    // Full forward if every byte came from the store buffer.
+    bool all_forwarded = true;
+    for (unsigned i = 0; i < inst.memSize && all_forwarded; ++i) {
+        Addr byte_addr = inst.effAddr + i;
+        bool covered = false;
+        for (size_t j = sb.size(); j-- > 0 && !covered;) {
+            const SbEntry &entry = sb.at(j);
+            covered = entry.seq < inst.seq && entry.dataValid &&
+                      entry.coversByte(byte_addr);
+        }
+        all_forwarded = covered;
+    }
+
+    Cycles as_extra =
+        lsqModel == LsqModel::AS ? cfg.mdp.asLatency : 0;
+    InstSeqNum seq = inst.seq;
+    uint32_t epoch = inst.epoch + 1;
+
+    auto finish = [this, seq, epoch]() {
+        DynInst *p = findInst(seq);
+        if (p && p->epoch == epoch && p->memIssued && !p->done) {
+            p->memDone = true;
+            completeInst(*p);
+        }
+    };
+
+    if (all_forwarded) {
+        // Store-to-load forward: same latency as an L1 hit, no cache
+        // bank consumed.
+        ++pstats.loadsForwarded;
+        eq.scheduleIn(cfg.mem.dcache.hitLatency + as_extra, finish);
+    } else {
+        bool accepted;
+        if (as_extra == 0) {
+            accepted = memSys.dataAccess(inst.effAddr, inst.memSize,
+                                         false, finish);
+        } else {
+            accepted = memSys.dataAccess(
+                inst.effAddr, inst.memSize, false,
+                [this, finish, as_extra]() {
+                    eq.scheduleIn(as_extra, finish);
+                });
+        }
+        if (!accepted)
+            return; // bank/MSHR conflict; retry next cycle
+    }
+
+    ++inst.epoch;
+    inst.issued = true;
+    inst.memIssued = true;
+    inst.issuedAt = cycle;
+    inst.loadRaw = raw;
+    inst.loadSourceSeq = source;
+    inst.result = exec::loadExtend(inst.si, raw);
+    finishFalseDepStall(inst);
+}
+
+void
+Processor::replayLoad(DynInst &inst)
+{
+    unbroadcast(inst);
+    ++inst.epoch; // invalidate any in-flight completion
+    inst.issued = false;
+    inst.memIssued = false;
+    inst.memDone = false;
+    inst.done = false;
+    ++pstats.loadReplays;
+}
+
+// ---------------------------------------------------------------------
+// Store execution / posting.
+// ---------------------------------------------------------------------
+
+void
+Processor::executeStoreNas(DynInst &inst)
+{
+    SbEntry &entry = sb.slot(inst.sbSlot);
+    entry.addr = exec::effectiveAddr(inst.si, inst.src1.value);
+    entry.addrValid = true;
+    entry.addrVisibleAt = cycle;
+    entry.data = exec::storeValue(inst.si, inst.src2.value);
+    entry.dataValid = true;
+    inst.effAddr = entry.addr;
+    storeBecameExecuted(inst, entry);
+}
+
+void
+Processor::postStoreAddr(DynInst &inst)
+{
+    SbEntry &entry = sb.slot(inst.sbSlot);
+    entry.addr = exec::effectiveAddr(inst.si, inst.src1.value);
+    entry.addrValid = true;
+    entry.addrVisibleAt = cycle + cfg.mdp.asLatency;
+    inst.effAddr = entry.addr;
+    if (entry.dataValid)
+        storeBecameExecuted(inst, entry);
+}
+
+void
+Processor::postStoreData(DynInst &inst)
+{
+    SbEntry &entry = sb.slot(inst.sbSlot);
+    entry.data = exec::storeValue(inst.si, inst.src2.value);
+    entry.dataValid = true;
+    if (entry.addrValid)
+        storeBecameExecuted(inst, entry);
+}
+
+void
+Processor::storeBecameExecuted(DynInst &inst, SbEntry &entry)
+{
+    entry.executed = true;
+    entry.executedAt = cycle;
+    unissuedStores.erase(inst.seq);
+    unissuedBarriers.erase(inst.seq);
+    inst.issued = true;
+    inst.done = true;
+    inst.issuedAt = cycle;
+
+    if (policy == SpecPolicy::Oracle) {
+        // The oracle never lets a correct-path load violate; wrong-path
+        // loads are cleaned up by control squashes.
+        return;
+    }
+
+    if (lsqModel == LsqModel::AS)
+        checkStaleLoadsAs(entry);
+    else
+        checkViolationsNas(entry);
+}
+
+// ---------------------------------------------------------------------
+// Violation detection and recovery.
+// ---------------------------------------------------------------------
+
+void
+Processor::trainPredictors(const DynInst &load, const SbEntry &store)
+{
+    switch (policy) {
+      case SpecPolicy::SpecSync:
+        mdpTable.pair(load.pc, store.pc);
+        break;
+      case SpecPolicy::Selective:
+        mdpTable.recordMissSpeculation(load.pc);
+        break;
+      case SpecPolicy::StoreBarrier:
+        mdpTable.recordMissSpeculation(store.pc);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Processor::checkViolationsNas(const SbEntry &entry)
+{
+    // Oldest younger load that read a value this store should have
+    // supplied.
+    for (size_t i = 0; i < rob.size(); ++i) {
+        DynInst &load = rob.at(i);
+        if (load.seq <= entry.seq || !load.isLoad() || !load.memIssued)
+            continue;
+        if (!rangesOverlap(load.effAddr, load.memSize, entry.addr,
+                           entry.size)) {
+            continue;
+        }
+        if (load.loadSourceSeq >= entry.seq)
+            continue; // forwarded from a younger store: value is fine
+
+        ++pstats.memOrderViolations;
+        trainPredictors(load, entry);
+
+        if (cfg.mdp.recovery == RecoveryModel::Selective) {
+            if (replayDependenceSlice(load))
+                return; // recovered without discarding unrelated work
+            ++pstats.selectiveFallbacks;
+        }
+
+        // Squash invalidation: re-fetch from the load itself.
+        Addr restart_pc = load.pc;
+        TraceIndex restart_idx = load.traceIdx;
+        squashYoungerThan(load.seq - 1, restart_pc, restart_idx,
+                          /*repair_bpred=*/true);
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Selective invalidation (the Section 2 alternative to squashing).
+// ---------------------------------------------------------------------
+
+void
+Processor::resetForReplay(DynInst &inst)
+{
+    ++inst.epoch; // kill in-flight completion events
+    inst.issued = false;
+    inst.done = false;
+    inst.memIssued = false;
+    inst.memDone = false;
+    inst.effAddr = invalid_addr;
+
+    if (inst.isStore() && inst.sbSlot >= 0) {
+        SbEntry &entry = sb.slot(inst.sbSlot);
+        panic_if(entry.seq != inst.seq, "replaying foreign SB entry");
+        entry.addr = invalid_addr;
+        entry.addrValid = false;
+        entry.dataValid = false;
+        entry.executed = false;
+        unissuedStores.insert(inst.seq);
+        if (entry.barrier)
+            unissuedBarriers.insert(inst.seq);
+    }
+    if (inst.isLoad()) {
+        inst.loadRaw = 0;
+        inst.loadSourceSeq = 0;
+        inst.speculativeLoad = false;
+    }
+}
+
+bool
+Processor::replayDependenceSlice(DynInst &victim)
+{
+    // Replay-storm guard: a load cycling through many re-executions is
+    // cheaper to squash.
+    if (victim.epoch > 60)
+        return false;
+
+    std::vector<InstSeqNum> work{victim.seq};
+    std::set<InstSeqNum> slice;
+
+    while (!work.empty()) {
+        InstSeqNum seq = work.back();
+        work.pop_back();
+        if (slice.count(seq))
+            continue;
+        DynInst *inst = findInst(seq);
+        if (!inst)
+            continue;
+
+        // A resolved control instruction that consumed bad data may
+        // have steered fetch the wrong way; only a squash can repair
+        // that.
+        if (inst->si.isControl() && inst->issued)
+            return false;
+
+        slice.insert(seq);
+
+        // Register consumers of this instruction's (stale) result.
+        for (size_t i = 0; i < rob.size(); ++i) {
+            DynInst &c = rob.at(i);
+            if (c.seq <= seq)
+                continue;
+            bool consumes =
+                (c.src1.hasProducer && c.src1.producer == seq) ||
+                (c.src2.hasProducer && c.src2.producer == seq);
+            if (consumes && (c.issued || c.memIssued))
+                work.push_back(c.seq);
+        }
+
+        // Loads that forwarded from this (stale) store.
+        if (inst->isStore()) {
+            for (size_t i = 0; i < rob.size(); ++i) {
+                DynInst &c = rob.at(i);
+                if (c.seq > seq && c.isLoad() && c.memIssued &&
+                    c.loadSourceSeq == seq) {
+                    work.push_back(c.seq);
+                }
+            }
+        }
+    }
+
+    // If half the window is tainted, a squash is no more expensive.
+    if (slice.size() > rob.size() / 2)
+        return false;
+
+    for (InstSeqNum seq : slice) {
+        DynInst *inst = findInst(seq);
+        panic_if(!inst, "slice member vanished");
+        // Un-ready everyone who captured the stale value (issued
+        // capturers are themselves in the slice and will recapture
+        // from the re-broadcast).
+        unbroadcast(*inst);
+        resetForReplay(*inst);
+    }
+
+    ++pstats.selectiveRecoveries;
+    pstats.sliceSize.sample(static_cast<double>(slice.size()));
+    return true;
+}
+
+void
+Processor::checkStaleLoadsAs(const SbEntry &entry)
+{
+    // Section 3.4's three conditions: the load read memory, obtained a
+    // different value than the store writes, and propagated it.
+    for (size_t i = 0; i < rob.size(); ++i) {
+        DynInst &load = rob.at(i);
+        if (load.seq <= entry.seq || !load.isLoad() || !load.memIssued)
+            continue;
+        if (!rangesOverlap(load.effAddr, load.memSize, entry.addr,
+                           entry.size)) {
+            continue;
+        }
+        if (load.loadSourceSeq >= entry.seq)
+            continue;
+
+        uint64_t correct = assembleLoadBytes(load.effAddr, load.memSize,
+                                             load.seq, nullptr);
+        if (correct == load.loadRaw)
+            continue; // same value: speculation was harmless
+
+        if (anyConsumerIssued(load)) {
+            ++pstats.memOrderViolations;
+            trainPredictors(load, entry);
+            Addr restart_pc = load.pc;
+            TraceIndex restart_idx = load.traceIdx;
+            squashYoungerThan(load.seq - 1, restart_pc, restart_idx,
+                              /*repair_bpred=*/true);
+            return;
+        }
+
+        // No consumer used the stale value yet: silently re-execute.
+        replayLoad(load);
+    }
+}
+
+// ---------------------------------------------------------------------
+// False-dependence probes (Table 3).
+// ---------------------------------------------------------------------
+
+void
+Processor::noteFalseDepStall(DynInst &inst)
+{
+    if (inst.fdStallStarted)
+        return;
+    inst.fdStallStarted = true;
+    inst.fdStallStart = cycle;
+
+    // Classify using oracle knowledge: a stalled load with no in-flight
+    // producing store is delayed by a false dependence.
+    bool true_dep = false;
+    if (oracle && inst.oracleProducer != invalid_trace_index &&
+        inst.oracleProducer < inst.traceIdx &&
+        inst.oracleProducer >= commitCount) {
+        const SbEntry *producer = findSbByTraceIdx(inst.oracleProducer);
+        if (producer && !producer->executed)
+            true_dep = true;
+    }
+    inst.fdIsFalse = !true_dep;
+}
+
+void
+Processor::finishFalseDepStall(DynInst &inst)
+{
+    if (!inst.fdStallStarted || inst.fdEvaluated)
+        return;
+    inst.fdEvaluated = true;
+    inst.fdLatency = cycle - inst.fdStallStart;
+    pstats.loadIssueDelay.sample(static_cast<double>(inst.fdLatency));
+}
+
+} // namespace cwsim

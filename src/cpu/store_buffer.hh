@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The store buffer (Table 2: 128 entries): holds every in-flight
+ * store's address/data from execution until it has been released to the
+ * D-cache after commit. It provides memory renaming — speculative store
+ * data lives here, loads forward from it byte-wise ("combines store
+ * requests for load forwarding"), and architectural memory is only
+ * updated at commit.
+ *
+ * Under the AS model a store posts its address (and later its data)
+ * into its entry as the operands arrive; `addrVisibleAt` models the
+ * address-based scheduler's latency before loads can see the address.
+ */
+
+#ifndef CWSIM_CPU_STORE_BUFFER_HH
+#define CWSIM_CPU_STORE_BUFFER_HH
+
+#include <cstdint>
+
+#include "base/circular_queue.hh"
+#include "base/types.hh"
+#include "mdp/mdp_table.hh"
+
+namespace cwsim
+{
+
+struct SbEntry
+{
+    InstSeqNum seq = 0;
+    TraceIndex traceIdx = 0;
+    Addr pc = 0;
+
+    Addr addr = invalid_addr;
+    unsigned size = 0;
+    uint64_t data = 0;
+
+    bool addrValid = false;
+    bool dataValid = false;
+    /** AS: tick at which the posted address becomes visible to loads. */
+    Tick addrVisibleAt = 0;
+
+    /** Address and data both available (the store has "issued"). */
+    bool executed = false;
+    Tick executedAt = 0;
+
+    bool committed = false;
+    bool releasing = false;
+    bool released = false;
+
+    /** STORE policy: this store is predicted to be a barrier. */
+    bool barrier = false;
+    /** SYNC: synonym this store produces (invalid if none). */
+    Synonym producerSynonym = invalid_synonym;
+
+    bool
+    overlaps(Addr a, unsigned s) const
+    {
+        return addrValid && addr < a + s && a < addr + size;
+    }
+
+    /** Does this store write the byte at @p byte_addr? */
+    bool
+    coversByte(Addr byte_addr) const
+    {
+        return addrValid && byte_addr >= addr && byte_addr < addr + size;
+    }
+
+    uint8_t
+    byteAt(Addr byte_addr) const
+    {
+        return static_cast<uint8_t>(data >> (8 * (byte_addr - addr)));
+    }
+};
+
+using StoreBuffer = CircularQueue<SbEntry>;
+
+} // namespace cwsim
+
+#endif // CWSIM_CPU_STORE_BUFFER_HH

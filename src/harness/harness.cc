@@ -1,0 +1,126 @@
+#include "harness/harness.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace harness
+{
+
+Runner::Runner(uint64_t scale) : runScale(scale)
+{
+}
+
+const Workload &
+Runner::workload(const std::string &name)
+{
+    auto it = workloadCache.find(name);
+    if (it == workloadCache.end()) {
+        it = workloadCache
+                 .emplace(name, workloads::build(name, runScale))
+                 .first;
+    }
+    return it->second;
+}
+
+const PrepassResult &
+Runner::prepass(const std::string &name)
+{
+    auto it = prepassCache.find(name);
+    if (it == prepassCache.end()) {
+        const Workload &w = workload(name);
+        auto result = std::make_unique<PrepassResult>(
+            runPrepass(w.program));
+        fatal_if(!result->halted,
+                 "workload %s did not halt in its functional pre-pass",
+                 name.c_str());
+        it = prepassCache.emplace(name, std::move(result)).first;
+    }
+    return *it->second;
+}
+
+RunResult
+Runner::run(const std::string &name, const SimConfig &cfg)
+{
+    const Workload &w = workload(name);
+    const PrepassResult &pre = prepass(name);
+
+    Processor proc(cfg, w.program, &pre.deps);
+    proc.run();
+    fatal_if(!proc.halted(), "%s did not halt under %s (after %llu "
+             "cycles, %llu commits)", name.c_str(), cfg.name().c_str(),
+             static_cast<unsigned long long>(proc.curCycle()),
+             static_cast<unsigned long long>(proc.totalCommits()));
+
+    const ProcStats &s = proc.procStats();
+    RunResult r;
+    r.workload = name;
+    r.config = cfg.name();
+    r.cycles = s.cycles.value();
+    r.commits = s.commits.value();
+    r.committedLoads = s.committedLoads.value();
+    r.committedStores = s.committedStores.value();
+    r.violations = s.memOrderViolations.value();
+    r.replays = s.loadReplays.value();
+    r.selectiveRecoveries = s.selectiveRecoveries.value();
+    r.selectiveFallbacks = s.selectiveFallbacks.value();
+    r.branchMispredicts = s.branchMispredicts.value();
+    r.squashedInsts = s.squashedInsts.value();
+    r.falseDepLoads = s.falseDepLoads.value();
+    r.falseDepLatency = s.falseDepLatency.mean();
+    return r;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of nothing");
+    double log_sum = 0;
+    for (double v : values) {
+        panic_if(v <= 0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+formatSpeedup(double ratio)
+{
+    return strfmt("%+.1f%%", (ratio - 1.0) * 100.0);
+}
+
+std::string
+formatPct(double fraction, int decimals)
+{
+    return strfmt("%.*f%%", decimals, fraction * 100.0);
+}
+
+uint64_t
+benchScale()
+{
+    if (const char *env = std::getenv("CWSIM_SCALE")) {
+        uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v >= 1000)
+            return v;
+        warn("ignoring CWSIM_SCALE=%s (must be >= 1000)", env);
+    }
+    return 80'000;
+}
+
+double
+meanSpeedup(const std::map<std::string, double> &num,
+            const std::map<std::string, double> &den,
+            const std::vector<std::string> &keys)
+{
+    std::vector<double> ratios;
+    for (const auto &k : keys)
+        ratios.push_back(num.at(k) / den.at(k));
+    return geomean(ratios);
+}
+
+} // namespace harness
+} // namespace cwsim

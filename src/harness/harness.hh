@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The experiment harness shared by every bench binary: builds
+ * workloads, caches their functional pre-passes (oracle dependence
+ * info), runs timing simulations, and aggregates results the way the
+ * paper reports them (per-benchmark bars plus int/fp averages).
+ */
+
+#ifndef CWSIM_HARNESS_HARNESS_HH
+#define CWSIM_HARNESS_HARNESS_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "mdp/oracle.hh"
+#include "sim/config.hh"
+#include "sim/table.hh"
+#include "workloads/workload.hh"
+
+namespace cwsim
+{
+namespace harness
+{
+
+/** Everything a bench needs from one (workload, config) timing run. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+    uint64_t cycles = 0;
+    uint64_t commits = 0;
+    uint64_t committedLoads = 0;
+    uint64_t committedStores = 0;
+    uint64_t violations = 0;
+    uint64_t replays = 0;
+    uint64_t selectiveRecoveries = 0;
+    uint64_t selectiveFallbacks = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t squashedInsts = 0;
+    uint64_t falseDepLoads = 0;
+    double falseDepLatency = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(commits) / cycles : 0;
+    }
+
+    double
+    misspecRate() const
+    {
+        return committedLoads
+            ? static_cast<double>(violations) / committedLoads
+            : 0;
+    }
+
+    double
+    falseDepFraction() const
+    {
+        return committedLoads
+            ? static_cast<double>(falseDepLoads) / committedLoads
+            : 0;
+    }
+};
+
+class Runner
+{
+  public:
+    /** @param scale Dynamic-instruction target per workload. */
+    explicit Runner(uint64_t scale = workloads::default_scale);
+
+    /** The workload (built once, cached). */
+    const Workload &workload(const std::string &name);
+
+    /** The functional pre-pass for @p name (run once, cached). */
+    const PrepassResult &prepass(const std::string &name);
+
+    /** Run @p name under @p cfg to completion. */
+    RunResult run(const std::string &name, const SimConfig &cfg);
+
+    uint64_t scale() const { return runScale; }
+
+  private:
+    uint64_t runScale;
+    std::map<std::string, Workload> workloadCache;
+    std::map<std::string, std::unique_ptr<PrepassResult>> prepassCache;
+};
+
+/** Geometric mean of @p values (all > 0). */
+double geomean(const std::vector<double> &values);
+
+/** Format a ratio as "+12.3%" / "-4.5%" relative change. */
+std::string formatSpeedup(double ratio);
+
+/** Format 0.0123 as "1.23%". */
+std::string formatPct(double fraction, int decimals = 1);
+
+/**
+ * Paper-style summary: geometric-mean speedup of @p num over @p den
+ * IPCs across the given short-name keys.
+ */
+double
+meanSpeedup(const std::map<std::string, double> &num,
+            const std::map<std::string, double> &den,
+            const std::vector<std::string> &keys);
+
+/**
+ * Dynamic-instruction target for bench binaries: the CWSIM_SCALE
+ * environment variable, or 80000.
+ */
+uint64_t benchScale();
+
+} // namespace harness
+} // namespace cwsim
+
+#endif // CWSIM_HARNESS_HARNESS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A two-pass textual assembler for the cwsim ISA, so kernels can be
+ * written as .s text instead of through the ProgramBuilder API.
+ *
+ * Syntax:
+ *
+ *     # comment
+ *     .data                     # switch to the data segment
+ *     table: .space 64          # reserve 64 zero bytes
+ *     pi:    .double 3.14159
+ *     val:   .word 42 7 9       # 32-bit words
+ *     msg:   .byte 104 105
+ *     .align 8
+ *     .text                     # switch back to code (default)
+ *     start:
+ *         la   r1, table        # pseudo-op: load a data label/address
+ *         lw   r2, 4(r1)
+ *         addi r2, r2, 1
+ *         beq  r2, r0, done
+ *         j    start
+ *     done:
+ *         halt
+ *
+ * Registers are r0..r31 and f0..f31. Mnemonics are the opcode names of
+ * opcodes.hh (e.g. "fadd.d", "ld.f"). Pseudo-ops: `nop`, `mv rd, rs`,
+ * `li rd, imm32`, `la rd, label`. Branch/jump targets are labels.
+ * Errors are reported with line numbers via fatal().
+ */
+
+#ifndef CWSIM_ISA_ASM_PARSER_HH
+#define CWSIM_ISA_ASM_PARSER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace cwsim
+{
+
+/** Assemble @p source text into a Program. */
+Program assembleText(const std::string &source);
+
+/** Assemble the file at @p path. */
+Program assembleFile(const std::string &path);
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_ASM_PARSER_HH

@@ -1,0 +1,359 @@
+#include "isa/builder.hh"
+
+#include <cstring>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+ProgramBuilder::ProgramBuilder(Addr code_base, Addr data_base,
+                               Addr stack_top)
+    : codeBase(code_base), dataBase(data_base), stackTopAddr(stack_top),
+      dataUsed(0)
+{
+    panic_if(code_base % 4 != 0, "code base must be word aligned");
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labelTargets.push_back(-1);
+    return labelTargets.size() - 1;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    panic_if(label >= labelTargets.size(), "bad label %zu", label);
+    panic_if(labelTargets[label] >= 0, "label %zu bound twice", label);
+    labelTargets[label] = static_cast<int64_t>(insts.size());
+}
+
+void
+ProgramBuilder::emit(const StaticInst &inst)
+{
+    insts.push_back(inst);
+}
+
+// R-format helpers ----------------------------------------------------
+
+#define DEF_R(method, opcode)                                           \
+    void                                                                \
+    ProgramBuilder::method(RegId rd, RegId rs1, RegId rs2)              \
+    {                                                                   \
+        emit(StaticInst(Opcode::opcode, rd, rs1, rs2, 0));              \
+    }
+
+DEF_R(add, ADD)
+DEF_R(sub, SUB)
+DEF_R(and_, AND)
+DEF_R(or_, OR)
+DEF_R(xor_, XOR)
+DEF_R(sll, SLL)
+DEF_R(srl, SRL)
+DEF_R(sra, SRA)
+DEF_R(slt, SLT)
+DEF_R(sltu, SLTU)
+DEF_R(mul, MUL)
+DEF_R(div, DIV)
+DEF_R(rem, REM)
+DEF_R(fadd_s, FADD_S)
+DEF_R(fsub_s, FSUB_S)
+DEF_R(fmul_s, FMUL_S)
+DEF_R(fdiv_s, FDIV_S)
+DEF_R(fadd_d, FADD_D)
+DEF_R(fsub_d, FSUB_D)
+DEF_R(fmul_d, FMUL_D)
+DEF_R(fdiv_d, FDIV_D)
+DEF_R(fclt, FCLT)
+DEF_R(fcle, FCLE)
+DEF_R(fceq, FCEQ)
+
+#undef DEF_R
+
+void
+ProgramBuilder::cvt_w_d(RegId rd, RegId fs1)
+{
+    emit(StaticInst(Opcode::CVT_W_D, rd, fs1, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::cvt_d_w(RegId fd, RegId rs1)
+{
+    emit(StaticInst(Opcode::CVT_D_W, fd, rs1, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::fmov(RegId fd, RegId fs1)
+{
+    emit(StaticInst(Opcode::FMOV, fd, fs1, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::fneg(RegId fd, RegId fs1)
+{
+    emit(StaticInst(Opcode::FNEG, fd, fs1, reg_invalid, 0));
+}
+
+// I-format helpers ----------------------------------------------------
+
+#define DEF_I(method, opcode)                                           \
+    void                                                                \
+    ProgramBuilder::method(RegId rd, RegId rs1, int32_t imm)            \
+    {                                                                   \
+        emit(StaticInst(Opcode::opcode, rd, rs1, reg_invalid, imm));    \
+    }
+
+DEF_I(addi, ADDI)
+DEF_I(slli, SLLI)
+DEF_I(srli, SRLI)
+DEF_I(srai, SRAI)
+DEF_I(slti, SLTI)
+
+#undef DEF_I
+
+namespace
+{
+
+/**
+ * Logical immediates are zero-extended 16-bit fields; accept the
+ * natural [0, 65535] range and fold it into the signed encoding slot.
+ */
+int32_t
+logicalImm(int32_t imm)
+{
+    panic_if(imm < -32768 || imm > 65535,
+             "logical immediate %d out of 16-bit range", imm);
+    return static_cast<int16_t>(imm);
+}
+
+} // anonymous namespace
+
+void
+ProgramBuilder::andi(RegId rd, RegId rs1, int32_t imm)
+{
+    emit(StaticInst(Opcode::ANDI, rd, rs1, reg_invalid,
+                    logicalImm(imm)));
+}
+
+void
+ProgramBuilder::ori(RegId rd, RegId rs1, int32_t imm)
+{
+    emit(StaticInst(Opcode::ORI, rd, rs1, reg_invalid, logicalImm(imm)));
+}
+
+void
+ProgramBuilder::xori(RegId rd, RegId rs1, int32_t imm)
+{
+    emit(StaticInst(Opcode::XORI, rd, rs1, reg_invalid,
+                    logicalImm(imm)));
+}
+
+void
+ProgramBuilder::lui(RegId rd, int32_t imm)
+{
+    emit(StaticInst(Opcode::LUI, rd, reg_zero, reg_invalid, imm));
+}
+
+// Memory ---------------------------------------------------------------
+
+#define DEF_LOAD(method, opcode)                                        \
+    void                                                                \
+    ProgramBuilder::method(RegId rd, RegId base, int32_t off)           \
+    {                                                                   \
+        emit(StaticInst(Opcode::opcode, rd, base, reg_invalid, off));   \
+    }
+
+DEF_LOAD(lb, LB)
+DEF_LOAD(lbu, LBU)
+DEF_LOAD(lw, LW)
+DEF_LOAD(ld_f, LD_F)
+
+#undef DEF_LOAD
+
+#define DEF_STORE(method, opcode)                                       \
+    void                                                                \
+    ProgramBuilder::method(RegId src, RegId base, int32_t off)          \
+    {                                                                   \
+        emit(StaticInst(Opcode::opcode, reg_invalid, base, src, off));  \
+    }
+
+DEF_STORE(sb, SB)
+DEF_STORE(sw, SW)
+DEF_STORE(sd_f, SD_F)
+
+#undef DEF_STORE
+
+// Control ---------------------------------------------------------------
+
+void
+ProgramBuilder::emitBranch(Opcode op, RegId rs1, RegId rs2, Label target)
+{
+    fixups.push_back(Fixup{insts.size(), target});
+    emit(StaticInst(op, reg_invalid, rs1, rs2, 0));
+}
+
+void
+ProgramBuilder::beq(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Opcode::BEQ, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bne(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Opcode::BNE, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::blt(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Opcode::BLT, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bge(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Opcode::BGE, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::j(Label target)
+{
+    fixups.push_back(Fixup{insts.size(), target});
+    emit(StaticInst(Opcode::J, reg_invalid, reg_invalid, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::jal(Label target)
+{
+    fixups.push_back(Fixup{insts.size(), target});
+    emit(StaticInst(Opcode::JAL, reg_ra, reg_invalid, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::jr(RegId rs1)
+{
+    emit(StaticInst(Opcode::JR, reg_invalid, rs1, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::jalr(RegId rd, RegId rs1)
+{
+    emit(StaticInst(Opcode::JALR, rd, rs1, reg_invalid, 0));
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(StaticInst(Opcode::HALT, reg_invalid, reg_invalid, reg_invalid,
+                    0));
+}
+
+// Pseudo-instructions ----------------------------------------------------
+
+void
+ProgramBuilder::nop()
+{
+    addi(reg_zero, reg_zero, 0);
+}
+
+void
+ProgramBuilder::mv(RegId rd, RegId rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+ProgramBuilder::li32(RegId rd, uint32_t value)
+{
+    int32_t as_signed = static_cast<int32_t>(value);
+    if (as_signed >= -32768 && as_signed <= 32767) {
+        addi(rd, reg_zero, as_signed);
+        return;
+    }
+    // The upper half travels through the signed imm16 field; compute()
+    // masks it back to 16 bits before shifting.
+    lui(rd, static_cast<int16_t>(value >> 16));
+    if (value & 0xffff)
+        ori(rd, rd, static_cast<int32_t>(value & 0xffff));
+}
+
+// Data segment -------------------------------------------------------------
+
+Addr
+ProgramBuilder::dataAlloc(size_t bytes, size_t align)
+{
+    panic_if(!isPowerOf2(align), "data alignment must be a power of two");
+    dataUsed = alignUp(dataUsed, align);
+    Addr addr = dataBase + dataUsed;
+    dataUsed += bytes;
+    if (data.size() < dataUsed)
+        data.resize(dataUsed, 0);
+    return addr;
+}
+
+void
+ProgramBuilder::dataW8(Addr addr, uint8_t v)
+{
+    size_t off = addr - dataBase;
+    panic_if(off >= data.size(), "data write out of allocated range");
+    data[off] = v;
+}
+
+void
+ProgramBuilder::dataW32(Addr addr, uint32_t v)
+{
+    size_t off = addr - dataBase;
+    panic_if(off + 4 > data.size(), "data write out of allocated range");
+    std::memcpy(&data[off], &v, 4);
+}
+
+void
+ProgramBuilder::dataW64(Addr addr, uint64_t v)
+{
+    size_t off = addr - dataBase;
+    panic_if(off + 8 > data.size(), "data write out of allocated range");
+    std::memcpy(&data[off], &v, 8);
+}
+
+void
+ProgramBuilder::dataF64(Addr addr, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    dataW64(addr, bits);
+}
+
+Program
+ProgramBuilder::build()
+{
+    // Resolve branch/jump fixups to word offsets relative to inst+1.
+    for (const Fixup &fx : fixups) {
+        panic_if(fx.label >= labelTargets.size(), "bad fixup label");
+        int64_t target = labelTargets[fx.label];
+        panic_if(target < 0, "label %zu never bound", fx.label);
+        int64_t delta = target - static_cast<int64_t>(fx.instIndex) - 1;
+        insts[fx.instIndex].imm = static_cast<int32_t>(delta);
+    }
+
+    Program prog;
+    prog.setEntry(codeBase);
+    prog.setStaticInstCount(insts.size());
+
+    std::vector<uint8_t> code(insts.size() * 4);
+    for (size_t i = 0; i < insts.size(); ++i) {
+        uint32_t word = insts[i].encode();
+        std::memcpy(&code[i * 4], &word, 4);
+    }
+    prog.addSegment(codeBase, std::move(code));
+
+    if (!data.empty())
+        prog.addSegment(dataBase, data);
+
+    return prog;
+}
+
+} // namespace cwsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * ProgramBuilder: an embedded assembler with labels, used by the
+ * workload kernels. One mnemonic method per opcode, plus pseudo-ops
+ * (li32/la/nop/mv) and a bump allocator for the data segment.
+ */
+
+#ifndef CWSIM_ISA_BUILDER_HH
+#define CWSIM_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/program.hh"
+#include "isa/static_inst.hh"
+
+namespace cwsim
+{
+
+class ProgramBuilder
+{
+  public:
+    /** An index into the builder's label table. */
+    using Label = size_t;
+
+    explicit ProgramBuilder(Addr code_base = 0x1000,
+                            Addr data_base = 0x100000,
+                            Addr stack_top = 0xf00000);
+
+    // --- labels -----------------------------------------------------
+    Label newLabel();
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+    /** Shorthand: create a label bound right here. */
+    Label
+    hereLabel()
+    {
+        Label l = newLabel();
+        bind(l);
+        return l;
+    }
+
+    /** PC the next emitted instruction will occupy. */
+    Addr herePc() const { return codeBase + 4 * insts.size(); }
+
+    // --- raw emission -----------------------------------------------
+    void emit(const StaticInst &inst);
+
+    // --- ALU, register-register --------------------------------------
+    void add(RegId rd, RegId rs1, RegId rs2);
+    void sub(RegId rd, RegId rs1, RegId rs2);
+    void and_(RegId rd, RegId rs1, RegId rs2);
+    void or_(RegId rd, RegId rs1, RegId rs2);
+    void xor_(RegId rd, RegId rs1, RegId rs2);
+    void sll(RegId rd, RegId rs1, RegId rs2);
+    void srl(RegId rd, RegId rs1, RegId rs2);
+    void sra(RegId rd, RegId rs1, RegId rs2);
+    void slt(RegId rd, RegId rs1, RegId rs2);
+    void sltu(RegId rd, RegId rs1, RegId rs2);
+    void mul(RegId rd, RegId rs1, RegId rs2);
+    void div(RegId rd, RegId rs1, RegId rs2);
+    void rem(RegId rd, RegId rs1, RegId rs2);
+
+    // --- ALU, register-immediate --------------------------------------
+    void addi(RegId rd, RegId rs1, int32_t imm);
+    void andi(RegId rd, RegId rs1, int32_t imm);
+    void ori(RegId rd, RegId rs1, int32_t imm);
+    void xori(RegId rd, RegId rs1, int32_t imm);
+    void slli(RegId rd, RegId rs1, int32_t shamt);
+    void srli(RegId rd, RegId rs1, int32_t shamt);
+    void srai(RegId rd, RegId rs1, int32_t shamt);
+    void slti(RegId rd, RegId rs1, int32_t imm);
+    void lui(RegId rd, int32_t imm);
+
+    // --- floating point ------------------------------------------------
+    void fadd_s(RegId fd, RegId fs1, RegId fs2);
+    void fsub_s(RegId fd, RegId fs1, RegId fs2);
+    void fmul_s(RegId fd, RegId fs1, RegId fs2);
+    void fdiv_s(RegId fd, RegId fs1, RegId fs2);
+    void fadd_d(RegId fd, RegId fs1, RegId fs2);
+    void fsub_d(RegId fd, RegId fs1, RegId fs2);
+    void fmul_d(RegId fd, RegId fs1, RegId fs2);
+    void fdiv_d(RegId fd, RegId fs1, RegId fs2);
+    void fclt(RegId rd, RegId fs1, RegId fs2);
+    void fcle(RegId rd, RegId fs1, RegId fs2);
+    void fceq(RegId rd, RegId fs1, RegId fs2);
+    void cvt_w_d(RegId rd, RegId fs1);
+    void cvt_d_w(RegId fd, RegId rs1);
+    void fmov(RegId fd, RegId fs1);
+    void fneg(RegId fd, RegId fs1);
+
+    // --- memory ----------------------------------------------------------
+    void lb(RegId rd, RegId base, int32_t off);
+    void lbu(RegId rd, RegId base, int32_t off);
+    void lw(RegId rd, RegId base, int32_t off);
+    void sb(RegId src, RegId base, int32_t off);
+    void sw(RegId src, RegId base, int32_t off);
+    void ld_f(RegId fd, RegId base, int32_t off);
+    void sd_f(RegId fsrc, RegId base, int32_t off);
+
+    // --- control ----------------------------------------------------------
+    void beq(RegId rs1, RegId rs2, Label target);
+    void bne(RegId rs1, RegId rs2, Label target);
+    void blt(RegId rs1, RegId rs2, Label target);
+    void bge(RegId rs1, RegId rs2, Label target);
+    void j(Label target);
+    void jal(Label target);
+    void jr(RegId rs1);
+    void jalr(RegId rd, RegId rs1);
+    void halt();
+
+    // --- pseudo-instructions ----------------------------------------------
+    void nop();
+    /** rd <- rs (integer move). */
+    void mv(RegId rd, RegId rs);
+    /** Load an arbitrary 32-bit constant (lui/ori pair or single op). */
+    void li32(RegId rd, uint32_t value);
+    /** Load an address constant. */
+    void la(RegId rd, Addr addr) { li32(rd, static_cast<uint32_t>(addr)); }
+
+    // --- data segment -------------------------------------------------------
+    /** Reserve @p bytes of zero-initialized data; returns its address. */
+    Addr dataAlloc(size_t bytes, size_t align = 8);
+    void dataW8(Addr addr, uint8_t v);
+    void dataW32(Addr addr, uint32_t v);
+    void dataW64(Addr addr, uint64_t v);
+    void dataF64(Addr addr, double v);
+
+    Addr stackTop() const { return stackTopAddr; }
+
+    /** Resolve all label fixups and produce the image. */
+    Program build();
+
+    size_t instCount() const { return insts.size(); }
+
+  private:
+    struct Fixup
+    {
+        size_t instIndex;
+        Label label;
+    };
+
+    void emitBranch(Opcode op, RegId rs1, RegId rs2, Label target);
+
+    Addr codeBase;
+    Addr dataBase;
+    Addr stackTopAddr;
+    std::vector<StaticInst> insts;
+    std::vector<int64_t> labelTargets; ///< inst index or -1 if unbound
+    std::vector<Fixup> fixups;
+    std::vector<uint8_t> data;
+    size_t dataUsed;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_BUILDER_HH

@@ -1,0 +1,156 @@
+#include "isa/exec_fn.hh"
+
+#include <bit>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace cwsim
+{
+namespace exec
+{
+
+double
+asDouble(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+fromDouble(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+uint64_t
+compute(const StaticInst &inst, uint64_t a, uint64_t b, Addr pc)
+{
+    int32_t ia = static_cast<int32_t>(a);
+    int32_t ib = static_cast<int32_t>(b);
+    uint32_t ua = static_cast<uint32_t>(a);
+    uint32_t ub = static_cast<uint32_t>(b);
+    int32_t imm = inst.imm;
+    double fa = asDouble(a);
+    double fb = asDouble(b);
+
+    switch (inst.op) {
+      case Opcode::ADD: return canonInt(ua + ub);
+      case Opcode::SUB: return canonInt(ua - ub);
+      case Opcode::AND: return canonInt(ua & ub);
+      case Opcode::OR: return canonInt(ua | ub);
+      case Opcode::XOR: return canonInt(ua ^ ub);
+      case Opcode::SLL: return canonInt(ua << (ub & 31));
+      case Opcode::SRL: return canonInt(ua >> (ub & 31));
+      case Opcode::SRA: return canonInt(
+          static_cast<uint32_t>(ia >> (ub & 31)));
+      case Opcode::SLT: return ia < ib ? 1 : 0;
+      case Opcode::SLTU: return ua < ub ? 1 : 0;
+      case Opcode::ADDI: return canonInt(ua + static_cast<uint32_t>(imm));
+      // Logical immediates zero-extend their 16-bit field (as in MIPS).
+      case Opcode::ANDI: return canonInt(ua &
+          (static_cast<uint32_t>(imm) & 0xffff));
+      case Opcode::ORI: return canonInt(ua |
+          (static_cast<uint32_t>(imm) & 0xffff));
+      case Opcode::XORI: return canonInt(ua ^
+          (static_cast<uint32_t>(imm) & 0xffff));
+      case Opcode::SLLI: return canonInt(ua << (imm & 31));
+      case Opcode::SRLI: return canonInt(ua >> (imm & 31));
+      case Opcode::SRAI: return canonInt(
+          static_cast<uint32_t>(ia >> (imm & 31)));
+      case Opcode::SLTI: return ia < imm ? 1 : 0;
+      case Opcode::LUI: return canonInt(static_cast<uint32_t>(imm) << 16);
+      case Opcode::MUL: return canonInt(ua * ub);
+      case Opcode::DIV:
+        // Division by zero yields zero (the ISA has no traps).
+        if (ib == 0)
+            return 0;
+        if (ia == INT32_MIN && ib == -1)
+            return canonInt(static_cast<uint32_t>(INT32_MIN));
+        return canonInt(static_cast<uint32_t>(ia / ib));
+      case Opcode::REM:
+        if (ib == 0)
+            return 0;
+        if (ia == INT32_MIN && ib == -1)
+            return 0;
+        return canonInt(static_cast<uint32_t>(ia % ib));
+      case Opcode::FADD_S:
+      case Opcode::FADD_D: return fromDouble(fa + fb);
+      case Opcode::FSUB_S:
+      case Opcode::FSUB_D: return fromDouble(fa - fb);
+      case Opcode::FMUL_S:
+      case Opcode::FMUL_D: return fromDouble(fa * fb);
+      case Opcode::FDIV_S:
+      case Opcode::FDIV_D:
+        return fromDouble(fb == 0.0 ? 0.0 : fa / fb);
+      case Opcode::FCLT: return fa < fb ? 1 : 0;
+      case Opcode::FCLE: return fa <= fb ? 1 : 0;
+      case Opcode::FCEQ: return fa == fb ? 1 : 0;
+      case Opcode::CVT_W_D:
+      {
+        // Saturate out-of-range conversions instead of raising.
+        if (fa >= 2147483647.0)
+            return canonInt(0x7fffffffu);
+        if (fa <= -2147483648.0)
+            return canonInt(0x80000000u);
+        return canonInt(static_cast<uint32_t>(static_cast<int32_t>(fa)));
+      }
+      case Opcode::CVT_D_W: return fromDouble(static_cast<double>(ia));
+      case Opcode::FMOV: return a;
+      case Opcode::FNEG: return fromDouble(-fa);
+      case Opcode::JAL:
+      case Opcode::JALR: return canonInt(static_cast<uint32_t>(pc + 4));
+      default:
+        panic("compute() on non-computational opcode %s",
+              opName(inst.op));
+    }
+}
+
+bool
+branchTaken(Opcode op, uint64_t a, uint64_t b)
+{
+    int32_t ia = static_cast<int32_t>(a);
+    int32_t ib = static_cast<int32_t>(b);
+    switch (op) {
+      case Opcode::BEQ: return ia == ib;
+      case Opcode::BNE: return ia != ib;
+      case Opcode::BLT: return ia < ib;
+      case Opcode::BGE: return ia >= ib;
+      default:
+        panic("branchTaken() on non-branch opcode %s", opName(op));
+    }
+}
+
+Addr
+effectiveAddr(const StaticInst &inst, uint64_t base)
+{
+    uint32_t addr = static_cast<uint32_t>(base) +
+                    static_cast<uint32_t>(inst.imm);
+    return static_cast<Addr>(addr);
+}
+
+uint64_t
+loadExtend(const StaticInst &inst, uint64_t raw)
+{
+    const OpInfo &i = inst.info();
+    switch (i.memSize) {
+      case 1:
+        return i.memSigned ? static_cast<uint64_t>(sext(raw, 8))
+                           : (raw & mask(8));
+      case 4:
+        return canonInt(raw);
+      case 8:
+        return raw;
+      default:
+        panic("loadExtend: bad access size %u", i.memSize);
+    }
+}
+
+uint64_t
+storeValue(const StaticInst &inst, uint64_t src)
+{
+    unsigned size = inst.memSize();
+    return size >= 8 ? src : (src & mask(8 * size));
+}
+
+} // namespace exec
+} // namespace cwsim

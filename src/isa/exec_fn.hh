@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pure computational semantics of the cwsim ISA.
+ *
+ * These functions are shared verbatim by the functional interpreter and
+ * the out-of-order timing core, which is what guarantees the
+ * architectural-equivalence property tests can compare the two.
+ *
+ * Value representation: every register value travels as a uint64_t.
+ * Integer registers hold 32-bit values sign-extended to 64 bits
+ * (canonical form); fp registers hold the bit pattern of a double.
+ */
+
+#ifndef CWSIM_ISA_EXEC_FN_HH
+#define CWSIM_ISA_EXEC_FN_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/static_inst.hh"
+
+namespace cwsim
+{
+namespace exec
+{
+
+/** Canonicalize a 32-bit integer result (sign-extend to 64 bits). */
+constexpr uint64_t
+canonInt(uint64_t v)
+{
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(v)));
+}
+
+/** Reinterpret a register value as a double. */
+double asDouble(uint64_t bits);
+
+/** Reinterpret a double as a register value. */
+uint64_t fromDouble(double d);
+
+/**
+ * Compute the result of a non-memory, non-control instruction (or the
+ * link value of a call). @p a and @p b are the rs1/rs2 source values;
+ * @p pc is the instruction's own PC (used by JAL/JALR).
+ */
+uint64_t compute(const StaticInst &inst, uint64_t a, uint64_t b, Addr pc);
+
+/** Evaluate a conditional branch. */
+bool branchTaken(Opcode op, uint64_t a, uint64_t b);
+
+/** Effective address of a memory instruction given the base value. */
+Addr effectiveAddr(const StaticInst &inst, uint64_t base);
+
+/** Extend a raw little-endian loaded value per the load's semantics. */
+uint64_t loadExtend(const StaticInst &inst, uint64_t raw);
+
+/** The value a store writes to memory (truncated to access size). */
+uint64_t storeValue(const StaticInst &inst, uint64_t src);
+
+} // namespace exec
+} // namespace cwsim
+
+#endif // CWSIM_ISA_EXEC_FN_HH

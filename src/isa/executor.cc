@@ -1,0 +1,107 @@
+#include "isa/executor.hh"
+
+#include "base/logging.hh"
+#include "isa/exec_fn.hh"
+#include "mem/functional_memory.hh"
+
+namespace cwsim
+{
+
+const StaticInst &
+DecodeCache::lookup(Addr pc)
+{
+    auto it = cache.find(pc);
+    if (it != cache.end())
+        return it->second;
+    uint32_t word = static_cast<uint32_t>(mem->read(pc, 4));
+    StaticInst decoded;
+    if (tolerateInvalid && (word >> 26) >= num_opcodes) {
+        // Wrong-path fetch into non-code bytes: substitute a harmless
+        // no-op; it can never commit.
+        decoded = StaticInst(Opcode::ADD, reg_zero, reg_zero, reg_zero,
+                             0);
+    } else {
+        decoded = StaticInst::decode(word);
+    }
+    auto [ins, ok] = cache.emplace(pc, decoded);
+    (void)ok;
+    return ins->second;
+}
+
+Executor::Executor(FunctionalMemory &mem, Addr entry)
+    : mem(mem), decoder(mem), numInsts(0)
+{
+    archState.pc = entry;
+}
+
+StepInfo
+Executor::step()
+{
+    panic_if(archState.halted, "step() after halt");
+
+    StepInfo info;
+    info.pc = archState.pc;
+    const StaticInst &inst = decoder.lookup(archState.pc);
+    info.inst = inst;
+    info.nextPc = archState.pc + 4;
+
+    uint64_t a = archState.readReg(inst.rs1);
+    uint64_t b = archState.readReg(inst.rs2);
+
+    if (inst.isHalt()) {
+        archState.halted = true;
+        info.halted = true;
+    } else if (inst.isLoad()) {
+        Addr addr = exec::effectiveAddr(inst, a);
+        uint64_t raw = mem.read(addr, inst.memSize());
+        uint64_t value = exec::loadExtend(inst, raw);
+        archState.writeReg(inst.rd, value);
+        info.isLoad = true;
+        info.memAddr = addr;
+        info.memSize = inst.memSize();
+        info.memValue = value;
+    } else if (inst.isStore()) {
+        Addr addr = exec::effectiveAddr(inst, a);
+        uint64_t value = exec::storeValue(inst, b);
+        mem.write(addr, inst.memSize(), value);
+        info.isStore = true;
+        info.memAddr = addr;
+        info.memSize = inst.memSize();
+        info.memValue = value;
+    } else if (inst.isBranch()) {
+        info.taken = exec::branchTaken(inst.op, a, b);
+        if (info.taken)
+            info.nextPc = branchTarget(inst, archState.pc);
+    } else if (inst.isJump()) {
+        info.taken = true;
+        if (inst.isIndirect()) {
+            info.nextPc = static_cast<Addr>(static_cast<uint32_t>(a));
+        } else {
+            info.nextPc = branchTarget(inst, archState.pc);
+        }
+        if (inst.writesReg()) {
+            archState.writeReg(
+                inst.rd, exec::compute(inst, a, b, archState.pc));
+        }
+    } else {
+        archState.writeReg(inst.rd,
+                           exec::compute(inst, a, b, archState.pc));
+    }
+
+    archState.pc = info.nextPc;
+    ++numInsts;
+    return info;
+}
+
+uint64_t
+Executor::run(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    while (!archState.halted && executed < max_insts) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace cwsim

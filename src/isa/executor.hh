@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The functional core: an architectural-state interpreter for the cwsim
+ * ISA. It provides golden results for the correctness tests, drives
+ * fast-forward (functional) phases of sampled simulation, and generates
+ * the committed-path trace the oracle disambiguator and the split-window
+ * model are built from.
+ */
+
+#ifndef CWSIM_ISA_EXECUTOR_HH
+#define CWSIM_ISA_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.hh"
+#include "isa/static_inst.hh"
+
+namespace cwsim
+{
+
+class FunctionalMemory;
+
+/** The complete architected register state plus the PC. */
+struct ArchState
+{
+    Addr pc = 0;
+    std::array<uint64_t, num_arch_regs> regs{};
+    bool halted = false;
+
+    uint64_t
+    readReg(RegId r) const
+    {
+        if (r == reg_invalid || r == reg_zero)
+            return 0;
+        return regs[r];
+    }
+
+    void
+    writeReg(RegId r, uint64_t v)
+    {
+        if (r != reg_invalid && r != reg_zero)
+            regs[r] = v;
+    }
+};
+
+/**
+ * Decoded-instruction cache keyed by PC. Programs are not
+ * self-modifying, so entries never need invalidation.
+ */
+class DecodeCache
+{
+  public:
+    /**
+     * @param tolerate_invalid Decode undecodable words as harmless
+     *        "add r0, r0, r0" instead of panicking — required by the
+     *        fetch unit, which may chase wrong-path PCs into data or
+     *        unmapped memory.
+     */
+    explicit DecodeCache(const FunctionalMemory &mem,
+                         bool tolerate_invalid = false)
+        : mem(&mem), tolerateInvalid(tolerate_invalid)
+    {}
+
+    const StaticInst &lookup(Addr pc);
+
+    size_t size() const { return cache.size(); }
+
+  private:
+    const FunctionalMemory *mem;
+    bool tolerateInvalid;
+    std::unordered_map<Addr, StaticInst> cache;
+};
+
+/** Everything observable about one functionally executed instruction. */
+struct StepInfo
+{
+    Addr pc = 0;
+    StaticInst inst;
+    bool isLoad = false;
+    bool isStore = false;
+    Addr memAddr = invalid_addr;
+    unsigned memSize = 0;
+    /** Value loaded (after extension) or stored (truncated). */
+    uint64_t memValue = 0;
+    bool taken = false;     ///< Control transfer taken.
+    Addr nextPc = 0;
+    bool halted = false;
+};
+
+class Executor
+{
+  public:
+    /**
+     * @param mem Architectural memory (already loaded with the program).
+     * @param entry Initial PC.
+     */
+    Executor(FunctionalMemory &mem, Addr entry);
+
+    /** Execute one instruction; undefined if already halted. */
+    StepInfo step();
+
+    /**
+     * Run until HALT or until @p max_insts more instructions execute.
+     * @return Number of instructions executed by this call.
+     */
+    uint64_t run(uint64_t max_insts = ~uint64_t(0));
+
+    bool halted() const { return archState.halted; }
+    uint64_t instCount() const { return numInsts; }
+
+    ArchState &state() { return archState; }
+    const ArchState &state() const { return archState; }
+
+  private:
+    FunctionalMemory &mem;
+    DecodeCache decoder;
+    ArchState archState;
+    uint64_t numInsts;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_EXECUTOR_HH

@@ -1,0 +1,83 @@
+#include "isa/opcodes.hh"
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+namespace
+{
+
+using F = InstFormat;
+using U = FuClass;
+
+// One row per opcode, in enum order.
+// name, format, fu, lat, load, store, br, jmp, call, ret, wRd,
+// rdFp, rs1Fp, rs2Fp, memSize, memSigned
+const OpInfo op_table[num_opcodes] = {
+    {"add",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"sub",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"and",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"or",     F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"xor",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"sll",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"srl",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"sra",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"slt",    F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"sltu",   F::R, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"addi",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"andi",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"ori",    F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"xori",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"slli",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"srli",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"srai",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"slti",   F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"lui",    F::I, U::IntAlu, 1, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"mul",    F::R, U::IntMul,  4, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"div",    F::R, U::IntDiv, 12, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"rem",    F::R, U::IntDiv, 12, 0,0,0,0,0,0, 1, 0,0,0, 0,0},
+    {"fadd.s", F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fsub.s", F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fmul.s", F::R, U::FpMul,  4, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fdiv.s", F::R, U::FpDiv, 12, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fadd.d", F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fsub.d", F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fmul.d", F::R, U::FpMul,  5, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fdiv.d", F::R, U::FpDiv, 15, 0,0,0,0,0,0, 1, 1,1,1, 0,0},
+    {"fclt",   F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 0,1,1, 0,0},
+    {"fcle",   F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 0,1,1, 0,0},
+    {"fceq",   F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 0,1,1, 0,0},
+    {"cvt.w.d",F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 0,1,0, 0,0},
+    {"cvt.d.w",F::R, U::FpAdd,  2, 0,0,0,0,0,0, 1, 1,0,0, 0,0},
+    {"fmov",   F::R, U::FpAdd,  1, 0,0,0,0,0,0, 1, 1,1,0, 0,0},
+    {"fneg",   F::R, U::FpAdd,  1, 0,0,0,0,0,0, 1, 1,1,0, 0,0},
+    {"lb",     F::I, U::MemPort, 1, 1,0,0,0,0,0, 1, 0,0,0, 1,1},
+    {"lbu",    F::I, U::MemPort, 1, 1,0,0,0,0,0, 1, 0,0,0, 1,0},
+    {"lw",     F::I, U::MemPort, 1, 1,0,0,0,0,0, 1, 0,0,0, 4,1},
+    {"sb",     F::S, U::MemPort, 1, 0,1,0,0,0,0, 0, 0,0,0, 1,0},
+    {"sw",     F::S, U::MemPort, 1, 0,1,0,0,0,0, 0, 0,0,0, 4,0},
+    {"ld.f",   F::I, U::MemPort, 1, 1,0,0,0,0,0, 1, 1,0,0, 8,0},
+    {"sd.f",   F::S, U::MemPort, 1, 0,1,0,0,0,0, 0, 0,0,1, 8,0},
+    {"beq",    F::B, U::IntAlu, 1, 0,0,1,0,0,0, 0, 0,0,0, 0,0},
+    {"bne",    F::B, U::IntAlu, 1, 0,0,1,0,0,0, 0, 0,0,0, 0,0},
+    {"blt",    F::B, U::IntAlu, 1, 0,0,1,0,0,0, 0, 0,0,0, 0,0},
+    {"bge",    F::B, U::IntAlu, 1, 0,0,1,0,0,0, 0, 0,0,0, 0,0},
+    {"j",      F::Jf, U::IntAlu, 1, 0,0,0,1,0,0, 0, 0,0,0, 0,0},
+    {"jal",    F::Jf, U::IntAlu, 1, 0,0,0,1,1,0, 1, 0,0,0, 0,0},
+    {"jr",     F::JRf, U::IntAlu, 1, 0,0,0,1,0,1, 0, 0,0,0, 0,0},
+    {"jalr",   F::JRf, U::IntAlu, 1, 0,0,0,1,1,0, 1, 0,0,0, 0,0},
+    {"halt",   F::N, U::IntAlu, 1, 0,0,0,0,0,0, 0, 0,0,0, 0,0},
+};
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    unsigned idx = static_cast<unsigned>(op);
+    panic_if(idx >= num_opcodes, "bad opcode %u", idx);
+    return op_table[idx];
+}
+
+} // namespace cwsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The cwsim ISA opcode set and its static metadata.
+ *
+ * The ISA is a MIPS-I-flavoured 32-bit load/store RISC: 6-bit opcodes,
+ * three-register or register-immediate formats, word-granular PC. The
+ * functional-unit latencies attached to each opcode reproduce Table 2 of
+ * the paper (integer 1 cycle, multiply 4, divide 12; FP add/sub/compare
+ * 2, SP multiply 4, DP multiply 5, SP divide 12, DP divide 15).
+ */
+
+#ifndef CWSIM_ISA_OPCODES_HH
+#define CWSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU, register-register.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Integer ALU, register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI,
+    // Multiply / divide.
+    MUL, DIV, REM,
+    // Floating point (registers hold 64-bit values; the _S forms model
+    // single-precision latency).
+    FADD_S, FSUB_S, FMUL_S, FDIV_S,
+    FADD_D, FSUB_D, FMUL_D, FDIV_D,
+    FCLT, FCLE, FCEQ,      // fp compare -> int register
+    CVT_W_D, CVT_D_W,      // double<->int conversions
+    FMOV, FNEG,
+    // Memory.
+    LB, LBU, LW,           // int loads
+    SB, SW,                // int stores
+    LD_F, SD_F,            // fp loads/stores (8 bytes)
+    // Control.
+    BEQ, BNE, BLT, BGE,
+    J, JAL, JR, JALR,
+    // Termination.
+    HALT,
+
+    NUM_OPCODES,
+};
+
+constexpr unsigned num_opcodes = static_cast<unsigned>(Opcode::NUM_OPCODES);
+
+/** Instruction formats (operand-field interpretation). */
+enum class InstFormat : uint8_t
+{
+    R,   ///< rd <- op(rs1, rs2)
+    I,   ///< rd <- op(rs1, imm)
+    S,   ///< mem[rs1 + imm] <- rs2
+    B,   ///< if cmp(rs1, rs2) goto pc + 4 + imm*4
+    Jf,  ///< goto pc + 4 + imm*4 (JAL links into r31)
+    JRf, ///< goto rs1 (JALR links into rd)
+    N,   ///< no operands (HALT)
+};
+
+/** Functional-unit classes (Table 2: 8 fully pipelined copies each). */
+enum class FuClass : uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    MemPort,
+    None,
+    NUM_CLASSES,
+};
+
+constexpr unsigned num_fu_classes =
+    static_cast<unsigned>(FuClass::NUM_CLASSES);
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *name;
+    InstFormat format;
+    FuClass fu;
+    Cycles latency;      ///< Execution latency once issued.
+    bool isLoad;
+    bool isStore;
+    bool isBranch;       ///< Conditional branch.
+    bool isJump;         ///< Unconditional control transfer.
+    bool isCall;
+    bool isReturn;
+    bool writesRd;
+    bool rdFp;           ///< Destination is a fp register.
+    bool rs1Fp;
+    bool rs2Fp;
+    unsigned memSize;    ///< Access size in bytes (0 for non-memory).
+    bool memSigned;      ///< Sign-extend the loaded value.
+};
+
+/** Metadata for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+inline const char *
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+inline bool
+isMemOp(Opcode op)
+{
+    const OpInfo &i = opInfo(op);
+    return i.isLoad || i.isStore;
+}
+
+inline bool
+isControlOp(Opcode op)
+{
+    const OpInfo &i = opInfo(op);
+    return i.isBranch || i.isJump;
+}
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_OPCODES_HH

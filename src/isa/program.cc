@@ -1,0 +1,21 @@
+#include "isa/program.hh"
+
+#include "mem/functional_memory.hh"
+
+namespace cwsim
+{
+
+void
+Program::addSegment(Addr base, std::vector<uint8_t> bytes)
+{
+    segs.push_back(Segment{base, std::move(bytes)});
+}
+
+void
+Program::loadInto(FunctionalMemory &mem) const
+{
+    for (const Segment &seg : segs)
+        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+} // namespace cwsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * An executable memory image: code and data segments plus an entry PC.
+ */
+
+#ifndef CWSIM_ISA_PROGRAM_HH
+#define CWSIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+
+class FunctionalMemory;
+
+class Program
+{
+  public:
+    struct Segment
+    {
+        Addr base;
+        std::vector<uint8_t> bytes;
+    };
+
+    Program() : entryPc(0) {}
+
+    void setEntry(Addr pc) { entryPc = pc; }
+    Addr entry() const { return entryPc; }
+
+    void addSegment(Addr base, std::vector<uint8_t> bytes);
+
+    const std::vector<Segment> &segments() const { return segs; }
+
+    /** Number of static instructions (words in code segments). */
+    size_t staticInstCount() const { return numCodeWords; }
+    void setStaticInstCount(size_t n) { numCodeWords = n; }
+
+    /** Copy every segment into @p mem. */
+    void loadInto(FunctionalMemory &mem) const;
+
+  private:
+    Addr entryPc;
+    std::vector<Segment> segs;
+    size_t numCodeWords = 0;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_PROGRAM_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Register identifiers for the cwsim ISA.
+ *
+ * The architected state mirrors the paper's machine: 32 integer
+ * registers (r0 hardwired to zero), 32 floating-point registers, and
+ * the HI/LO multiply-divide pair. Identifiers are flat so the rename
+ * logic and scoreboard can index a single array.
+ */
+
+#ifndef CWSIM_ISA_REGISTERS_HH
+#define CWSIM_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace cwsim
+{
+
+/** Flat register identifier: [0,32) int, [32,64) fp, 64 HI, 65 LO. */
+using RegId = uint8_t;
+
+constexpr unsigned num_int_regs = 32;
+constexpr unsigned num_fp_regs = 32;
+constexpr RegId reg_hi = 64;
+constexpr RegId reg_lo = 65;
+constexpr unsigned num_arch_regs = 66;
+
+/** Sentinel meaning "no register operand". */
+constexpr RegId reg_invalid = 0xff;
+
+/** Integer register r<n>. */
+constexpr RegId
+ir(unsigned n)
+{
+    return static_cast<RegId>(n);
+}
+
+/** Floating-point register f<n>. */
+constexpr RegId
+fr(unsigned n)
+{
+    return static_cast<RegId>(num_int_regs + n);
+}
+
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < num_int_regs;
+}
+
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= num_int_regs && r < num_int_regs + num_fp_regs;
+}
+
+/** The always-zero integer register. */
+constexpr RegId reg_zero = ir(0);
+/** Conventional stack pointer. */
+constexpr RegId reg_sp = ir(29);
+/** Conventional link register (JAL writes it). */
+constexpr RegId reg_ra = ir(31);
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_REGISTERS_HH

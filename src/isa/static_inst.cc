@@ -1,0 +1,188 @@
+#include "isa/static_inst.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+
+namespace
+{
+
+/** Render a register operand with its file prefix. */
+std::string
+regName(RegId r)
+{
+    if (r == reg_invalid)
+        return "-";
+    if (isIntReg(r))
+        return strfmt("r%u", static_cast<unsigned>(r));
+    if (isFpReg(r))
+        return strfmt("f%u", static_cast<unsigned>(r - num_int_regs));
+    if (r == reg_hi)
+        return "hi";
+    if (r == reg_lo)
+        return "lo";
+    return strfmt("?%u", static_cast<unsigned>(r));
+}
+
+/** Strip the file prefix for encoding (5-bit field). */
+uint32_t
+regField(RegId r)
+{
+    if (r == reg_invalid)
+        return 0;
+    if (isFpReg(r))
+        return r - num_int_regs;
+    return r;
+}
+
+/** Reconstruct a RegId from a 5-bit field given the file flag. */
+RegId
+fieldToReg(uint32_t field, bool fp)
+{
+    return fp ? fr(field) : ir(field);
+}
+
+} // anonymous namespace
+
+uint32_t
+StaticInst::encode() const
+{
+    const OpInfo &i = info();
+    uint32_t word = static_cast<uint32_t>(op) << 26;
+    switch (i.format) {
+      case InstFormat::R:
+        word = insertBits(word, 25, 21, regField(rs1));
+        word = insertBits(word, 20, 16, regField(rs2));
+        word = insertBits(word, 15, 11, regField(rd));
+        break;
+      case InstFormat::I:
+        word = insertBits(word, 25, 21, regField(rs1));
+        word = insertBits(word, 20, 16, regField(rd));
+        word = insertBits(word, 15, 0, static_cast<uint32_t>(imm) &
+                          mask(16));
+        panic_if(imm < -32768 || imm > 32767,
+                 "imm16 overflow (%d) encoding %s", imm, i.name);
+        break;
+      case InstFormat::S:
+      case InstFormat::B:
+        word = insertBits(word, 25, 21, regField(rs1));
+        word = insertBits(word, 20, 16, regField(rs2));
+        word = insertBits(word, 15, 0, static_cast<uint32_t>(imm) &
+                          mask(16));
+        panic_if(imm < -32768 || imm > 32767,
+                 "imm16 overflow (%d) encoding %s", imm, i.name);
+        break;
+      case InstFormat::Jf:
+        word = insertBits(word, 25, 0, static_cast<uint32_t>(imm) &
+                          mask(26));
+        panic_if(imm < -(1 << 25) || imm >= (1 << 25),
+                 "imm26 overflow (%d) encoding %s", imm, i.name);
+        break;
+      case InstFormat::JRf:
+        word = insertBits(word, 25, 21, regField(rs1));
+        word = insertBits(word, 20, 16, regField(rd));
+        break;
+      case InstFormat::N:
+        break;
+    }
+    return word;
+}
+
+StaticInst
+StaticInst::decode(uint32_t word)
+{
+    unsigned op_field = bits(word, 31, 26);
+    panic_if(op_field >= num_opcodes, "undecodable opcode field %u",
+             op_field);
+    Opcode op = static_cast<Opcode>(op_field);
+    const OpInfo &i = opInfo(op);
+
+    StaticInst inst;
+    inst.op = op;
+    inst.rd = reg_invalid;
+    inst.rs1 = reg_invalid;
+    inst.rs2 = reg_invalid;
+    inst.imm = 0;
+
+    switch (i.format) {
+      case InstFormat::R:
+        inst.rs1 = fieldToReg(bits(word, 25, 21), i.rs1Fp);
+        inst.rs2 = fieldToReg(bits(word, 20, 16), i.rs2Fp);
+        if (i.writesRd)
+            inst.rd = fieldToReg(bits(word, 15, 11), i.rdFp);
+        break;
+      case InstFormat::I:
+        inst.rs1 = fieldToReg(bits(word, 25, 21), i.rs1Fp);
+        if (i.writesRd)
+            inst.rd = fieldToReg(bits(word, 20, 16), i.rdFp);
+        inst.imm = static_cast<int32_t>(sext(bits(word, 15, 0), 16));
+        break;
+      case InstFormat::S:
+      case InstFormat::B:
+        inst.rs1 = fieldToReg(bits(word, 25, 21), i.rs1Fp);
+        inst.rs2 = fieldToReg(bits(word, 20, 16), i.rs2Fp);
+        inst.imm = static_cast<int32_t>(sext(bits(word, 15, 0), 16));
+        break;
+      case InstFormat::Jf:
+        inst.imm = static_cast<int32_t>(sext(bits(word, 25, 0), 26));
+        if (i.isCall)
+            inst.rd = reg_ra;
+        break;
+      case InstFormat::JRf:
+        inst.rs1 = fieldToReg(bits(word, 25, 21), false);
+        if (i.isCall)
+            inst.rd = fieldToReg(bits(word, 20, 16), false);
+        break;
+      case InstFormat::N:
+        break;
+    }
+    return inst;
+}
+
+std::string
+StaticInst::disassemble() const
+{
+    const OpInfo &i = info();
+    switch (i.format) {
+      case InstFormat::R:
+        if (!i.writesRd) {
+            return strfmt("%s %s, %s", i.name, regName(rs1).c_str(),
+                          regName(rs2).c_str());
+        }
+        if (rs2 == reg_invalid) {
+            return strfmt("%s %s, %s", i.name, regName(rd).c_str(),
+                          regName(rs1).c_str());
+        }
+        return strfmt("%s %s, %s, %s", i.name, regName(rd).c_str(),
+                      regName(rs1).c_str(), regName(rs2).c_str());
+      case InstFormat::I:
+        if (i.isLoad) {
+            return strfmt("%s %s, %d(%s)", i.name, regName(rd).c_str(),
+                          imm, regName(rs1).c_str());
+        }
+        return strfmt("%s %s, %s, %d", i.name, regName(rd).c_str(),
+                      regName(rs1).c_str(), imm);
+      case InstFormat::S:
+        return strfmt("%s %s, %d(%s)", i.name, regName(rs2).c_str(), imm,
+                      regName(rs1).c_str());
+      case InstFormat::B:
+        return strfmt("%s %s, %s, %d", i.name, regName(rs1).c_str(),
+                      regName(rs2).c_str(), imm);
+      case InstFormat::Jf:
+        return strfmt("%s %d", i.name, imm);
+      case InstFormat::JRf:
+        if (i.isCall) {
+            return strfmt("%s %s, %s", i.name, regName(rd).c_str(),
+                          regName(rs1).c_str());
+        }
+        return strfmt("%s %s", i.name, regName(rs1).c_str());
+      case InstFormat::N:
+        return i.name;
+    }
+    panic("bad format");
+}
+
+} // namespace cwsim

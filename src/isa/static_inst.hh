@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Decoded-instruction representation, binary encode/decode, and
+ * disassembly for the cwsim ISA.
+ *
+ * Encoding (32-bit word, opcode in bits [31:26]):
+ *  - R:  rs1[25:21] rs2[20:16] rd[15:11]
+ *  - I:  rs1[25:21] rd[20:16]  imm16[15:0]   (imm sign-extended)
+ *  - S:  rs1[25:21] rs2[20:16] imm16[15:0]   (mem[rs1+imm] <- rs2)
+ *  - B:  rs1[25:21] rs2[20:16] imm16[15:0]   (word-offset branch)
+ *  - J:  imm26[25:0]                          (word-offset jump)
+ *  - JR: rs1[25:21] rd[20:16]
+ *
+ * Register fields address the integer or fp file depending on the
+ * opcode's metadata. For memory-latency purposes a load's OpInfo latency
+ * covers only address generation; the cache hierarchy supplies the rest.
+ */
+
+#ifndef CWSIM_ISA_STATIC_INST_HH
+#define CWSIM_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace cwsim
+{
+
+class StaticInst
+{
+  public:
+    StaticInst()
+        : op(Opcode::HALT), rd(reg_invalid), rs1(reg_invalid),
+          rs2(reg_invalid), imm(0)
+    {}
+
+    StaticInst(Opcode op, RegId rd, RegId rs1, RegId rs2, int32_t imm)
+        : op(op), rd(rd), rs1(rs1), rs2(rs2), imm(imm)
+    {}
+
+    Opcode op;
+    RegId rd;   ///< Destination (reg_invalid if none).
+    RegId rs1;  ///< First source / base register.
+    RegId rs2;  ///< Second source / store-data register.
+    int32_t imm;
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMem() const { return info().isLoad || info().isStore; }
+    bool isBranch() const { return info().isBranch; }
+    bool isJump() const { return info().isJump; }
+    bool isControl() const { return isBranch() || isJump(); }
+    bool isIndirect() const
+    {
+        return op == Opcode::JR || op == Opcode::JALR;
+    }
+    bool isCall() const { return info().isCall; }
+    bool isReturn() const { return info().isReturn; }
+    bool isHalt() const { return op == Opcode::HALT; }
+    bool writesReg() const { return info().writesRd && rd != reg_zero; }
+    unsigned memSize() const { return info().memSize; }
+
+    FuClass fuClass() const { return info().fu; }
+    Cycles latency() const { return info().latency; }
+
+    /** Encode into a 32-bit instruction word. */
+    uint32_t encode() const;
+
+    /** Decode a 32-bit instruction word. */
+    static StaticInst decode(uint32_t word);
+
+    /** Disassemble, e.g. "lw r5, 16(r3)". */
+    std::string disassemble() const;
+
+    bool
+    operator==(const StaticInst &o) const
+    {
+        return op == o.op && rd == o.rd && rs1 == o.rs1 && rs2 == o.rs2 &&
+               imm == o.imm;
+    }
+};
+
+/**
+ * Compute a control instruction's taken-target given its PC.
+ * Only valid for direct branches/jumps (B and J formats).
+ */
+inline Addr
+branchTarget(const StaticInst &inst, Addr pc)
+{
+    return pc + 4 + static_cast<int64_t>(inst.imm) * 4;
+}
+
+} // namespace cwsim
+
+#endif // CWSIM_ISA_STATIC_INST_HH

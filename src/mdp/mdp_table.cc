@@ -1,0 +1,135 @@
+#include "mdp/mdp_table.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+MdpTable::MdpTable(const MdpConfig &cfg)
+    : assoc(cfg.mdptAssoc), counterBits(cfg.counterBits),
+      predictThreshold(cfg.predictThreshold), nextSynonym(0),
+      useCounter(0)
+{
+    fatal_if(cfg.mdptEntries % cfg.mdptAssoc != 0,
+             "MDPT entries not divisible by associativity");
+    sets = cfg.mdptEntries / cfg.mdptAssoc;
+    fatal_if(!isPowerOf2(sets), "MDPT set count must be a power of two");
+    entries.assign(static_cast<size_t>(sets) * assoc, Entry{});
+    for (Entry &e : entries)
+        e.confidence = SatCounter(counterBits, 0);
+}
+
+unsigned
+MdpTable::indexOf(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (sets - 1));
+}
+
+MdpTable::Entry *
+MdpTable::find(Addr pc)
+{
+    size_t base = static_cast<size_t>(indexOf(pc)) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == pc) {
+            e.lastUse = ++useCounter;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const MdpTable::Entry *
+MdpTable::find(Addr pc) const
+{
+    size_t base = static_cast<size_t>(indexOf(pc)) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        const Entry &e = entries[base + w];
+        if (e.valid && e.tag == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+MdpTable::Entry &
+MdpTable::allocate(Addr pc)
+{
+    if (Entry *hit = find(pc))
+        return *hit;
+
+    size_t base = static_cast<size_t>(indexOf(pc)) * assoc;
+    Entry *victim = &entries[base];
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    ++allocations;
+    victim->valid = true;
+    victim->tag = pc;
+    victim->confidence = SatCounter(counterBits, 0);
+    victim->synonym = invalid_synonym;
+    victim->lastUse = ++useCounter;
+    return *victim;
+}
+
+bool
+MdpTable::recordMissSpeculation(Addr pc)
+{
+    Entry &e = allocate(pc);
+    e.confidence.increment();
+    return e.confidence.value() >= predictThreshold;
+}
+
+bool
+MdpTable::predictsDependence(Addr pc) const
+{
+    const Entry *e = find(pc);
+    return e && e->confidence.value() >= predictThreshold;
+}
+
+Synonym
+MdpTable::synonymOf(Addr pc) const
+{
+    const Entry *e = find(pc);
+    return e ? e->synonym : invalid_synonym;
+}
+
+Synonym
+MdpTable::pair(Addr load_pc, Addr store_pc)
+{
+    Entry &store_e = allocate(store_pc);
+    Entry &load_e = allocate(load_pc);
+
+    // Reuse an existing synonym from either side so that chains merge
+    // (the level of indirection of Section 3.6); prefer the store's.
+    Synonym syn = store_e.synonym;
+    if (syn == invalid_synonym)
+        syn = load_e.synonym;
+    if (syn == invalid_synonym)
+        syn = nextSynonym++;
+
+    store_e.synonym = syn;
+    load_e.synonym = syn;
+    ++pairings;
+    return syn;
+}
+
+void
+MdpTable::reset()
+{
+    for (Entry &e : entries) {
+        e.valid = false;
+        e.tag = invalid_addr;
+        e.confidence = SatCounter(counterBits, 0);
+        e.synonym = invalid_synonym;
+    }
+    ++resets;
+}
+
+} // namespace cwsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The memory dependence prediction table (MDPT) used by the selective,
+ * store-barrier, and speculation/synchronization policies.
+ *
+ * The paper's configuration (Section 3.5/3.6): 4K entries, 2-way set
+ * associative, indexed by instruction PC. SEL and STORE entries carry a
+ * 2-bit saturating confidence counter that must see `predictThreshold`
+ * miss-speculations before a dependence is predicted; SYNC entries carry
+ * a synonym (a level of indirection pairing dependent loads and stores)
+ * and predict unconditionally once allocated. The whole table is
+ * flushed/reset every `resetInterval` cycles to adapt back.
+ */
+
+#ifndef CWSIM_MDP_MDP_TABLE_HH
+#define CWSIM_MDP_MDP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "base/types.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace cwsim
+{
+
+/** A synonym names a predicted store->load dependence chain. */
+using Synonym = uint32_t;
+
+constexpr Synonym invalid_synonym = ~Synonym(0);
+
+class MdpTable
+{
+  public:
+    struct Entry
+    {
+        Addr tag = invalid_addr;
+        bool valid = false;
+        SatCounter confidence{2, 0};
+        Synonym synonym = invalid_synonym;
+        uint64_t lastUse = 0;
+    };
+
+    explicit MdpTable(const MdpConfig &cfg);
+
+    /** Find the entry for @p pc, or nullptr. Updates recency. */
+    Entry *find(Addr pc);
+    const Entry *find(Addr pc) const;
+
+    /** Find or allocate (LRU within the set) an entry for @p pc. */
+    Entry &allocate(Addr pc);
+
+    /**
+     * Record one miss-speculation against @p pc.
+     * @return True once the entry's confidence has reached the
+     *         prediction threshold (i.e. a dependence is now predicted).
+     */
+    bool recordMissSpeculation(Addr pc);
+
+    /**
+     * SEL / STORE prediction: is a dependence predicted for @p pc?
+     * True once the confidence counter has counted `predictThreshold`
+     * miss-speculations.
+     */
+    bool predictsDependence(Addr pc) const;
+
+    /**
+     * SYNC: return the synonym associated with @p pc, or
+     * invalid_synonym.
+     */
+    Synonym synonymOf(Addr pc) const;
+
+    /**
+     * SYNC: pair a (load PC, store PC) after a miss-speculation. Reuses
+     * either instruction's existing synonym so multiple loads/stores
+     * naturally merge into one chain; allocates a fresh synonym
+     * otherwise. @return the synonym now shared by both.
+     */
+    Synonym pair(Addr load_pc, Addr store_pc);
+
+    /** Periodic flush (SYNC) / counter reset (SEL, STORE). */
+    void reset();
+
+    size_t numEntries() const { return sets * assoc; }
+
+    // Statistics.
+    stats::Scalar allocations;
+    stats::Scalar pairings;
+    stats::Scalar resets;
+
+  private:
+    unsigned indexOf(Addr pc) const;
+
+    unsigned sets;
+    unsigned assoc;
+    unsigned counterBits;
+    unsigned predictThreshold;
+    std::vector<Entry> entries;
+    Synonym nextSynonym;
+    uint64_t useCounter;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_MDP_MDP_TABLE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The oracle disambiguator and the functional pre-pass that builds it.
+ *
+ * The pre-pass runs the program through the functional interpreter and
+ * records, for every committed dynamic load, the trace index of the
+ * most recent store that wrote any byte the load reads. Because the
+ * ISA is deterministic, committed-path trace indices in the timing run
+ * line up exactly with the pre-pass, so the NAS/ORACLE configuration
+ * can wake each load the moment its producing store has executed —
+ * "perfect, a priori knowledge of all memory dependences" (Section
+ * 3.2).
+ *
+ * The pre-pass also yields the committed-path trace (consumed by the
+ * split-window model of Section 3.7), workload characteristics for
+ * Table 1, and golden architectural state for the equivalence tests.
+ */
+
+#ifndef CWSIM_MDP_ORACLE_HH
+#define CWSIM_MDP_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+
+namespace cwsim
+{
+
+/** Per-dynamic-load producing-store information. */
+class OracleDeps
+{
+  public:
+    /**
+     * Trace index of the last store conflicting with the load at trace
+     * index @p load_idx, or invalid_trace_index if the load has no
+     * producer.
+     */
+    TraceIndex
+    producerOf(TraceIndex load_idx) const
+    {
+        auto it = producers.find(load_idx);
+        return it == producers.end() ? invalid_trace_index : it->second;
+    }
+
+    void
+    record(TraceIndex load_idx, TraceIndex store_idx)
+    {
+        producers.emplace(load_idx, store_idx);
+    }
+
+    size_t size() const { return producers.size(); }
+
+  private:
+    std::unordered_map<TraceIndex, TraceIndex> producers;
+};
+
+/** One committed-path instruction, as the split-window model needs it. */
+struct TraceEntry
+{
+    Addr pc = 0;
+    StaticInst inst;
+    Addr memAddr = invalid_addr;
+    uint8_t memSize = 0;
+    bool taken = false;
+};
+
+struct PrepassOptions
+{
+    /** Stop after this many committed instructions (0 = run to HALT). */
+    uint64_t maxInsts = 0;
+    /** Record the full committed trace (split-window model input). */
+    bool recordTrace = false;
+};
+
+struct PrepassResult
+{
+    OracleDeps deps;
+    std::vector<TraceEntry> trace;
+
+    uint64_t instCount = 0;
+    uint64_t loadCount = 0;
+    uint64_t storeCount = 0;
+    uint64_t branchCount = 0;
+    uint64_t takenBranches = 0;
+    uint64_t fpOps = 0;
+    bool halted = false;
+
+    /** Golden final state for the equivalence tests. */
+    ArchState finalState;
+    uint64_t memFingerprint = 0;
+};
+
+/** Run the functional pre-pass over @p program. */
+PrepassResult runPrepass(const Program &program,
+                         const PrepassOptions &opts = {});
+
+} // namespace cwsim
+
+#endif // CWSIM_MDP_ORACLE_HH

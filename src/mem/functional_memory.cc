@@ -1,0 +1,140 @@
+#include "mem/functional_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+FunctionalMemory::Page *
+FunctionalMemory::findPage(Addr addr) const
+{
+    Addr pn = addr >> page_shift;
+    if (pn == lastPageNum)
+        return lastPage;
+    auto it = pages.find(pn);
+    if (it == pages.end())
+        return nullptr;
+    lastPageNum = pn;
+    lastPage = it->second.get();
+    return lastPage;
+}
+
+FunctionalMemory::Page &
+FunctionalMemory::getPage(Addr addr)
+{
+    Addr pn = addr >> page_shift;
+    if (pn == lastPageNum)
+        return *lastPage;
+    auto &slot = pages[pn];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    lastPageNum = pn;
+    lastPage = slot.get();
+    return *slot;
+}
+
+uint8_t
+FunctionalMemory::read8(Addr addr) const
+{
+    Page *page = findPage(addr);
+    return page ? (*page)[addr & (page_size - 1)] : 0;
+}
+
+void
+FunctionalMemory::write8(Addr addr, uint8_t value)
+{
+    getPage(addr)[addr & (page_size - 1)] = value;
+}
+
+uint64_t
+FunctionalMemory::read(Addr addr, unsigned size) const
+{
+    panic_if(size != 1 && size != 2 && size != 4 && size != 8,
+             "bad access size %u", size);
+    size_t off = addr & (page_size - 1);
+    if (off + size <= page_size) {
+        Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        uint64_t v = 0;
+        std::memcpy(&v, page->data() + off, size);
+        return v;
+    }
+    // Page-crossing access: assemble byte-by-byte.
+    uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<uint64_t>(read8(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+FunctionalMemory::write(Addr addr, unsigned size, uint64_t value)
+{
+    panic_if(size != 1 && size != 2 && size != 4 && size != 8,
+             "bad access size %u", size);
+    size_t off = addr & (page_size - 1);
+    if (off + size <= page_size) {
+        Page &page = getPage(addr);
+        std::memcpy(page.data() + off, &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        write8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+uint64_t
+FunctionalMemory::fingerprint() const
+{
+    std::vector<Addr> page_nums;
+    page_nums.reserve(pages.size());
+    for (const auto &[pn, page] : pages)
+        page_nums.push_back(pn);
+    std::sort(page_nums.begin(), page_nums.end());
+
+    uint64_t hash = 0xcbf29ce484222325ull;
+    auto mix = [&hash](uint8_t byte) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    };
+    for (Addr pn : page_nums) {
+        const Page &page = *pages.at(pn);
+        // Skip all-zero pages: a page touched but still zero must hash
+        // like an untouched page.
+        bool all_zero = true;
+        for (uint8_t b : page) {
+            if (b != 0) {
+                all_zero = false;
+                break;
+            }
+        }
+        if (all_zero)
+            continue;
+        for (unsigned i = 0; i < 8; ++i)
+            mix(static_cast<uint8_t>(pn >> (8 * i)));
+        for (uint8_t b : page)
+            mix(b);
+    }
+    return hash;
+}
+
+void
+FunctionalMemory::readBytes(Addr addr, uint8_t *buf, size_t len) const
+{
+    for (size_t i = 0; i < len; ++i)
+        buf[i] = read8(addr + i);
+}
+
+void
+FunctionalMemory::writeBytes(Addr addr, const uint8_t *buf, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        write8(addr + i, buf[i]);
+}
+
+} // namespace cwsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sparse, page-granular functional memory holding the simulated
+ * machine's architectural memory state.
+ *
+ * Both the functional interpreter and the timing core read through this
+ * structure; in the timing core, speculative store data lives in the
+ * store buffer and only reaches FunctionalMemory when a committed store
+ * retires, so wrong-path loads naturally observe stale (but harmless)
+ * values.
+ */
+
+#ifndef CWSIM_MEM_FUNCTIONAL_MEMORY_HH
+#define CWSIM_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+
+class FunctionalMemory
+{
+  public:
+    static constexpr unsigned page_shift = 12;
+    static constexpr size_t page_size = size_t(1) << page_shift;
+
+    FunctionalMemory() = default;
+
+    // Non-copyable (pages are large); movable.
+    FunctionalMemory(const FunctionalMemory &) = delete;
+    FunctionalMemory &operator=(const FunctionalMemory &) = delete;
+    FunctionalMemory(FunctionalMemory &&) = default;
+    FunctionalMemory &operator=(FunctionalMemory &&) = default;
+
+    uint8_t read8(Addr addr) const;
+    void write8(Addr addr, uint8_t value);
+
+    /** Little-endian read of @p size (1, 2, 4 or 8) bytes. */
+    uint64_t read(Addr addr, unsigned size) const;
+
+    /** Little-endian write of the low @p size bytes of @p value. */
+    void write(Addr addr, unsigned size, uint64_t value);
+
+    void readBytes(Addr addr, uint8_t *buf, size_t len) const;
+    void writeBytes(Addr addr, const uint8_t *buf, size_t len);
+
+    /** Number of distinct pages touched so far. */
+    size_t pageCount() const { return pages.size(); }
+
+    /**
+     * Order-independent FNV-1a hash over all touched pages. Two
+     * memories with identical contents (ignoring untouched-vs-zero
+     * pages) produce the same fingerprint, which is how the
+     * architectural-equivalence tests compare a timing run against the
+     * functional interpreter.
+     */
+    uint64_t fingerprint() const;
+
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<uint8_t, page_size>;
+
+    Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // One-entry translation cache: workloads touch pages in runs.
+    mutable Addr lastPageNum = invalid_addr;
+    mutable Page *lastPage = nullptr;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_MEM_FUNCTIONAL_MEMORY_HH

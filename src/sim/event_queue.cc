@@ -1,0 +1,54 @@
+#include "sim/event_queue.hh"
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    panic_if(when < curTick_,
+             "event scheduled in the past (when=%llu, now=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(curTick_));
+    heap.push(Entry{when, priority, nextSeq++, std::move(cb)});
+    ++numScheduled;
+}
+
+void
+EventQueue::runUntil(Tick now)
+{
+    while (!heap.empty() && heap.top().when <= now) {
+        // Copy out before popping: the callback may schedule new events.
+        Entry e = heap.top();
+        heap.pop();
+        curTick_ = e.when;
+        ++numFired;
+        e.cb();
+    }
+    if (curTick_ < now)
+        curTick_ = now;
+}
+
+void
+EventQueue::drain()
+{
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        curTick_ = e.when;
+        ++numFired;
+        e.cb();
+    }
+}
+
+void
+EventQueue::reset()
+{
+    heap = decltype(heap)();
+    curTick_ = 0;
+    nextSeq = 0;
+}
+
+} // namespace cwsim

@@ -1,0 +1,160 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace stats
+{
+
+void
+Distribution::init(double min, double max, size_t num_buckets)
+{
+    panic_if(max <= min, "Distribution range [%f, %f) is empty", min, max);
+    panic_if(num_buckets == 0, "Distribution needs at least one bucket");
+    lo = min;
+    hi = max;
+    bucketWidth = (max - min) / static_cast<double>(num_buckets);
+    buckets.assign(num_buckets, 0);
+    reset();
+}
+
+void
+Distribution::sample(double v)
+{
+    if (samples == 0) {
+        sampleMin = v;
+        sampleMax = v;
+    } else {
+        sampleMin = std::min(sampleMin, v);
+        sampleMax = std::max(sampleMax, v);
+    }
+    ++samples;
+    total += v;
+
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        size_t idx = static_cast<size_t>((v - lo) / bucketWidth);
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    underflow = 0;
+    overflow = 0;
+    samples = 0;
+    total = 0;
+    sampleMin = 0;
+    sampleMax = 0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : groupName(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->children.push_back(this);
+}
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *stat,
+                     const std::string &desc)
+{
+    scalars.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addAverage(const std::string &name, const Average *stat,
+                      const std::string &desc)
+{
+    averages.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &name,
+                           const Distribution *stat,
+                           const std::string &desc)
+{
+    dists.push_back({name, stat, desc});
+}
+
+uint64_t
+StatGroup::scalarValue(const std::string &name) const
+{
+    for (const auto &s : scalars) {
+        if (s.name == name)
+            return s.stat->value();
+    }
+    panic("no scalar stat named '%s' in group '%s'", name.c_str(),
+          groupName.c_str());
+}
+
+double
+StatGroup::averageMean(const std::string &name) const
+{
+    for (const auto &a : averages) {
+        if (a.name == name)
+            return a.stat->mean();
+    }
+    panic("no average stat named '%s' in group '%s'", name.c_str(),
+          groupName.c_str());
+}
+
+bool
+StatGroup::hasScalar(const std::string &name) const
+{
+    return std::any_of(scalars.begin(), scalars.end(),
+                       [&](const auto &s) { return s.name == name; });
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (!parent)
+        return groupName;
+    return parent->fullName() + "." + groupName;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    std::string prefix = fullName();
+    for (const auto &s : scalars) {
+        os << strfmt("%-50s %20llu", (prefix + "." + s.name).c_str(),
+                     static_cast<unsigned long long>(s.stat->value()));
+        if (!s.desc.empty())
+            os << "  # " << s.desc;
+        os << "\n";
+    }
+    for (const auto &a : averages) {
+        os << strfmt("%-50s %20.4f", (prefix + "." + a.name).c_str(),
+                     a.stat->mean());
+        if (!a.desc.empty())
+            os << "  # " << a.desc;
+        os << "\n";
+    }
+    for (const auto &d : dists) {
+        os << strfmt("%-50s mean=%.4f n=%llu min=%.1f max=%.1f",
+                     (prefix + "." + d.name).c_str(), d.stat->mean(),
+                     static_cast<unsigned long long>(d.stat->count()),
+                     d.stat->minSample(), d.stat->maxSample());
+        if (!d.desc.empty())
+            os << "  # " << d.desc;
+        os << "\n";
+    }
+    for (const StatGroup *child : children)
+        child->dump(os);
+}
+
+} // namespace stats
+} // namespace cwsim

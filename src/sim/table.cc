@@ -1,0 +1,92 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    headers = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    panic_if(!headers.empty() && row.size() != headers.size(),
+             "table row has %zu cells, expected %zu", row.size(),
+             headers.size());
+    rows.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back(Row{{}, true});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t ncols = headers.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.cells.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<size_t> widths(ncols, 0);
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < r.cells.size(); ++c)
+            widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+
+    auto print_sep = [&]() {
+        for (size_t c = 0; c < ncols; ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << "| ";
+            if (c == 0) {
+                os << cell << std::string(widths[c] - cell.size(), ' ');
+            } else {
+                os << std::string(widths[c] - cell.size(), ' ') << cell;
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    if (!headers.empty()) {
+        print_cells(headers);
+        print_sep();
+    }
+    for (const auto &r : rows) {
+        if (r.separator)
+            print_sep();
+        else
+            print_cells(r.cells);
+    }
+    print_sep();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace cwsim

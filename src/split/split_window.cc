@@ -1,0 +1,385 @@
+#include "split/split_window.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+
+SplitWindowSim::SplitWindowSim(const SplitConfig &cfg,
+                               const std::vector<TraceEntry> &trace)
+    : cfg(cfg), nodes(trace.size()), mdpt(MdpConfig{}), headCommit(0),
+      headChunk(0), fetchCursor(cfg.numUnits, invalid_trace_index),
+      globalCursor(0), curCycle(0), numViolations(0), numCommitted(0),
+      numLoads(0)
+{
+    fatal_if(cfg.numUnits == 0 || cfg.chunkSize == 0,
+             "split config needs at least one unit and chunk");
+    fatal_if(cfg.policy != SpecPolicy::No &&
+                 cfg.policy != SpecPolicy::Naive &&
+                 cfg.policy != SpecPolicy::SpecSync,
+             "the split-window model supports NO, NAV and SYNC");
+
+    // Precompute register and memory producers from the trace.
+    std::unordered_map<unsigned, TraceIndex> reg_writer;
+    std::unordered_map<Addr, TraceIndex> byte_writer;
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TraceEntry &te = trace[i];
+        Node &node = nodes[i];
+        node.chunk = static_cast<unsigned>(i / cfg.chunkSize);
+        node.latency = te.inst.latency();
+        node.isLoad = te.inst.isLoad();
+        node.isStore = te.inst.isStore();
+        node.pc = te.pc;
+        node.addr = te.memAddr;
+        node.size = te.memSize;
+
+        auto lookup = [&](RegId reg) -> TraceIndex {
+            if (reg == reg_invalid || reg == reg_zero)
+                return invalid_trace_index;
+            auto it = reg_writer.find(reg);
+            return it == reg_writer.end() ? invalid_trace_index
+                                          : it->second;
+        };
+        node.src1Producer = lookup(te.inst.rs1);
+        node.src2Producer = lookup(te.inst.rs2);
+
+        if (node.isLoad) {
+            ++numLoads;
+            TraceIndex newest = invalid_trace_index;
+            for (unsigned b = 0; b < node.size; ++b) {
+                auto it = byte_writer.find(node.addr + b);
+                if (it != byte_writer.end() &&
+                    (newest == invalid_trace_index ||
+                     it->second > newest)) {
+                    newest = it->second;
+                }
+            }
+            node.memProducer = newest;
+        } else if (node.isStore) {
+            for (unsigned b = 0; b < node.size; ++b)
+                byte_writer[node.addr + b] = i;
+        }
+
+        if (te.inst.writesReg())
+            reg_writer[te.inst.rd] = i;
+    }
+
+    for (unsigned u = 0; u < cfg.numUnits; ++u) {
+        TraceIndex start = static_cast<TraceIndex>(u) * cfg.chunkSize;
+        fetchCursor[u] = start < nodes.size() ? start
+                                              : invalid_trace_index;
+    }
+}
+
+bool
+SplitWindowSim::regReady(TraceIndex producer,
+                         unsigned consumer_chunk) const
+{
+    if (producer == invalid_trace_index)
+        return true;
+    const Node &p = nodes[producer];
+    if (p.committed)
+        return true;
+    if (!p.done)
+        return false;
+    Cycles forward =
+        p.chunk != consumer_chunk ? cfg.interUnitLatency : 0;
+    return p.doneAt + forward <= curCycle;
+}
+
+bool
+SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
+{
+    bool speculate = cfg.policy != SpecPolicy::No;
+
+    // SYNC: a load whose PC carries a synonym waits for the closest
+    // older store instance producing the same synonym. If no such
+    // store is visible yet but older instructions remain unfetched,
+    // the load keeps waiting — the synchronizing signal may simply not
+    // have arrived from an earlier unit (Multiscalar-style wait).
+    if (cfg.policy == SpecPolicy::SpecSync) {
+        Synonym syn = mdpt.synonymOf(node.pc);
+        if (syn != invalid_synonym) {
+            bool found_producer = false;
+            bool all_fetched = true;
+            for (TraceIndex j = idx; j-- > headCommit;) {
+                const Node &older = nodes[j];
+                if (older.committed)
+                    break;
+                if (!older.fetched) {
+                    all_fetched = false;
+                    continue;
+                }
+                if (!older.isStore)
+                    continue;
+                if (mdpt.synonymOf(older.pc) == syn) {
+                    found_producer = true;
+                    if (!older.done || older.doneAt +
+                            cfg.interUnitLatency > curCycle) {
+                        return false;
+                    }
+                    break; // synchronized with the closest instance
+                }
+            }
+            if (!found_producer && !all_fetched)
+                return false; // the producer may not be fetched yet
+        }
+    }
+
+    // Older instructions not yet fetched are invisible to any
+    // scheduler: ambiguous by definition.
+    bool all_older_fetched = true;
+    bool ambiguous = false;
+
+    for (TraceIndex j = headCommit; j < idx; ++j) {
+        const Node &older = nodes[j];
+        if (older.committed)
+            continue;
+        if (!older.fetched) {
+            all_older_fetched = false;
+            continue;
+        }
+        if (!older.isStore)
+            continue;
+        if (cfg.lsqModel == LsqModel::AS) {
+            if (older.addrPosted && older.addrPostedAt <= curCycle) {
+                bool overlap = older.addr < node.addr + node.size &&
+                               node.addr < older.addr + older.size;
+                if (overlap && !older.done)
+                    return false; // known true dependence: wait
+            } else {
+                ambiguous = true;
+            }
+        } else if (!older.done) {
+            ambiguous = true; // NAS: unexecuted older store
+        }
+    }
+
+    if (speculate)
+        return true;
+    return all_older_fetched && !ambiguous;
+}
+
+void
+SplitWindowSim::executeStore(Node &store, TraceIndex idx)
+{
+    store.issued = true;
+    store.done = true;
+    store.doneAt = curCycle;
+
+    // Detect the oldest younger load that consumed a stale value.
+    for (TraceIndex j = idx + 1;
+         j < nodes.size() && nodes[j].chunk <=
+             headChunk + cfg.numUnits; ++j) {
+        Node &load = nodes[j];
+        if (!load.isLoad || !load.done)
+            continue;
+        bool overlap = store.addr < load.addr + load.size &&
+                       load.addr < store.addr + store.size;
+        if (!overlap)
+            continue;
+        if (load.sourceSeen != invalid_trace_index &&
+            load.sourceSeen >= idx) {
+            continue; // already forwarded from this store or younger
+        }
+        ++numViolations;
+        if (cfg.policy == SpecPolicy::SpecSync)
+            mdpt.pair(load.pc, store.pc);
+        squashFrom(j);
+        return;
+    }
+}
+
+void
+SplitWindowSim::squashFrom(TraceIndex idx)
+{
+    for (TraceIndex j = idx; j < nodes.size(); ++j) {
+        Node &node = nodes[j];
+        // Only in-flight chunks can have made progress.
+        if (node.chunk > headChunk + cfg.numUnits)
+            break;
+        if (!node.fetched && !node.done && !node.addrPosted)
+            continue;
+        node.issued = false;
+        node.done = false;
+        node.addrPosted = false;
+        node.sourceSeen = invalid_trace_index;
+        node.notBefore = curCycle + cfg.squashPenalty;
+    }
+}
+
+uint64_t
+SplitWindowSim::run()
+{
+    const uint64_t max_cycles = 100'000'000;
+    const TraceIndex n = nodes.size();
+    if (n == 0)
+        return 0;
+
+    while (headCommit < n && curCycle < max_cycles) {
+        // ---- fetch ----
+        if (cfg.continuousFetch) {
+            // One in-order stream feeding a sliding window: older
+            // instructions are always fetched before younger ones.
+            TraceIndex window_end =
+                headCommit +
+                static_cast<TraceIndex>(cfg.numUnits) * cfg.chunkSize;
+            unsigned budget =
+                cfg.unitFetchWidth * cfg.numUnits;
+            while (budget > 0 && globalCursor < n &&
+                   globalCursor < window_end) {
+                nodes[globalCursor].fetched = true;
+                ++globalCursor;
+                --budget;
+            }
+        } else {
+            // Each in-flight chunk fetches independently: a later
+            // unit's loads can be fetched before an earlier unit's
+            // stores.
+            for (unsigned u = 0; u < cfg.numUnits; ++u) {
+                TraceIndex cursor = fetchCursor[u];
+                if (cursor == invalid_trace_index)
+                    continue;
+                unsigned chunk = nodes[cursor].chunk;
+                if (chunk >= headChunk + cfg.numUnits)
+                    continue; // not yet in flight
+                TraceIndex chunk_end = std::min<TraceIndex>(
+                    static_cast<TraceIndex>(chunk + 1) * cfg.chunkSize,
+                    n);
+                unsigned budget = cfg.unitFetchWidth;
+                while (budget > 0 && cursor < chunk_end) {
+                    nodes[cursor].fetched = true;
+                    ++cursor;
+                    --budget;
+                }
+                if (cursor == chunk_end) {
+                    // This slot's next assigned chunk.
+                    TraceIndex next =
+                        static_cast<TraceIndex>(chunk + cfg.numUnits) *
+                        cfg.chunkSize;
+                    fetchCursor[u] =
+                        next < n ? next : invalid_trace_index;
+                } else {
+                    fetchCursor[u] = cursor;
+                }
+            }
+        }
+
+        // ---- execute: per unit, oldest-first, bounded issue ----
+        // Continuous mode issues from one sliding window with a global
+        // budget; split mode gives each in-flight chunk its own budget.
+        unsigned first_chunk = headChunk;
+        unsigned last_chunk = std::min<unsigned>(
+            headChunk + cfg.numUnits + (cfg.continuousFetch ? 1 : 0),
+            static_cast<unsigned>((n + cfg.chunkSize - 1) /
+                                  cfg.chunkSize));
+        unsigned budget = cfg.unitIssueWidth * cfg.numUnits;
+        for (unsigned chunk = first_chunk; chunk < last_chunk;
+             ++chunk) {
+            if (!cfg.continuousFetch)
+                budget = cfg.unitIssueWidth;
+            TraceIndex begin =
+                static_cast<TraceIndex>(chunk) * cfg.chunkSize;
+            TraceIndex end =
+                std::min<TraceIndex>(begin + cfg.chunkSize, n);
+            for (TraceIndex i = std::max(begin, headCommit);
+                 i < end && budget > 0; ++i) {
+                Node &node = nodes[i];
+                if (!node.fetched || node.committed ||
+                    node.notBefore > curCycle) {
+                    continue;
+                }
+
+                // AS stores post addresses as soon as the base register
+                // arrives (no issue slot consumed).
+                if (node.isStore && cfg.lsqModel == LsqModel::AS &&
+                    !node.addrPosted &&
+                    regReady(node.src1Producer, node.chunk)) {
+                    node.addrPosted = true;
+                    node.addrPostedAt = curCycle + cfg.asLatency;
+                }
+
+                if (node.done)
+                    continue;
+
+                if (node.isStore) {
+                    if (regReady(node.src1Producer, node.chunk) &&
+                        regReady(node.src2Producer, node.chunk)) {
+                        --budget;
+                        executeStore(node, i);
+                    }
+                    continue;
+                }
+
+                if (node.isLoad) {
+                    if (!regReady(node.src1Producer, node.chunk))
+                        continue;
+                    if (!loadMayIssue(node, i))
+                        continue;
+                    --budget;
+                    // Record the youngest older executed store the
+                    // load forwards from (if any).
+                    TraceIndex source = invalid_trace_index;
+                    for (TraceIndex j = headCommit; j < i; ++j) {
+                        const Node &older = nodes[j];
+                        if (older.isStore && older.done &&
+                            !older.committed &&
+                            older.addr < node.addr + node.size &&
+                            node.addr < older.addr + older.size) {
+                            source = j;
+                        }
+                    }
+                    node.sourceSeen = source;
+                    node.issued = true;
+                    node.done = true;
+                    node.doneAt = curCycle + cfg.memLatency +
+                                  (cfg.lsqModel == LsqModel::AS
+                                       ? cfg.asLatency
+                                       : 0);
+                    continue;
+                }
+
+                // Plain computational / control work.
+                if (regReady(node.src1Producer, node.chunk) &&
+                    regReady(node.src2Producer, node.chunk)) {
+                    --budget;
+                    node.issued = true;
+                    node.done = true;
+                    node.doneAt = curCycle + node.latency;
+                }
+            }
+        }
+
+        // ---- commit: global, in order ----
+        unsigned commits = 0;
+        while (headCommit < n && commits < cfg.commitWidth) {
+            Node &head = nodes[headCommit];
+            if (!head.done || head.doneAt > curCycle)
+                break;
+            head.committed = true;
+            ++headCommit;
+            ++numCommitted;
+            ++commits;
+        }
+
+        // Advance the chunk window; arm fetch for newly in-flight
+        // chunks.
+        unsigned new_head_chunk =
+            headCommit < n
+                ? nodes[headCommit].chunk
+                : static_cast<unsigned>((n - 1) / cfg.chunkSize);
+        // Slot fetch cursors self-advance to their next assigned
+        // chunk; advancing headChunk just widens the in-flight window.
+        headChunk = new_head_chunk;
+
+        ++curCycle;
+    }
+
+    panic_if(headCommit < n, "split-window simulation did not converge");
+    return curCycle;
+}
+
+} // namespace cwsim

@@ -1,0 +1,800 @@
+/**
+ * @file
+ * The ten SPECfp'95-like kernels. FP codes in Table 1 share a profile:
+ * many loads, few stores, long floating-point latencies feeding those
+ * stores (which is why their false-dependence fractions in Table 3 are
+ * so high: any in-flight store blocks a swarm of unrelated loads under
+ * NAS/NO). Each kernel below reproduces one program's variant of that
+ * profile plus its characteristic recurrence structure.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+
+namespace cwsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/** Fill @p words doubles starting at @p base with values in [lo, hi). */
+void
+fillDoubles(ProgramBuilder &b, Addr base, unsigned count, double lo,
+            double hi, uint64_t seed)
+{
+    Random rng(seed);
+    for (unsigned i = 0; i < count; ++i)
+        b.dataF64(base + 8 * i, lo + (hi - lo) * rng.real());
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// 101.tomcatv — 2D mesh relaxation: a 5-point stencil with coefficient
+// loads and an intra-row recurrence. Target: 31.9% / 8.8%.
+// ---------------------------------------------------------------------
+
+Program
+buildTomcatv(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned width = 64;
+    constexpr unsigned height = 48;
+    Addr grid = b.dataAlloc(8 * width * (height + 2));
+    Addr gnew = b.dataAlloc(8 * width * (height + 2));
+    Addr coef = b.dataAlloc(8 * width);
+    fillDoubles(b, grid, width * (height + 2), 0.5, 2.0, 0x101);
+    fillDoubles(b, coef, width, 0.1, 0.9, 0x1011);
+
+    const RegId p = ir(1), pc_ = ir(2), col = ir(3), row = ir(4),
+                tmp = ir(5), iters = ir(6), pn_ = ir(7);
+    const RegId fc = fr(0), fn = fr(1), fs = fr(2), fw = fr(3),
+                fe = fr(4), fk = fr(5), facc = fr(6), fprev = fr(7);
+
+    b.la(p, grid + 8 * width); // first interior row
+    b.la(pn_, gnew + 8 * width);
+    b.la(pc_, coef);
+    b.addi(row, reg_zero, 1);
+    b.addi(col, reg_zero, 1);
+    b.li32(iters, static_cast<uint32_t>(scale / 23));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    b.ld_f(fc, p, 0);                       // loads 1..6
+    b.ld_f(fw, p, -8);
+    b.ld_f(fe, p, 8);
+    b.ld_f(fn, p, -8 * width);
+    b.ld_f(fs, p, 8 * width);
+    b.ld_f(fk, pc_, 0);
+    b.ld_f(fn, pc_, 8);                     // load 7: second coeff
+    b.fadd_d(facc, fn, fs);                 // fp 1..7
+    b.fadd_d(facc, facc, fw);
+    b.fadd_d(facc, facc, fe);
+    b.fmul_d(facc, facc, fk);
+    b.fsub_d(facc, facc, fc);
+    b.fadd_d(fprev, fprev, facc);           // row recurrence (register)
+    b.fmul_d(facc, facc, fk);
+    b.sd_f(facc, pn_, 0);                   // store 1 (new grid)
+    b.sd_f(fprev, pn_, 8 * width * height); // store 2 (residual row)
+    b.addi(p, p, 8);                        // 1
+    b.addi(pn_, pn_, 8);                    // 1
+    b.addi(pc_, pc_, 8);                    // 1
+    b.addi(col, col, 1);                    // 1
+    b.slti(tmp, col, width - 1);            // 1
+    b.bne(tmp, reg_zero, no_wrap);          // branch
+    // Next row.
+    b.la(pc_, coef);
+    b.addi(col, reg_zero, 1);
+    b.addi(p, p, 16);
+    b.addi(pn_, pn_, 16);
+    b.addi(row, row, 1);
+    b.slti(tmp, row, height);
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(p, grid + 8 * width);
+    b.la(pn_, gnew + 8 * width);
+    b.addi(row, reg_zero, 1);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);               // 1
+    b.bne(iters, reg_zero, loop);           // 1
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 102.swim — shallow-water equations: three coupled field arrays read
+// with a stencil, one written per point. Target: 27.0% / 6.6%.
+// ---------------------------------------------------------------------
+
+Program
+buildSwim(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned width = 64;
+    constexpr unsigned rows = 48;
+    Addr u = b.dataAlloc(8 * width * rows);
+    Addr v = b.dataAlloc(8 * width * rows);
+    Addr pfield = b.dataAlloc(8 * width * rows);
+    Addr unew = b.dataAlloc(8 * width * rows);
+    fillDoubles(b, u, width * rows, -1.0, 1.0, 0x102);
+    fillDoubles(b, v, width * rows, -1.0, 1.0, 0x1021);
+    fillDoubles(b, pfield, width * rows, 1.0, 2.0, 0x1022);
+
+    const RegId pu = ir(1), pv = ir(2), pp = ir(3), pn = ir(4),
+                tmp = ir(5), iters = ir(6), col = ir(7);
+    const RegId f0 = fr(0), f1 = fr(1), f2 = fr(2), f3 = fr(3),
+                f4 = fr(4), f5 = fr(5), f6 = fr(6), f7 = fr(7),
+                facc = fr(8), fhalf = fr(9);
+
+    Addr half = b.dataAlloc(8);
+    b.dataF64(half, 0.5);
+    b.la(tmp, half);
+    b.ld_f(fhalf, tmp, 0);
+
+    b.la(pu, u + 8 * width);
+    b.la(pv, v + 8 * width);
+    b.la(pp, pfield + 8 * width);
+    b.la(pn, unew + 8 * width);
+    b.addi(col, reg_zero, 0);
+    b.li32(iters, static_cast<uint32_t>(scale / 31));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    b.ld_f(f0, pu, 0);                      // loads 1..8
+    b.ld_f(f1, pu, 8);
+    b.ld_f(f2, pu, -8 * width);
+    b.ld_f(f3, pv, 0);
+    b.ld_f(f4, pv, 8);
+    b.ld_f(f5, pp, 0);
+    b.ld_f(f6, pp, 8);
+    b.ld_f(f7, pp, 8 * width);
+    b.fadd_d(facc, f0, f1);                 // fp 1..11
+    b.fmul_d(facc, facc, fhalf);
+    b.fadd_d(f2, f2, f3);
+    b.fmul_d(f2, f2, fhalf);
+    b.fadd_d(f4, f4, f5);
+    b.fsub_d(f6, f6, f7);
+    b.fmul_d(f4, f4, f6);
+    b.fadd_d(facc, facc, f2);
+    b.fadd_d(facc, facc, f4);
+    b.fmul_d(facc, facc, fhalf);
+    b.fsub_d(facc, facc, f0);
+    b.sd_f(facc, pn, 0);                    // store 1
+    b.sd_f(f4, pn, 8 * width);              // store 2 (next-row seed)
+    b.addi(pu, pu, 8);                      // 4 pointer bumps
+    b.addi(pv, pv, 8);
+    b.addi(pp, pp, 8);
+    b.addi(pn, pn, 8);
+    b.addi(col, col, 1);                    // 1
+    b.slti(tmp, col, width * (rows - 2));   // 1
+    b.bne(tmp, reg_zero, no_wrap);          // branch
+    b.la(pu, u + 8 * width);
+    b.la(pv, v + 8 * width);
+    b.la(pp, pfield + 8 * width);
+    b.la(pn, unew + 8 * width);
+    b.addi(col, reg_zero, 0);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 103.su2cor — lattice gauge gather: an index load feeds a dependent
+// data load (addresses computed at run time from loaded values), then a
+// short FP chain. Target: 33.8% / 10.1%.
+// ---------------------------------------------------------------------
+
+Program
+buildSu2cor(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned sites = 4096;
+    Addr idx = b.dataAlloc(4 * sites);
+    Addr field = b.dataAlloc(8 * (sites + 5));
+    Addr out = b.dataAlloc(8 * (sites + 1));
+    Random rng(0x103);
+    // Gather indices with strong spatial locality (nearest-neighbour
+    // lattice links): updates to a gathered cell are frequently
+    // re-gathered while still in flight.
+    for (unsigned i = 0; i < sites; ++i) {
+        uint32_t target;
+        if (rng.chance(0.8)) {
+            target = static_cast<uint32_t>(
+                (i + rng.below(8)) % sites);
+        } else {
+            target = static_cast<uint32_t>(rng.below(sites));
+        }
+        b.dataW32(idx + 4 * i, target);
+    }
+    fillDoubles(b, field, sites + 5, 0.2, 1.8, 0x1031);
+
+    const RegId p_idx = ir(1), p_f = ir(2), p_out = ir(3), k = ir(4),
+                tmp = ir(5), iters = ir(6), pos = ir(7);
+    const RegId fa = fr(0), fb = fr(1), fc = fr(2), facc = fr(3);
+
+    b.la(p_idx, idx);
+    b.la(p_f, field);
+    b.la(p_out, out);
+    b.mv(pos, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 30));
+
+    auto loop = b.hereLabel();
+    b.slli(tmp, pos, 2);                    // 1
+    b.add(tmp, p_idx, tmp);                 // 1
+    b.lw(k, tmp, 0);                        // load 1: gather index
+    b.slli(k, k, 3);                        // 1
+    b.add(k, p_f, k);                       // 1
+    b.ld_f(fa, k, 0);                       // load 2: gathered datum
+    b.ld_f(fc, k, 8);                       // load 3: gathered pair
+    b.slli(tmp, pos, 3);                    // 1
+    b.add(tmp, p_f, tmp);                   // 1
+    b.ld_f(fb, tmp, 0);                     // load 4: streaming datum
+    b.fmul_d(facc, fa, fb);                 // fp
+    b.ld_f(fb, tmp, 8);                     // load 5
+    b.ld_f(fa, tmp, 16);                    // load 6
+    b.fadd_d(facc, facc, fc);               // fp
+    b.fmul_d(fb, fb, fa);                   // fp
+    b.ld_f(fc, tmp, 24);                    // load 7
+    b.ld_f(fa, tmp, 32);                    // load 8
+    b.fadd_d(facc, facc, fb);               // fp
+    b.fmul_d(fc, fc, fa);                   // fp
+    b.fadd_d(facc, facc, fc);               // fp
+    auto no_update = b.newLabel();
+    b.andi(tmp, pos, 15);                   // 1
+    b.bne(tmp, reg_zero, no_update);        // branch
+    // Occasionally update the gauge field in place; later nearby
+    // gathers can hit this while it is still in flight.
+    b.sd_f(facc, k, 0);
+    b.bind(no_update);
+    b.slli(tmp, pos, 3);                    // 1
+    b.add(tmp, p_out, tmp);                 // 1
+    b.sd_f(facc, tmp, 0);                   // store 1
+    b.sd_f(fb, tmp, 8);                     // store 2
+    b.addi(pos, pos, 1);                    // 1
+    b.andi(pos, pos, sites - 1);            // 1
+    b.addi(iters, iters, -1);               // 1
+    b.bne(iters, reg_zero, loop);           // 1
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 104.hydro2d — hydrodynamics stencil with a divide in the chain (long
+// latencies feeding stores). Target: 29.7% / 8.2%.
+// ---------------------------------------------------------------------
+
+Program
+buildHydro2d(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned width = 64;
+    constexpr unsigned rows = 48;
+    Addr rho = b.dataAlloc(8 * width * rows);
+    Addr pres = b.dataAlloc(8 * width * rows);
+    Addr flux = b.dataAlloc(8 * width * rows);
+    Addr mass = b.dataAlloc(8);
+    fillDoubles(b, rho, width * rows, 1.0, 3.0, 0x104);
+    fillDoubles(b, pres, width * rows, 0.5, 1.5, 0x1041);
+    b.dataF64(mass, 0.0);
+
+    const RegId pr = ir(1), pp = ir(2), pf = ir(3), tmp = ir(4),
+                iters = ir(5), col = ir(6), pm = ir(7);
+    const RegId f0 = fr(0), f1 = fr(1), f2 = fr(2), f3 = fr(3),
+                f4 = fr(4), facc = fr(5);
+
+    b.la(pr, rho + 8 * width);
+    b.la(pp, pres + 8 * width);
+    b.la(pf, flux + 8 * width);
+    b.la(pm, mass);
+    b.addi(col, reg_zero, 0);
+    b.li32(iters, static_cast<uint32_t>(scale / 18));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    b.ld_f(f0, pr, 0);                      // loads 1..5
+    b.ld_f(f1, pr, 8);
+    b.ld_f(f2, pp, 0);
+    b.ld_f(f3, pp, 8);
+    b.ld_f(f4, pr, -8 * width);
+    b.fadd_d(facc, f0, f1);                 // fp chain with a divide
+    b.fadd_d(f2, f2, f3);
+    b.fdiv_d(facc, f2, facc);
+    b.fadd_d(facc, facc, f4);
+    b.sd_f(facc, pf, 0);                    // store 1: flux out
+    // Every 4th column updates the global mass accumulator: an RMW of
+    // one cell whose store data trails the divide — hydro2d's 5.5% NAV
+    // miss-speculation rate in Table 4. Because consecutive dynamic
+    // instances of the pair ARE the dependence, SYNC synchronizes with
+    // exactly the right store instance.
+    auto no_mass = b.newLabel();
+    b.andi(tmp, col, 3);
+    b.bne(tmp, reg_zero, no_mass);
+    b.ld_f(f1, pm, 0);
+    b.fadd_d(f1, f1, facc);
+    b.sd_f(f1, pm, 0);                      // store 2 (1/4 iters)
+    b.bind(no_mass);
+    b.addi(pr, pr, 8);
+    b.addi(pp, pp, 8);
+    b.addi(pf, pf, 8);
+    b.addi(col, col, 1);
+    b.slti(tmp, col, width * (rows - 2));
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(pr, rho + 8 * width);
+    b.la(pp, pres + 8 * width);
+    b.la(pf, flux + 8 * width);
+    b.addi(col, reg_zero, 0);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 107.mgrid — 3D multigrid relaxation: a 14-load stencil burst per
+// single store; the most load-dominated program in Table 1.
+// Target: 46.6% / 3.0%.
+// ---------------------------------------------------------------------
+
+Program
+buildMgrid(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned dim = 16;   // 16^3 grid
+    constexpr unsigned plane = dim * dim;
+    Addr grid = b.dataAlloc(8 * dim * dim * dim);
+    Addr out = b.dataAlloc(8 * dim * dim * dim);
+    fillDoubles(b, grid, dim * dim * dim, 0.1, 1.1, 0x107);
+
+    const RegId p = ir(1), po = ir(2), tmp = ir(3), iters = ir(4),
+                pos = ir(5);
+    const RegId facc = fr(0), f1 = fr(1), f2 = fr(2), f3 = fr(3);
+
+    b.la(p, grid + 8 * (plane + dim + 1));
+    b.la(po, out + 8 * (plane + dim + 1));
+    b.mv(pos, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 40));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    // 14-point neighbourhood (pairs summed as they arrive).
+    b.ld_f(facc, p, 0);                     // loads 1..14
+    b.ld_f(f1, p, 8);
+    b.ld_f(f2, p, -8);
+    b.fadd_d(f1, f1, f2);
+    b.ld_f(f2, p, 8 * dim);
+    b.ld_f(f3, p, -8 * dim);
+    b.fadd_d(f2, f2, f3);
+    b.fadd_d(facc, facc, f1);
+    b.ld_f(f1, p, 8 * plane);
+    b.ld_f(f3, p, -8 * plane);
+    b.fadd_d(f1, f1, f3);
+    b.fadd_d(facc, facc, f2);
+    b.ld_f(f2, p, 8 * (dim + 1));
+    b.ld_f(f3, p, -8 * (dim + 1));
+    b.fadd_d(f2, f2, f3);
+    b.fadd_d(facc, facc, f1);
+    b.ld_f(f1, p, 8 * (plane + 1));
+    b.ld_f(f3, p, -8 * (plane + 1));
+    b.fadd_d(f1, f1, f3);
+    b.fadd_d(facc, facc, f2);
+    b.ld_f(f2, p, 8 * (plane + dim));
+    b.ld_f(f3, p, -8 * (plane + dim));
+    b.fadd_d(f2, f2, f3);
+    b.fadd_d(facc, facc, f1);
+    b.ld_f(f1, p, 8 * (plane - dim));
+    b.ld_f(f3, p, -8 * (plane - dim));
+    b.fadd_d(f1, f1, f3);
+    b.fadd_d(facc, facc, f2);
+    b.ld_f(f2, p, 8 * (dim - 1));
+    b.ld_f(f3, p, -8 * (dim - 1));
+    b.fadd_d(f2, f2, f3);
+    b.fadd_d(facc, facc, f1);
+    b.ld_f(f1, p, 8 * (plane + dim + 1));
+    b.ld_f(f3, p, -8 * (plane + dim + 1));
+    b.fadd_d(f1, f1, f3);
+    b.fadd_d(facc, facc, f2);
+    b.fadd_d(facc, facc, f1);
+    b.sd_f(facc, po, 0);                    // the lone store
+    b.addi(p, p, 8);
+    b.addi(po, po, 8);
+    b.addi(pos, pos, 1);
+    b.slti(tmp, pos, plane * (dim - 2) - 2 * dim);
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(p, grid + 8 * (plane + dim + 1));
+    b.la(po, out + 8 * (plane + dim + 1));
+    b.mv(pos, reg_zero);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 110.applu — SSOR: a first-order recurrence THROUGH MEMORY
+// (x[i] = (b[i] - l[i] * x[i-1]) / d[i]), the store->load distance of
+// one short iteration. Target: 31.4% / 7.9%.
+// ---------------------------------------------------------------------
+
+Program
+buildApplu(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned n = 2048;
+    Addr x = b.dataAlloc(8 * (n + 1));
+    Addr rhs = b.dataAlloc(8 * n);
+    Addr low = b.dataAlloc(8 * n);
+    Addr diag = b.dataAlloc(8 * n);
+    fillDoubles(b, rhs, n, 0.5, 1.5, 0x110);
+    fillDoubles(b, low, n, 0.01, 0.2, 0x1101);
+    fillDoubles(b, diag, n, 1.0, 2.0, 0x1102);
+    b.dataF64(x, 1.0);
+
+    const RegId px = ir(1), pb = ir(2), pl = ir(3), pd = ir(4),
+                tmp = ir(5), iters = ir(6), col = ir(7);
+    const RegId fx = fr(0), fb = fr(1), fl = fr(2), fd = fr(3),
+                fo = fr(4), facc = fr(5);
+
+    b.la(px, x);
+    b.la(pb, rhs);
+    b.la(pl, low);
+    b.la(pd, diag);
+    b.addi(col, reg_zero, 0);
+    b.ld_f(fx, px, 0); // x[0] seeds the register-carried recurrence
+    b.li32(iters, static_cast<uint32_t>(scale / 20));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    // The SSOR recurrence itself is register-carried (as compiled code
+    // keeps x[i-1] live); the memory dependence is the residual pass
+    // re-reading x[i-8] — eight iterations (~136 instructions) back, so
+    // it flickers in and out of the 128-entry window.
+    b.ld_f(fb, pb, 0);                      // load 1
+    b.ld_f(fl, pl, 0);                      // load 2
+    b.ld_f(fd, pd, 0);                      // load 3
+    b.fmul_d(fx, fx, fl);                   // fp
+    b.fsub_d(fx, fb, fx);                   // fp
+    b.fdiv_d(fx, fx, fd);                   // fp (long latency)
+    b.sd_f(fx, px, 8);                      // store: x[i]
+    b.ld_f(fo, px, -56);                    // load 4: x[i-8] residual
+    b.fadd_d(facc, facc, fo);               // fp
+    b.ld_f(fo, pl, -8);                     // load 5: band re-read
+    b.fadd_d(facc, facc, fo);               // fp
+    b.ld_f(fo, pb, 8);                      // load 6: next rhs
+    b.fadd_d(facc, facc, fo);               // fp
+    b.sd_f(facc, pd, -8);                   // store 2: residual out
+    b.addi(px, px, 8);
+    b.addi(pb, pb, 8);
+    b.addi(pl, pl, 8);
+    b.addi(pd, pd, 8);
+    b.addi(col, col, 1);
+    b.slti(tmp, col, n - 1);
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(px, x);
+    b.la(pb, rhs);
+    b.la(pl, low);
+    b.la(pd, diag);
+    b.addi(col, reg_zero, 0);
+    b.ld_f(fx, px, 0);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 125.turb3d — FFT-style in-place butterflies: load a pair, combine
+// with a twiddle factor, store the pair back. The in-place update makes
+// later passes load what earlier passes stored at varying strides.
+// Target: 21.3% / 14.6%.
+// ---------------------------------------------------------------------
+
+Program
+buildTurb3d(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned n = 4096;
+    Addr data = b.dataAlloc(8 * n);
+    Addr twiddle = b.dataAlloc(8 * 65);
+    Addr scratch = b.dataAlloc(8 * 64);
+    fillDoubles(b, data, n, -1.0, 1.0, 0x125);
+    fillDoubles(b, twiddle, 65, 0.5, 1.0, 0x1251);
+
+    const RegId pa = ir(1), pw = ir(2), stride = ir(3), tmp = ir(4),
+                iters = ir(5), pos = ir(6), pb_ = ir(7), widx = ir(8),
+                psc = ir(9);
+    const RegId fa = fr(0), fb = fr(1), fw = fr(2), fs = fr(3),
+                fd = fr(4);
+
+    b.la(pa, data);
+    b.la(pw, twiddle);
+    b.la(psc, scratch);
+    b.addi(stride, reg_zero, 8 * 8); // 8 elements
+    b.mv(pos, reg_zero);
+    b.mv(widx, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 21));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    b.add(pb_, pa, stride);                 // 1
+    b.ld_f(fa, pa, 0);                      // load 1
+    b.ld_f(fb, pb_, 0);                     // load 2
+    b.slli(tmp, widx, 3);                   // 1
+    b.add(tmp, pw, tmp);                    // 1
+    b.ld_f(fw, tmp, 0);                     // load 3: twiddle (real)
+    b.ld_f(fs, tmp, 8);                     // load 4: twiddle (imag)
+    b.fmul_d(fb, fb, fw);                   // fp 1..5
+    b.fmul_d(fw, fa, fs);
+    b.fadd_d(fs, fa, fb);
+    b.fsub_d(fd, fa, fb);
+    b.fmul_d(fd, fd, fw);
+    b.sd_f(fs, pa, 0);                      // store 1 (in place)
+    b.sd_f(fd, pb_, 0);                     // store 2 (in place)
+    b.slli(pb_, widx, 3);                   // 1
+    b.add(pb_, psc, pb_);                   // 1
+    b.sd_f(fw, pb_, 0);                     // store 3 (scratch ring)
+    b.addi(pa, pa, 8);                      // 1
+    b.addi(widx, widx, 1);                  // 1
+    b.andi(widx, widx, 63);                 // 1
+    b.addi(pos, pos, 1);                    // 1
+    b.slti(tmp, pos, (n - 16));             // 1
+    b.bne(tmp, reg_zero, no_wrap);          // branch
+    b.la(pa, data);
+    b.mv(pos, reg_zero);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 141.apsi — pollutant-transport column sweeps: stencil loads, an
+// integer table lookup, moderate stores. Target: 31.4% / 13.4%.
+// ---------------------------------------------------------------------
+
+Program
+buildApsi(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned width = 64;
+    constexpr unsigned rows = 48;
+    Addr conc = b.dataAlloc(8 * width * rows);
+    Addr wind = b.dataAlloc(8 * width * rows);
+    Addr next = b.dataAlloc(8 * width * rows);
+    Addr total = b.dataAlloc(8);
+    fillDoubles(b, conc, width * rows, 0.0, 1.0, 0x141);
+    fillDoubles(b, wind, width * rows, -0.5, 0.5, 0x1411);
+
+    const RegId pcn = ir(1), pwd = ir(2), pnx = ir(3), tmp = ir(4),
+                iters = ir(5), col = ir(6), pt_ = ir(7);
+    const RegId f0 = fr(0), f1 = fr(1), f2 = fr(2), f3 = fr(3),
+                facc = fr(4);
+
+    b.la(pcn, conc + 8 * width);
+    b.la(pwd, wind + 8 * width);
+    b.la(pnx, next + 8 * width);
+    b.la(pt_, total);
+    b.addi(col, reg_zero, 0);
+    b.li32(iters, static_cast<uint32_t>(scale / 20));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+
+    b.ld_f(f0, pcn, 0);                     // loads 1..6
+    b.ld_f(f1, pcn, 8);
+    b.ld_f(f2, pcn, -8 * width);
+    b.ld_f(f3, pwd, 0);
+    b.ld_f(facc, pwd, 8);
+    b.ld_f(f1, pcn, 8 * width);
+    b.fadd_d(f0, f0, f1);                   // fp
+    b.fmul_d(f2, f2, f3);
+    b.fadd_d(f0, f0, f2);
+    b.fmul_d(f0, f0, facc);
+    b.fadd_d(f2, f2, f0);
+    b.sd_f(f0, pnx, 0);                     // store 1
+    b.sd_f(f3, pnx, 8 * width);             // store 2 (wind residue)
+    // Every 4th column: pollutant-total RMW through one cell, with the
+    // store data trailing the FP chain (paper: apsi NAV rate 2.1%).
+    auto no_total = b.newLabel();
+    b.andi(tmp, col, 3);
+    b.bne(tmp, reg_zero, no_total);
+    b.ld_f(f3, pt_, 0);
+    b.fadd_d(f3, f3, f0);
+    b.sd_f(f3, pt_, 0);                     // store 3 (1/4 iters)
+    b.bind(no_total);
+    b.addi(pcn, pcn, 8);
+    b.addi(pwd, pwd, 8);
+    b.addi(pnx, pnx, 8);
+    b.addi(col, col, 1);
+    b.slti(tmp, col, width * (rows - 3));
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(pcn, conc + 8 * width);
+    b.la(pwd, wind + 8 * width);
+    b.la(pnx, next + 8 * width);
+    b.addi(col, reg_zero, 0);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 145.fpppp — electron-integral inner blocks: enormous straight-line
+// stretches that load a slab of temporaries, run FP chains, and store
+// several back to the SAME temp slab every "block" — so every store is
+// shortly followed by loads of nearby addresses (FD = 88.7% in Table
+// 3, and the AS/NAV slowdown case). Target: 48.8% / 17.5%.
+// ---------------------------------------------------------------------
+
+Program
+buildFpppp(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned temps = 256;
+    Addr slab = b.dataAlloc(8 * temps);
+    fillDoubles(b, slab, temps, 0.3, 1.7, 0x145);
+
+    const RegId pt = ir(1), iters = ir(2), col = ir(3), tmp = ir(4);
+    const RegId f0 = fr(0), f1 = fr(1), f2 = fr(2), f3 = fr(3),
+                f4 = fr(4), f5 = fr(5), f6 = fr(6), f7 = fr(7),
+                f8 = fr(8), f9 = fr(9), f10 = fr(10), f11 = fr(11),
+                f12 = fr(12), f13 = fr(13);
+
+    b.la(pt, slab);
+    b.addi(col, reg_zero, 0);
+    b.li32(iters, static_cast<uint32_t>(scale / 33));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+    // 14 loads from the advancing temp slab. The stores below land at
+    // +136..+168, which these loads reach 4-8 blocks later — true
+    // dependences hovering around the window boundary.
+    b.ld_f(f0, pt, 0);
+    b.ld_f(f1, pt, 8);
+    b.ld_f(f2, pt, 16);
+    b.ld_f(f3, pt, 24);
+    b.ld_f(f4, pt, 32);
+    b.ld_f(f5, pt, 40);
+    b.ld_f(f6, pt, 48);
+    b.ld_f(f7, pt, 56);
+    b.ld_f(f8, pt, 64);
+    b.ld_f(f9, pt, 72);
+    b.ld_f(f10, pt, 80);
+    b.ld_f(f11, pt, 88);
+    b.ld_f(f12, pt, 96);
+    b.ld_f(f13, pt, 104);
+    // 8 FP ops (two chains).
+    b.fmul_d(f0, f0, f1);
+    b.fadd_d(f0, f0, f2);
+    b.fmul_d(f3, f3, f4);
+    b.fadd_d(f3, f3, f5);
+    b.fmul_d(f6, f6, f7);
+    b.fadd_d(f0, f0, f3);
+    b.fadd_d(f6, f6, f8);
+    b.fmul_d(f9, f9, f10);
+    // 5 stores back into the slab ahead of the read window.
+    b.sd_f(f0, pt, 136);
+    b.sd_f(f3, pt, 144);
+    b.sd_f(f6, pt, 152);
+    b.sd_f(f9, pt, 160);
+    b.sd_f(f11, pt, 168);
+    b.addi(pt, pt, 8);
+    b.addi(col, col, 1);
+    b.slti(tmp, col, temps - 24);
+    b.bne(tmp, reg_zero, no_wrap);
+    b.la(pt, slab);
+    b.addi(col, reg_zero, 0);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 146.wave5 — particle-in-cell push: per particle, load position and
+// velocity, gather the field at its cell, update, scatter back.
+// Target: 30.2% / 13.0%.
+// ---------------------------------------------------------------------
+
+Program
+buildWave5(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned particles = 2048;
+    constexpr unsigned cells = 512;
+    Addr posn = b.dataAlloc(16 * particles);
+    Addr vel = b.dataAlloc(16 * particles);
+    Addr cell_of = b.dataAlloc(4 * particles);
+    Addr field = b.dataAlloc(8 * (cells + 2));
+    fillDoubles(b, posn, 2 * particles, 0.0, 1.0, 0x146);
+    fillDoubles(b, vel, 2 * particles, -0.1, 0.1, 0x1461);
+    fillDoubles(b, field, cells + 2, -0.2, 0.2, 0x1462);
+    Random rng(0x1463);
+    // Particles are spatially sorted (as after a PIC reorder pass):
+    // runs of four consecutive particles share a cell, so a deposit is
+    // often re-gathered by the very next particles.
+    for (unsigned i = 0; i < particles; ++i) {
+        uint32_t cell = (i / 4) % cells;
+        if (rng.chance(0.2))
+            cell = static_cast<uint32_t>(rng.below(cells));
+        b.dataW32(cell_of + 4 * i, cell);
+    }
+
+    const RegId pp = ir(1), pv = ir(2), pcell = ir(3), pf = ir(4),
+                k = ir(5), tmp = ir(6), iters = ir(7), idx = ir(8);
+    const RegId fp_ = fr(0), fv = fr(1), fe0 = fr(2), fe1 = fr(3),
+                fe2 = fr(4), fpy = fr(5), fvy = fr(6);
+
+    b.la(pp, posn);
+    b.la(pv, vel);
+    b.la(pcell, cell_of);
+    b.la(pf, field);
+    b.mv(idx, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 28));
+
+    auto loop = b.hereLabel();
+    auto no_wrap = b.newLabel();
+    b.lw(k, pcell, 0);                      // load 1: cell index
+    b.slli(k, k, 3);                        // 1
+    b.add(k, pf, k);                        // 1
+    b.ld_f(fe0, k, 0);                      // loads 2..4: field gather
+    b.ld_f(fe1, k, 8);
+    b.ld_f(fe2, k, 16);
+    b.ld_f(fp_, pp, 0);                     // loads 5..8: particle state
+    b.ld_f(fpy, pp, 8);
+    b.ld_f(fv, pv, 0);
+    b.ld_f(fvy, pv, 8);
+    b.fadd_d(fe0, fe0, fe1);                // fp 1..6
+    b.fadd_d(fe0, fe0, fe2);
+    b.fadd_d(fv, fv, fe0);                  // accelerate
+    b.fadd_d(fvy, fvy, fe1);
+    b.fadd_d(fp_, fp_, fv);                 // advance
+    b.fadd_d(fpy, fpy, fvy);
+    b.sd_f(fv, pv, 0);                      // stores 1..4: scatter
+    b.sd_f(fvy, pv, 8);
+    b.sd_f(fp_, pp, 0);
+    b.sd_f(fpy, pp, 8);
+    auto no_deposit = b.newLabel();
+    b.andi(tmp, idx, 7);
+    b.bne(tmp, reg_zero, no_deposit);
+    // Charge deposit back into the field grid; later gathers to the
+    // same cell form occasional short dependences (paper: 2.0%).
+    b.sd_f(fe0, k, 0);
+    b.bind(no_deposit);
+    b.addi(pcell, pcell, 4);                // 1
+    b.addi(pp, pp, 16);                     // 1
+    b.addi(pv, pv, 16);                     // 1
+    b.addi(idx, idx, 1);                    // 1
+    b.slti(tmp, idx, particles);            // 1
+    b.bne(tmp, reg_zero, no_wrap);          // branch
+    b.la(pp, posn);
+    b.la(pv, vel);
+    b.la(pcell, cell_of);
+    b.mv(idx, reg_zero);
+    b.bind(no_wrap);
+    b.addi(iters, iters, -1);               // 1
+    b.bne(iters, reg_zero, loop);           // 1
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace cwsim

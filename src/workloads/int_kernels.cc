@@ -1,0 +1,695 @@
+/**
+ * @file
+ * The eight SPECint'95-like kernels. Each loop body is annotated with
+ * its approximate dynamic instruction mix; the per-kernel targets are
+ * the paper's Table 1 load/store percentages.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <utility>
+#include <vector>
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+
+namespace cwsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/** Emit a 3-op xorshift step on @p state using @p tmp as scratch. */
+void
+emitXorshift(ProgramBuilder &b, RegId state, RegId tmp)
+{
+    b.slli(tmp, state, 13);
+    b.xor_(state, state, tmp);
+    b.srli(tmp, state, 17);
+    b.xor_(state, state, tmp);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// 099.go — board evaluation: byte loads from a board, data-dependent
+// branches, occasional influence-map stores. Target: 20.9% / 7.3%.
+// ---------------------------------------------------------------------
+
+Program
+buildGo(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned board_bytes = 2048;
+    Addr board = b.dataAlloc(board_bytes + 64);
+    Addr influence = b.dataAlloc(4 * board_bytes);
+    Addr ko_cell = b.dataAlloc(4);
+    Random rng(0x99);
+    for (unsigned i = 0; i < board_bytes; ++i)
+        b.dataW8(board + i, static_cast<uint8_t>(rng.below(3)));
+
+    const RegId p_board = ir(1), p_infl = ir(2), tmp = ir(3),
+                pos = ir(4), cell = ir(5), n1 = ir(6), n2 = ir(7),
+                n3 = ir(8), n4 = ir(9), score = ir(10), t2 = ir(11),
+                iters = ir(12), p_ko = ir(13), state = ir(20);
+
+    b.la(p_board, board);
+    b.la(p_infl, influence);
+    b.la(p_ko, ko_cell);
+    b.li32(state, 0x12345);
+    b.li32(iters, static_cast<uint32_t>(scale / 25));
+
+    auto loop = b.hereLabel();
+    auto skip_store = b.newLabel();
+    auto skip_flip = b.newLabel();
+
+    emitXorshift(b, state, tmp);               // 4 ALU
+    b.andi(pos, state, board_bytes - 1);       // 1
+    b.add(tmp, p_board, pos);                  // 1
+    b.lb(cell, tmp, 0);                        // load 1
+    b.lb(n1, tmp, 1);                          // load 2
+    b.lb(n2, tmp, 2);                          // load 3 (padded board)
+    b.lb(n3, tmp, 32);                         // load 4
+    b.lb(n4, tmp, 33);                         // load 5
+    b.add(score, n1, n2);                      // 1
+    b.add(t2, n3, n4);                         // 1
+    b.add(score, score, t2);                   // 1
+    b.add(score, score, cell);                 // 1
+    b.slli(t2, pos, 2);                        // 1
+    b.add(t2, p_infl, t2);                     // 1
+    b.sw(score, t2, 0);                        // store 1
+    b.slti(t2, score, 4);                      // 1
+    b.bne(t2, reg_zero, skip_store);           // branch (data-dep)
+    b.add(score, score, score);                // taken ~55%
+    b.bind(skip_store);
+    b.andi(t2, state, 1);                      // 1
+    b.bne(t2, reg_zero, skip_flip);            // branch, taken 1/2
+    b.sb(score, tmp, 1);                       // stores (1/4 iters)
+    b.sb(cell, tmp, 32);
+    // The "ko" state cell: a read-modify-write of one hot word whose
+    // update data trails the evaluation — go's occasional naive
+    // miss-speculation (paper: 2.5%).
+    b.lw(t2, p_ko, 0);
+    b.add(t2, t2, score);
+    b.sw(t2, p_ko, 0);
+    b.bind(skip_flip);
+    b.addi(iters, iters, -1);                  // 1
+    b.bne(iters, reg_zero, loop);              // loop branch
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 124.m88ksim — a CPU interpreter: fetch a synthetic instruction word,
+// decode it, dispatch on the opcode, and execute against an in-memory
+// register file (the classic read-modify-write dependence pattern).
+// Target: 18.8% / 9.6%.
+// ---------------------------------------------------------------------
+
+Program
+buildM88ksim(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned prog_words = 512;
+    Addr guest_prog = b.dataAlloc(4 * prog_words);
+    Addr regfile = b.dataAlloc(4 * 32);
+    // Per-register condition flags: RMW conflicts arise only when
+    // nearby guest instructions name the same destination (paper:
+    // m88ksim NAV rate 1.0%).
+    Addr psr = b.dataAlloc(4 * 32);
+    Addr tracelog = b.dataAlloc(4 * prog_words);
+    Random rng(0x124);
+    for (unsigned i = 0; i < prog_words; ++i) {
+        // op[31:28] rd[25:21] rs[20:16] rt[15:11] imm[7:0]
+        uint32_t op = static_cast<uint32_t>(rng.below(4));
+        uint32_t rd = static_cast<uint32_t>(rng.below(32));
+        uint32_t rs = static_cast<uint32_t>(rng.below(32));
+        uint32_t rt = static_cast<uint32_t>(rng.below(32));
+        uint32_t w = (op << 28) | (rd << 21) | (rs << 16) | (rt << 11) |
+                     static_cast<uint32_t>(rng.below(256));
+        b.dataW32(guest_prog + 4 * i, w);
+    }
+    for (unsigned i = 0; i < 32; ++i)
+        b.dataW32(regfile + 4 * i, static_cast<uint32_t>(rng.next()));
+
+    const RegId p_prog = ir(1), p_rf = ir(2), gpc = ir(3), instr = ir(4),
+                op = ir(5), rd = ir(6), rs = ir(7), rt = ir(8),
+                va = ir(9), vb = ir(10), res = ir(11), tmp = ir(12),
+                iters = ir(13), two = ir(14), three = ir(15),
+                p_psr = ir(16), p_log = ir(17), old = ir(18),
+                nexti = ir(19);
+
+    b.la(p_prog, guest_prog);
+    b.la(p_rf, regfile);
+    b.la(p_psr, psr);
+    b.la(p_log, tracelog);
+    b.mv(gpc, reg_zero);
+    b.addi(two, reg_zero, 2);
+    b.addi(three, reg_zero, 3);
+    b.li32(iters, static_cast<uint32_t>(scale / 36));
+
+    auto loop = b.hereLabel();
+    auto op_sub = b.newLabel();
+    auto op_xor = b.newLabel();
+    auto op_addi = b.newLabel();
+    auto writeback = b.newLabel();
+
+    // Fetch (plus a next-instruction prefetch, as m88ksim models a
+    // pipelined target).
+    b.slli(tmp, gpc, 2);                 // 1
+    b.add(tmp, p_prog, tmp);             // 1
+    b.lw(instr, tmp, 0);                 // load 1
+    b.lw(nexti, tmp, 4);                 // load 2
+    b.addi(gpc, gpc, 1);                 // 1
+    b.andi(gpc, gpc, prog_words - 1);    // 1
+    // Decode.
+    b.srli(op, instr, 28);               // 1
+    b.srli(rd, instr, 21);               // 1
+    b.andi(rd, rd, 31);                  // 1
+    b.srli(rs, instr, 16);               // 1
+    b.andi(rs, rs, 31);                  // 1
+    b.srli(rt, instr, 11);               // 1
+    b.andi(rt, rt, 31);                  // 1
+    // Operand fetch from the in-memory register file.
+    b.slli(tmp, rs, 2);                  // 1
+    b.add(tmp, p_rf, tmp);
+    b.lw(va, tmp, 0);                    // load 2
+    b.slli(tmp, rt, 2);
+    b.add(tmp, p_rf, tmp);
+    b.lw(vb, tmp, 0);                    // load 3
+    // Dispatch.
+    b.beq(op, reg_zero, op_addi);        // branch chain
+    b.beq(op, two, op_sub);
+    b.beq(op, three, op_xor);
+    b.add(res, va, vb);                  // op 1: add
+    b.j(writeback);
+    b.bind(op_sub);
+    b.sub(res, va, vb);
+    b.j(writeback);
+    b.bind(op_xor);
+    b.xor_(res, va, vb);
+    b.j(writeback);
+    b.bind(op_addi);
+    b.andi(tmp, instr, 255);
+    b.add(res, va, tmp);
+    b.bind(writeback);
+    b.slli(tmp, rd, 2);                  // 1
+    b.add(tmp, p_rf, tmp);               // 1
+    b.lw(old, tmp, 0);                   // load 5: old dest value
+    b.sw(res, tmp, 0);                   // store 1 (RMW with loads)
+    // Per-register condition-code update (another RMW pair).
+    b.slli(tmp, rd, 2);                  // 1
+    b.add(tmp, p_psr, tmp);              // 1
+    b.lw(old, tmp, 0);                   // load 6
+    b.add(old, old, res);
+    b.sw(old, tmp, 0);                   // store 2
+    // Retirement trace ring.
+    b.slli(old, gpc, 2);                 // 1
+    b.add(old, p_log, old);              // 1
+    b.sw(res, old, 0);                   // store 3
+    b.xor_(res, res, nexti);             // keep the prefetch live
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 126.gcc — tree/list rewriting over an arena of 16-byte nodes: pointer
+// walks, field reads, and frequent field writes. Target: 24.3% / 17.5%.
+// ---------------------------------------------------------------------
+
+Program
+buildGcc(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned nodes = 1024;
+    Addr arena = b.dataAlloc(16 * nodes);
+    Random rng(0x126);
+    // node: {val, next, flags, aux}; next pointers form a shuffled ring.
+    std::vector<unsigned> order(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    for (unsigned i = 0; i < nodes; ++i) {
+        Addr node = arena + 16 * order[i];
+        Addr next = arena + 16 * order[(i + 1) % nodes];
+        b.dataW32(node, static_cast<uint32_t>(rng.below(1000)));
+        b.dataW32(node + 4, static_cast<uint32_t>(next));
+        b.dataW32(node + 8, 0);
+        b.dataW32(node + 12, static_cast<uint32_t>(rng.next()));
+    }
+
+    const RegId cur = ir(1), val = ir(2), flags = ir(3), tmp = ir(4),
+                acc = ir(5), iters = ir(6), aux = ir(7), prev = ir(8);
+
+    b.la(cur, arena);
+    b.mv(prev, cur);
+    b.mv(acc, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 16));
+
+    auto loop = b.hereLabel();
+    auto no_aux = b.newLabel();
+
+    b.lw(val, cur, 0);                   // load 1
+    b.lw(flags, cur, 8);                 // load 2
+    b.add(acc, acc, val);                // 1
+    b.addi(val, val, 7);                 // 1
+    b.sw(val, cur, 0);                   // store 1 (rewrite field)
+    b.addi(flags, flags, 1);             // 1
+    b.sw(flags, cur, 8);                 // store 2 (mark)
+    b.andi(tmp, val, 3);                 // 1
+    b.bne(tmp, reg_zero, no_aux);        // branch, ~75% taken
+    // Re-read the PREVIOUS node's value field — written one iteration
+    // ago: a short recurring true dependence (paper: gcc 1.3%).
+    b.lw(aux, prev, 0);                  // load (1/4 iters)
+    b.xor_(aux, aux, acc);
+    b.sw(aux, cur, 12);                  // store (1/4 iters)
+    b.bind(no_aux);
+    b.mv(prev, cur);                     // 1
+    b.lw(cur, cur, 4);                   // load 3: pointer chase
+    b.addi(iters, iters, -1);            // 1
+    b.bne(iters, reg_zero, loop);        // 1
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 129.compress — LZW-flavoured hash-table read-modify-write: a rolling
+// input byte stream hashed into a table that is probed and updated,
+// plus an output byte stream. The table updates collide with later
+// probes through the SAME static load/store pair — the pattern that
+// makes naive speculation miss-speculate (paper: 7.8%, the worst) and
+// that speculation/synchronization fixes. Target: 21.7% / 13.5%.
+// ---------------------------------------------------------------------
+
+Program
+buildCompress(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned in_bytes = 4096;
+    constexpr unsigned htab_entries = 128; // small -> real collisions
+    Addr input = b.dataAlloc(in_bytes + 8);
+    Addr htab = b.dataAlloc(4 * htab_entries);
+    Addr codetab = b.dataAlloc(4 * htab_entries);
+    Addr output = b.dataAlloc(in_bytes * 2);
+    Addr checksum = b.dataAlloc(4);
+    Random rng(0x129);
+    for (unsigned i = 0; i < in_bytes; ++i) {
+        // Skewed byte distribution: repetitive enough to "compress".
+        b.dataW8(input + i, static_cast<uint8_t>(rng.below(12)));
+    }
+
+    const RegId p_in = ir(1), p_ht = ir(2), p_out = ir(3), ent = ir(4),
+                c = ir(5), hash = ir(6), slot = ir(7), code = ir(8),
+                tmp = ir(9), iters = ir(10), inpos = ir(11),
+                freecode = ir(12), p_ct = ir(13), c2 = ir(14),
+                cslot = ir(15), p_ck = ir(16);
+
+    b.la(p_in, input);
+    b.la(p_ht, htab);
+    b.la(p_ct, codetab);
+    b.la(p_out, output);
+    b.la(p_ck, checksum);
+    b.mv(inpos, reg_zero);
+    b.addi(ent, reg_zero, 1);
+    b.addi(freecode, reg_zero, 256);
+    b.li32(iters, static_cast<uint32_t>(scale / 22));
+
+    auto loop = b.hereLabel();
+    auto hit = b.newLabel();
+    auto cont = b.newLabel();
+
+    // Next input digraph (rolling).
+    b.add(tmp, p_in, inpos);             // 1
+    b.lbu(c, tmp, 0);                    // load 1
+    b.lbu(c2, tmp, 1);                   // load 2
+    b.addi(inpos, inpos, 1);             // 1
+    b.andi(inpos, inpos, in_bytes - 1);  // 1
+    // Input-driven hash: the probe address is ready as soon as the
+    // input bytes arrive, while the table UPDATE's data (ent) trails a
+    // serial chain through the previous probe — exactly the race that
+    // makes compress the worst naive-speculation offender in Table 4.
+    b.slli(hash, c, 4);                  // 1
+    b.xor_(hash, hash, c2);              // 1
+    b.andi(hash, hash, htab_entries - 1);// 1
+    b.slli(slot, hash, 2);               // 1
+    b.add(cslot, p_ct, slot);            // 1
+    b.add(slot, p_ht, slot);             // 1
+    b.lw(code, slot, 0);                 // load 3: table probe
+    b.lw(tmp, cslot, 0);                 // load 4: code lookup
+    b.add(tmp, p_out, inpos);            // 1
+    b.sb(code, tmp, 0);                  // store 1: emit code byte
+    b.beq(code, ent, hit);               // branch
+    // Miss: install a new code (RMW on the probed slots).
+    b.addi(freecode, freecode, 1);       // 1
+    b.sw(ent, slot, 0);                  // store 2: table update
+    b.sw(freecode, cslot, 0);            // store 3: code table update
+    // The next entry value trails a multiply: the serial chain that
+    // makes table updates lag behind younger input-driven probes.
+    b.addi(tmp, reg_zero, 31);           // 1
+    b.mul(ent, c, tmp);                  // 1 (4-cycle)
+    b.add(ent, ent, code);               // 1
+    b.andi(ent, ent, 4095);              // 1
+    b.j(cont);
+    b.bind(hit);
+    b.addi(tmp, reg_zero, 29);
+    b.mul(ent, code, tmp);               // extend the current entry
+    b.add(ent, ent, c);
+    b.andi(ent, ent, 4095);
+    b.bind(cont);
+    // Output checksum: a hot RMW cell whose store data trails the
+    // multiply chain while the reload's address is constant — the race
+    // behind compress's chart-topping 7.8% NAV rate in Table 4.
+    auto no_ck = b.newLabel();
+    b.andi(tmp, inpos, 1);               // 1
+    b.bne(tmp, reg_zero, no_ck);         // branch, 1/2
+    b.lw(tmp, p_ck, 0);
+    b.add(tmp, tmp, ent);
+    b.sw(tmp, p_ck, 0);
+    b.bind(no_ck);
+    b.addi(iters, iters, -1);            // 1
+    b.bne(iters, reg_zero, loop);        // 1
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 130.li — lisp-style cons cells: list traversal (serial pointer
+// chasing), destructive rewrites (rplaca), and a GC-mark flag pass.
+// Target: 29.6% / 17.6%.
+// ---------------------------------------------------------------------
+
+Program
+buildLi(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned cells = 2048;
+    // cell: {car, cdr, flags, data} — 16 bytes.
+    Addr heap = b.dataAlloc(16 * cells);
+    Random rng(0x130);
+    std::vector<unsigned> order(cells);
+    for (unsigned i = 0; i < cells; ++i)
+        order[i] = i;
+    for (unsigned i = cells - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    for (unsigned i = 0; i < cells; ++i) {
+        Addr cell = heap + 16 * order[i];
+        b.dataW32(cell, static_cast<uint32_t>(rng.below(100))); // car
+        b.dataW32(cell + 4, static_cast<uint32_t>(
+            heap + 16 * order[(i + 1) % cells]));               // cdr
+        b.dataW32(cell + 12, static_cast<uint32_t>(rng.next()));
+    }
+
+    const RegId cur = ir(1), car = ir(2), acc = ir(3), tmp = ir(4),
+                iters = ir(5), p_heap = ir(7), mark = ir(8),
+                data = ir(9);
+
+    b.la(cur, heap);
+    b.la(p_heap, heap);
+    b.mv(acc, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 16));
+
+    auto loop = b.hereLabel();
+    auto no_mark = b.newLabel();
+
+    b.lw(car, cur, 0);                   // load 1: car
+    b.lw(data, cur, 12);                 // load 2: datum
+    b.add(acc, acc, car);                // 1
+    b.xor_(acc, acc, data);              // 1
+    b.addi(car, car, 1);                 // 1
+    b.sw(car, cur, 0);                   // store 1: rplaca
+    b.lw(mark, cur, 8);                  // load 3: GC flag word
+    b.xor_(mark, mark, acc);             // 1
+    b.sw(mark, cur, 8);                  // store 2: toggle mark
+    b.bne(mark, reg_zero, no_mark);      // branch (data-dependent)
+    b.add(acc, acc, car);
+    b.bind(no_mark);
+    auto no_splice = b.newLabel();
+    b.andi(tmp, acc, 7);                 // 1
+    b.bne(tmp, reg_zero, no_splice);     // branch, 1/8 not taken
+    // rplacd: splice the list, then the chase immediately below reads
+    // the freshly written cdr — li's short store->load dependence.
+    b.andi(tmp, acc, (cells - 1) * 16);
+    b.add(tmp, p_heap, tmp);
+    b.sw(tmp, cur, 4);
+    b.bind(no_splice);
+    b.lw(cur, cur, 4);                   // load 4: cdr chase (serial)
+    b.addi(iters, iters, -1);            // 1
+    b.bne(iters, reg_zero, loop);        // 1
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 132.ijpeg — 8-point integer DCT-like butterflies: a burst of loads, a
+// large ALU block, a few stores. Target: 17.7% / 8.7%.
+// ---------------------------------------------------------------------
+
+Program
+buildIjpeg(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned pixels = 8192;
+    Addr image = b.dataAlloc(4 * pixels);
+    Addr out = b.dataAlloc(4 * pixels);
+    Random rng(0x132);
+    for (unsigned i = 0; i < pixels; ++i)
+        b.dataW32(image + 4 * i, static_cast<uint32_t>(rng.below(256)));
+
+    const RegId p_in = ir(1), p_out = ir(2), x0 = ir(3), x1 = ir(4),
+                x2 = ir(5), x3 = ir(6), x4 = ir(7), x5 = ir(8),
+                x6 = ir(9), x7 = ir(10), s0 = ir(11), s1 = ir(12),
+                s2 = ir(13), s3 = ir(14), d0 = ir(15), d1 = ir(16),
+                c1 = ir(17), c2 = ir(18), iters = ir(19), tmp = ir(20);
+
+    b.la(p_in, image);
+    b.la(p_out, out);
+    b.addi(c1, reg_zero, 181);  // sqrt(2)/2 * 256
+    b.addi(c2, reg_zero, 98);
+    b.li32(iters, static_cast<uint32_t>(scale / 46));
+
+    auto loop = b.hereLabel();
+    // Load an 8-pixel row.
+    b.lw(x0, p_in, 0);                   // loads 1..8
+    b.lw(x1, p_in, 4);
+    b.lw(x2, p_in, 8);
+    b.lw(x3, p_in, 12);
+    b.lw(x4, p_in, 16);
+    b.lw(x5, p_in, 20);
+    b.lw(x6, p_in, 24);
+    b.lw(x7, p_in, 28);
+    // Butterfly stage 1 (8 ops).
+    b.add(s0, x0, x7);
+    b.sub(d0, x0, x7);
+    b.add(s1, x1, x6);
+    b.sub(d1, x1, x6);
+    b.add(s2, x2, x5);
+    b.sub(x2, x2, x5);
+    b.add(s3, x3, x4);
+    b.sub(x3, x3, x4);
+    // Stage 2 with scaled multiplies (~14 ops).
+    b.add(x0, s0, s3);
+    b.sub(x4, s0, s3);
+    b.add(x1, s1, s2);
+    b.sub(x5, s1, s2);
+    b.mul(tmp, x5, c1);
+    b.srai(x5, tmp, 8);
+    b.mul(tmp, d0, c2);
+    b.srai(d0, tmp, 8);
+    b.mul(tmp, d1, c1);
+    b.srai(d1, tmp, 8);
+    b.add(x6, d0, d1);
+    b.sub(x7, d0, d1);
+    b.add(tmp, x0, x1);
+    b.sub(x1, x0, x1);
+    // Store the 4 retained coefficients.
+    b.sw(tmp, p_out, 0);                 // stores 1..4
+    b.sw(x1, p_out, 4);
+    b.sw(x6, p_out, 8);
+    b.sw(x7, p_out, 12);
+    // Advance, wrapping the pointers back every 256 rows.
+    b.addi(p_in, p_in, 32);
+    b.addi(p_out, p_out, 16);
+    b.addi(iters, iters, -1);
+    b.andi(tmp, iters, 255);
+    b.bne(tmp, reg_zero, loop);
+    b.la(p_in, image);
+    b.la(p_out, out);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 134.perl — string hashing into an associative array, plus short
+// string copies. Target: 25.6% / 16.6%.
+// ---------------------------------------------------------------------
+
+Program
+buildPerl(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned strings = 512;
+    constexpr unsigned key_len = 8;
+    constexpr unsigned buckets = 1024;
+    Addr keys = b.dataAlloc(strings * key_len);
+    Addr table = b.dataAlloc(4 * buckets);
+    Addr meta = b.dataAlloc(4 * buckets);
+    Addr copies = b.dataAlloc(strings * key_len + 64);
+    Random rng(0x134);
+    for (unsigned i = 0; i < strings * key_len; ++i)
+        b.dataW8(keys + i, static_cast<uint8_t>(97 + rng.below(26)));
+
+    const RegId p_keys = ir(1), p_tab = ir(2), p_copy = ir(3),
+                key = ir(4), hash = ir(5), ch = ir(6), slot = ir(7),
+                val = ir(8), tmp = ir(9), iters = ir(10), kidx = ir(11),
+                lastslot = ir(12), p_meta = ir(13), ch2 = ir(14);
+
+    b.la(p_keys, keys);
+    b.la(p_tab, table);
+    b.la(p_meta, meta);
+    b.la(p_copy, copies);
+    b.mv(lastslot, p_tab);
+    b.mv(kidx, reg_zero);
+    b.li32(iters, static_cast<uint32_t>(scale / 36));
+
+    auto loop = b.hereLabel();
+    auto skip_meta = b.newLabel();
+
+    // Next key (sequential over the key pool).
+    b.addi(kidx, kidx, key_len);            // 1
+    b.andi(kidx, kidx, strings * key_len - 1); // 1
+    b.add(key, p_keys, kidx);               // 1
+    // Hash the first six key bytes.
+    b.mv(hash, reg_zero);                   // 1
+    for (unsigned i = 0; i < 6; ++i) {
+        b.lbu(ch, key, static_cast<int32_t>(i)); // loads 1..6
+        b.slli(hash, hash, 5);
+        b.add(hash, hash, ch);
+    }
+    // Copy the first two bytes out (string materialization).
+    b.add(tmp, p_copy, kidx);               // 1
+    b.lbu(ch, key, 6);                      // load 7
+    b.lbu(ch2, key, 7);                     // load 8
+    b.sb(ch, tmp, 0);                       // store 1
+    b.sb(ch2, tmp, 1);                      // store 2
+    b.sb(reg_zero, tmp, 2);                 // store 3: terminator
+    b.sw(hash, tmp, 4);                     // store 4: cached hash
+    // Probe and update the bucket (RMW) and its metadata.
+    b.andi(hash, hash, buckets - 1);        // 1
+    b.slli(slot, hash, 2);                  // 1
+    b.add(tmp, p_meta, slot);               // 1
+    b.add(slot, p_tab, slot);               // 1
+    b.lw(val, slot, 0);                     // load 9
+    b.addi(val, val, 1);                    // 1
+    b.sw(val, slot, 0);                     // store 4
+    b.sw(kidx, tmp, 0);                     // store 5: last-key meta
+    b.andi(tmp, val, 3);                    // 1
+    b.bne(tmp, reg_zero, skip_meta);        // branch
+    // Re-check the bucket updated LAST iteration: a recurring short
+    // store->load pair (paper: perl 2.9%).
+    b.lw(tmp, lastslot, 0);
+    b.add(hash, hash, tmp);
+    b.bind(skip_meta);
+    b.mv(lastslot, slot);                   // 1
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// 147.vortex — database record manipulation: copy 4-word records
+// between pools and update an index, giving the paper's unusually high
+// store fraction (stores > loads is unique to vortex in Table 1) and
+// its AS/NAV resource-contention behaviour. Target: 26.3% / 27.3%.
+// ---------------------------------------------------------------------
+
+Program
+buildVortex(uint64_t scale)
+{
+    ProgramBuilder b;
+    constexpr unsigned records = 1024;
+    // 8-word record slots; six words are live.
+    Addr src_pool = b.dataAlloc(32 * records);
+    Addr dst_pool = b.dataAlloc(32 * records);
+    Addr index = b.dataAlloc(4 * records);
+    Random rng(0x147);
+    for (unsigned i = 0; i < 8 * records; ++i) {
+        b.dataW32(src_pool + 4 * i,
+                  static_cast<uint32_t>(rng.next()));
+    }
+
+    const RegId p_src = ir(1), p_dst = ir(2), p_idx = ir(3), f0 = ir(4),
+                f1 = ir(5), f2 = ir(6), f3 = ir(7), tmp = ir(8),
+                iters = ir(9), ridx = ir(10), lastdst = ir(11),
+                f4 = ir(12), f5 = ir(13), f6 = ir(14), f7 = ir(15),
+                olddst = ir(16), state = ir(20);
+
+    b.la(p_src, src_pool);
+    b.la(p_dst, dst_pool);
+    b.la(p_idx, index);
+    b.mv(lastdst, p_dst);
+    b.mv(olddst, p_dst);
+    b.li32(state, 0x147147);
+    b.li32(iters, static_cast<uint32_t>(scale / 27));
+
+    auto loop = b.hereLabel();
+    auto fresh_src = b.newLabel();
+    auto do_copy = b.newLabel();
+
+    emitXorshift(b, state, tmp);            // 4
+    b.andi(ridx, state, records - 1);       // 1
+    // Every 8th record is re-read from the record written two
+    // iterations ago — vortex's in-flight record traffic (short true
+    // dependences plus the speculative-load port pressure behind its
+    // AS/NAV slowdown).
+    b.andi(tmp, state, 28);                 // 1
+    b.bne(tmp, reg_zero, fresh_src);        // branch
+    b.mv(tmp, olddst);
+    b.j(do_copy);
+    b.bind(fresh_src);
+    b.slli(tmp, ridx, 5);                   // 1
+    b.add(tmp, p_src, tmp);                 // 1
+    b.bind(do_copy);
+    b.lw(f0, tmp, 0);                       // loads 1..6
+    b.lw(f1, tmp, 4);
+    b.lw(f2, tmp, 8);
+    b.lw(f3, tmp, 12);
+    b.lw(f4, tmp, 16);
+    b.lw(f5, tmp, 20);
+    b.lw(f6, tmp, 24);
+    b.lw(f7, tmp, 28);
+    b.slli(tmp, ridx, 5);                   // 1
+    b.add(tmp, p_dst, tmp);                 // 1
+    b.addi(f0, f0, 1);                      // 1 (version bump)
+    b.sw(f0, tmp, 0);                       // stores 1..8
+    b.sw(f1, tmp, 4);
+    b.sw(f2, tmp, 8);
+    b.sw(f3, tmp, 12);
+    b.sw(f4, tmp, 16);
+    b.sw(f5, tmp, 20);
+    b.sw(f6, tmp, 24);
+    b.sw(f7, tmp, 28);
+    // Index entry points at the record just written.
+    b.slli(f1, ridx, 2);                    // 1
+    b.add(f1, p_idx, f1);                   // 1
+    b.sw(tmp, f1, 0);                       // store 5
+    b.mv(olddst, lastdst);                  // 1
+    b.mv(lastdst, tmp);                     // 1
+    b.addi(iters, iters, -1);
+    b.bne(iters, reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace cwsim

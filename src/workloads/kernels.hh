@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Internal declarations of the 18 kernel builders. Each returns a
+ * self-contained Program whose dynamic instruction stream approximates
+ * its SPEC'95 namesake's load/store mix (paper Table 1) and dependence
+ * character. @p scale is the approximate dynamic instruction target.
+ */
+
+#ifndef CWSIM_WORKLOADS_KERNELS_HH
+#define CWSIM_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace cwsim
+{
+namespace workloads
+{
+
+// SPECint'95-like.
+Program buildGo(uint64_t scale);       // 099: branchy board evaluation
+Program buildM88ksim(uint64_t scale);  // 124: CPU interpreter loop
+Program buildGcc(uint64_t scale);      // 126: tree/list rewriting
+Program buildCompress(uint64_t scale); // 129: LZW hash-table RMW
+Program buildLi(uint64_t scale);       // 130: cons cells + GC mark
+Program buildIjpeg(uint64_t scale);    // 132: integer DCT blocks
+Program buildPerl(uint64_t scale);     // 134: string hashing
+Program buildVortex(uint64_t scale);   // 147: record copy/insert
+
+// SPECfp'95-like.
+Program buildTomcatv(uint64_t scale);  // 101: 2D mesh relaxation
+Program buildSwim(uint64_t scale);     // 102: shallow-water stencil
+Program buildSu2cor(uint64_t scale);   // 103: lattice gather
+Program buildHydro2d(uint64_t scale);  // 104: hydro stencil w/ divides
+Program buildMgrid(uint64_t scale);    // 107: 3D multigrid relax
+Program buildApplu(uint64_t scale);    // 110: SSOR recurrence sweep
+Program buildTurb3d(uint64_t scale);   // 125: in-place FFT butterflies
+Program buildApsi(uint64_t scale);     // 141: column sweeps
+Program buildFpppp(uint64_t scale);    // 145: huge straight-line blocks
+Program buildWave5(uint64_t scale);    // 146: particle push
+
+} // namespace workloads
+} // namespace cwsim
+
+#endif // CWSIM_WORKLOADS_KERNELS_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the base substrate: bitfields, integer math, the
+ * deterministic PRNG, saturating counters, circular queues and string
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "base/circular_queue.hh"
+#include "base/intmath.hh"
+#include "base/random.hh"
+#include "base/sat_counter.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+}
+
+TEST(Bitfield, ExtractBits)
+{
+    uint64_t v = 0xdeadbeefcafef00dull;
+    EXPECT_EQ(bits(v, 3, 0), 0xdu);
+    EXPECT_EQ(bits(v, 15, 0), 0xf00du);
+    EXPECT_EQ(bits(v, 63, 48), 0xdeadu);
+    EXPECT_EQ(bits(v, 0), 1u);
+    EXPECT_EQ(bits(v, 1), 0u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 0, 0x1234), 0x1234u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0, 31, 26, 0x3f), 0xfc000000u);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x2000000, 26), -33554432);
+}
+
+TEST(IntMath, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(IntMath, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(RandomTest, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RandomTest, RangeInclusive)
+{
+    Random r(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(RandomTest, RealInUnitInterval)
+{
+    Random r(99);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(SatCounterTest, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.value(), 0u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounterTest, IsSetThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.isSet());
+    c.increment();
+    EXPECT_FALSE(c.isSet()); // 1 of max 3: lower half
+    c.increment();
+    EXPECT_TRUE(c.isSet());  // 2 of max 3: upper half
+}
+
+TEST(SatCounterTest, ResetRestoresInitial)
+{
+    SatCounter c(3, 2);
+    c.increment();
+    c.increment();
+    c.reset();
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(CircularQueueTest, FifoOrder)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    q.pushBack(1);
+    q.pushBack(2);
+    q.pushBack(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    q.popFront();
+    EXPECT_EQ(q.front(), 2);
+}
+
+TEST(CircularQueueTest, WrapAround)
+{
+    CircularQueue<int> q(3);
+    q.pushBack(1);
+    q.pushBack(2);
+    q.popFront();
+    q.pushBack(3);
+    q.pushBack(4);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.at(0), 2);
+    EXPECT_EQ(q.at(1), 3);
+    EXPECT_EQ(q.at(2), 4);
+}
+
+TEST(CircularQueueTest, TruncateDropsYoungest)
+{
+    CircularQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.pushBack(i);
+    q.truncate(2);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.back(), 3);
+    // The queue can be refilled after truncation.
+    q.pushBack(42);
+    EXPECT_EQ(q.back(), 42);
+}
+
+TEST(CircularQueueTest, StableSlotIndices)
+{
+    CircularQueue<int> q(4);
+    size_t s0 = q.pushBack(10);
+    size_t s1 = q.pushBack(11);
+    q.popFront();
+    EXPECT_EQ(q.slot(s1), 11);
+    size_t s2 = q.pushBack(12);
+    EXPECT_NE(s2, s1);
+    EXPECT_EQ(q.slot(s0), 10); // stale but stable storage
+}
+
+TEST(StrTest, Strfmt)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+    EXPECT_EQ(strfmt("%05.1f", 3.14), "003.1");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(StrTest, SplitAndTrim)
+{
+    auto fields = split("a,b,,c", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_TRUE(startsWith("NAS/SYNC", "NAS"));
+    EXPECT_FALSE(startsWith("AS", "NAS"));
+}
+
+} // anonymous namespace
+} // namespace cwsim

@@ -1,0 +1,660 @@
+/**
+ * @file
+ * Tests for the out-of-order timing core. The central property: under
+ * EVERY load/store scheduling configuration, the timing core must
+ * commit exactly the architectural results the functional interpreter
+ * produces — speculation may change timing, never semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "isa/builder.hh"
+#include "isa/executor.hh"
+#include "mdp/oracle.hh"
+#include "mem/functional_memory.hh"
+#include "sim/config.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+/** All eight (model, policy) combinations the paper studies. */
+const std::vector<std::pair<LsqModel, SpecPolicy>> all_configs = {
+    {LsqModel::NAS, SpecPolicy::No},
+    {LsqModel::NAS, SpecPolicy::Naive},
+    {LsqModel::NAS, SpecPolicy::Selective},
+    {LsqModel::NAS, SpecPolicy::StoreBarrier},
+    {LsqModel::NAS, SpecPolicy::SpecSync},
+    {LsqModel::NAS, SpecPolicy::Oracle},
+    {LsqModel::AS, SpecPolicy::No},
+    {LsqModel::AS, SpecPolicy::Naive},
+};
+
+struct RunResult
+{
+    uint64_t cycles;
+    uint64_t commits;
+    uint64_t violations;
+    ArchState finalState;
+    uint64_t memFingerprint;
+};
+
+RunResult
+runTimed(const Program &prog, LsqModel model, SpecPolicy policy,
+         Cycles as_lat = 0, const OracleDeps *oracle = nullptr)
+{
+    SimConfig cfg = withPolicy(makeW128Config(), model, policy, as_lat);
+    cfg.maxCycles = 2'000'000;
+    Processor proc(cfg, prog, oracle);
+    proc.run();
+    EXPECT_TRUE(proc.halted()) << "did not reach HALT under "
+                               << cfg.name();
+    RunResult r;
+    r.cycles = proc.procStats().cycles.value();
+    r.commits = proc.procStats().commits.value();
+    r.violations = proc.procStats().memOrderViolations.value();
+    r.finalState = proc.archState();
+    r.memFingerprint = proc.memory().fingerprint();
+    return r;
+}
+
+void
+expectMatchesFunctional(const Program &prog, const PrepassResult &golden,
+                        const RunResult &timed, const std::string &what)
+{
+    (void)prog;
+    EXPECT_EQ(timed.memFingerprint, golden.memFingerprint)
+        << what << ": memory differs from functional execution";
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        EXPECT_EQ(timed.finalState.regs[r], golden.finalState.regs[r])
+            << what << ": register " << r << " differs";
+    }
+    // +1: the prepass counts HALT itself as an executed instruction and
+    // so does commit.
+    EXPECT_EQ(timed.commits, golden.instCount) << what;
+}
+
+// ---------------------------------------------------------------------
+// Test programs.
+// ---------------------------------------------------------------------
+
+/** Independent ALU work, no memory: pipeline sanity. */
+Program
+aluProgram()
+{
+    ProgramBuilder b;
+    b.addi(ir(1), reg_zero, 1);
+    b.addi(ir(2), reg_zero, 2);
+    auto loop = b.hereLabel();
+    b.add(ir(3), ir(1), ir(2));
+    b.mul(ir(4), ir(3), ir(2));
+    b.sub(ir(5), ir(4), ir(1));
+    b.addi(ir(1), ir(1), 1);
+    b.slti(ir(6), ir(1), 50);
+    b.bne(ir(6), reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+/** A classic memory recurrence: a[i] = a[i-1] + 1. */
+Program
+recurrenceProgram(int n = 64)
+{
+    ProgramBuilder b;
+    Addr arr = b.dataAlloc(4 * (n + 1));
+    b.dataW32(arr, 5);
+    b.la(ir(1), arr);     // p = &a[0]
+    b.addi(ir(2), reg_zero, n);
+    auto loop = b.hereLabel();
+    b.lw(ir(3), ir(1), 0);       // t = a[i-1]
+    b.addi(ir(3), ir(3), 1);
+    b.sw(ir(3), ir(1), 4);       // a[i] = t + 1
+    b.addi(ir(1), ir(1), 4);
+    b.addi(ir(2), ir(2), -1);
+    b.bne(ir(2), reg_zero, loop);
+    b.lw(ir(10), ir(1), 0);      // final value
+    b.halt();
+    return b.build();
+}
+
+/**
+ * Stores with slow (divide-fed) data followed by independent loads:
+ * maximal false dependences — the NAS/NO pathology of Table 3.
+ */
+Program
+falseDepProgram()
+{
+    ProgramBuilder b;
+    Addr a = b.dataAlloc(4 * 256);
+    Addr bb = b.dataAlloc(4 * 256);
+    for (int i = 0; i < 256; ++i)
+        b.dataW32(bb + 4 * i, i * 3 + 1);
+    b.la(ir(1), a);
+    b.la(ir(2), bb);
+    b.addi(ir(3), reg_zero, 64);  // iterations
+    b.addi(ir(4), reg_zero, 97);
+    auto loop = b.hereLabel();
+    b.div(ir(5), ir(4), ir(3));   // slow producer
+    b.sw(ir(5), ir(1), 0);        // store with late data
+    b.lw(ir(6), ir(2), 0);        // independent loads
+    b.lw(ir(7), ir(2), 4);
+    b.lw(ir(8), ir(2), 8);
+    b.add(ir(9), ir(6), ir(7));
+    b.add(ir(9), ir(9), ir(8));
+    b.add(ir(4), ir(4), ir(9));
+    b.addi(ir(1), ir(1), 4);
+    b.addi(ir(2), ir(2), 4);
+    b.addi(ir(3), ir(3), -1);
+    b.bne(ir(3), reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * A store->load true dependence through memory where the load's address
+ * is ready long before the store's data: naive speculation violates it
+ * every iteration, and the same static (store, load) pair repeats — the
+ * pattern SYNC is built to fix.
+ */
+Program
+violationProgram(int n = 200)
+{
+    ProgramBuilder b;
+    Addr cell = b.dataAlloc(8);
+    Addr sink = b.dataAlloc(4 * 8);
+    b.dataW32(cell, 1);
+    b.la(ir(1), cell);
+    b.la(ir(7), sink);
+    b.addi(ir(2), reg_zero, n);
+    b.addi(ir(5), reg_zero, 13);
+    auto loop = b.hereLabel();
+    b.mul(ir(4), ir(5), ir(2));   // slow data for the store
+    b.sw(ir(4), ir(1), 0);        // store to cell
+    b.lw(ir(6), ir(1), 0);        // immediately reload the cell
+    b.add(ir(5), ir(6), ir(5));   // consume quickly
+    b.sw(ir(5), ir(7), 0);
+    b.addi(ir(2), ir(2), -1);
+    b.bne(ir(2), reg_zero, loop);
+    b.halt();
+    return b.build();
+}
+
+/** Byte-granular partial overlap: sb/lb/lw mixing. */
+Program
+partialOverlapProgram()
+{
+    ProgramBuilder b;
+    Addr buf = b.dataAlloc(16);
+    b.dataW32(buf, 0x44332211);
+    b.la(ir(1), buf);
+    b.addi(ir(2), reg_zero, 0x7f);
+    b.sb(ir(2), ir(1), 1);        // overwrite byte 1
+    b.lw(ir(3), ir(1), 0);        // word load across the stored byte
+    b.lbu(ir(4), ir(1), 1);
+    b.addi(ir(5), reg_zero, -2);
+    b.sb(ir(5), ir(1), 3);
+    b.lw(ir(6), ir(1), 0);
+    b.sw(ir(6), ir(1), 8);
+    b.lbu(ir(7), ir(1), 11);
+    b.halt();
+    return b.build();
+}
+
+/** Function calls + stack traffic exercising the RAS and JR. */
+Program
+callProgram()
+{
+    ProgramBuilder b;
+    Addr stack_top = b.stackTop();
+    auto func = b.newLabel();
+    auto done = b.newLabel();
+    b.la(reg_sp, stack_top);
+    b.addi(ir(4), reg_zero, 12);
+    b.addi(ir(10), reg_zero, 0);
+    auto loop = b.hereLabel();
+    b.jal(func);
+    b.add(ir(10), ir(10), ir(5));
+    b.addi(ir(4), ir(4), -1);
+    b.bne(ir(4), reg_zero, loop);
+    b.j(done);
+    b.bind(func);
+    b.addi(reg_sp, reg_sp, -8);
+    b.sw(ir(4), reg_sp, 0);       // spill
+    b.sw(reg_ra, reg_sp, 4);
+    b.mul(ir(5), ir(4), ir(4));
+    b.lw(ir(4), reg_sp, 0);       // reload
+    b.lw(reg_ra, reg_sp, 4);
+    b.addi(reg_sp, reg_sp, 8);
+    b.jr(reg_ra);
+    b.bind(done);
+    b.halt();
+    return b.build();
+}
+
+// ---------------------------------------------------------------------
+// Architectural equivalence, parameterized over all configurations.
+// ---------------------------------------------------------------------
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::pair<LsqModel, SpecPolicy>>
+{
+  protected:
+    void
+    check(const Program &prog)
+    {
+        auto [model, policy] = GetParam();
+        PrepassResult golden = runPrepass(prog);
+        ASSERT_TRUE(golden.halted);
+        RunResult timed = runTimed(prog, model, policy, 0, &golden.deps);
+        expectMatchesFunctional(prog, golden, timed,
+                                configName(model, policy));
+    }
+};
+
+TEST_P(EquivalenceTest, AluLoop) { check(aluProgram()); }
+TEST_P(EquivalenceTest, MemoryRecurrence) { check(recurrenceProgram()); }
+TEST_P(EquivalenceTest, FalseDepKernel) { check(falseDepProgram()); }
+TEST_P(EquivalenceTest, ViolationKernel) { check(violationProgram()); }
+TEST_P(EquivalenceTest, PartialOverlap)
+{
+    check(partialOverlapProgram());
+}
+TEST_P(EquivalenceTest, CallsAndStack) { check(callProgram()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EquivalenceTest, ::testing::ValuesIn(all_configs),
+    [](const auto &info) {
+        std::string n = configName(info.param.first, info.param.second);
+        for (char &c : n) {
+            if (c == '/')
+                c = '_';
+        }
+        return n;
+    });
+
+// AS with nonzero scheduler latency must also stay correct.
+TEST(EquivalenceLatency, AsLatencies)
+{
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    for (Cycles lat : {1u, 2u}) {
+        for (SpecPolicy p : {SpecPolicy::No, SpecPolicy::Naive}) {
+            RunResult timed =
+                runTimed(prog, LsqModel::AS, p, lat, &golden.deps);
+            expectMatchesFunctional(prog, golden, timed,
+                                    configName(LsqModel::AS, p));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Behavioural properties of the policies.
+// ---------------------------------------------------------------------
+
+TEST(PolicyBehaviour, NaiveSpeculationViolates)
+{
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult nav = runTimed(prog, LsqModel::NAS, SpecPolicy::Naive, 0,
+                             &golden.deps);
+    EXPECT_GT(nav.violations, 20u)
+        << "the violation kernel must actually miss-speculate";
+}
+
+TEST(PolicyBehaviour, NoSpeculationNeverViolates)
+{
+    Program prog = violationProgram();
+    RunResult no = runTimed(prog, LsqModel::NAS, SpecPolicy::No);
+    EXPECT_EQ(no.violations, 0u);
+}
+
+TEST(PolicyBehaviour, OracleNeverViolates)
+{
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult oracle = runTimed(prog, LsqModel::NAS, SpecPolicy::Oracle,
+                                0, &golden.deps);
+    EXPECT_EQ(oracle.violations, 0u);
+}
+
+TEST(PolicyBehaviour, SyncEliminatesMostViolations)
+{
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult nav = runTimed(prog, LsqModel::NAS, SpecPolicy::Naive, 0,
+                             &golden.deps);
+    RunResult sync = runTimed(prog, LsqModel::NAS, SpecPolicy::SpecSync,
+                              0, &golden.deps);
+    EXPECT_LT(sync.violations, nav.violations / 5)
+        << "SYNC must learn the repeating dependence";
+}
+
+TEST(PolicyBehaviour, AddressSchedulingAvoidsViolations)
+{
+    // Section 3.4: with an address-based scheduler, miss-speculations
+    // are virtually non-existent.
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult as_nav = runTimed(prog, LsqModel::AS, SpecPolicy::Naive,
+                                0, &golden.deps);
+    RunResult nas_nav = runTimed(prog, LsqModel::NAS, SpecPolicy::Naive,
+                                 0, &golden.deps);
+    EXPECT_LT(as_nav.violations, nas_nav.violations / 5);
+}
+
+TEST(PolicyBehaviour, OracleBeatsNoSpeculationOnFalseDeps)
+{
+    Program prog = falseDepProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult no =
+        runTimed(prog, LsqModel::NAS, SpecPolicy::No, 0, &golden.deps);
+    RunResult oracle = runTimed(prog, LsqModel::NAS, SpecPolicy::Oracle,
+                                0, &golden.deps);
+    EXPECT_LT(oracle.cycles, no.cycles)
+        << "oracle must exploit the load/store parallelism";
+}
+
+TEST(PolicyBehaviour, FalseDependencesAreDetected)
+{
+    Program prog = falseDepProgram();
+    PrepassResult golden = runPrepass(prog);
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::No);
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_GT(proc.procStats().falseDepLoads.value(), 50u);
+    EXPECT_GT(proc.procStats().falseDepLatency.mean(), 1.0);
+}
+
+TEST(PolicyBehaviour, AsLatencyCostsPerformance)
+{
+    Program prog = falseDepProgram();
+    PrepassResult golden = runPrepass(prog);
+    RunResult lat0 = runTimed(prog, LsqModel::AS, SpecPolicy::Naive, 0,
+                              &golden.deps);
+    RunResult lat2 = runTimed(prog, LsqModel::AS, SpecPolicy::Naive, 2,
+                              &golden.deps);
+    EXPECT_LE(lat0.cycles, lat2.cycles);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline mechanics.
+// ---------------------------------------------------------------------
+
+TEST(PipelineTest, SuperscalarIpcAboveOne)
+{
+    Program prog = aluProgram();
+    RunResult r = runTimed(prog, LsqModel::NAS, SpecPolicy::Naive);
+    double ipc = static_cast<double>(r.commits) / r.cycles;
+    EXPECT_GT(ipc, 1.0) << "an 8-wide core must exceed IPC 1 on "
+                           "independent ALU work";
+}
+
+TEST(PipelineTest, W64IsNotFasterThanW128)
+{
+    Program prog = falseDepProgram();
+    PrepassResult golden = runPrepass(prog);
+
+    SimConfig small = withPolicy(makeW64Config(), LsqModel::NAS,
+                                 SpecPolicy::Oracle);
+    Processor p64(small, prog, &golden.deps);
+    p64.run();
+
+    SimConfig big = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Oracle);
+    Processor p128(big, prog, &golden.deps);
+    p128.run();
+
+    EXPECT_GE(p64.procStats().cycles.value(),
+              p128.procStats().cycles.value());
+}
+
+TEST(PipelineTest, MaxInstsStopsRun)
+{
+    Program prog = aluProgram();
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    cfg.maxInsts = 100;
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_FALSE(proc.halted());
+    EXPECT_GE(proc.procStats().commits.value(), 100u);
+    EXPECT_LT(proc.procStats().commits.value(),
+              100u + cfg.core.commitWidth);
+}
+
+TEST(PipelineTest, RunTimingThenFastForwardStaysCorrect)
+{
+    // Sampled simulation: alternate timing and functional phases; the
+    // final architectural state must still match pure functional.
+    Program prog = recurrenceProgram(200);
+    PrepassResult golden = runPrepass(prog);
+
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    Processor proc(cfg, prog, &golden.deps);
+    while (!proc.halted()) {
+        proc.runTiming(150);
+        if (proc.halted())
+            break;
+        proc.fastForward(100);
+    }
+    EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint);
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        EXPECT_EQ(proc.archState().regs[r], golden.finalState.regs[r])
+            << "register " << r;
+    }
+}
+
+TEST(PipelineTest, BranchMispredictsAreRecorded)
+{
+    // A data-dependent unpredictable branch pattern.
+    ProgramBuilder b;
+    b.addi(ir(1), reg_zero, 500);
+    b.addi(ir(2), reg_zero, 0);
+    b.li32(ir(7), 1234567);
+    auto loop = b.newLabel();
+    auto skip = b.newLabel();
+    b.bind(loop);
+    // xorshift-ish pseudo-random bit
+    b.slli(ir(3), ir(7), 13);
+    b.xor_(ir(7), ir(7), ir(3));
+    b.srli(ir(3), ir(7), 17);
+    b.xor_(ir(7), ir(7), ir(3));
+    b.andi(ir(4), ir(7), 1);
+    b.beq(ir(4), reg_zero, skip);
+    b.addi(ir(2), ir(2), 3);
+    b.bind(skip);
+    b.addi(ir(1), ir(1), -1);
+    b.bne(ir(1), reg_zero, loop);
+    b.halt();
+    Program prog = b.build();
+
+    PrepassResult golden = runPrepass(prog);
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_GT(proc.procStats().branchMispredicts.value(), 50u);
+    EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint);
+    EXPECT_EQ(proc.archState().regs[ir(2)],
+              golden.finalState.regs[ir(2)]);
+}
+
+TEST(PipelineTest, StatsGroupExposesCounters)
+{
+    Program prog = aluProgram();
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_TRUE(proc.statsGroup().hasScalar("commits"));
+    EXPECT_EQ(proc.statsGroup().scalarValue("commits"),
+              proc.procStats().commits.value());
+}
+
+
+TEST(PipelineTest, OccupancyAndForwardingStats)
+{
+    // The occupancy distribution samples once per cycle, and the
+    // store-buffer forwards loads that hit in-flight store data.
+    Program prog = recurrenceProgram(100);
+    PrepassResult golden = runPrepass(prog);
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Oracle);
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    const ProcStats &s = proc.procStats();
+    EXPECT_EQ(s.windowOccupancy.count(), s.cycles.value());
+    EXPECT_GT(s.windowOccupancy.mean(), 1.0);
+    // The recurrence loads a value the previous iteration stored:
+    // under ORACLE the load waits for the store and forwards from it.
+    EXPECT_GT(s.loadsForwarded.value(), 50u);
+}
+
+
+TEST(PolicyBehaviour, SelectiveInvalidationRecoversWithoutSquashing)
+{
+    // Paper Section 2's alternative recovery: re-execute only the
+    // dependence slice. Same architectural results, fewer squashed
+    // instructions, performance at least as good as squashing.
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+
+    SimConfig squash_cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive);
+    Processor squash_proc(squash_cfg, prog, &golden.deps);
+    squash_proc.run();
+
+    SimConfig sel_cfg = squash_cfg;
+    sel_cfg.mdp.recovery = RecoveryModel::Selective;
+    Processor sel_proc(sel_cfg, prog, &golden.deps);
+    sel_proc.run();
+    ASSERT_TRUE(sel_proc.halted());
+
+    // Correctness is untouched.
+    EXPECT_EQ(sel_proc.memory().fingerprint(), golden.memFingerprint);
+    // Slices actually ran, and most violations avoided a squash.
+    EXPECT_GT(sel_proc.procStats().selectiveRecoveries.value(), 20u);
+    EXPECT_LT(sel_proc.procStats().squashedInsts.value(),
+              squash_proc.procStats().squashedInsts.value());
+    // Keeping unrelated work must not be slower than discarding it.
+    EXPECT_LE(sel_proc.procStats().cycles.value(),
+              squash_proc.procStats().cycles.value() * 102 / 100);
+}
+
+
+// The same equivalence matrix on the small (Figure 1) machine, whose
+// tighter window/LSQ/store-buffer limits stress structural stalls.
+class EquivalenceTestW64
+    : public ::testing::TestWithParam<std::pair<LsqModel, SpecPolicy>>
+{
+};
+
+TEST_P(EquivalenceTestW64, ViolationKernelOnSmallMachine)
+{
+    auto [model, policy] = GetParam();
+    Program prog = violationProgram();
+    PrepassResult golden = runPrepass(prog);
+    SimConfig cfg = withPolicy(makeW64Config(), model, policy);
+    cfg.maxCycles = 2'000'000;
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint)
+        << configName(model, policy);
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        EXPECT_EQ(proc.archState().regs[r], golden.finalState.regs[r])
+            << configName(model, policy) << " register " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsW64, EquivalenceTestW64, ::testing::ValuesIn(all_configs),
+    [](const auto &info) {
+        std::string n = configName(info.param.first, info.param.second);
+        for (char &c : n) {
+            if (c == '/')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(PipelineTest, SampledPhasesUnderEveryPolicy)
+{
+    // The sampling methodology must preserve semantics under every
+    // speculation policy, not just naive.
+    Program prog = violationProgram(300);
+    PrepassResult golden = runPrepass(prog);
+    for (auto [model, policy] : all_configs) {
+        SimConfig cfg = withPolicy(makeW128Config(), model, policy);
+        Processor proc(cfg, prog, &golden.deps);
+        while (!proc.halted()) {
+            proc.runTiming(120);
+            if (proc.halted())
+                break;
+            if (proc.fastForward(80) == 0)
+                break;
+        }
+        EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint)
+            << configName(model, policy);
+    }
+}
+
+TEST(PipelineTest, TinyWindowStillCorrect)
+{
+    // Degenerate machines (window 4, single-issue-ish) exercise every
+    // structural-stall path.
+    Program prog = recurrenceProgram(80);
+    PrepassResult golden = runPrepass(prog);
+    SimConfig cfg = withPolicy(makeWindowConfig(4), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    cfg.core.issueWidth = 2;
+    cfg.core.commitWidth = 2;
+    cfg.core.memPorts = 1;
+    cfg.core.fuCopies = 1;
+    cfg.core.lsqInputPorts = 1;
+    cfg.maxCycles = 5'000'000;
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint);
+}
+
+TEST(PipelineTest, StoreBufferPressureStallsButStaysCorrect)
+{
+    // A store burst larger than the store buffer forces dispatch
+    // stalls on a full buffer.
+    ProgramBuilder b;
+    Addr buf = b.dataAlloc(4 * 512);
+    b.la(ir(1), buf);
+    b.addi(ir(2), reg_zero, 400);
+    auto loop = b.hereLabel();
+    b.sw(ir(2), ir(1), 0);
+    b.addi(ir(1), ir(1), 4);
+    b.addi(ir(2), ir(2), -1);
+    b.bne(ir(2), reg_zero, loop);
+    b.halt();
+    Program prog = b.build();
+    PrepassResult golden = runPrepass(prog);
+
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    cfg.core.storeBufferSize = 8; // tiny
+    cfg.maxCycles = 5'000'000;
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint);
+    EXPECT_EQ(proc.procStats().committedStores.value(), 400u);
+}
+
+} // anonymous namespace
+} // namespace cwsim

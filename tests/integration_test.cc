@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's qualitative findings,
+ * asserted as invariants over the real workload suite. These are the
+ * properties EXPERIMENTS.md reports quantitatively; here they gate the
+ * build.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hh"
+#include "sim/config.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+using harness::RunResult;
+using harness::Runner;
+
+constexpr uint64_t test_scale = 40'000;
+
+/** One shared runner so pre-passes are computed once. */
+Runner &
+runner()
+{
+    static Runner r(test_scale);
+    return r;
+}
+
+RunResult
+run(const std::string &name, LsqModel model, SpecPolicy policy,
+    Cycles lat = 0)
+{
+    return runner().run(name,
+                        withPolicy(makeW128Config(), model, policy,
+                                   lat));
+}
+
+class WorkloadInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadInvariants, OracleNeverSlowerThanNoSpeculation)
+{
+    // Figure 1: exploiting load/store parallelism always helps.
+    RunResult no = run(GetParam(), LsqModel::NAS, SpecPolicy::No);
+    RunResult oracle =
+        run(GetParam(), LsqModel::NAS, SpecPolicy::Oracle);
+    EXPECT_GE(oracle.ipc(), no.ipc() * 0.999);
+    EXPECT_EQ(oracle.violations, 0u);
+}
+
+TEST_P(WorkloadInvariants, NaiveBeatsNoSpeculation)
+{
+    // Figure 2: "for all programs, NAS/NAV results in higher
+    // performance compared to NAS/NO".
+    RunResult no = run(GetParam(), LsqModel::NAS, SpecPolicy::No);
+    RunResult nav = run(GetParam(), LsqModel::NAS, SpecPolicy::Naive);
+    EXPECT_GT(nav.ipc(), no.ipc() * 0.98) << GetParam();
+}
+
+TEST_P(WorkloadInvariants, SyncNearlyEliminatesMisspeculation)
+{
+    // Table 4: SYNC rates are orders of magnitude below NAV rates.
+    RunResult nav = run(GetParam(), LsqModel::NAS, SpecPolicy::Naive);
+    RunResult sync =
+        run(GetParam(), LsqModel::NAS, SpecPolicy::SpecSync);
+    EXPECT_LT(sync.misspecRate(), 0.002) << GetParam();
+    if (nav.violations > 50) {
+        EXPECT_LT(sync.misspecRate(), nav.misspecRate() / 5)
+            << GetParam();
+    }
+}
+
+TEST_P(WorkloadInvariants, SyncDoesNotRegressNaive)
+{
+    // Figure 6: SYNC recovers (most of) the miss-speculation penalty
+    // and must not fall meaningfully below naive speculation.
+    RunResult nav = run(GetParam(), LsqModel::NAS, SpecPolicy::Naive);
+    RunResult sync =
+        run(GetParam(), LsqModel::NAS, SpecPolicy::SpecSync);
+    // A small allowance for false synchronization (the paper's "failing
+    // to identify the appropriate store instance", Section 3.6).
+    EXPECT_GE(sync.ipc(), nav.ipc() * 0.96) << GetParam();
+}
+
+TEST_P(WorkloadInvariants, AddressSchedulingAvoidsMisspeculation)
+{
+    // Section 3.4: under AS/NAV, miss-speculations are virtually
+    // non-existent.
+    // Data-dependent (gather) store addresses can still slip through,
+    // so "virtually non-existent" rather than exactly zero.
+    RunResult as_nav = run(GetParam(), LsqModel::AS, SpecPolicy::Naive);
+    EXPECT_LT(as_nav.misspecRate(), 0.004) << GetParam();
+}
+
+TEST_P(WorkloadInvariants, SchedulerLatencyDegradesAsNav)
+{
+    // Figures 3/4: AS/NAV performance decays as scheduler latency
+    // grows.
+    RunResult lat0 = run(GetParam(), LsqModel::AS, SpecPolicy::Naive,
+                         0);
+    RunResult lat2 = run(GetParam(), LsqModel::AS, SpecPolicy::Naive,
+                         2);
+    EXPECT_GE(lat0.ipc(), lat2.ipc() * 0.995) << GetParam();
+}
+
+TEST_P(WorkloadInvariants, FalseDependencesExistUnderNoSpeculation)
+{
+    // Table 3: a substantial fraction of loads is delayed by false
+    // dependences.
+    RunResult no = run(GetParam(), LsqModel::NAS, SpecPolicy::No);
+    EXPECT_GT(no.falseDepFraction(), 0.10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadInvariants,
+                         ::testing::ValuesIn(workloads::allNames()),
+                         [](const auto &info) {
+                             return "k" + info.param.substr(0, 3);
+                         });
+
+TEST(SuiteInvariants, SyncCapturesMostOfOracleGain)
+{
+    // Figure 6's headline: across the suite, SYNC lands close to the
+    // oracle's average speedup over naive speculation.
+    std::map<std::string, double> nav, sync, oracle;
+    for (const auto &name : workloads::allNames()) {
+        nav[name] = run(name, LsqModel::NAS, SpecPolicy::Naive).ipc();
+        sync[name] =
+            run(name, LsqModel::NAS, SpecPolicy::SpecSync).ipc();
+        oracle[name] =
+            run(name, LsqModel::NAS, SpecPolicy::Oracle).ipc();
+    }
+    double sync_gain =
+        harness::meanSpeedup(sync, nav, workloads::allNames());
+    double oracle_gain =
+        harness::meanSpeedup(oracle, nav, workloads::allNames());
+    EXPECT_GT(oracle_gain, 1.01);
+    // SYNC must capture at least two thirds of the oracle's gain.
+    EXPECT_GT(sync_gain - 1.0, (oracle_gain - 1.0) * 0.66);
+}
+
+TEST(SuiteInvariants, OracleGainGrowsWithWindowSize)
+{
+    // Figure 1: the value of load/store parallelism increases with the
+    // instruction window.
+    std::map<std::string, double> no64, or64, no128, or128;
+    for (const auto &name : workloads::allNames()) {
+        no64[name] =
+            runner()
+                .run(name, withPolicy(makeW64Config(), LsqModel::NAS,
+                                      SpecPolicy::No))
+                .ipc();
+        or64[name] =
+            runner()
+                .run(name, withPolicy(makeW64Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle))
+                .ipc();
+        no128[name] = run(name, LsqModel::NAS, SpecPolicy::No).ipc();
+        or128[name] =
+            run(name, LsqModel::NAS, SpecPolicy::Oracle).ipc();
+    }
+    double gain64 =
+        harness::meanSpeedup(or64, no64, workloads::allNames());
+    double gain128 =
+        harness::meanSpeedup(or128, no128, workloads::allNames());
+    EXPECT_GT(gain128, gain64);
+}
+
+TEST(SuiteInvariants, FpCodesSufferMoreFalseDependences)
+{
+    // Table 3's int/fp contrast.
+    double int_fd = 0, fp_fd = 0;
+    for (const auto &name : workloads::intNames())
+        int_fd += run(name, LsqModel::NAS, SpecPolicy::No)
+                      .falseDepFraction();
+    for (const auto &name : workloads::fpNames())
+        fp_fd += run(name, LsqModel::NAS, SpecPolicy::No)
+                     .falseDepFraction();
+    int_fd /= workloads::intNames().size();
+    fp_fd /= workloads::fpNames().size();
+    EXPECT_GT(fp_fd, int_fd);
+}
+
+} // anonymous namespace
+} // namespace cwsim

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the ISA substrate: encode/decode round trips over every
+ * opcode (parameterized), execution semantics, the program builder and
+ * the functional interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/exec_fn.hh"
+#include "isa/executor.hh"
+#include "isa/opcodes.hh"
+#include "isa/static_inst.hh"
+#include "mem/functional_memory.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Encode/decode property: every opcode round-trips through its binary
+// encoding with representative operand values.
+// ---------------------------------------------------------------------
+
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+StaticInst
+representativeInst(Opcode op)
+{
+    const OpInfo &i = opInfo(op);
+    StaticInst inst;
+    inst.op = op;
+    inst.rd = reg_invalid;
+    inst.rs1 = reg_invalid;
+    inst.rs2 = reg_invalid;
+    inst.imm = 0;
+    switch (i.format) {
+      case InstFormat::R:
+        inst.rs1 = i.rs1Fp ? fr(3) : ir(3);
+        inst.rs2 = i.rs2Fp ? fr(7) : ir(7);
+        if (i.writesRd)
+            inst.rd = i.rdFp ? fr(12) : ir(12);
+        break;
+      case InstFormat::I:
+        inst.rs1 = i.rs1Fp ? fr(4) : ir(4);
+        if (i.writesRd)
+            inst.rd = i.rdFp ? fr(9) : ir(9);
+        inst.imm = -123;
+        break;
+      case InstFormat::S:
+      case InstFormat::B:
+        inst.rs1 = i.rs1Fp ? fr(5) : ir(5);
+        inst.rs2 = i.rs2Fp ? fr(6) : ir(6);
+        inst.imm = 456;
+        break;
+      case InstFormat::Jf:
+        inst.imm = -100000;
+        if (i.isCall)
+            inst.rd = reg_ra;
+        break;
+      case InstFormat::JRf:
+        inst.rs1 = ir(31);
+        if (i.isCall)
+            inst.rd = ir(30);
+        break;
+      case InstFormat::N:
+        break;
+    }
+    return inst;
+}
+
+TEST_P(EncodeRoundTrip, RoundTrips)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+    StaticInst inst = representativeInst(op);
+    uint32_t word = inst.encode();
+    StaticInst back = StaticInst::decode(word);
+    EXPECT_EQ(inst, back) << "opcode " << opName(op) << " decoded as "
+                          << back.disassemble();
+}
+
+TEST_P(EncodeRoundTrip, DisassemblesWithMnemonic)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+    StaticInst inst = representativeInst(op);
+    std::string text = inst.disassemble();
+    EXPECT_NE(text.find(opName(op)), std::string::npos) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::Range(0u, num_opcodes),
+                         [](const auto &info) {
+                             std::string n = opName(
+                                 static_cast<Opcode>(info.param));
+                             for (char &c : n) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// ---------------------------------------------------------------------
+// Execution semantics.
+// ---------------------------------------------------------------------
+
+TEST(ExecFn, IntegerAluBasics)
+{
+    StaticInst add(Opcode::ADD, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(add, 5, 7, 0), 12u);
+
+    StaticInst sub(Opcode::SUB, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(static_cast<int64_t>(exec::compute(sub, 3, 5, 0)), -2);
+
+    StaticInst slt(Opcode::SLT, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(slt, static_cast<uint64_t>(-1), 0, 0), 1u);
+
+    StaticInst sltu(Opcode::SLTU, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(sltu, static_cast<uint64_t>(-1), 0, 0), 0u);
+}
+
+TEST(ExecFn, Wraparound32)
+{
+    StaticInst add(Opcode::ADD, ir(1), ir(2), ir(3), 0);
+    uint64_t r = exec::compute(add, 0x7fffffff, 1, 0);
+    // Canonical form: sign-extended 32-bit value.
+    EXPECT_EQ(static_cast<int64_t>(r), INT64_C(-2147483648));
+}
+
+TEST(ExecFn, ShiftsMaskAmount)
+{
+    StaticInst sll(Opcode::SLL, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(sll, 1, 33, 0), 2u); // 33 & 31 == 1
+
+    StaticInst srai(Opcode::SRAI, ir(1), ir(2), reg_invalid, 4);
+    uint64_t r = exec::compute(srai, static_cast<uint64_t>(-32), 0, 0);
+    EXPECT_EQ(static_cast<int64_t>(r), -2);
+}
+
+TEST(ExecFn, DivisionEdgeCases)
+{
+    StaticInst div(Opcode::DIV, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(div, 10, 0, 0), 0u); // div-by-zero -> 0
+    uint64_t min = exec::canonInt(0x80000000u);
+    EXPECT_EQ(exec::compute(div, min, static_cast<uint64_t>(-1), 0), min);
+
+    StaticInst rem(Opcode::REM, ir(1), ir(2), ir(3), 0);
+    EXPECT_EQ(exec::compute(rem, 10, 3, 0), 1u);
+    EXPECT_EQ(exec::compute(rem, 10, 0, 0), 0u);
+}
+
+TEST(ExecFn, FloatingPoint)
+{
+    StaticInst fadd(Opcode::FADD_D, fr(1), fr(2), fr(3), 0);
+    uint64_t r = exec::compute(fadd, exec::fromDouble(1.5),
+                               exec::fromDouble(2.25), 0);
+    EXPECT_DOUBLE_EQ(exec::asDouble(r), 3.75);
+
+    StaticInst fdiv(Opcode::FDIV_D, fr(1), fr(2), fr(3), 0);
+    r = exec::compute(fdiv, exec::fromDouble(1.0), exec::fromDouble(0.0),
+                      0);
+    EXPECT_DOUBLE_EQ(exec::asDouble(r), 0.0); // no traps
+
+    StaticInst fclt(Opcode::FCLT, ir(1), fr(2), fr(3), 0);
+    EXPECT_EQ(exec::compute(fclt, exec::fromDouble(1.0),
+                            exec::fromDouble(2.0), 0), 1u);
+
+    StaticInst cvt(Opcode::CVT_W_D, ir(1), fr(2), reg_invalid, 0);
+    EXPECT_EQ(exec::compute(cvt, exec::fromDouble(-3.7), 0, 0),
+              exec::canonInt(static_cast<uint32_t>(-3)));
+}
+
+TEST(ExecFn, Branches)
+{
+    EXPECT_TRUE(exec::branchTaken(Opcode::BEQ, 5, 5));
+    EXPECT_FALSE(exec::branchTaken(Opcode::BEQ, 5, 6));
+    EXPECT_TRUE(exec::branchTaken(Opcode::BNE, 5, 6));
+    EXPECT_TRUE(
+        exec::branchTaken(Opcode::BLT, static_cast<uint64_t>(-1), 0));
+    EXPECT_TRUE(exec::branchTaken(Opcode::BGE, 3, 3));
+
+    StaticInst beq(Opcode::BEQ, reg_invalid, ir(1), ir(2), -5);
+    EXPECT_EQ(branchTarget(beq, 0x1010), 0x1000u);
+}
+
+TEST(ExecFn, EffectiveAddressWraps32)
+{
+    StaticInst lw(Opcode::LW, ir(1), ir(2), reg_invalid, -8);
+    EXPECT_EQ(exec::effectiveAddr(lw, 0x1000), 0xff8u);
+    // 32-bit wraparound.
+    EXPECT_EQ(exec::effectiveAddr(lw, 4), 0xfffffffcu);
+}
+
+TEST(ExecFn, LoadExtension)
+{
+    StaticInst lb(Opcode::LB, ir(1), ir(2), reg_invalid, 0);
+    EXPECT_EQ(static_cast<int64_t>(exec::loadExtend(lb, 0x80)), -128);
+    StaticInst lbu(Opcode::LBU, ir(1), ir(2), reg_invalid, 0);
+    EXPECT_EQ(exec::loadExtend(lbu, 0x80), 128u);
+    StaticInst lw(Opcode::LW, ir(1), ir(2), reg_invalid, 0);
+    EXPECT_EQ(static_cast<int64_t>(exec::loadExtend(lw, 0xffffffff)), -1);
+}
+
+// ---------------------------------------------------------------------
+// Builder + executor integration.
+// ---------------------------------------------------------------------
+
+TEST(BuilderTest, SumLoop)
+{
+    // sum = 0; for (i = 10; i != 0; --i) sum += i;  => 55
+    ProgramBuilder b;
+    Addr result = b.dataAlloc(4);
+    b.addi(ir(1), reg_zero, 10);  // i = 10
+    b.addi(ir(2), reg_zero, 0);   // sum = 0
+    auto loop = b.hereLabel();
+    b.add(ir(2), ir(2), ir(1));
+    b.addi(ir(1), ir(1), -1);
+    b.bne(ir(1), reg_zero, loop);
+    b.la(ir(3), result);
+    b.sw(ir(2), ir(3), 0);
+    b.halt();
+
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    uint64_t n = ex.run();
+    EXPECT_TRUE(ex.halted());
+    EXPECT_EQ(mem.read(result, 4), 55u);
+    // 2 setup + 3*10 loop + la(1 or 2) + sw + halt
+    EXPECT_GE(n, 35u);
+}
+
+TEST(BuilderTest, BackwardAndForwardLabels)
+{
+    ProgramBuilder b;
+    auto skip = b.newLabel();
+    b.addi(ir(1), reg_zero, 1);
+    b.j(skip);
+    b.addi(ir(1), reg_zero, 99); // skipped
+    b.bind(skip);
+    b.addi(ir(2), ir(1), 1);
+    b.halt();
+
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    ex.run();
+    EXPECT_EQ(ex.state().readReg(ir(1)), 1u);
+    EXPECT_EQ(ex.state().readReg(ir(2)), 2u);
+}
+
+TEST(BuilderTest, CallAndReturn)
+{
+    ProgramBuilder b;
+    auto func = b.newLabel();
+    b.addi(ir(4), reg_zero, 5);
+    b.jal(func);
+    b.addi(ir(6), ir(5), 100); // after return: r6 = r5 + 100
+    b.halt();
+    b.bind(func);
+    b.add(ir(5), ir(4), ir(4)); // r5 = 2*r4
+    b.jr(reg_ra);
+
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    ex.run(100);
+    EXPECT_TRUE(ex.halted());
+    EXPECT_EQ(ex.state().readReg(ir(5)), 10u);
+    EXPECT_EQ(ex.state().readReg(ir(6)), 110u);
+}
+
+TEST(BuilderTest, Li32LargeConstants)
+{
+    ProgramBuilder b;
+    b.li32(ir(1), 0xdeadbeef);
+    b.li32(ir(2), 0x12340000);
+    b.li32(ir(3), 42);
+    b.li32(ir(4), 0xffff8000); // == -32768, fits addi
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    ex.run();
+    EXPECT_EQ(static_cast<uint32_t>(ex.state().readReg(ir(1))),
+              0xdeadbeefu);
+    EXPECT_EQ(static_cast<uint32_t>(ex.state().readReg(ir(2))),
+              0x12340000u);
+    EXPECT_EQ(ex.state().readReg(ir(3)), 42u);
+    EXPECT_EQ(static_cast<uint32_t>(ex.state().readReg(ir(4))),
+              0xffff8000u);
+}
+
+TEST(BuilderTest, DataSegmentInitialization)
+{
+    ProgramBuilder b;
+    Addr arr = b.dataAlloc(16, 8);
+    b.dataW32(arr, 0x11111111);
+    b.dataW32(arr + 4, 0x22222222);
+    b.dataW64(arr + 8, 0x3333333344444444ull);
+    Addr darr = b.dataAlloc(8, 8);
+    b.dataF64(darr, 2.5);
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    EXPECT_EQ(mem.read(arr, 4), 0x11111111u);
+    EXPECT_EQ(mem.read(arr + 4, 4), 0x22222222u);
+    EXPECT_EQ(mem.read(arr + 8, 8), 0x3333333344444444ull);
+    EXPECT_DOUBLE_EQ(exec::asDouble(mem.read(darr, 8)), 2.5);
+}
+
+TEST(ExecutorTest, StepInfoForMemoryOps)
+{
+    ProgramBuilder b;
+    Addr slot = b.dataAlloc(8);
+    b.la(ir(1), slot);
+    b.addi(ir(2), reg_zero, 77);
+    b.sw(ir(2), ir(1), 0);
+    b.lw(ir(3), ir(1), 0);
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+
+    StepInfo info;
+    do {
+        info = ex.step();
+    } while (!info.isStore);
+    EXPECT_EQ(info.memAddr, slot);
+    EXPECT_EQ(info.memSize, 4u);
+    EXPECT_EQ(info.memValue, 77u);
+
+    info = ex.step();
+    EXPECT_TRUE(info.isLoad);
+    EXPECT_EQ(info.memAddr, slot);
+    EXPECT_EQ(info.memValue, 77u);
+}
+
+TEST(ExecutorTest, FpRoundTripThroughMemory)
+{
+    ProgramBuilder b;
+    Addr slot = b.dataAlloc(8);
+    b.dataF64(slot, 1.25);
+    b.la(ir(1), slot);
+    b.ld_f(fr(0), ir(1), 0);
+    b.ld_f(fr(1), ir(1), 0);
+    b.fadd_d(fr(2), fr(0), fr(1));
+    b.sd_f(fr(2), ir(1), 0);
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    ex.run();
+    EXPECT_DOUBLE_EQ(exec::asDouble(mem.read(slot, 8)), 2.5);
+}
+
+TEST(ExecutorTest, R0IsAlwaysZero)
+{
+    ProgramBuilder b;
+    b.addi(reg_zero, reg_zero, 55);
+    b.mv(ir(1), reg_zero);
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    ex.run();
+    EXPECT_EQ(ex.state().readReg(ir(1)), 0u);
+    EXPECT_EQ(ex.state().readReg(reg_zero), 0u);
+}
+
+TEST(ExecutorTest, RunRespectsInstructionBudget)
+{
+    ProgramBuilder b;
+    auto forever = b.hereLabel();
+    b.addi(ir(1), ir(1), 1);
+    b.j(forever);
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    Executor ex(mem, prog.entry());
+    uint64_t n = ex.run(1000);
+    EXPECT_EQ(n, 1000u);
+    EXPECT_FALSE(ex.halted());
+    EXPECT_EQ(ex.instCount(), 1000u);
+}
+
+TEST(DecodeCacheTest, CachesByPc)
+{
+    ProgramBuilder b;
+    b.addi(ir(1), reg_zero, 1);
+    b.halt();
+    Program prog = b.build();
+    FunctionalMemory mem;
+    prog.loadInto(mem);
+    DecodeCache dc(mem);
+    const StaticInst &i1 = dc.lookup(prog.entry());
+    const StaticInst &i2 = dc.lookup(prog.entry());
+    EXPECT_EQ(&i1, &i2);
+    EXPECT_EQ(dc.size(), 1u);
+    EXPECT_EQ(i1.op, Opcode::ADDI);
+}
+
+} // anonymous namespace
+} // namespace cwsim

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the memory substrate: functional memory, the banked timing
+ * caches with MSHRs, and the full hierarchy's Table 2 latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/functional_memory.hh"
+#include "mem/timing_cache.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+TEST(FunctionalMemoryTest, ZeroInitialized)
+{
+    FunctionalMemory mem;
+    EXPECT_EQ(mem.read(0x1234, 4), 0u);
+    EXPECT_EQ(mem.read8(0xdead0000), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(FunctionalMemoryTest, ReadBackAllSizes)
+{
+    FunctionalMemory mem;
+    mem.write(0x100, 1, 0xab);
+    mem.write(0x104, 2, 0xbeef);
+    mem.write(0x108, 4, 0xdeadbeef);
+    mem.write(0x110, 8, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x100, 1), 0xabu);
+    EXPECT_EQ(mem.read(0x104, 2), 0xbeefu);
+    EXPECT_EQ(mem.read(0x108, 4), 0xdeadbeefu);
+    EXPECT_EQ(mem.read(0x110, 8), 0x1122334455667788ull);
+}
+
+TEST(FunctionalMemoryTest, LittleEndianByteOrder)
+{
+    FunctionalMemory mem;
+    mem.write(0x200, 4, 0x04030201);
+    EXPECT_EQ(mem.read8(0x200), 1u);
+    EXPECT_EQ(mem.read8(0x201), 2u);
+    EXPECT_EQ(mem.read8(0x202), 3u);
+    EXPECT_EQ(mem.read8(0x203), 4u);
+}
+
+TEST(FunctionalMemoryTest, PageCrossingAccess)
+{
+    FunctionalMemory mem;
+    Addr addr = FunctionalMemory::page_size - 2;
+    mem.write(addr, 4, 0xcafebabe);
+    EXPECT_EQ(mem.read(addr, 4), 0xcafebabeu);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(FunctionalMemoryTest, BulkBytes)
+{
+    FunctionalMemory mem;
+    uint8_t out[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.writeBytes(0x5000, out, 8);
+    uint8_t in[8] = {};
+    mem.readBytes(0x5000, in, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(in[i], out[i]);
+}
+
+// ---------------------------------------------------------------------
+// Timing cache.
+// ---------------------------------------------------------------------
+
+struct CacheFixture : public ::testing::Test
+{
+    CacheFixture()
+        : cfg{"test", 1024, 2, 2, 32, 2, 2, 1}, mem(memCfg, eq),
+          cache(cfg, 0, eq, mem)
+    {
+    }
+
+    /** Run one access to completion, returning its latency. */
+    Cycles
+    timedAccess(Addr addr, bool write = false)
+    {
+        Tick start = eq.curTick();
+        bool done = false;
+        bool accepted = cache.access(addr, 8, write, [&] { done = true; });
+        EXPECT_TRUE(accepted);
+        while (!done)
+            eq.runUntil(eq.curTick() + 1);
+        return eq.curTick() - start;
+    }
+
+    void advance(Cycles n) { eq.runUntil(eq.curTick() + n); }
+
+    EventQueue eq;
+    CacheConfig cfg;
+    MemConfig memCfg;
+    MainMemory mem;
+    TimingCache cache;
+};
+
+TEST_F(CacheFixture, MissThenHitLatency)
+{
+    // Cold miss goes to "main memory": 34 + 2 * (32/16) = 38 cycles.
+    Cycles miss_lat = timedAccess(0x1000);
+    EXPECT_EQ(miss_lat, 38u);
+    EXPECT_EQ(cache.misses.value(), 1u);
+
+    advance(1);
+    Cycles hit_lat = timedAccess(0x1000);
+    EXPECT_EQ(hit_lat, cfg.hitLatency);
+    EXPECT_EQ(cache.hits.value(), 1u);
+}
+
+TEST_F(CacheFixture, SameBlockHitsAfterFill)
+{
+    timedAccess(0x2000);
+    advance(1);
+    Cycles lat = timedAccess(0x2010); // same 32B block
+    EXPECT_EQ(lat, cfg.hitLatency);
+}
+
+TEST_F(CacheFixture, LruEviction)
+{
+    // 1KB, 2-way, 32B blocks, 2 banks -> 8 sets per bank.
+    // Blocks mapping to the same (bank, set) are 2*32*8 = 512B apart.
+    timedAccess(0x0000);
+    advance(1);
+    timedAccess(0x0200);
+    advance(1);
+    EXPECT_TRUE(cache.isResident(0x0000));
+    EXPECT_TRUE(cache.isResident(0x0200));
+    timedAccess(0x0400); // evicts LRU = 0x0000
+    advance(1);
+    EXPECT_FALSE(cache.isResident(0x0000));
+    EXPECT_TRUE(cache.isResident(0x0200));
+    EXPECT_TRUE(cache.isResident(0x0400));
+}
+
+TEST_F(CacheFixture, MshrMergesSecondaryMiss)
+{
+    bool done_a = false, done_b = false;
+    EXPECT_TRUE(cache.access(0x3000, 8, false, [&] { done_a = true; }));
+    advance(1);
+    // Second access to the same block merges (secondaryPerPrimary = 1).
+    EXPECT_TRUE(cache.access(0x3008, 8, false, [&] { done_b = true; }));
+    EXPECT_EQ(cache.mshrMerges.value(), 1u);
+    advance(1);
+    // Third access to the block exceeds the secondary limit.
+    bool done_c = false;
+    EXPECT_FALSE(cache.access(0x3010, 8, false, [&] { done_c = true; }));
+    EXPECT_GE(cache.mshrRejects.value(), 1u);
+
+    eq.drain();
+    EXPECT_TRUE(done_a);
+    EXPECT_TRUE(done_b);
+    EXPECT_FALSE(done_c);
+}
+
+TEST_F(CacheFixture, PrimaryMshrLimitPerBank)
+{
+    // Bank 0 handles even-numbered blocks; limit is 2 primaries.
+    bool sink = false;
+    EXPECT_TRUE(cache.access(0x0000, 8, false, [&] { sink = true; }));
+    advance(1);
+    EXPECT_TRUE(cache.access(0x4000, 8, false, [&] { sink = true; }));
+    advance(1);
+    EXPECT_FALSE(cache.access(0x8000, 8, false, [&] { sink = true; }));
+    eq.drain();
+}
+
+TEST_F(CacheFixture, BankConflictRejectsSameCycle)
+{
+    timedAccess(0x5000);
+    timedAccess(0x5040); // same bank (both even blocks), different sets
+    advance(1);
+    // Both resident; two hits in the same cycle to one bank conflict.
+    bool d1 = false, d2 = false;
+    EXPECT_TRUE(cache.access(0x5000, 8, false, [&] { d1 = true; }));
+    EXPECT_FALSE(cache.access(0x5040, 8, false, [&] { d2 = true; }));
+    EXPECT_GE(cache.bankRejects.value(), 1u);
+    // Different bank in the same cycle is fine.
+    bool d3 = false;
+    EXPECT_TRUE(cache.access(0x5020, 8, false, [&] { d3 = true; }));
+    eq.drain();
+    EXPECT_TRUE(d1);
+    EXPECT_TRUE(d3);
+}
+
+TEST_F(CacheFixture, WarmProbeInstallsWithoutLatency)
+{
+    cache.probeWarm(0x9000, false);
+    EXPECT_TRUE(cache.isResident(0x9000));
+    Cycles lat = timedAccess(0x9000);
+    EXPECT_EQ(lat, cfg.hitLatency);
+}
+
+// ---------------------------------------------------------------------
+// Full hierarchy (Table 2 latencies).
+// ---------------------------------------------------------------------
+
+struct HierarchyFixture : public ::testing::Test
+{
+    HierarchyFixture() : sys(cfg, eq) {}
+
+    Cycles
+    timedData(Addr addr, bool write = false)
+    {
+        Tick start = eq.curTick();
+        bool done = false;
+        EXPECT_TRUE(sys.dataAccess(addr, 8, write, [&] { done = true; }));
+        while (!done)
+            eq.runUntil(eq.curTick() + 1);
+        return eq.curTick() - start;
+    }
+
+    void advance(Cycles n) { eq.runUntil(eq.curTick() + n); }
+
+    EventQueue eq;
+    MemConfig cfg;
+    MemorySystem sys;
+};
+
+TEST_F(HierarchyFixture, ColdMissLatencyIs50Cycles)
+{
+    // L1 miss -> L2 miss -> memory: the L2 fills its 128B block in
+    // 34 + 8 * 2 = 50 cycles, then forwards to the L1 target.
+    Cycles lat = timedData(0x10000);
+    EXPECT_EQ(lat, 50u);
+}
+
+TEST_F(HierarchyFixture, L2HitLatencyIs10Cycles)
+{
+    timedData(0x20000);
+    advance(1);
+    // A different L1 block inside the same (now L2-resident) 128B block.
+    Cycles lat = timedData(0x20040);
+    EXPECT_EQ(lat, 10u);
+}
+
+TEST_F(HierarchyFixture, L1HitLatencyIs2Cycles)
+{
+    timedData(0x30000);
+    advance(1);
+    Cycles lat = timedData(0x30000);
+    EXPECT_EQ(lat, 2u);
+}
+
+TEST_F(HierarchyFixture, InstAndDataPathsAreIndependent)
+{
+    Tick start = eq.curTick();
+    bool i_done = false, d_done = false;
+    EXPECT_TRUE(sys.instAccess(0x40000, [&] { i_done = true; }));
+    EXPECT_TRUE(sys.dataAccess(0x40000, 8, false, [&] { d_done = true; }));
+    eq.drain();
+    EXPECT_TRUE(i_done);
+    EXPECT_TRUE(d_done);
+    EXPECT_LE(eq.curTick() - start, 60u);
+}
+
+TEST_F(HierarchyFixture, WarmingMakesTimingHitsImmediately)
+{
+    sys.warmData(0x50000, false);
+    Cycles lat = timedData(0x50000);
+    EXPECT_EQ(lat, 2u);
+    sys.warmInst(0x51000);
+    bool done = false;
+    Tick start = eq.curTick();
+    EXPECT_TRUE(sys.instAccess(0x51000, [&] { done = true; }));
+    while (!done)
+        eq.runUntil(eq.curTick() + 1);
+    EXPECT_EQ(eq.curTick() - start, 2u);
+}
+
+
+TEST_F(HierarchyFixture, SharedL2BlockMergesIAndDMisses)
+{
+    // An I-miss and a D-miss to the same 128-byte L2 block: the second
+    // requester merges into the L2 MSHR rather than issuing a second
+    // memory read.
+    bool i_done = false, d_done = false;
+    EXPECT_TRUE(sys.instAccess(0x80000, [&] { i_done = true; }));
+    advance(1);
+    EXPECT_TRUE(
+        sys.dataAccess(0x80040, 8, false, [&] { d_done = true; }));
+    eq.drain();
+    EXPECT_TRUE(i_done);
+    EXPECT_TRUE(d_done);
+    // One main-memory read served both.
+    EXPECT_EQ(sys.unified().misses.value(), 2u);
+    EXPECT_EQ(sys.unified().mshrMerges.value(), 1u);
+}
+
+TEST_F(HierarchyFixture, WriteMissAllocates)
+{
+    timedData(0x90000, /*write=*/true);
+    advance(1);
+    // The written block is now L1-resident: the next read hits.
+    Cycles lat = timedData(0x90000, /*write=*/false);
+    EXPECT_EQ(lat, 2u);
+}
+
+TEST_F(HierarchyFixture, IndependentBankPairSameCycle)
+{
+    // Warm two blocks in different D-cache banks, then hit both in the
+    // same cycle.
+    sys.warmData(0xa0000, false);
+    sys.warmData(0xa0020, false); // next block -> next bank
+    bool d1 = false, d2 = false;
+    EXPECT_TRUE(sys.dataAccess(0xa0000, 8, false, [&] { d1 = true; }));
+    EXPECT_TRUE(sys.dataAccess(0xa0020, 8, false, [&] { d2 = true; }));
+    eq.drain();
+    EXPECT_TRUE(d1);
+    EXPECT_TRUE(d2);
+}
+
+} // anonymous namespace
+} // namespace cwsim
