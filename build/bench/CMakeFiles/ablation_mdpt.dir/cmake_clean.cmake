@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mdpt.dir/ablation_mdpt.cc.o"
+  "CMakeFiles/ablation_mdpt.dir/ablation_mdpt.cc.o.d"
+  "ablation_mdpt"
+  "ablation_mdpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mdpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

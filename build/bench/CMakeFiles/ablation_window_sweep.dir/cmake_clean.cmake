@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_sweep.dir/ablation_window_sweep.cc.o"
+  "CMakeFiles/ablation_window_sweep.dir/ablation_window_sweep.cc.o.d"
+  "ablation_window_sweep"
+  "ablation_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ls_parallelism.dir/fig1_ls_parallelism.cc.o"
+  "CMakeFiles/fig1_ls_parallelism.dir/fig1_ls_parallelism.cc.o.d"
+  "fig1_ls_parallelism"
+  "fig1_ls_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ls_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_naive_speculation.cc" "bench/CMakeFiles/fig2_naive_speculation.dir/fig2_naive_speculation.cc.o" "gcc" "bench/CMakeFiles/fig2_naive_speculation.dir/fig2_naive_speculation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cwsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/cwsim_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cwsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cwsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/cwsim_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/cwsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cwsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_naive_speculation.dir/fig2_naive_speculation.cc.o"
+  "CMakeFiles/fig2_naive_speculation.dir/fig2_naive_speculation.cc.o.d"
+  "fig2_naive_speculation"
+  "fig2_naive_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_naive_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

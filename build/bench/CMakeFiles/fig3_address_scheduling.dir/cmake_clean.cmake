@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_address_scheduling.dir/fig3_address_scheduling.cc.o"
+  "CMakeFiles/fig3_address_scheduling.dir/fig3_address_scheduling.cc.o.d"
+  "fig3_address_scheduling"
+  "fig3_address_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_address_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_oracle_vs_as.dir/fig4_oracle_vs_as.cc.o"
+  "CMakeFiles/fig4_oracle_vs_as.dir/fig4_oracle_vs_as.cc.o.d"
+  "fig4_oracle_vs_as"
+  "fig4_oracle_vs_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_oracle_vs_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

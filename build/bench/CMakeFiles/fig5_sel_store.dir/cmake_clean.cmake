@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sel_store.dir/fig5_sel_store.cc.o"
+  "CMakeFiles/fig5_sel_store.dir/fig5_sel_store.cc.o.d"
+  "fig5_sel_store"
+  "fig5_sel_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sel_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sync.dir/fig6_sync.cc.o"
+  "CMakeFiles/fig6_sync.dir/fig6_sync.cc.o.d"
+  "fig6_sync"
+  "fig6_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

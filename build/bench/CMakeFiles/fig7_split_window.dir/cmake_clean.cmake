@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_split_window.dir/fig7_split_window.cc.o"
+  "CMakeFiles/fig7_split_window.dir/fig7_split_window.cc.o.d"
+  "fig7_split_window"
+  "fig7_split_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_split_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

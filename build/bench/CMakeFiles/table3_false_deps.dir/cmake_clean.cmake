@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_false_deps.dir/table3_false_deps.cc.o"
+  "CMakeFiles/table3_false_deps.dir/table3_false_deps.cc.o.d"
+  "table3_false_deps"
+  "table3_false_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_false_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

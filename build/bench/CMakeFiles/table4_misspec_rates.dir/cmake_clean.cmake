@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_misspec_rates.dir/table4_misspec_rates.cc.o"
+  "CMakeFiles/table4_misspec_rates.dir/table4_misspec_rates.cc.o.d"
+  "table4_misspec_rates"
+  "table4_misspec_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_misspec_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_demo.dir/assembler_demo.cpp.o"
+  "CMakeFiles/assembler_demo.dir/assembler_demo.cpp.o.d"
+  "assembler_demo"
+  "assembler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

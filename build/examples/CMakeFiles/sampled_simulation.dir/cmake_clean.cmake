@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_simulation.dir/sampled_simulation.cpp.o"
+  "CMakeFiles/sampled_simulation.dir/sampled_simulation.cpp.o.d"
+  "sampled_simulation"
+  "sampled_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_base.dir/logging.cc.o"
+  "CMakeFiles/cwsim_base.dir/logging.cc.o.d"
+  "CMakeFiles/cwsim_base.dir/str.cc.o"
+  "CMakeFiles/cwsim_base.dir/str.cc.o.d"
+  "libcwsim_base.a"
+  "libcwsim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

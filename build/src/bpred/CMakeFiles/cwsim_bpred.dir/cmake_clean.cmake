@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_bpred.dir/bpred.cc.o"
+  "CMakeFiles/cwsim_bpred.dir/bpred.cc.o.d"
+  "libcwsim_bpred.a"
+  "libcwsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/processor.cc" "src/cpu/CMakeFiles/cwsim_cpu.dir/processor.cc.o" "gcc" "src/cpu/CMakeFiles/cwsim_cpu.dir/processor.cc.o.d"
+  "/root/repo/src/cpu/processor_issue.cc" "src/cpu/CMakeFiles/cwsim_cpu.dir/processor_issue.cc.o" "gcc" "src/cpu/CMakeFiles/cwsim_cpu.dir/processor_issue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cwsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/cwsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/cwsim_mdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_cpu.dir/processor.cc.o"
+  "CMakeFiles/cwsim_cpu.dir/processor.cc.o.d"
+  "CMakeFiles/cwsim_cpu.dir/processor_issue.cc.o"
+  "CMakeFiles/cwsim_cpu.dir/processor_issue.cc.o.d"
+  "libcwsim_cpu.a"
+  "libcwsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_harness.dir/harness.cc.o"
+  "CMakeFiles/cwsim_harness.dir/harness.cc.o.d"
+  "libcwsim_harness.a"
+  "libcwsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asm_parser.cc" "src/isa/CMakeFiles/cwsim_isa.dir/asm_parser.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/asm_parser.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/cwsim_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/exec_fn.cc" "src/isa/CMakeFiles/cwsim_isa.dir/exec_fn.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/exec_fn.cc.o.d"
+  "/root/repo/src/isa/executor.cc" "src/isa/CMakeFiles/cwsim_isa.dir/executor.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/executor.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/cwsim_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/opcodes.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/cwsim_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/static_inst.cc" "src/isa/CMakeFiles/cwsim_isa.dir/static_inst.cc.o" "gcc" "src/isa/CMakeFiles/cwsim_isa.dir/static_inst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cwsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

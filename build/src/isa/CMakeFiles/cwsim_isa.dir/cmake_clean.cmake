@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_isa.dir/asm_parser.cc.o"
+  "CMakeFiles/cwsim_isa.dir/asm_parser.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/builder.cc.o"
+  "CMakeFiles/cwsim_isa.dir/builder.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/exec_fn.cc.o"
+  "CMakeFiles/cwsim_isa.dir/exec_fn.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/executor.cc.o"
+  "CMakeFiles/cwsim_isa.dir/executor.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/opcodes.cc.o"
+  "CMakeFiles/cwsim_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/program.cc.o"
+  "CMakeFiles/cwsim_isa.dir/program.cc.o.d"
+  "CMakeFiles/cwsim_isa.dir/static_inst.cc.o"
+  "CMakeFiles/cwsim_isa.dir/static_inst.cc.o.d"
+  "libcwsim_isa.a"
+  "libcwsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

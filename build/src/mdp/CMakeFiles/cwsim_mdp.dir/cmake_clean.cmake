@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_mdp.dir/mdp_table.cc.o"
+  "CMakeFiles/cwsim_mdp.dir/mdp_table.cc.o.d"
+  "CMakeFiles/cwsim_mdp.dir/oracle.cc.o"
+  "CMakeFiles/cwsim_mdp.dir/oracle.cc.o.d"
+  "libcwsim_mdp.a"
+  "libcwsim_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

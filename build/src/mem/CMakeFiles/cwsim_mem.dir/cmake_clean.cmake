@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_mem.dir/functional_memory.cc.o"
+  "CMakeFiles/cwsim_mem.dir/functional_memory.cc.o.d"
+  "CMakeFiles/cwsim_mem.dir/timing_cache.cc.o"
+  "CMakeFiles/cwsim_mem.dir/timing_cache.cc.o.d"
+  "libcwsim_mem.a"
+  "libcwsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

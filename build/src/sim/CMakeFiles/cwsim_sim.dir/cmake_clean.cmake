@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_sim.dir/config.cc.o"
+  "CMakeFiles/cwsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/cwsim_sim.dir/config_parse.cc.o"
+  "CMakeFiles/cwsim_sim.dir/config_parse.cc.o.d"
+  "CMakeFiles/cwsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cwsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cwsim_sim.dir/stats.cc.o"
+  "CMakeFiles/cwsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/cwsim_sim.dir/table.cc.o"
+  "CMakeFiles/cwsim_sim.dir/table.cc.o.d"
+  "libcwsim_sim.a"
+  "libcwsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

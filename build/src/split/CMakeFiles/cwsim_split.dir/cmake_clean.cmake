@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_split.dir/split_window.cc.o"
+  "CMakeFiles/cwsim_split.dir/split_window.cc.o.d"
+  "libcwsim_split.a"
+  "libcwsim_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

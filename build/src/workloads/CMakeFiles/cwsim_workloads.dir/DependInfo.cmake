@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fp_kernels.cc" "src/workloads/CMakeFiles/cwsim_workloads.dir/fp_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/cwsim_workloads.dir/fp_kernels.cc.o.d"
+  "/root/repo/src/workloads/int_kernels.cc" "src/workloads/CMakeFiles/cwsim_workloads.dir/int_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/cwsim_workloads.dir/int_kernels.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/cwsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/cwsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cwsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsim_workloads.dir/fp_kernels.cc.o"
+  "CMakeFiles/cwsim_workloads.dir/fp_kernels.cc.o.d"
+  "CMakeFiles/cwsim_workloads.dir/int_kernels.cc.o"
+  "CMakeFiles/cwsim_workloads.dir/int_kernels.cc.o.d"
+  "CMakeFiles/cwsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/cwsim_workloads.dir/workload.cc.o.d"
+  "libcwsim_workloads.a"
+  "libcwsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
