@@ -107,5 +107,5 @@ main()
                 "predictors suffice; the\n4K table matters for "
                 "programs with thousands of static pairs (e.g. real "
                 "gcc),\nwhich synthetic kernels do not replicate.\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -94,5 +94,5 @@ main()
                 formatSpeedup(
                     meanSpeedup(sync, squash, workloads::fpNames()))
                     .c_str());
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

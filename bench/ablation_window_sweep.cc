@@ -72,5 +72,5 @@ main()
     std::printf("\nShape check: NAS/NO saturates quickly while "
                 "ORACLE/NAV keep scaling, so the\nspeedup columns grow "
                 "with window size (Figure 1's trend, extended).\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

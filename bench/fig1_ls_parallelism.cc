@@ -87,5 +87,5 @@ main()
     std::printf("  int: %+.1f%% -> %+.1f%%   fp: %+.1f%% -> %+.1f%%\n",
                 (int64 - 1) * 100, (int128 - 1) * 100, (fp64 - 1) * 100,
                 (fp128 - 1) * 100);
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

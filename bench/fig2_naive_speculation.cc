@@ -76,5 +76,5 @@ main()
                 formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc,
                                           workloads::fpNames()))
                     .c_str());
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -85,5 +85,5 @@ main()
                 "GROWS with scheduler latency,\nwhile absolute AS/NO "
                 "IPC falls — latency makes pure address scheduling an\n"
                 "under-performing option (Section 3.4).\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -94,5 +94,5 @@ main()
     summary(workloads::fpNames(), "fp ");
     std::printf("\nShape check: NAS/ORACLE tracks AS/NAV@0; scheduler "
                 "latency drags AS/NAV below it.\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

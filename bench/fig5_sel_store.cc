@@ -82,5 +82,5 @@ main()
     std::printf("\nShape check: no significant average gain over naive "
                 "speculation; per-program results\nswing both ways — "
                 "neither policy is robust (paper Section 3.5).\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -83,5 +83,5 @@ main()
                     .c_str());
     std::printf("\nShape check: SYNC lands within a whisker of the "
                 "oracle without any address-based scheduler.\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

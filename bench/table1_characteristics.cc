@@ -56,5 +56,5 @@ main()
     emit(workloads::fpNames());
 
     std::printf("%s\n", table.toString().c_str());
-    return 0;
+    return harness::reportFailures(runner) ? 1 : 0;
 }

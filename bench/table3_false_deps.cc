@@ -88,5 +88,5 @@ main()
     std::printf("\nShape check: many (often most) loads are delayed by "
                 "false dependences,\nwith fp codes skewing higher than "
                 "int codes, and multi-cycle resolution latencies.\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -89,5 +89,5 @@ main()
     std::printf("\nShape check: SYNC reduces miss-speculation by 2-4 "
                 "orders of magnitude,\nleaving rates that are "
                 "virtually zero.\n");
-    return 0;
+    return reportFailures(runner) ? 1 : 0;
 }

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "base/sim_error.hh"
 #include "harness/harness.hh"
 #include "sim/config_parse.hh"
 #include "sim/table.hh"
@@ -92,13 +93,25 @@ main(int argc, char **argv)
             else
                 applyConfigOption(cfg, argv[i]);
         }
-        Processor proc(cfg, w.program, &pre.deps);
-        proc.run();
-        std::printf("%s under %s (scale %llu)\n\n", w.name.c_str(),
-                    cfg.name().c_str(),
-                    static_cast<unsigned long long>(scale));
-        proc.statsGroup().dump(std::cout);
-        std::printf("\nIPC: %.3f\n", proc.procStats().ipc());
+        try {
+            // Fail-soft: watchdog trips, invariant failures, and
+            // library panics surface as a diagnostic, not an abort.
+            ScopedErrorTrap trap;
+            Processor proc(cfg, w.program, &pre.deps);
+            proc.run();
+            std::printf("%s under %s (scale %llu)\n\n", w.name.c_str(),
+                        cfg.name().c_str(),
+                        static_cast<unsigned long long>(scale));
+            proc.statsGroup().dump(std::cout);
+            std::printf("\nIPC: %.3f\n", proc.procStats().ipc());
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "%s under %s failed:\n%s\n",
+                         w.name.c_str(), cfg.name().c_str(),
+                         e.summary().c_str());
+            if (!e.diagnostic().empty())
+                std::fprintf(stderr, "%s\n", e.diagnostic().c_str());
+            return 1;
+        }
         return 0;
     }
 
@@ -132,5 +145,5 @@ main(int argc, char **argv)
         });
     }
     std::printf("%s", table.toString().c_str());
-    return 0;
+    return harness::reportFailures(runner) ? 1 : 0;
 }

@@ -3,12 +3,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/sim_error.hh"
+
 namespace cwsim
 {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (errorTrapActive())
+        throw SimError(SimErrorKind::Panic, msg, file, line);
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
                  line);
     std::abort();
@@ -17,6 +21,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (errorTrapActive())
+        throw SimError(SimErrorKind::Fatal, msg, file, line);
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
                  line);
     std::exit(1);

@@ -6,6 +6,9 @@
  *            aborts so a debugger or core dump can catch it.
  * fatal()  — the simulation cannot continue because of a user error
  *            (bad configuration, malformed workload); exits cleanly.
+ *
+ * Inside a ScopedErrorTrap (base/sim_error.hh) both are converted into
+ * a thrown SimError so a harness can fail one run softly and continue.
  * warn()   — something is questionable but simulation continues.
  * inform() — purely informational status output.
  */

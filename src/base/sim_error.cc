@@ -1,0 +1,58 @@
+#include "base/sim_error.hh"
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+
+namespace
+{
+
+thread_local int trap_depth = 0;
+
+} // anonymous namespace
+
+const char *
+toString(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Panic:
+        return "panic";
+      case SimErrorKind::Fatal:
+        return "fatal";
+      case SimErrorKind::Watchdog:
+        return "watchdog";
+      case SimErrorKind::Invariant:
+        return "invariant";
+      case SimErrorKind::Equivalence:
+        return "equivalence";
+    }
+    return "error";
+}
+
+std::string
+SimError::summary() const
+{
+    std::string s = strfmt("%s: %s", toString(errKind), msg.c_str());
+    if (!srcFile.empty())
+        s += strfmt(" (%s:%d)", srcFile.c_str(), srcLine);
+    return s;
+}
+
+ScopedErrorTrap::ScopedErrorTrap()
+{
+    ++trap_depth;
+}
+
+ScopedErrorTrap::~ScopedErrorTrap()
+{
+    --trap_depth;
+}
+
+bool
+errorTrapActive()
+{
+    return trap_depth > 0;
+}
+
+} // namespace cwsim

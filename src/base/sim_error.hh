@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The typed simulation-error exception underpinning fail-soft sweeps.
+ *
+ * Library code reports unrecoverable conditions through panic()/fatal()
+ * (base/logging.hh). By default those abort/exit so a debugger or shell
+ * sees the failure immediately. Inside a ScopedErrorTrap, however, both
+ * are converted into a thrown SimError carrying the error kind, source
+ * location, and (for checked-simulation failures) a diagnostic dump —
+ * the flight-recorder contents plus machine state. The harness wraps
+ * every (workload, config) run in a trap so one poisoned run is
+ * recorded in the results table instead of killing a whole bench sweep.
+ */
+
+#ifndef CWSIM_BASE_SIM_ERROR_HH
+#define CWSIM_BASE_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace cwsim
+{
+
+enum class SimErrorKind
+{
+    Panic,     ///< Internal simulator invariant violated (a cwsim bug).
+    Fatal,     ///< User error: bad configuration or malformed workload.
+    Watchdog,  ///< Forward-progress watchdog: commit stall / livelock.
+    Invariant, ///< Checked-simulation invariant failed mid-run.
+    Equivalence, ///< Post-run commit state diverged from the oracle.
+};
+
+const char *toString(SimErrorKind kind);
+
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, std::string msg,
+             std::string file = {}, int line = 0,
+             std::string diagnostic = {})
+        : std::runtime_error(msg), errKind(kind), msg(std::move(msg)),
+          srcFile(std::move(file)), srcLine(line),
+          diag(std::move(diagnostic))
+    {}
+
+    SimErrorKind kind() const { return errKind; }
+    const std::string &message() const { return msg; }
+    const std::string &file() const { return srcFile; }
+    int line() const { return srcLine; }
+
+    /** Flight-recorder dump + machine state (may be empty). */
+    const std::string &diagnostic() const { return diag; }
+
+    /** One-line "kind: message (file:line)" summary for tables/logs. */
+    std::string summary() const;
+
+  private:
+    SimErrorKind errKind;
+    std::string msg;
+    std::string srcFile;
+    int srcLine;
+    std::string diag;
+};
+
+/**
+ * While at least one trap is alive on this thread, panic()/fatal()
+ * throw SimError instead of aborting/exiting. Traps nest.
+ */
+class ScopedErrorTrap
+{
+  public:
+    ScopedErrorTrap();
+    ~ScopedErrorTrap();
+
+    ScopedErrorTrap(const ScopedErrorTrap &) = delete;
+    ScopedErrorTrap &operator=(const ScopedErrorTrap &) = delete;
+};
+
+/** Is a ScopedErrorTrap active on this thread? */
+bool errorTrapActive();
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_SIM_ERROR_HH

@@ -1,0 +1,44 @@
+#include "check/equivalence.hh"
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace check
+{
+
+std::string
+compareWithGolden(const ArchState &arch, uint64_t mem_fingerprint,
+                  uint64_t commits, const PrepassResult &golden)
+{
+    std::string report;
+
+    if (commits != golden.instCount) {
+        report += strfmt("commit count %llu != functional %llu\n",
+                         static_cast<unsigned long long>(commits),
+                         static_cast<unsigned long long>(
+                             golden.instCount));
+    }
+    if (mem_fingerprint != golden.memFingerprint) {
+        report += strfmt("memory fingerprint 0x%llx != functional "
+                         "0x%llx\n",
+                         static_cast<unsigned long long>(
+                             mem_fingerprint),
+                         static_cast<unsigned long long>(
+                             golden.memFingerprint));
+    }
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        if (arch.regs[r] != golden.finalState.regs[r]) {
+            report += strfmt("reg %u = 0x%llx != functional 0x%llx\n",
+                             r,
+                             static_cast<unsigned long long>(
+                                 arch.regs[r]),
+                             static_cast<unsigned long long>(
+                                 golden.finalState.regs[r]));
+        }
+    }
+    return report;
+}
+
+} // namespace check
+} // namespace cwsim

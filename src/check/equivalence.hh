@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Post-run commit-state equivalence against the functional Oracle
+ * pre-pass: the strongest end-to-end invariant of the whole simulator.
+ *
+ * The ISA is deterministic, so whatever the timing core speculated,
+ * squashed, replayed or selectively re-executed along the way, the
+ * committed path must end in exactly the architectural state the
+ * functional interpreter produced: same instruction count, same
+ * register file, same memory image (compared by fingerprint), same
+ * final PC. The harness runs this after every checked run; the
+ * fault-injection tests lean on it to prove that recovery under
+ * induced miss-speculation storms is value-correct.
+ */
+
+#ifndef CWSIM_CHECK_EQUIVALENCE_HH
+#define CWSIM_CHECK_EQUIVALENCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/executor.hh"
+#include "mdp/oracle.hh"
+
+namespace cwsim
+{
+namespace check
+{
+
+/**
+ * Compare a timing run's final committed state against the pre-pass
+ * golden state. @return an empty string on equivalence, otherwise a
+ * human-readable description of every divergence found.
+ *
+ * @param arch Committed register state after the run.
+ * @param mem_fingerprint FunctionalMemory::fingerprint() after the run.
+ * @param commits Instructions the timing run committed.
+ * @param golden The functional pre-pass result for the same program.
+ */
+std::string compareWithGolden(const ArchState &arch,
+                              uint64_t mem_fingerprint,
+                              uint64_t commits,
+                              const PrepassResult &golden);
+
+} // namespace check
+} // namespace cwsim
+
+#endif // CWSIM_CHECK_EQUIVALENCE_HH

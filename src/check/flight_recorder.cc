@@ -1,0 +1,76 @@
+#include "check/flight_recorder.hh"
+
+#include <sstream>
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace check
+{
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Retire:
+        return "retire";
+      case EventKind::Squash:
+        return "squash";
+      case EventKind::Violation:
+        return "violation";
+      case EventKind::Replay:
+        return "replay";
+      case EventKind::SelectiveRecovery:
+        return "selective-recovery";
+      case EventKind::SelectiveFallback:
+        return "selective-fallback";
+      case EventKind::InjectedViolation:
+        return "injected-violation";
+      case EventKind::InjectedAddrDelay:
+        return "injected-addr-delay";
+      case EventKind::InjectedMdptFault:
+        return "injected-mdpt-fault";
+      case EventKind::WatchdogTrip:
+        return "watchdog-trip";
+    }
+    return "unknown";
+}
+
+std::vector<Event>
+FlightRecorder::events() const
+{
+    std::vector<Event> out;
+    out.reserve(ring.size());
+    for (size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(head + i) % ring.size()]);
+    return out;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    os << strfmt("flight recorder: %llu events total, last %zu:\n",
+                 static_cast<unsigned long long>(totalCount),
+                 ring.size());
+    for (const Event &e : events()) {
+        os << strfmt("  cycle %-10llu %-20s seq %-8llu pc 0x%-8llx "
+                     "arg %llu\n",
+                     static_cast<unsigned long long>(e.cycle),
+                     toString(e.kind),
+                     static_cast<unsigned long long>(e.seq),
+                     static_cast<unsigned long long>(e.pc),
+                     static_cast<unsigned long long>(e.arg));
+    }
+}
+
+std::string
+FlightRecorder::dumpString() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
+} // namespace check
+} // namespace cwsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The flight recorder: a fixed-size ring buffer of the most recent
+ * pipeline events of diagnostic interest (retires, squashes, dependence
+ * violations, replays, selective recoveries, injected faults, watchdog
+ * trips). Recording is O(1) and allocation-free after construction, so
+ * it is cheap enough to leave on at check level >= 1; the buffer is
+ * rendered into every checked-simulation SimError so a failure report
+ * shows what the machine was doing just before it went wrong.
+ */
+
+#ifndef CWSIM_CHECK_FLIGHT_RECORDER_HH
+#define CWSIM_CHECK_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+namespace check
+{
+
+enum class EventKind : uint8_t
+{
+    Retire,
+    Squash,
+    Violation,
+    Replay,
+    SelectiveRecovery,
+    SelectiveFallback,
+    InjectedViolation,
+    InjectedAddrDelay,
+    InjectedMdptFault,
+    WatchdogTrip,
+};
+
+const char *toString(EventKind kind);
+
+struct Event
+{
+    Tick cycle = 0;
+    EventKind kind = EventKind::Retire;
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    /** Kind-specific payload (e.g. squash count, delay cycles). */
+    uint64_t arg = 0;
+};
+
+class FlightRecorder
+{
+  public:
+    /** @param capacity Events retained; 0 disables recording. */
+    explicit FlightRecorder(size_t capacity) : cap(capacity)
+    {
+        ring.reserve(cap);
+    }
+
+    bool enabled() const { return cap > 0; }
+
+    void
+    record(Tick cycle, EventKind kind, InstSeqNum seq = 0, Addr pc = 0,
+           uint64_t arg = 0)
+    {
+        if (cap == 0)
+            return;
+        Event e{cycle, kind, seq, pc, arg};
+        if (ring.size() < cap) {
+            ring.push_back(e);
+        } else {
+            ring[head] = e;
+            head = (head + 1) % cap;
+        }
+        ++totalCount;
+    }
+
+    /** Events recorded over the whole run (including overwritten). */
+    uint64_t total() const { return totalCount; }
+
+    /** Events currently held, oldest first. */
+    std::vector<Event> events() const;
+
+    /** Render the buffer, oldest first, one event per line. */
+    void dump(std::ostream &os) const;
+    std::string dumpString() const;
+
+  private:
+    size_t cap;
+    std::vector<Event> ring;
+    size_t head = 0; ///< Oldest element once the ring has wrapped.
+    uint64_t totalCount = 0;
+};
+
+} // namespace check
+} // namespace cwsim
+
+#endif // CWSIM_CHECK_FLIGHT_RECORDER_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The forward-progress watchdog: detects commit stalls and livelock.
+ *
+ * A healthy continuous-window machine commits within a bounded number
+ * of cycles of any stall (the longest legitimate stall chains a few
+ * main-memory accesses, i.e. hundreds of cycles). A pipeline that has
+ * not committed anything for `interval` cycles is wedged — a scheduling
+ * deadlock, a lost completion event, or a recovery bug — and spinning
+ * on to maxCycles (default 5e8) would just hang the whole bench sweep.
+ * The owner polls expired() each cycle and raises a structured
+ * SimError (with the flight-recorder dump) when it trips.
+ */
+
+#ifndef CWSIM_CHECK_WATCHDOG_HH
+#define CWSIM_CHECK_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+namespace check
+{
+
+class Watchdog
+{
+  public:
+    /** @param interval Cycles without progress before tripping
+     *                  (0 disables the watchdog). */
+    explicit Watchdog(uint64_t interval) : interval(interval) {}
+
+    /** Note forward progress (a commit) at @p now. */
+    void progress(Tick now) { lastProgress = now; }
+
+    /** Has the quiet period exceeded the trip threshold? */
+    bool
+    expired(Tick now) const
+    {
+        return interval != 0 && now - lastProgress > interval;
+    }
+
+    Tick lastProgressAt() const { return lastProgress; }
+    uint64_t tripInterval() const { return interval; }
+
+  private:
+    uint64_t interval;
+    Tick lastProgress = 0;
+};
+
+} // namespace check
+} // namespace cwsim
+
+#endif // CWSIM_CHECK_WATCHDOG_HH

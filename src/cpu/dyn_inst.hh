@@ -75,6 +75,8 @@ struct DynInst
     int sbSlot = -1;               ///< Store-buffer slot for stores.
     /** Ambiguous older stores existed when this load issued. */
     bool speculativeLoad = false;
+    /** Fault injection: NAS store may not execute before this cycle. */
+    Tick storeExecNotBefore = 0;
 
     // Policy engine ----------------------------------------------------
     /** SEL: predicted dependence -> wait for all older stores. */

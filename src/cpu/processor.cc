@@ -46,6 +46,12 @@ ProcStats::registerIn(stats::StatGroup &group)
     group.addAverage("load_issue_delay", &loadIssueDelay);
     group.addDistribution("window_occupancy", &windowOccupancy,
                           "ROB entries in use, sampled per cycle");
+    group.addScalar("injected_violations", &injectedViolations,
+                    "fault injection: forced spurious miss-speculations");
+    group.addScalar("injected_addr_delays", &injectedAddrDelays,
+                    "fault injection: delayed store-address postings");
+    group.addScalar("injected_mdpt_faults", &injectedMdptFaults,
+                    "fault injection: dropped/corrupted MDPT entries");
 }
 
 Processor::Processor(const SimConfig &cfg, const Program &program,
@@ -54,6 +60,10 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
       usesMdpt(policy == SpecPolicy::Selective ||
                policy == SpecPolicy::StoreBarrier ||
                policy == SpecPolicy::SpecSync),
+      checkLevel(cfg.check.level),
+      frec(checkLevel > 0 ? cfg.check.flightRecorderSize : 0),
+      wdog(checkLevel > 0 ? cfg.check.watchdogInterval : 0),
+      faults(cfg.check.faults), lastCommitSeq(0),
       memSys(cfg.mem, eq), bpred(cfg.bpred),
       decoder(funcMem, /*tolerate_invalid=*/true), mdpTable(cfg.mdp),
       oracle(oracle), rob(cfg.core.windowSize),
@@ -172,6 +182,24 @@ Processor::tick()
         doFetch();
     }
 
+    if (usesMdpt && faults.enabled())
+        injectMdptFaults();
+
+    if (checkLevel > 0) {
+        checkInvariants();
+        if (!haltedFlag && wdog.expired(cycle)) {
+            frec.record(cycle, check::EventKind::WatchdogTrip, 0, 0,
+                        wdog.lastProgressAt());
+            checkFail(SimErrorKind::Watchdog,
+                      strfmt("no commit in %llu cycles (last progress "
+                             "at cycle %llu): pipeline livelock",
+                             static_cast<unsigned long long>(
+                                 wdog.tripInterval()),
+                             static_cast<unsigned long long>(
+                                 wdog.lastProgressAt())));
+        }
+    }
+
     ++cycle;
     ++pstats.cycles;
 
@@ -194,6 +222,22 @@ Processor::doCommit()
         if (!head.done)
             break;
 
+        if (checkLevel > 0) {
+            if (head.seq <= lastCommitSeq) {
+                checkFail(SimErrorKind::Invariant,
+                          strfmt("out-of-order commit: seq %llu after "
+                                 "%llu",
+                                 static_cast<unsigned long long>(
+                                     head.seq),
+                                 static_cast<unsigned long long>(
+                                     lastCommitSeq)));
+            }
+            lastCommitSeq = head.seq;
+            frec.record(cycle, check::EventKind::Retire, head.seq,
+                        head.pc);
+            wdog.progress(cycle);
+        }
+
         if (head.si.isHalt()) {
             haltedFlag = true;
             ++commitCount;
@@ -214,7 +258,6 @@ Processor::doCommit()
             funcMem.write(entry.addr, entry.size, entry.data);
             ++pstats.committedStores;
         }
-
         if (head.isLoad()) {
             ++pstats.committedLoads;
             if (head.fdEvaluated) {
@@ -374,6 +417,20 @@ Processor::doDispatch()
             entry.size = inst.memSize;
             inst.sbSlot = static_cast<int>(sb.pushBack(entry));
             unissuedStores.insert(inst.seq);
+
+            // Fault injection: AS delays address posting directly in
+            // postStoreAddr; for single-phase NAS stores the closest
+            // equivalent is holding back the whole execution, which
+            // widens every younger load's speculation window.
+            if (lsqModel == LsqModel::NAS) {
+                if (Cycles delay = faults.injectStoreAddrDelay()) {
+                    inst.storeExecNotBefore = cycle + delay;
+                    ++pstats.injectedAddrDelays;
+                    frec.record(cycle,
+                                check::EventKind::InjectedAddrDelay,
+                                inst.seq, inst.pc, delay);
+                }
+            }
 
             if (policy == SpecPolicy::StoreBarrier &&
                 mdpTable.predictsDependence(inst.pc)) {
@@ -605,11 +662,34 @@ Processor::unbroadcast(const DynInst &producer)
         DynInst &inst = rob.at(i);
         if (inst.seq <= producer.seq)
             continue;
-        if (inst.src1.hasProducer && inst.src1.producer == producer.seq)
+        if (inst.src1.hasProducer &&
+            inst.src1.producer == producer.seq) {
             inst.src1.ready = false;
+            // A load may have address-generated from the stale value
+            // while blocked on a port; the cached address is wrong
+            // once the operand is recalled.
+            if (inst.isLoad() && !inst.memIssued)
+                inst.effAddr = invalid_addr;
+        }
         if (inst.src2.hasProducer && inst.src2.producer == producer.seq)
             inst.src2.ready = false;
     }
+}
+
+bool
+Processor::consumerCapturedResult(const DynInst &inst) const
+{
+    // Has this instruction acted on its captured operand values in a
+    // way that outlives the operands themselves? Issued instructions
+    // obviously have; so has a two-phase store that posted its (stale)
+    // address or data to the store buffer without fully executing.
+    if (inst.issued || inst.memIssued)
+        return true;
+    if (inst.isStore() && inst.sbSlot >= 0) {
+        const SbEntry &entry = sb.slot(inst.sbSlot);
+        return entry.addrValid || entry.dataValid;
+    }
+    return false;
 }
 
 bool
@@ -623,7 +703,7 @@ Processor::anyConsumerIssued(const DynInst &producer) const
             (inst.src1.hasProducer &&
              inst.src1.producer == producer.seq) ||
             (inst.src2.hasProducer && inst.src2.producer == producer.seq);
-        if (consumes && inst.issued)
+        if (consumes && consumerCapturedResult(inst))
             return true;
     }
     return false;
@@ -711,6 +791,7 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
             bpred.repair(*cp);
     }
 
+    unsigned squashed = 0;
     while (!rob.empty() && rob.back().seq > keep_seq) {
         DynInst &inst = rob.back();
         if (inst.renamedDest) {
@@ -725,8 +806,12 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
         if (inst.si.isMem())
             --lsqCount;
         ++pstats.squashedInsts;
+        ++squashed;
         rob.truncate(1);
     }
+
+    frec.record(cycle, check::EventKind::Squash, keep_seq, restart_pc,
+                squashed);
 
     while (!sb.empty() && !sb.back().committed &&
            sb.back().seq > keep_seq) {

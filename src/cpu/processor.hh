@@ -26,8 +26,12 @@
 #include <set>
 #include <vector>
 
+#include "base/sim_error.hh"
 #include "base/types.hh"
 #include "bpred/bpred.hh"
+#include "check/fault_injector.hh"
+#include "check/flight_recorder.hh"
+#include "check/watchdog.hh"
 #include "cpu/dyn_inst.hh"
 #include "cpu/store_buffer.hh"
 #include "isa/executor.hh"
@@ -68,6 +72,10 @@ struct ProcStats
     stats::Average loadIssueDelay;    ///< Ready-to-issue cycles, loads.
     /** Window (ROB) occupancy, sampled every cycle. */
     stats::Distribution windowOccupancy;
+    // Fault injection (check.faults).
+    stats::Scalar injectedViolations;
+    stats::Scalar injectedAddrDelays;
+    stats::Scalar injectedMdptFaults;
 
     void registerIn(stats::StatGroup &group);
 
@@ -138,9 +146,16 @@ class Processor
     MemorySystem &memorySystem() { return memSys; }
     BranchPredictor &branchPredictor() { return bpred; }
     MdpTable &mdpt() { return mdpTable; }
+    const check::FlightRecorder &flightRecorder() const { return frec; }
 
     Tick curCycle() const { return cycle; }
     uint64_t totalCommits() const { return commitCount; }
+
+    /**
+     * Render the machine's current state (cycle, window, store buffer,
+     * fetch engine) for diagnostics.
+     */
+    std::string machineStateDump() const;
 
   private:
     // ---- pipeline phases (called once per cycle, in this order) ----
@@ -189,6 +204,22 @@ class Processor
     void noteFalseDepStall(DynInst &inst);
     void finishFalseDepStall(DynInst &inst);
 
+    // ---- checked simulation (processor_check.cc) --------------------
+    /** Per-cycle invariants; dispatches on cfg.check.level. */
+    void checkInvariants();
+    /** Level >= 2: full structural scans of window/SB/rename/MDPT. */
+    void heavyInvariants();
+    /**
+     * Raise a structured checked-simulation failure: the message plus
+     * the machine-state and flight-recorder dumps, as a SimError.
+     */
+    [[noreturn]] void checkFail(SimErrorKind kind,
+                                const std::string &what);
+    /** Fault injection: spurious violation against a younger load. */
+    void injectSpuriousViolation(const SbEntry &entry);
+    /** Fault injection: per-cycle MDPT drop/corrupt draws. */
+    void injectMdptFaults();
+
     // ---- shared helpers ----------------------------------------------
     DynInst *findInst(InstSeqNum seq);
     SbEntry *findSbEntry(InstSeqNum seq);
@@ -196,6 +227,7 @@ class Processor
     void completeInst(DynInst &inst);
     void broadcastResult(const DynInst &producer);
     void resolveControl(DynInst &inst);
+    bool consumerCapturedResult(const DynInst &inst) const;
     bool anyConsumerIssued(const DynInst &producer) const;
     void unbroadcast(const DynInst &producer);
 
@@ -216,6 +248,13 @@ class Processor
     LsqModel lsqModel;
     SpecPolicy policy;
     bool usesMdpt;
+    unsigned checkLevel;
+
+    // ---- checked simulation ---------------------------------------------
+    check::FlightRecorder frec;
+    check::Watchdog wdog;
+    check::FaultInjector faults;
+    InstSeqNum lastCommitSeq; ///< In-order-commit invariant state.
 
     // ---- structural state ----------------------------------------------
     EventQueue eq;

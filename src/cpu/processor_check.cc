@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The checked-simulation side of the processor: per-cycle invariant
+ * checking (MachineConfig check.level), structured failure reporting
+ * with the flight-recorder dump attached, and the fault-injection
+ * points that storm the miss-speculation recovery machinery.
+ */
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "cpu/processor.hh"
+
+namespace cwsim
+{
+
+std::string
+Processor::machineStateDump() const
+{
+    std::ostringstream os;
+    os << strfmt("machine state @ cycle %llu: commits %llu, window "
+                 "%zu/%u, SB %zu/%u, lsq %u/%u, fetchPc 0x%llx%s, "
+                 "unissued stores %zu\n",
+                 static_cast<unsigned long long>(cycle),
+                 static_cast<unsigned long long>(commitCount),
+                 rob.size(), cfg.core.windowSize, sb.size(),
+                 cfg.core.storeBufferSize, lsqCount, cfg.core.lsqSize,
+                 static_cast<unsigned long long>(fetchPc),
+                 fetchStalledOnSeq ? " (stalled on indirect)" : "",
+                 unissuedStores.size());
+    size_t shown = std::min<size_t>(rob.size(), 4);
+    for (size_t i = 0; i < shown; ++i) {
+        const DynInst &inst = rob.at(i);
+        os << strfmt("  rob[%zu]: seq %llu pc 0x%llx%s%s%s%s\n", i,
+                     static_cast<unsigned long long>(inst.seq),
+                     static_cast<unsigned long long>(inst.pc),
+                     inst.isLoad() ? " load" : "",
+                     inst.isStore() ? " store" : "",
+                     inst.issued ? " issued" : "",
+                     inst.done ? " done" : "");
+    }
+    return os.str();
+}
+
+void
+Processor::checkFail(SimErrorKind kind, const std::string &what)
+{
+    throw SimError(kind, what, __FILE__, 0,
+                   machineStateDump() + frec.dumpString());
+}
+
+// ---------------------------------------------------------------------
+// Invariant checking.
+// ---------------------------------------------------------------------
+
+void
+Processor::checkInvariants()
+{
+    // Level 1: O(1) occupancy bounds every cycle.
+    if (rob.size() > cfg.core.windowSize) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("window occupancy %zu exceeds %u", rob.size(),
+                         cfg.core.windowSize));
+    }
+    if (lsqCount > cfg.core.lsqSize) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("LSQ occupancy %u exceeds %u", lsqCount,
+                         cfg.core.lsqSize));
+    }
+    if (sb.size() > cfg.core.storeBufferSize) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("store buffer occupancy %zu exceeds %u",
+                         sb.size(), cfg.core.storeBufferSize));
+    }
+
+    if (checkLevel >= 2)
+        heavyInvariants();
+}
+
+void
+Processor::heavyInvariants()
+{
+    // Window entries in strict program order; memory population counted.
+    unsigned mem_insts = 0;
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const DynInst &inst = rob.at(i);
+        if (i > 0 && inst.seq <= rob.at(i - 1).seq) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("window order broken: seq %llu at pos %zu "
+                             "after %llu",
+                             static_cast<unsigned long long>(inst.seq),
+                             i,
+                             static_cast<unsigned long long>(
+                                 rob.at(i - 1).seq)));
+        }
+        if (inst.si.isMem())
+            ++mem_insts;
+        if (inst.isLoad() && inst.memIssued &&
+            inst.effAddr == invalid_addr) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("issued load seq %llu has no address",
+                             static_cast<unsigned long long>(
+                                 inst.seq)));
+        }
+        if (inst.isStore()) {
+            if (inst.sbSlot < 0 ||
+                sb.slot(inst.sbSlot).seq != inst.seq) {
+                checkFail(SimErrorKind::Invariant,
+                          strfmt("store seq %llu lost its SB slot",
+                                 static_cast<unsigned long long>(
+                                     inst.seq)));
+            }
+        }
+    }
+    if (mem_insts != lsqCount) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("lsqCount %u but window holds %u memory "
+                         "instructions",
+                         lsqCount, mem_insts));
+    }
+
+    // Store-buffer FIFO discipline: ages ascending, the committed
+    // entries form a prefix, and only committed entries release.
+    bool seen_uncommitted = false;
+    for (size_t i = 0; i < sb.size(); ++i) {
+        const SbEntry &entry = sb.at(i);
+        if (i > 0 && entry.seq <= sb.at(i - 1).seq) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("store buffer order broken at pos %zu",
+                             i));
+        }
+        if (entry.committed && seen_uncommitted) {
+            checkFail(SimErrorKind::Invariant,
+                      "committed store behind an uncommitted one");
+        }
+        if (!entry.committed)
+            seen_uncommitted = true;
+        if ((entry.released || entry.releasing) && !entry.committed) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("uncommitted store seq %llu releasing",
+                             static_cast<unsigned long long>(
+                                 entry.seq)));
+        }
+    }
+
+    // The NO-gate set tracks exactly the unexecuted stores in flight.
+    for (InstSeqNum seq : unissuedStores) {
+        const DynInst *inst = findInst(seq);
+        if (!inst || !inst->isStore()) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("unissued-store set names seq %llu which "
+                             "is not an in-flight store",
+                             static_cast<unsigned long long>(seq)));
+        }
+        if (inst->sbSlot >= 0 && sb.slot(inst->sbSlot).executed) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("unissued-store set holds executed store "
+                             "seq %llu",
+                             static_cast<unsigned long long>(seq)));
+        }
+    }
+
+    // Rename map: a busy architectural register's producer, when still
+    // in flight, must actually write that register. (The producer may
+    // legitimately have committed already — squash-undo can restore a
+    // mapping to a retired instruction; operand capture falls back to
+    // the architectural file in that case.)
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        const RegMapEntry &rm = regMap[r];
+        if (!rm.busy)
+            continue;
+        const DynInst *producer = findInst(rm.producer);
+        if (producer &&
+            (!producer->si.writesReg() || producer->si.rd != r)) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("rename map for r%u names seq %llu which "
+                             "does not write it",
+                             r,
+                             static_cast<unsigned long long>(
+                                 rm.producer)));
+        }
+    }
+
+    // MDPT synonym-table sanity; amortized, the table is large.
+    if (usesMdpt && (cycle & 1023) == 0) {
+        std::string complaint = mdpTable.sanityCheck();
+        if (!complaint.empty()) {
+            checkFail(SimErrorKind::Invariant,
+                      "MDPT sanity: " + complaint);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+void
+Processor::injectSpuriousViolation(const SbEntry &entry)
+{
+    // Victim: the oldest issued load younger than the store, i.e. the
+    // same instruction a real violation by this store would hit.
+    DynInst *victim = nullptr;
+    for (size_t i = 0; i < rob.size(); ++i) {
+        DynInst &inst = rob.at(i);
+        if (inst.seq > entry.seq && inst.isLoad() && inst.memIssued) {
+            victim = &inst;
+            break;
+        }
+    }
+    if (!victim)
+        return;
+
+    ++pstats.injectedViolations;
+    frec.record(cycle, check::EventKind::InjectedViolation, victim->seq,
+                victim->pc, entry.pc);
+
+    // Run the exact recovery path a real miss-speculation would take —
+    // minus predictor training, so the induced storm cannot teach the
+    // MDPT phantom dependences.
+    if (cfg.mdp.recovery == RecoveryModel::Selective) {
+        if (replayDependenceSlice(*victim))
+            return;
+        ++pstats.selectiveFallbacks;
+        frec.record(cycle, check::EventKind::SelectiveFallback,
+                    victim->seq, victim->pc);
+    }
+    Addr restart_pc = victim->pc;
+    TraceIndex restart_idx = victim->traceIdx;
+    squashYoungerThan(victim->seq - 1, restart_pc, restart_idx,
+                      /*repair_bpred=*/true);
+}
+
+void
+Processor::injectMdptFaults()
+{
+    if (faults.injectMdptDrop() &&
+        mdpTable.dropRandomEntry(faults.random())) {
+        ++pstats.injectedMdptFaults;
+        frec.record(cycle, check::EventKind::InjectedMdptFault, 0, 0,
+                    /*arg=*/0);
+    }
+    if (faults.injectMdptCorrupt() &&
+        mdpTable.corruptRandomEntry(faults.random())) {
+        ++pstats.injectedMdptFaults;
+        frec.record(cycle, check::EventKind::InjectedMdptFault, 0, 0,
+                    /*arg=*/1);
+    }
+}
+
+} // namespace cwsim

@@ -51,6 +51,7 @@ Processor::doIssue()
                 // Table 2 base model: stores wait for both data and
                 // address operands before issuing.
                 if (!inst.issued && inst.srcsReady() &&
+                    cycle >= inst.storeExecNotBefore &&
                     lsqInPortsLeft > 0) {
                     executeStoreNas(inst);
                     --slots;
@@ -63,10 +64,11 @@ Processor::doIssue()
         if (inst.isLoad()) {
             if (inst.memIssued || !inst.src1.ready)
                 continue;
-            if (inst.effAddr == invalid_addr) {
-                inst.effAddr =
-                    exec::effectiveAddr(inst.si, inst.src1.value);
-            }
+            // Recompute on every attempt: a port-blocked load can sit
+            // with a cached address while selective recovery replaces
+            // its base register value underneath it.
+            inst.effAddr =
+                exec::effectiveAddr(inst.si, inst.src1.value);
             if (!loadMayIssue(inst)) {
                 noteFalseDepStall(inst);
                 continue;
@@ -347,6 +349,7 @@ Processor::replayLoad(DynInst &inst)
     inst.memDone = false;
     inst.done = false;
     ++pstats.loadReplays;
+    frec.record(cycle, check::EventKind::Replay, inst.seq, inst.pc);
 }
 
 // ---------------------------------------------------------------------
@@ -373,6 +376,12 @@ Processor::postStoreAddr(DynInst &inst)
     entry.addr = exec::effectiveAddr(inst.si, inst.src1.value);
     entry.addrValid = true;
     entry.addrVisibleAt = cycle + cfg.mdp.asLatency;
+    if (Cycles delay = faults.injectStoreAddrDelay()) {
+        entry.addrVisibleAt += delay;
+        ++pstats.injectedAddrDelays;
+        frec.record(cycle, check::EventKind::InjectedAddrDelay,
+                    inst.seq, inst.pc, delay);
+    }
     inst.effAddr = entry.addr;
     if (entry.dataValid)
         storeBecameExecuted(inst, entry);
@@ -399,16 +408,19 @@ Processor::storeBecameExecuted(DynInst &inst, SbEntry &entry)
     inst.done = true;
     inst.issuedAt = cycle;
 
-    if (policy == SpecPolicy::Oracle) {
+    if (policy != SpecPolicy::Oracle) {
         // The oracle never lets a correct-path load violate; wrong-path
         // loads are cleaned up by control squashes.
-        return;
+        if (lsqModel == LsqModel::AS)
+            checkStaleLoadsAs(entry);
+        else
+            checkViolationsNas(entry);
     }
 
-    if (lsqModel == LsqModel::AS)
-        checkStaleLoadsAs(entry);
-    else
-        checkViolationsNas(entry);
+    // Fault injection rides AFTER real violation detection so a genuine
+    // dependence can never be masked by an induced one.
+    if (faults.injectSpuriousViolation())
+        injectSpuriousViolation(entry);
 }
 
 // ---------------------------------------------------------------------
@@ -436,8 +448,12 @@ Processor::trainPredictors(const DynInst &load, const SbEntry &store)
 void
 Processor::checkViolationsNas(const SbEntry &entry)
 {
-    // Oldest younger load that read a value this store should have
-    // supplied.
+    // Every younger load that read a value this store should have
+    // supplied, oldest first. One store can violate several
+    // independent loads; a squash from the oldest victim wipes the
+    // rest implicitly, but selective recovery must repair each one or
+    // the younger victims keep their stale values forever (this store
+    // never re-executes to re-check them).
     for (size_t i = 0; i < rob.size(); ++i) {
         DynInst &load = rob.at(i);
         if (load.seq <= entry.seq || !load.isLoad() || !load.memIssued)
@@ -450,15 +466,25 @@ Processor::checkViolationsNas(const SbEntry &entry)
             continue; // forwarded from a younger store: value is fine
 
         ++pstats.memOrderViolations;
+        frec.record(cycle, check::EventKind::Violation, load.seq,
+                    load.pc, entry.pc);
         trainPredictors(load, entry);
 
         if (cfg.mdp.recovery == RecoveryModel::Selective) {
-            if (replayDependenceSlice(load))
-                return; // recovered without discarding unrelated work
+            if (replayDependenceSlice(load)) {
+                // Recovered without discarding unrelated work. Loads
+                // in the replayed slice are memIssued=false now, so
+                // the scan skips them and only genuinely independent
+                // further victims are repaired.
+                continue;
+            }
             ++pstats.selectiveFallbacks;
+            frec.record(cycle, check::EventKind::SelectiveFallback,
+                        load.seq, load.pc);
         }
 
-        // Squash invalidation: re-fetch from the load itself.
+        // Squash invalidation: re-fetch from the load itself. This
+        // also disposes of any younger victims.
         Addr restart_pc = load.pc;
         TraceIndex restart_idx = load.traceIdx;
         squashYoungerThan(load.seq - 1, restart_pc, restart_idx,
@@ -535,7 +561,10 @@ Processor::replayDependenceSlice(DynInst &victim)
             bool consumes =
                 (c.src1.hasProducer && c.src1.producer == seq) ||
                 (c.src2.hasProducer && c.src2.producer == seq);
-            if (consumes && (c.issued || c.memIssued))
+            // Unissued consumers recapture from the re-broadcast; the
+            // ones that already acted on the stale value (issued, or
+            // posted it into the store buffer) must replay.
+            if (consumes && consumerCapturedResult(c))
                 work.push_back(c.seq);
         }
 
@@ -567,6 +596,8 @@ Processor::replayDependenceSlice(DynInst &victim)
 
     ++pstats.selectiveRecoveries;
     pstats.sliceSize.sample(static_cast<double>(slice.size()));
+    frec.record(cycle, check::EventKind::SelectiveRecovery, victim.seq,
+                victim.pc, slice.size());
     return true;
 }
 
@@ -593,6 +624,8 @@ Processor::checkStaleLoadsAs(const SbEntry &entry)
 
         if (anyConsumerIssued(load)) {
             ++pstats.memOrderViolations;
+            frec.record(cycle, check::EventKind::Violation, load.seq,
+                        load.pc, entry.pc);
             trainPredictors(load, entry);
             Addr restart_pc = load.pc;
             TraceIndex restart_idx = load.traceIdx;

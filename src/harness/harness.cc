@@ -1,10 +1,13 @@
 #include "harness/harness.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "base/sim_error.hh"
 #include "base/str.hh"
+#include "check/equivalence.hh"
 
 namespace cwsim
 {
@@ -46,56 +49,112 @@ Runner::prepass(const std::string &name)
 RunResult
 Runner::run(const std::string &name, const SimConfig &cfg)
 {
-    const Workload &w = workload(name);
-    const PrepassResult &pre = prepass(name);
-
-    Processor proc(cfg, w.program, &pre.deps);
-    proc.run();
-    fatal_if(!proc.halted(), "%s did not halt under %s (after %llu "
-             "cycles, %llu commits)", name.c_str(), cfg.name().c_str(),
-             static_cast<unsigned long long>(proc.curCycle()),
-             static_cast<unsigned long long>(proc.totalCommits()));
-
-    const ProcStats &s = proc.procStats();
     RunResult r;
     r.workload = name;
     r.config = cfg.name();
-    r.cycles = s.cycles.value();
-    r.commits = s.commits.value();
-    r.committedLoads = s.committedLoads.value();
-    r.committedStores = s.committedStores.value();
-    r.violations = s.memOrderViolations.value();
-    r.replays = s.loadReplays.value();
-    r.selectiveRecoveries = s.selectiveRecoveries.value();
-    r.selectiveFallbacks = s.selectiveFallbacks.value();
-    r.branchMispredicts = s.branchMispredicts.value();
-    r.squashedInsts = s.squashedInsts.value();
-    r.falseDepLoads = s.falseDepLoads.value();
-    r.falseDepLatency = s.falseDepLatency.mean();
+
+    try {
+        // While the trap is live, panic()/fatal() anywhere below us
+        // throw SimError instead of aborting the process.
+        ScopedErrorTrap trap;
+
+        const Workload &w = workload(name);
+        const PrepassResult &pre = prepass(name);
+
+        Processor proc(cfg, w.program, &pre.deps);
+        proc.run();
+        fatal_if(!proc.halted(), "%s did not halt under %s (after %llu "
+                 "cycles, %llu commits)", name.c_str(),
+                 cfg.name().c_str(),
+                 static_cast<unsigned long long>(proc.curCycle()),
+                 static_cast<unsigned long long>(proc.totalCommits()));
+
+        const ProcStats &s = proc.procStats();
+        r.cycles = s.cycles.value();
+        r.commits = s.commits.value();
+        r.committedLoads = s.committedLoads.value();
+        r.committedStores = s.committedStores.value();
+        r.violations = s.memOrderViolations.value();
+        r.replays = s.loadReplays.value();
+        r.selectiveRecoveries = s.selectiveRecoveries.value();
+        r.selectiveFallbacks = s.selectiveFallbacks.value();
+        r.branchMispredicts = s.branchMispredicts.value();
+        r.squashedInsts = s.squashedInsts.value();
+        r.falseDepLoads = s.falseDepLoads.value();
+        r.falseDepLatency = s.falseDepLatency.mean();
+        r.injectedViolations = s.injectedViolations.value();
+
+        // Architectural-state equivalence against the functional
+        // pre-pass. Only meaningful when the timing run retired the
+        // whole program (maxInsts == 0 means run to completion).
+        if (cfg.check.level > 0 && cfg.maxInsts == 0) {
+            std::string diff = check::compareWithGolden(
+                proc.archState(), proc.memory().fingerprint(),
+                proc.totalCommits(), prepass(name));
+            if (!diff.empty()) {
+                throw SimError(SimErrorKind::Equivalence,
+                               strfmt("%s under %s diverged from the "
+                                      "functional pre-pass",
+                                      name.c_str(), cfg.name().c_str()),
+                               __FILE__, __LINE__, diff);
+            }
+        }
+    } catch (const SimError &e) {
+        r.ok = false;
+        r.error = e.summary();
+        failedRuns.push_back(r);
+        warn("run failed (%s, %s): %s", name.c_str(),
+             cfg.name().c_str(), e.summary().c_str());
+    }
     return r;
+}
+
+size_t
+reportFailures(const Runner &runner)
+{
+    const auto &fails = runner.failures();
+    if (fails.empty())
+        return 0;
+
+    std::printf("\nFAILED RUNS (%zu):\n",
+                static_cast<size_t>(fails.size()));
+    TextTable table;
+    table.setHeader({"workload", "config", "error"});
+    for (const auto &f : fails)
+        table.addRow({f.workload, f.config, f.error});
+    std::fputs(table.toString().c_str(), stdout);
+    return fails.size();
 }
 
 double
 geomean(const std::vector<double> &values)
 {
-    panic_if(values.empty(), "geomean of nothing");
     double log_sum = 0;
+    size_t n = 0;
     for (double v : values) {
-        panic_if(v <= 0, "geomean needs positive values");
+        if (!std::isfinite(v) || v <= 0)
+            continue; // failed run: NaN metric, or degenerate value
         log_sum += std::log(v);
+        ++n;
     }
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    if (n == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
 std::string
 formatSpeedup(double ratio)
 {
+    if (!std::isfinite(ratio))
+        return "n/a";
     return strfmt("%+.1f%%", (ratio - 1.0) * 100.0);
 }
 
 std::string
 formatPct(double fraction, int decimals)
 {
+    if (!std::isfinite(fraction))
+        return "n/a";
     return strfmt("%.*f%%", decimals, fraction * 100.0);
 }
 
@@ -117,8 +176,12 @@ meanSpeedup(const std::map<std::string, double> &num,
             const std::vector<std::string> &keys)
 {
     std::vector<double> ratios;
-    for (const auto &k : keys)
-        ratios.push_back(num.at(k) / den.at(k));
+    for (const auto &k : keys) {
+        auto n = num.find(k), d = den.find(k);
+        if (n == num.end() || d == den.end())
+            continue; // run failed before recording this key
+        ratios.push_back(n->second / d->second);
+    }
     return geomean(ratios);
 }
 

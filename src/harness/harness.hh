@@ -9,6 +9,7 @@
 #ifndef CWSIM_HARNESS_HARNESS_HH
 #define CWSIM_HARNESS_HARNESS_HH
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,16 +43,32 @@ struct RunResult
     uint64_t squashedInsts = 0;
     uint64_t falseDepLoads = 0;
     double falseDepLatency = 0;
+    uint64_t injectedViolations = 0;
+
+    /**
+     * Fail-soft sweeps: false when the run raised a SimError (watchdog
+     * trip, invariant failure, panic, oracle-equivalence mismatch…).
+     * Failed runs yield NaN metrics, which the formatters render as
+     * "n/a" and geomean() skips, so one poisoned (workload, config)
+     * pair cannot abort or silently skew a whole sweep.
+     */
+    bool ok = true;
+    /** One-line failure summary (empty when ok). */
+    std::string error;
 
     double
     ipc() const
     {
+        if (!ok)
+            return std::numeric_limits<double>::quiet_NaN();
         return cycles ? static_cast<double>(commits) / cycles : 0;
     }
 
     double
     misspecRate() const
     {
+        if (!ok)
+            return std::numeric_limits<double>::quiet_NaN();
         return committedLoads
             ? static_cast<double>(violations) / committedLoads
             : 0;
@@ -60,6 +77,8 @@ struct RunResult
     double
     falseDepFraction() const
     {
+        if (!ok)
+            return std::numeric_limits<double>::quiet_NaN();
         return committedLoads
             ? static_cast<double>(falseDepLoads) / committedLoads
             : 0;
@@ -78,24 +97,44 @@ class Runner
     /** The functional pre-pass for @p name (run once, cached). */
     const PrepassResult &prepass(const std::string &name);
 
-    /** Run @p name under @p cfg to completion. */
+    /**
+     * Run @p name under @p cfg to completion, fail-soft: library-level
+     * panic/fatal, watchdog trips, invariant failures, and
+     * oracle-equivalence mismatches are caught as SimError, recorded in
+     * the returned RunResult (ok=false) and in failures(), and the
+     * sweep continues with the next run.
+     */
     RunResult run(const std::string &name, const SimConfig &cfg);
 
     uint64_t scale() const { return runScale; }
+
+    /** Every failed run seen so far, in order. */
+    const std::vector<RunResult> &failures() const { return failedRuns; }
 
   private:
     uint64_t runScale;
     std::map<std::string, Workload> workloadCache;
     std::map<std::string, std::unique_ptr<PrepassResult>> prepassCache;
+    std::vector<RunResult> failedRuns;
 };
 
-/** Geometric mean of @p values (all > 0). */
+/**
+ * Print a table of @p runner's failed runs (no-op when none).
+ * @return the number of failures, so bench mains can exit non-zero.
+ */
+size_t reportFailures(const Runner &runner);
+
+/**
+ * Geometric mean of the positive, finite entries of @p values.
+ * NaN/inf/non-positive entries (failed runs) are skipped; returns NaN
+ * when nothing usable remains, including an empty input.
+ */
 double geomean(const std::vector<double> &values);
 
-/** Format a ratio as "+12.3%" / "-4.5%" relative change. */
+/** Format a ratio as "+12.3%" / "-4.5%" relative change ("n/a" for NaN). */
 std::string formatSpeedup(double ratio);
 
-/** Format 0.0123 as "1.23%". */
+/** Format 0.0123 as "1.23%" ("n/a" for NaN). */
 std::string formatPct(double fraction, int decimals = 1);
 
 /**

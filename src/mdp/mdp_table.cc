@@ -120,6 +120,89 @@ MdpTable::pair(Addr load_pc, Addr store_pc)
     return syn;
 }
 
+size_t
+MdpTable::validEntries() const
+{
+    size_t n = 0;
+    for (const Entry &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+bool
+MdpTable::dropRandomEntry(Random &rng)
+{
+    size_t valid = validEntries();
+    if (valid == 0)
+        return false;
+    size_t pick = rng.below(valid);
+    for (Entry &e : entries) {
+        if (!e.valid)
+            continue;
+        if (pick-- == 0) {
+            e.valid = false;
+            e.tag = invalid_addr;
+            e.confidence = SatCounter(counterBits, 0);
+            e.synonym = invalid_synonym;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MdpTable::corruptRandomEntry(Random &rng)
+{
+    size_t valid = validEntries();
+    if (valid == 0)
+        return false;
+    size_t pick = rng.below(valid);
+    for (Entry &e : entries) {
+        if (!e.valid)
+            continue;
+        if (pick-- == 0) {
+            // Scramble prediction state only; the tag stays put so the
+            // entry keeps mapping to a real static instruction.
+            e.confidence = SatCounter(
+                counterBits,
+                static_cast<unsigned>(
+                    rng.below((1ull << counterBits))));
+            if (nextSynonym > 0 && rng.chance(0.5))
+                e.synonym = static_cast<Synonym>(
+                    rng.below(nextSynonym));
+            else
+                e.synonym = invalid_synonym;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+MdpTable::sanityCheck() const
+{
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        if (!e.valid) {
+            if (e.synonym != invalid_synonym)
+                return "invalid entry carries a synonym";
+            continue;
+        }
+        if (e.tag == invalid_addr)
+            return "valid entry with invalid tag";
+        size_t set = i / assoc;
+        if (indexOf(e.tag) != set)
+            return "entry tag maps to a different set";
+        if (e.synonym != invalid_synonym && e.synonym >= nextSynonym)
+            return "synonym above the allocation high-water mark";
+        if (e.lastUse > useCounter)
+            return "recency stamp from the future";
+        if (e.confidence.value() >= (1u << counterBits))
+            return "confidence counter out of range";
+    }
+    return "";
+}
+
 void
 MdpTable::reset()
 {

@@ -16,8 +16,10 @@
 #define CWSIM_MDP_MDP_TABLE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "base/random.hh"
 #include "base/sat_counter.hh"
 #include "base/types.hh"
 #include "sim/config.hh"
@@ -84,6 +86,29 @@ class MdpTable
     void reset();
 
     size_t numEntries() const { return sets * assoc; }
+    size_t validEntries() const;
+
+    /**
+     * Fault injection: invalidate a random valid entry (a dropped
+     * prediction). @return true if an entry was dropped.
+     */
+    bool dropRandomEntry(Random &rng);
+
+    /**
+     * Fault injection: scramble a random valid entry's confidence and
+     * synonym. The table is prediction-only state, so a corrupted entry
+     * may cost performance but can never affect correctness.
+     * @return true if an entry was corrupted.
+     */
+    bool corruptRandomEntry(Random &rng);
+
+    /**
+     * Synonym-table sanity: every valid entry's tag maps to its set,
+     * synonyms are below the allocation high-water mark, and recency
+     * stamps are consistent. @return empty string, or a description of
+     * the first inconsistency.
+     */
+    std::string sanityCheck() const;
 
     // Statistics.
     stats::Scalar allocations;

@@ -159,6 +159,60 @@ struct MdpConfig
     RecoveryModel recovery = RecoveryModel::Squash;
 };
 
+/**
+ * Deterministic fault injection (all rates are per-opportunity
+ * probabilities drawn from a seeded base/random.hh PRNG). Used to storm
+ * the miss-speculation recovery paths and prove they restore correct
+ * architectural state; every fault is recorded in the flight recorder.
+ */
+struct FaultConfig
+{
+    /** PRNG seed; runs with equal seeds inject identical faults. */
+    uint64_t seed = 0x5eed;
+    /**
+     * Per executed store: chance of forcing a spurious dependence
+     * miss-speculation against a younger issued load (exercises the
+     * squash / selective recovery machinery with no real violation).
+     */
+    double spuriousViolationRate = 0;
+    /** AS only: chance of delaying a posted store address, and by how
+     * many extra cycles. */
+    double storeAddrDelayRate = 0;
+    Cycles storeAddrDelay = 8;
+    /** Per cycle: chance of invalidating a random valid MDPT entry. */
+    double mdptDropRate = 0;
+    /** Per cycle: chance of scrambling a random MDPT entry's
+     * confidence/synonym (the predictor must stay prediction-only). */
+    double mdptCorruptRate = 0;
+
+    bool
+    any() const
+    {
+        return spuriousViolationRate > 0 || storeAddrDelayRate > 0 ||
+               mdptDropRate > 0 || mdptCorruptRate > 0;
+    }
+};
+
+/** Checked-simulation knobs: watchdog, invariants, flight recorder. */
+struct CheckConfig
+{
+    /**
+     * 0 — unchecked: no watchdog, no recording, no invariants.
+     * 1 — cheap (default): forward-progress watchdog, flight recorder,
+     *     O(1) per-cycle invariants, post-run oracle equivalence in the
+     *     harness.
+     * 2 — heavy: adds full per-cycle structural scans (window order,
+     *     store-buffer FIFO discipline, rename-map consistency, MDPT
+     *     sanity).
+     */
+    unsigned level = 1;
+    /** Watchdog trip threshold: cycles without a single commit. */
+    uint64_t watchdogInterval = 100'000;
+    /** Flight-recorder capacity (events kept; 0 disables recording). */
+    unsigned flightRecorderSize = 128;
+    FaultConfig faults;
+};
+
 /** Everything needed to instantiate one simulated machine. */
 struct SimConfig
 {
@@ -166,6 +220,7 @@ struct SimConfig
     MemConfig mem;
     BPredConfig bpred;
     MdpConfig mdp;
+    CheckConfig check;
 
     /** Stop after this many committed instructions (0 = run to halt). */
     uint64_t maxInsts = 0;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -24,6 +25,21 @@ parseU64(const std::string &key, const std::string &value)
     try {
         v = std::stoull(value, &pos, 0);
     } catch (...) {
+        pos = 0;
+    }
+    fatal_if(pos != value.size(), "config: bad number '%s' for %s",
+             value.c_str(), key.c_str());
+    return v;
+}
+
+double
+parseF64(const std::string &key, const std::string &value)
+{
+    size_t pos = 0;
+    double v = 0;
+    try {
+        v = std::stod(value, &pos);
+    } catch (const std::logic_error &) {
         pos = 0;
     }
     fatal_if(pos != value.size(), "config: bad number '%s' for %s",
@@ -78,6 +94,13 @@ parseRecovery(const std::string &value)
         }                                                               \
     }
 
+#define F64_FIELD(key, expr)                                            \
+    {                                                                   \
+        key, [](SimConfig &c, const std::string &v) {                  \
+            expr = parseF64(key, v);                                    \
+        }                                                               \
+    }
+
 const std::map<std::string, Setter> &
 setters()
 {
@@ -128,6 +151,23 @@ setters()
          [](SimConfig &c, const std::string &v) {
              c.mdp.recovery = parseRecovery(v);
          }},
+        // Checked simulation.
+        U64_FIELD("check.level", c.check.level),
+        U64_FIELD("check.watchdogInterval", c.check.watchdogInterval),
+        U64_FIELD("check.flightRecorderSize",
+                  c.check.flightRecorderSize),
+        // Fault injection.
+        U64_FIELD("check.faults.seed", c.check.faults.seed),
+        F64_FIELD("check.faults.spuriousViolationRate",
+                  c.check.faults.spuriousViolationRate),
+        F64_FIELD("check.faults.storeAddrDelayRate",
+                  c.check.faults.storeAddrDelayRate),
+        U64_FIELD("check.faults.storeAddrDelay",
+                  c.check.faults.storeAddrDelay),
+        F64_FIELD("check.faults.mdptDropRate",
+                  c.check.faults.mdptDropRate),
+        F64_FIELD("check.faults.mdptCorruptRate",
+                  c.check.faults.mdptCorruptRate),
         // Run control.
         U64_FIELD("maxInsts", c.maxInsts),
         U64_FIELD("maxCycles", c.maxCycles),
@@ -136,6 +176,7 @@ setters()
 }
 
 #undef U64_FIELD
+#undef F64_FIELD
 
 } // anonymous namespace
 

@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "base/sim_error.hh"
+#include "check/watchdog.hh"
 
 namespace cwsim
 {
@@ -219,6 +221,8 @@ SplitWindowSim::run()
     if (n == 0)
         return 0;
 
+    check::Watchdog wdog(cfg.watchdogInterval);
+
     while (headCommit < n && curCycle < max_cycles) {
         // ---- fetch ----
         if (cfg.continuousFetch) {
@@ -363,6 +367,27 @@ SplitWindowSim::run()
             ++headCommit;
             ++numCommitted;
             ++commits;
+        }
+        if (commits > 0)
+            wdog.progress(curCycle);
+        if (wdog.expired(curCycle)) {
+            const Node &head = nodes[headCommit];
+            throw SimError(
+                SimErrorKind::Watchdog,
+                strfmt("split-window: no commit in %llu cycles",
+                       static_cast<unsigned long long>(
+                           cfg.watchdogInterval)),
+                __FILE__, __LINE__,
+                strfmt("head %llu/%zu (chunk %u, pc 0x%llx): "
+                       "fetched=%d issued=%d done=%d addrPosted=%d "
+                       "notBefore=%llu, headChunk %u\n",
+                       static_cast<unsigned long long>(headCommit),
+                       nodes.size(), head.chunk,
+                       static_cast<unsigned long long>(head.pc),
+                       head.fetched, head.issued, head.done,
+                       head.addrPosted,
+                       static_cast<unsigned long long>(head.notBefore),
+                       headChunk));
         }
 
         // Advance the chunk window; arm fetch for newly in-flight

@@ -67,6 +67,14 @@ struct SplitConfig
      */
     bool continuousFetch = false;
 
+    /**
+     * Forward-progress watchdog: cycles without a commit before the
+     * model raises a structured SimError describing the stuck head
+     * instruction (0 disables). A healthy trace-driven model commits
+     * within squashPenalty + a few latencies of any stall.
+     */
+    uint64_t watchdogInterval = 100'000;
+
     /** A continuous-window reference machine with equal resources. */
     static SplitConfig
     continuous(unsigned window = 128)
