@@ -7,11 +7,12 @@
  * where the predictor actually has work to do.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
@@ -24,40 +25,61 @@ const std::vector<std::string> hot_set = {
     "104.hydro2d",  "134.perl",     "146.wave5",
 };
 
+const std::vector<unsigned> mdpt_sizes = {64, 256, 1024, 4096, 16384};
+const std::vector<Cycles> flush_intervals = {2'000, 10'000, 50'000,
+                                             1'000'000};
+
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale() / 2);
+    sweep::BenchCli cli(argc, argv, benchScale() / 2);
+    auto names = cli.names(hot_set);
+
+    sweep::SweepPlan plan;
+    for (const auto &name : names) {
+        plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                  SpecPolicy::Naive));
+    }
+    for (unsigned entries : mdpt_sizes) {
+        for (const auto &name : names) {
+            SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                                       SpecPolicy::SpecSync);
+            cfg.mdp.mdptEntries = entries;
+            plan.add(name, cfg);
+        }
+    }
+    for (Cycles interval : flush_intervals) {
+        for (const auto &name : names) {
+            SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                                       SpecPolicy::SpecSync);
+            cfg.mdp.resetInterval = interval;
+            plan.add(name, cfg);
+        }
+    }
+    auto results = cli.run(plan);
+    size_t next = 0;
 
     // ---- MDPT size sweep --------------------------------------------
     std::printf("Ablation A: MDPT size under NAS/SYNC (geomean over %zu "
                 "miss-speculation-heavy workloads)\n\n",
-                hot_set.size());
+                names.size());
 
     TextTable size_table;
     size_table.setHeader({"MDPT entries", "SYNC IPC", "misspec rate",
                           "vs NAV"});
 
     std::vector<double> nav;
-    for (const auto &name : hot_set) {
-        nav.push_back(runner
-                          .run(name, withPolicy(makeW128Config(),
-                                                LsqModel::NAS,
-                                                SpecPolicy::Naive))
-                          .ipc());
-    }
+    for (size_t i = 0; i < names.size(); ++i)
+        nav.push_back(results[next++].ipc());
     double g_nav = geomean(nav);
 
-    for (unsigned entries : {64u, 256u, 1024u, 4096u, 16384u}) {
+    for (unsigned entries : mdpt_sizes) {
         std::vector<double> ipc;
         double worst_ms = 0;
-        for (const auto &name : hot_set) {
-            SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
-                                       SpecPolicy::SpecSync);
-            cfg.mdp.mdptEntries = entries;
-            RunResult r = runner.run(name, cfg);
+        for (size_t i = 0; i < names.size(); ++i) {
+            const RunResult &r = results[next++];
             ipc.push_back(r.ipc());
             worst_ms = std::max(worst_ms, r.misspecRate());
         }
@@ -79,15 +101,10 @@ main()
 
     TextTable flush_table;
     flush_table.setHeader({"Flush interval", "SYNC IPC", "vs NAV"});
-    for (Cycles interval : {Cycles(2'000), Cycles(10'000),
-                            Cycles(50'000), Cycles(1'000'000)}) {
+    for (Cycles interval : flush_intervals) {
         std::vector<double> ipc;
-        for (const auto &name : hot_set) {
-            SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
-                                       SpecPolicy::SpecSync);
-            cfg.mdp.resetInterval = interval;
-            ipc.push_back(runner.run(name, cfg).ipc());
-        }
+        for (size_t i = 0; i < names.size(); ++i)
+            ipc.push_back(results[next++].ipc());
         double g = geomean(ipc);
         flush_table.addRow({
             strfmt("%llu%s",
@@ -107,5 +124,5 @@ main()
                 "predictors suffice; the\n4K table matters for "
                 "programs with thousands of static pairs (e.g. real "
                 "gcc),\nwhich synthetic kernels do not replicate.\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -18,19 +18,42 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale() / 2);
+    sweep::BenchCli cli(argc, argv, benchScale() / 2);
 
     std::printf("Ablation: recovery mechanism under naive speculation "
                 "(128-entry window)\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive));
+            SimConfig sel_cfg = withPolicy(makeW128Config(),
+                                           LsqModel::NAS,
+                                           SpecPolicy::Naive);
+            sel_cfg.mdp.recovery = RecoveryModel::Selective;
+            plan.add(name, sel_cfg);
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::SpecSync));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "NAV+squash", "NAV+selective",
@@ -39,22 +62,13 @@ main()
 
     std::map<std::string, double> squash, selective, sync, oracle;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_squash = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Naive));
-            SimConfig sel_cfg = withPolicy(makeW128Config(),
-                                           LsqModel::NAS,
-                                           SpecPolicy::Naive);
-            sel_cfg.mdp.recovery = RecoveryModel::Selective;
-            RunResult r_sel = runner.run(name, sel_cfg);
-            RunResult r_sync = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::SpecSync));
-            RunResult r_or = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
+            const RunResult &r_squash = results[next++];
+            const RunResult &r_sel = results[next++];
+            const RunResult &r_sync = results[next++];
+            const RunResult &r_or = results[next++];
             squash[name] = r_squash.ipc();
             selective[name] = r_sel.ipc();
             sync[name] = r_sync.ipc();
@@ -75,24 +89,18 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nGeomean vs NAV+squash: selective %s int / %s fp; "
                 "SYNC %s int / %s fp\n",
-                formatSpeedup(meanSpeedup(selective, squash,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(selective, squash, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(selective, squash,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(selective, squash, fps))
                     .c_str(),
-                formatSpeedup(
-                    meanSpeedup(sync, squash, workloads::intNames()))
-                    .c_str(),
-                formatSpeedup(
-                    meanSpeedup(sync, squash, workloads::fpNames()))
-                    .c_str());
-    return reportFailures(runner) ? 1 : 0;
+                formatSpeedup(meanSpeedup(sync, squash, ints)).c_str(),
+                formatSpeedup(meanSpeedup(sync, squash, fps)).c_str());
+    return cli.finish();
 }

@@ -11,14 +11,14 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
     // A representative subset keeps this ablation quick.
     const std::vector<std::string> subset = {
@@ -27,34 +27,37 @@ main()
     };
     const unsigned windows[] = {32, 64, 128, 256};
 
-    Runner runner(benchScale() / 2);
+    sweep::BenchCli cli(argc, argv, benchScale() / 2);
+    auto names = cli.names(subset);
 
     std::printf("Ablation: window size vs. load/store parallelism "
-                "(geomean over %zu workloads)\n\n", subset.size());
+                "(geomean over %zu workloads)\n\n", names.size());
+
+    sweep::SweepPlan plan;
+    for (unsigned w : windows) {
+        for (const auto &name : names) {
+            SimConfig base = makeWindowConfig(w);
+            plan.add(name, withPolicy(base, LsqModel::NAS,
+                                      SpecPolicy::No));
+            plan.add(name, withPolicy(base, LsqModel::NAS,
+                                      SpecPolicy::Naive));
+            plan.add(name, withPolicy(base, LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+        }
+    }
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Window", "NAS/NO IPC", "NAS/NAV IPC",
                      "NAS/ORACLE IPC", "NAV/NO", "ORACLE/NO"});
 
+    size_t next = 0;
     for (unsigned w : windows) {
         std::vector<double> no, nav, oracle;
-        for (const auto &name : subset) {
-            SimConfig base = makeWindowConfig(w);
-            no.push_back(
-                runner
-                    .run(name, withPolicy(base, LsqModel::NAS,
-                                          SpecPolicy::No))
-                    .ipc());
-            nav.push_back(
-                runner
-                    .run(name, withPolicy(base, LsqModel::NAS,
-                                          SpecPolicy::Naive))
-                    .ipc());
-            oracle.push_back(
-                runner
-                    .run(name, withPolicy(base, LsqModel::NAS,
-                                          SpecPolicy::Oracle))
-                    .ipc());
+        for (size_t i = 0; i < names.size(); ++i) {
+            no.push_back(results[next++].ipc());
+            nav.push_back(results[next++].ipc());
+            oracle.push_back(results[next++].ipc());
         }
         double g_no = geomean(no);
         double g_nav = geomean(nav);
@@ -72,5 +75,5 @@ main()
     std::printf("\nShape check: NAS/NO saturates quickly while "
                 "ORACLE/NAV keep scaling, so the\nspeedup columns grow "
                 "with window size (Figure 1's trend, extended).\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -12,21 +12,41 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 1: IPC with and without exploiting load/store "
                 "parallelism\n");
     std::printf("(bars: window size x {NAS/NO, NAS/ORACLE}; speedup = "
                 "ORACLE/NO - 1)\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW64Config(), LsqModel::NAS,
+                                      SpecPolicy::No));
+            plan.add(name, withPolicy(makeW64Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::No));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "64 NO", "64 ORACLE", "64 spdup",
@@ -34,20 +54,13 @@ main()
 
     std::map<std::string, double> no64, or64, no128, or128;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_no64 = runner.run(
-                name, withPolicy(makeW64Config(), LsqModel::NAS,
-                                 SpecPolicy::No));
-            RunResult r_or64 = runner.run(
-                name, withPolicy(makeW64Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
-            RunResult r_no128 = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::No));
-            RunResult r_or128 = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
+            const RunResult &r_no64 = results[next++];
+            const RunResult &r_or64 = results[next++];
+            const RunResult &r_no128 = results[next++];
+            const RunResult &r_or128 = results[next++];
             no64[name] = r_no64.ipc();
             or64[name] = r_or64.ipc();
             no128[name] = r_no128.ipc();
@@ -64,15 +77,15 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
-    double int64 = meanSpeedup(or64, no64, workloads::intNames());
-    double fp64 = meanSpeedup(or64, no64, workloads::fpNames());
-    double int128 = meanSpeedup(or128, no128, workloads::intNames());
-    double fp128 = meanSpeedup(or128, no128, workloads::fpNames());
+    double int64 = meanSpeedup(or64, no64, ints);
+    double fp64 = meanSpeedup(or64, no64, fps);
+    double int128 = meanSpeedup(or128, no128, ints);
+    double fp128 = meanSpeedup(or128, no128, fps);
 
     std::printf("\nORACLE over NO, geometric mean:\n");
     std::printf("  64-entry window:  int %s   fp %s\n",
@@ -87,5 +100,5 @@ main()
     std::printf("  int: %+.1f%% -> %+.1f%%   fp: %+.1f%% -> %+.1f%%\n",
                 (int64 - 1) * 100, (int128 - 1) * 100, (fp64 - 1) * 100,
                 (fp128 - 1) * 100);
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

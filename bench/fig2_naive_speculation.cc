@@ -10,19 +10,37 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 2: naive memory dependence speculation, no "
                 "address-based scheduler\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::No));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "NAS/NO", "NAS/ORACLE", "NAS/NAV",
@@ -30,17 +48,12 @@ main()
 
     std::map<std::string, double> no_ipc, nav_ipc, oracle_ipc;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_no = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::No));
-            RunResult r_or = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
-            RunResult r_nav = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Naive));
+            const RunResult &r_no = results[next++];
+            const RunResult &r_or = results[next++];
+            const RunResult &r_nav = results[next++];
             no_ipc[name] = r_no.ipc();
             oracle_ipc[name] = r_or.ipc();
             nav_ipc[name] = r_nav.ipc();
@@ -55,26 +68,22 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nNAV over NO, geomean: int %s   fp %s   "
                 "(paper: +29%% int, +113%% fp)\n",
-                formatSpeedup(meanSpeedup(nav_ipc, no_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(nav_ipc, no_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(nav_ipc, no_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(nav_ipc, no_ipc, fps))
                     .c_str());
     std::printf("ORACLE over NAV, geomean: int %s   fp %s   "
                 "(the net miss-speculation penalty)\n",
-                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc, fps))
                     .c_str());
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

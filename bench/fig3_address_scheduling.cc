@@ -14,19 +14,39 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 3: naive speculation with an address-based "
                 "scheduler, by scheduler latency\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            for (Cycles lat = 0; lat <= 2; ++lat) {
+                plan.add(name, withPolicy(makeW128Config(),
+                                          LsqModel::AS,
+                                          SpecPolicy::No, lat));
+                plan.add(name, withPolicy(makeW128Config(),
+                                          LsqModel::AS,
+                                          SpecPolicy::Naive, lat));
+            }
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "NAV/NO @0cy", "NAV/NO @1cy",
@@ -35,17 +55,14 @@ main()
 
     std::map<std::string, double> nav_ipc[3], no_ipc[3];
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
             double rel[3];
             double base_ipc[3];
             for (Cycles lat = 0; lat <= 2; ++lat) {
-                RunResult r_no = runner.run(
-                    name, withPolicy(makeW128Config(), LsqModel::AS,
-                                     SpecPolicy::No, lat));
-                RunResult r_nav = runner.run(
-                    name, withPolicy(makeW128Config(), LsqModel::AS,
-                                     SpecPolicy::Naive, lat));
+                const RunResult &r_no = results[next++];
+                const RunResult &r_nav = results[next++];
                 rel[lat] = r_nav.ipc() / r_no.ipc();
                 base_ipc[lat] = r_no.ipc();
                 nav_ipc[lat][name] = r_nav.ipc();
@@ -63,9 +80,9 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nAS/NAV over AS/NO geomeans (same-latency base, as "
@@ -74,10 +91,10 @@ main()
         std::printf("  @%ucy: int %s   fp %s%s\n",
                     static_cast<unsigned>(lat),
                     formatSpeedup(meanSpeedup(nav_ipc[lat], no_ipc[lat],
-                                              workloads::intNames()))
+                                              ints))
                         .c_str(),
                     formatSpeedup(meanSpeedup(nav_ipc[lat], no_ipc[lat],
-                                              workloads::fpNames()))
+                                              fps))
                         .c_str(),
                     lat == 0 ? "   (paper: +4.6% / +5.3%)" : "");
     }
@@ -85,5 +102,5 @@ main()
                 "GROWS with scheduler latency,\nwhile absolute AS/NO "
                 "IPC falls — latency makes pure address scheduling an\n"
                 "under-performing option (Section 3.4).\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -16,19 +16,40 @@
 #include <map>
 #include <vector>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 4: NAS/ORACLE and AS/NAV(0/1/2cy), relative to "
                 "AS/NO @0cy\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::AS,
+                                      SpecPolicy::No, 0));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+            for (Cycles lat = 0; lat <= 2; ++lat) {
+                plan.add(name, withPolicy(makeW128Config(),
+                                          LsqModel::AS,
+                                          SpecPolicy::Naive, lat));
+            }
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "NAS/ORACLE", "AS/NAV 0cy",
@@ -36,28 +57,14 @@ main()
 
     std::map<std::string, double> oracle_rel, nav0_rel, nav2_rel;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            double base = runner
-                              .run(name, withPolicy(makeW128Config(),
-                                                    LsqModel::AS,
-                                                    SpecPolicy::No, 0))
-                              .ipc();
-            double oracle =
-                runner
-                    .run(name, withPolicy(makeW128Config(),
-                                          LsqModel::NAS,
-                                          SpecPolicy::Oracle))
-                    .ipc();
+            double base = results[next++].ipc();
+            double oracle = results[next++].ipc();
             double nav[3];
-            for (Cycles lat = 0; lat <= 2; ++lat) {
-                nav[lat] = runner
-                               .run(name, withPolicy(makeW128Config(),
-                                                     LsqModel::AS,
-                                                     SpecPolicy::Naive,
-                                                     lat))
-                               .ipc();
-            }
+            for (Cycles lat = 0; lat <= 2; ++lat)
+                nav[lat] = results[next++].ipc();
             oracle_rel[name] = oracle / base;
             nav0_rel[name] = nav[0] / base;
             nav2_rel[name] = nav[2] / base;
@@ -71,9 +78,9 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     auto summary = [&](const std::vector<std::string> &keys,
@@ -90,9 +97,9 @@ main()
                     formatSpeedup(geomean(n2)).c_str());
     };
     std::printf("\nGeomean vs AS/NO @0cy:\n");
-    summary(workloads::intNames(), "int");
-    summary(workloads::fpNames(), "fp ");
+    summary(ints, "int");
+    summary(fps, "fp ");
     std::printf("\nShape check: NAS/ORACLE tracks AS/NAV@0; scheduler "
                 "latency drags AS/NAV below it.\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

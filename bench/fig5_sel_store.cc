@@ -12,19 +12,39 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 5: selective (SEL) and store barrier (STORE) "
                 "speculation, relative to NAS/NAV\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Selective));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::StoreBarrier));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "SEL/NAV", "STORE/NAV", "ORACLE/NAV",
@@ -32,20 +52,13 @@ main()
 
     std::map<std::string, double> sel_ipc, store_ipc, nav_ipc;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_nav = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Naive));
-            RunResult r_sel = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Selective));
-            RunResult r_store = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::StoreBarrier));
-            RunResult r_or = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
+            const RunResult &r_nav = results[next++];
+            const RunResult &r_sel = results[next++];
+            const RunResult &r_store = results[next++];
+            const RunResult &r_or = results[next++];
             nav_ipc[name] = r_nav.ipc();
             sel_ipc[name] = r_sel.ipc();
             store_ipc[name] = r_store.ipc();
@@ -60,27 +73,23 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nGeomean over NAV: SEL int %s fp %s | STORE int %s "
                 "fp %s\n",
-                formatSpeedup(meanSpeedup(sel_ipc, nav_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(sel_ipc, nav_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(sel_ipc, nav_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(sel_ipc, nav_ipc, fps))
                     .c_str(),
-                formatSpeedup(meanSpeedup(store_ipc, nav_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(store_ipc, nav_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(store_ipc, nav_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(store_ipc, nav_ipc, fps))
                     .c_str());
     std::printf("\nShape check: no significant average gain over naive "
                 "speculation; per-program results\nswing both ways — "
                 "neither policy is robust (paper Section 3.5).\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -12,19 +12,37 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Figure 6: speculation/synchronization vs naive "
                 "speculation (base: NAS/NAV)\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::SpecSync));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Oracle));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "SYNC/NAV", "ORACLE/NAV",
@@ -32,17 +50,12 @@ main()
 
     std::map<std::string, double> nav_ipc, sync_ipc, oracle_ipc;
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_nav = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Naive));
-            RunResult r_sync = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::SpecSync));
-            RunResult r_or = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Oracle));
+            const RunResult &r_nav = results[next++];
+            const RunResult &r_sync = results[next++];
+            const RunResult &r_or = results[next++];
             nav_ipc[name] = r_nav.ipc();
             sync_ipc[name] = r_sync.ipc();
             oracle_ipc[name] = r_or.ipc();
@@ -61,27 +74,23 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nGeomean over NAV:\n");
     std::printf("  SYNC:   int %s   fp %s   (paper: +19.7%% / +19.1%%)\n",
-                formatSpeedup(meanSpeedup(sync_ipc, nav_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(sync_ipc, nav_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(sync_ipc, nav_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(sync_ipc, nav_ipc, fps))
                     .c_str());
     std::printf("  ORACLE: int %s   fp %s   (paper: +20.9%% / +20.4%%)\n",
-                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc,
-                                          workloads::intNames()))
+                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc, ints))
                     .c_str(),
-                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc,
-                                          workloads::fpNames()))
+                formatSpeedup(meanSpeedup(oracle_ipc, nav_ipc, fps))
                     .c_str());
     std::printf("\nShape check: SYNC lands within a whisker of the "
                 "oracle without any address-based scheduler.\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

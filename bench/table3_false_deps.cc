@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
@@ -52,23 +52,36 @@ paperRow(const std::string &name)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Table 3: loads delayed by false dependences under "
                 "NAS/NO (128-entry window)\n");
     std::printf("FD = fraction of committed loads with only-false "
                 "dependences; RL = mean resolution latency\n\n");
 
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::No));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
+
     TextTable table;
     table.setHeader({"Program", "FD", "RL", "FD(paper)", "RL(paper)"});
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::No));
+            const RunResult &r = results[next++];
             const PaperRow &paper = paperRow(name);
             table.addRow({
                 name,
@@ -80,13 +93,13 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nShape check: many (often most) loads are delayed by "
                 "false dependences,\nwith fp codes skewing higher than "
                 "int codes, and multi-cycle resolution latencies.\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "harness/harness.hh"
 #include "sim/table.hh"
+#include "sweep/bench_cli.hh"
 
 using namespace cwsim;
 using namespace cwsim::harness;
@@ -51,25 +51,38 @@ paperRow(const std::string &name)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Runner runner(benchScale());
+    sweep::BenchCli cli(argc, argv);
 
     std::printf("Table 4: miss-speculation rate per committed load — "
                 "NAV vs SYNC (128-entry window)\n\n");
+
+    auto ints = cli.names(workloads::intNames());
+    auto fps = cli.names(workloads::fpNames());
+
+    sweep::SweepPlan plan;
+    auto enqueue = [&](const std::vector<std::string> &names) {
+        for (const auto &name : names) {
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive));
+            plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::SpecSync));
+        }
+    };
+    enqueue(ints);
+    enqueue(fps);
+    auto results = cli.run(plan);
 
     TextTable table;
     table.setHeader({"Program", "NAV", "SYNC", "NAV(paper)",
                      "SYNC(paper)"});
 
-    auto sweep = [&](const std::vector<std::string> &names) {
+    size_t next = 0;
+    auto emit = [&](const std::vector<std::string> &names) {
         for (const auto &name : names) {
-            RunResult r_nav = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::Naive));
-            RunResult r_sync = runner.run(
-                name, withPolicy(makeW128Config(), LsqModel::NAS,
-                                 SpecPolicy::SpecSync));
+            const RunResult &r_nav = results[next++];
+            const RunResult &r_sync = results[next++];
             const PaperRow &paper = paperRow(name);
             table.addRow({
                 name,
@@ -81,13 +94,13 @@ main()
         }
     };
 
-    sweep(workloads::intNames());
+    emit(ints);
     table.addSeparator();
-    sweep(workloads::fpNames());
+    emit(fps);
     std::printf("%s", table.toString().c_str());
 
     std::printf("\nShape check: SYNC reduces miss-speculation by 2-4 "
                 "orders of magnitude,\nleaving rates that are "
                 "virtually zero.\n");
-    return reportFailures(runner) ? 1 : 0;
+    return cli.finish();
 }

@@ -2,19 +2,36 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "base/sim_error.hh"
 
 namespace cwsim
 {
 
+namespace
+{
+
+/**
+ * Serializes all log output. Sweep workers warn()/inform() and report
+ * trap-escaping panics concurrently; one message per lock means lines
+ * never interleave mid-line, and a fatal report is fully written
+ * before the process dies.
+ */
+std::mutex log_mutex;
+
+} // anonymous namespace
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     if (errorTrapActive())
         throw SimError(SimErrorKind::Panic, msg, file, line);
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
-                 line);
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+    }
     std::abort();
 }
 
@@ -23,20 +40,25 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     if (errorTrapActive())
         throw SimError(SimErrorKind::Fatal, msg, file, line);
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
-                 line);
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -1,5 +1,8 @@
 #include "base/sim_error.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "base/str.hh"
 
 namespace cwsim
@@ -8,6 +11,12 @@ namespace cwsim
 namespace
 {
 
+/**
+ * Per-thread trap nesting depth. thread_local (not a process-wide
+ * slot) is what keeps concurrent sweep workers independent: each
+ * worker arms its own trap, and a panic on one thread can only ever
+ * be converted to a SimError by that thread's own traps.
+ */
 thread_local int trap_depth = 0;
 
 } // anonymous namespace
@@ -46,6 +55,14 @@ ScopedErrorTrap::ScopedErrorTrap()
 
 ScopedErrorTrap::~ScopedErrorTrap()
 {
+    if (trap_depth <= 0) {
+        // A trap died on a thread that never armed one: the RAII
+        // discipline was broken (e.g. a trap handed across threads).
+        // Can't panic() from a destructor, so report and abort.
+        std::fprintf(stderr, "panic: ScopedErrorTrap underflow "
+                     "(destroyed on a thread that never armed it)\n");
+        std::abort();
+    }
     --trap_depth;
 }
 
@@ -53,6 +70,12 @@ bool
 errorTrapActive()
 {
     return trap_depth > 0;
+}
+
+int
+errorTrapDepth()
+{
+    return trap_depth;
 }
 
 } // namespace cwsim

@@ -64,7 +64,10 @@ class SimError : public std::runtime_error
 
 /**
  * While at least one trap is alive on this thread, panic()/fatal()
- * throw SimError instead of aborting/exiting. Traps nest.
+ * throw SimError instead of aborting/exiting. Traps nest, and the
+ * arming state is strictly per-thread: a trap armed on a sweep worker
+ * neither swallows another worker's abort nor leaks into threads that
+ * never armed one, so parallel fail-soft runs stay independent.
  */
 class ScopedErrorTrap
 {
@@ -76,8 +79,11 @@ class ScopedErrorTrap
     ScopedErrorTrap &operator=(const ScopedErrorTrap &) = delete;
 };
 
-/** Is a ScopedErrorTrap active on this thread? */
+/** Is a ScopedErrorTrap active on the calling thread? */
 bool errorTrapActive();
+
+/** Number of ScopedErrorTraps alive on the calling thread. */
+int errorTrapDepth();
 
 } // namespace cwsim
 

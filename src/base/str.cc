@@ -1,8 +1,12 @@
 #include "base/str.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
 
 namespace cwsim
 {
@@ -62,6 +66,32 @@ startsWith(const std::string &s, const std::string &prefix)
 {
     return s.size() >= prefix.size() &&
            s.compare(0, prefix.size(), prefix) == 0;
+}
+
+uint64_t
+envUint64(const char *name, uint64_t min, uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull tolerates signs and wraps negatives; require a plain
+    // digit string so "-4" is rejected instead of becoming 2^64-4.
+    bool digits = std::isdigit(static_cast<unsigned char>(env[0]));
+    if (!digits || end == env || *end != '\0' || errno == ERANGE) {
+        warn("ignoring %s=%s (not an unsigned integer); using %llu",
+             name, env, static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    if (v < min) {
+        warn("ignoring %s=%s (must be >= %llu); using %llu", name, env,
+             static_cast<unsigned long long>(min),
+             static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
 }
 
 } // namespace cwsim

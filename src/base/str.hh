@@ -6,6 +6,7 @@
 #ifndef CWSIM_BASE_STR_HH
 #define CWSIM_BASE_STR_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,17 @@ std::string trim(const std::string &s);
 
 /** True if @p s starts with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Read an unsigned integer from the environment, with validation.
+ *
+ * Returns @p fallback when @p name is unset. Malformed values (empty,
+ * trailing junk, out of uint64_t range) and values below @p min are
+ * rejected with a warn() and fall back too, so every knob read from
+ * the environment (CWSIM_SCALE, CWSIM_JOBS, ...) reports bad input the
+ * same way instead of silently truncating via strtoull.
+ */
+uint64_t envUint64(const char *name, uint64_t min, uint64_t fallback);
 
 } // namespace cwsim
 

@@ -1,8 +1,10 @@
 #include "harness/harness.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <tuple>
 
 #include "base/logging.hh"
 #include "base/sim_error.hh"
@@ -18,32 +20,55 @@ Runner::Runner(uint64_t scale) : runScale(scale)
 {
 }
 
+Runner::CacheSlot<Workload> &
+Runner::workloadSlot(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return workloadCache[name];
+}
+
+Runner::CacheSlot<PrepassResult> &
+Runner::prepassSlot(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return prepassCache[name];
+}
+
 const Workload &
 Runner::workload(const std::string &name)
 {
-    auto it = workloadCache.find(name);
-    if (it == workloadCache.end()) {
-        it = workloadCache
-                 .emplace(name, workloads::build(name, runScale))
-                 .first;
-    }
-    return it->second;
+    CacheSlot<Workload> &slot = workloadSlot(name);
+    // On a SimError (bad workload name under a trap) call_once leaves
+    // the latch unset, so a later caller retries instead of deadlocking
+    // or seeing a half-built value.
+    std::call_once(slot.once, [&] {
+        slot.value = std::make_unique<Workload>(
+            workloads::build(name, runScale));
+    });
+    return *slot.value;
 }
 
 const PrepassResult &
 Runner::prepass(const std::string &name)
 {
-    auto it = prepassCache.find(name);
-    if (it == prepassCache.end()) {
+    CacheSlot<PrepassResult> &slot = prepassSlot(name);
+    std::call_once(slot.once, [&] {
         const Workload &w = workload(name);
         auto result = std::make_unique<PrepassResult>(
             runPrepass(w.program));
         fatal_if(!result->halted,
                  "workload %s did not halt in its functional pre-pass",
                  name.c_str());
-        it = prepassCache.emplace(name, std::move(result)).first;
-    }
-    return *it->second;
+        slot.value = std::move(result);
+    });
+    return *slot.value;
+}
+
+void
+Runner::recordFailure(const RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(failMutex);
+    failedRuns.push_back(result);
 }
 
 RunResult
@@ -102,7 +127,7 @@ Runner::run(const std::string &name, const SimConfig &cfg)
     } catch (const SimError &e) {
         r.ok = false;
         r.error = e.summary();
-        failedRuns.push_back(r);
+        recordFailure(r);
         warn("run failed (%s, %s): %s", name.c_str(),
              cfg.name().c_str(), e.summary().c_str());
     }
@@ -112,9 +137,17 @@ Runner::run(const std::string &name, const SimConfig &cfg)
 size_t
 reportFailures(const Runner &runner)
 {
-    const auto &fails = runner.failures();
+    // Copy and sort: under a parallel sweep the arrival order of
+    // failures depends on worker scheduling, and the FAILED RUNS table
+    // must be byte-identical at any --jobs count.
+    std::vector<RunResult> fails = runner.failures();
     if (fails.empty())
         return 0;
+    std::sort(fails.begin(), fails.end(),
+              [](const RunResult &a, const RunResult &b) {
+                  return std::tie(a.workload, a.config, a.error) <
+                         std::tie(b.workload, b.config, b.error);
+              });
 
     std::printf("\nFAILED RUNS (%zu):\n",
                 static_cast<size_t>(fails.size()));
@@ -136,6 +169,11 @@ geomean(const std::vector<double> &values)
             continue; // failed run: NaN metric, or degenerate value
         log_sum += std::log(v);
         ++n;
+    }
+    size_t skipped = values.size() - n;
+    if (skipped > 0) {
+        warn("geomean: skipped %zu of %zu entries (failed runs or "
+             "non-positive values)", skipped, values.size());
     }
     if (n == 0)
         return std::numeric_limits<double>::quiet_NaN();
@@ -161,13 +199,7 @@ formatPct(double fraction, int decimals)
 uint64_t
 benchScale()
 {
-    if (const char *env = std::getenv("CWSIM_SCALE")) {
-        uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v >= 1000)
-            return v;
-        warn("ignoring CWSIM_SCALE=%s (must be >= 1000)", env);
-    }
-    return 80'000;
+    return envUint64("CWSIM_SCALE", 1000, 80'000);
 }
 
 double

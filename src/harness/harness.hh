@@ -12,6 +12,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,14 @@ struct RunResult
     }
 };
 
+/**
+ * Thread-safe: run() may be called concurrently from sweep workers.
+ * The workload and pre-pass caches use per-entry once-latches so the
+ * expensive functional pre-pass runs exactly once per workload no
+ * matter how many workers ask for it simultaneously, and each run()
+ * arms its own (thread-local) ScopedErrorTrap, so one worker's
+ * failure cannot be swallowed by — or abort — another worker's run.
+ */
 class Runner
 {
   public:
@@ -108,25 +117,57 @@ class Runner
 
     uint64_t scale() const { return runScale; }
 
-    /** Every failed run seen so far, in order. */
+    /**
+     * Record a failed run that did not come from run() — e.g. a cached
+     * failure the sweep engine replayed — so reportFailures() sees it.
+     */
+    void recordFailure(const RunResult &result);
+
+    /**
+     * Every failed run seen so far. Arrival order is nondeterministic
+     * under a parallel sweep; reportFailures() sorts before printing.
+     * Do not call while a sweep is still running.
+     */
     const std::vector<RunResult> &failures() const { return failedRuns; }
 
   private:
+    /**
+     * A map node holding a once-latch next to its value. Node
+     * addresses in std::map are stable, so the latch can be used
+     * outside the map lock: workers contend on the cheap map lookup,
+     * then exactly one of them builds the value while the others block
+     * on the latch instead of redoing the work.
+     */
+    template <typename T>
+    struct CacheSlot
+    {
+        std::once_flag once;
+        std::unique_ptr<T> value;
+    };
+
+    CacheSlot<Workload> &workloadSlot(const std::string &name);
+    CacheSlot<PrepassResult> &prepassSlot(const std::string &name);
+
     uint64_t runScale;
-    std::map<std::string, Workload> workloadCache;
-    std::map<std::string, std::unique_ptr<PrepassResult>> prepassCache;
+    std::mutex cacheMutex;
+    std::map<std::string, CacheSlot<Workload>> workloadCache;
+    std::map<std::string, CacheSlot<PrepassResult>> prepassCache;
+    std::mutex failMutex;
     std::vector<RunResult> failedRuns;
 };
 
 /**
- * Print a table of @p runner's failed runs (no-op when none).
+ * Print a table of @p runner's failed runs (no-op when none), sorted
+ * by (workload, config) so parallel sweeps report deterministically.
  * @return the number of failures, so bench mains can exit non-zero.
  */
 size_t reportFailures(const Runner &runner);
 
 /**
  * Geometric mean of the positive, finite entries of @p values.
- * NaN/inf/non-positive entries (failed runs) are skipped; returns NaN
+ * NaN/inf/non-positive entries (failed runs) are skipped — but
+ * counted: when any entry is dropped a warn() reports how many, so a
+ * half-failed sweep cannot masquerade as a clean average. Returns NaN
  * when nothing usable remains, including an empty input.
  */
 double geomean(const std::vector<double> &values);

@@ -252,6 +252,16 @@ SimConfig makeWindowConfig(unsigned window_size);
 SimConfig withPolicy(SimConfig cfg, LsqModel model, SpecPolicy policy,
                      Cycles as_latency = 0);
 
+/**
+ * Canonical, exhaustive key=value rendering of @p cfg — every field of
+ * every sub-struct (including check.* and check.faults.*) in a fixed
+ * order. Two configs serialize identically iff they would simulate
+ * identically, which is what the sweep run cache keys on; keep this in
+ * sync when adding config fields, or stale cache entries will be
+ * served for runs the new field changes.
+ */
+std::string serializeConfig(const SimConfig &cfg);
+
 } // namespace cwsim
 
 #endif // CWSIM_SIM_CONFIG_HH

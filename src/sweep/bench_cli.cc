@@ -1,0 +1,125 @@
+#include "sweep/bench_cli.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+namespace
+{
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --jobs N       worker threads (default: CWSIM_JOBS env, "
+        "else hardware threads)\n"
+        "  --scale N      dynamic-instruction target per workload "
+        "(min 1000)\n"
+        "  --filter SUB   only workloads whose name contains SUB\n"
+        "  --json PATH    append one JSONL record per run to PATH\n"
+        "  --no-cache     bypass the on-disk run cache\n"
+        "  --cache-dir D  run-cache directory (default .cwsim-cache)\n"
+        "  --help         this message\n",
+        prog);
+}
+
+uint64_t
+parseCount(const char *flag, const std::string &value, uint64_t min)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    fatal_if(value.empty() || *end != '\0' || errno == ERANGE,
+             "%s: not an unsigned integer: '%s'", flag, value.c_str());
+    fatal_if(v < min, "%s: must be >= %llu (got %llu)", flag,
+             static_cast<unsigned long long>(min), v);
+    return v;
+}
+
+} // anonymous namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
+{
+    BenchOptions opts;
+    opts.scale = defaultScale ? defaultScale : harness::benchScale();
+
+    auto value = [&](int &i, const char *flag) -> std::string {
+        fatal_if(i + 1 >= argc, "%s requires a value", flag);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = static_cast<unsigned>(
+                parseCount("--jobs", value(i, "--jobs"), 1));
+        } else if (arg == "--scale") {
+            opts.scale =
+                parseCount("--scale", value(i, "--scale"), 1000);
+        } else if (arg == "--filter") {
+            opts.filter = value(i, "--filter");
+        } else if (arg == "--json") {
+            opts.jsonPath = value(i, "--json");
+        } else if (arg == "--no-cache") {
+            opts.cache = false;
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value(i, "--cache-dir");
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (see --help)", arg.c_str());
+        }
+    }
+    return opts;
+}
+
+std::vector<std::string>
+filterNames(const std::vector<std::string> &names,
+            const std::string &filter)
+{
+    if (filter.empty())
+        return names;
+    std::vector<std::string> out;
+    for (const auto &name : names) {
+        if (name.find(filter) != std::string::npos)
+            out.push_back(name);
+    }
+    return out;
+}
+
+BenchCli::BenchCli(int argc, char **argv, uint64_t defaultScale)
+    : opts(parseBenchArgs(argc, argv, defaultScale))
+{
+    theRunner = std::make_unique<harness::Runner>(opts.scale);
+    SweepOptions sopts;
+    sopts.jobs = opts.jobs;
+    sopts.useCache = opts.cache;
+    sopts.cacheDir = opts.cacheDir;
+    sopts.jsonPath = opts.jsonPath;
+    theEngine = std::make_unique<SweepEngine>(*theRunner, sopts);
+}
+
+int
+BenchCli::finish()
+{
+    inform("sweep: %llu run(s) simulated, %llu served from cache, "
+           "%u worker(s)",
+           static_cast<unsigned long long>(theEngine->timingRuns()),
+           static_cast<unsigned long long>(theEngine->cacheHits()),
+           theEngine->workers());
+    return harness::reportFailures(*theRunner) ? 1 : 0;
+}
+
+} // namespace sweep
+} // namespace cwsim

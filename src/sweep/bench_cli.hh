@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The shared command line of every bench binary. All figure/table
+ * reproductions accept the same flags:
+ *
+ *   --jobs N        worker threads (default: CWSIM_JOBS env, else all
+ *                   hardware threads)
+ *   --scale N       dynamic-instruction target per workload (default:
+ *                   the bench's own default, usually CWSIM_SCALE env
+ *                   or 80000; minimum 1000)
+ *   --filter SUB    only workloads whose full or short name contains
+ *                   SUB (e.g. --filter compress, --filter 14)
+ *   --json PATH     append one JSONL record per (workload, config)
+ *                   run to PATH — machine-readable trajectory output
+ *   --no-cache      ignore and don't write the on-disk run cache
+ *   --cache-dir D   run-cache directory (default .cwsim-cache)
+ *   --help          usage
+ *
+ * BenchCli bundles flag parsing with the Runner + SweepEngine setup
+ * every bench repeats, so a bench main is: parse, build plan, run,
+ * render tables, finish().
+ */
+
+#ifndef CWSIM_SWEEP_BENCH_CLI_HH
+#define CWSIM_SWEEP_BENCH_CLI_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "sweep/sweep.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+struct BenchOptions
+{
+    uint64_t scale = 0;
+    unsigned jobs = 0;
+    std::string filter;
+    bool cache = true;
+    std::string cacheDir = ".cwsim-cache";
+    std::string jsonPath;
+};
+
+/**
+ * Parse the shared bench flags. @p defaultScale of 0 means
+ * harness::benchScale() (the CWSIM_SCALE env or 80000). Unknown flags
+ * are fatal; --help prints usage and exits 0.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            uint64_t defaultScale = 0);
+
+/** The subset of @p names matching @p filter (substring, "" = all). */
+std::vector<std::string> filterNames(
+    const std::vector<std::string> &names, const std::string &filter);
+
+class BenchCli
+{
+  public:
+    /**
+     * Parse argv and stand up the Runner + SweepEngine. @p defaultScale
+     * of 0 means harness::benchScale(); benches that historically ran
+     * at benchScale()/2 pass that in and --scale still overrides.
+     */
+    BenchCli(int argc, char **argv, uint64_t defaultScale = 0);
+
+    harness::Runner &runner() { return *theRunner; }
+    SweepEngine &engine() { return *theEngine; }
+    uint64_t scale() const { return opts.scale; }
+
+    /** @p names filtered by --filter. */
+    std::vector<std::string>
+    names(const std::vector<std::string> &all) const
+    {
+        return filterNames(all, opts.filter);
+    }
+
+    /** Shorthand: run @p plan on the engine. */
+    std::vector<harness::RunResult>
+    run(const SweepPlan &plan)
+    {
+        return theEngine->run(plan);
+    }
+
+    /**
+     * Report failures and a sweep summary (stderr, so stdout tables
+     * stay byte-identical across --jobs values).
+     * @return the bench's exit code: non-zero iff any run failed.
+     */
+    int finish();
+
+  private:
+    BenchOptions opts;
+    std::unique_ptr<harness::Runner> theRunner;
+    std::unique_ptr<SweepEngine> theEngine;
+};
+
+} // namespace sweep
+} // namespace cwsim
+
+#endif // CWSIM_SWEEP_BENCH_CLI_HH

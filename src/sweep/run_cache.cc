@@ -1,0 +1,233 @@
+#include "sweep/run_cache.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "sweep/jsonl.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+namespace
+{
+
+constexpr uint64_t fnv_offset = 0xcbf29ce484222325ull;
+constexpr uint64_t fnv_prime = 0x100000001b3ull;
+
+uint64_t
+fnv1a(uint64_t hash, const std::string &data)
+{
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= fnv_prime;
+    }
+    return hash;
+}
+
+bool
+getU64(const std::map<std::string, std::string> &fields,
+       const char *key, uint64_t &out)
+{
+    auto it = fields.find(key);
+    if (it == fields.end() || it->second.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(it->second.c_str(), &end, 10);
+    return *end == '\0' && errno != ERANGE;
+}
+
+bool
+getF64(const std::map<std::string, std::string> &fields,
+       const char *key, double &out)
+{
+    auto it = fields.find(key);
+    if (it == fields.end() || it->second.empty())
+        return false;
+    if (it->second == "nan") {
+        out = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+    char *end = nullptr;
+    out = std::strtod(it->second.c_str(), &end);
+    return *end == '\0';
+}
+
+bool
+getStr(const std::map<std::string, std::string> &fields,
+       const char *key, std::string &out)
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // anonymous namespace
+
+uint64_t
+fingerprintRun(const std::string &workload, uint64_t scale,
+               const SimConfig &cfg)
+{
+    uint64_t hash = fnv_offset;
+    hash = fnv1a(hash, workload);
+    hash = fnv1a(hash, strfmt("\nscale=%llu\n",
+                              static_cast<unsigned long long>(scale)));
+    hash = fnv1a(hash, serializeConfig(cfg));
+    return hash;
+}
+
+std::string
+runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
+{
+    JsonObject obj;
+    obj.add("v", static_cast<uint64_t>(run_record_version))
+        .add("fp", strfmt("%016llx",
+                          static_cast<unsigned long long>(fp)))
+        .add("workload", r.workload)
+        .add("config", r.config)
+        .add("scale", scale)
+        .add("ok", r.ok)
+        .add("error", r.error)
+        .add("cycles", r.cycles)
+        .add("commits", r.commits)
+        .add("committedLoads", r.committedLoads)
+        .add("committedStores", r.committedStores)
+        .add("violations", r.violations)
+        .add("replays", r.replays)
+        .add("selectiveRecoveries", r.selectiveRecoveries)
+        .add("selectiveFallbacks", r.selectiveFallbacks)
+        .add("branchMispredicts", r.branchMispredicts)
+        .add("squashedInsts", r.squashedInsts)
+        .add("falseDepLoads", r.falseDepLoads)
+        .add("falseDepLatency", r.falseDepLatency)
+        .add("injectedViolations", r.injectedViolations)
+        .add("ipc", r.ipc());
+    return obj.str();
+}
+
+bool
+runRecordParse(const std::map<std::string, std::string> &fields,
+               harness::RunResult &out)
+{
+    uint64_t version = 0;
+    if (!getU64(fields, "v", version) ||
+        version != run_record_version) {
+        return false;
+    }
+
+    harness::RunResult r;
+    auto okField = fields.find("ok");
+    if (okField == fields.end())
+        return false;
+    if (okField->second == "true")
+        r.ok = true;
+    else if (okField->second == "false")
+        r.ok = false;
+    else
+        return false;
+
+    bool valid = getStr(fields, "workload", r.workload) &&
+                 getStr(fields, "config", r.config) &&
+                 getStr(fields, "error", r.error) &&
+                 getU64(fields, "cycles", r.cycles) &&
+                 getU64(fields, "commits", r.commits) &&
+                 getU64(fields, "committedLoads", r.committedLoads) &&
+                 getU64(fields, "committedStores",
+                        r.committedStores) &&
+                 getU64(fields, "violations", r.violations) &&
+                 getU64(fields, "replays", r.replays) &&
+                 getU64(fields, "selectiveRecoveries",
+                        r.selectiveRecoveries) &&
+                 getU64(fields, "selectiveFallbacks",
+                        r.selectiveFallbacks) &&
+                 getU64(fields, "branchMispredicts",
+                        r.branchMispredicts) &&
+                 getU64(fields, "squashedInsts", r.squashedInsts) &&
+                 getU64(fields, "falseDepLoads", r.falseDepLoads) &&
+                 getF64(fields, "falseDepLatency",
+                        r.falseDepLatency) &&
+                 getU64(fields, "injectedViolations",
+                        r.injectedViolations);
+    if (!valid)
+        return false;
+    out = r;
+    return true;
+}
+
+RunCache::RunCache(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("run cache: cannot create %s (%s); caching disabled "
+             "for this process", dir.c_str(), ec.message().c_str());
+        return;
+    }
+    filePath = dir + "/runs.jsonl";
+
+    std::ifstream in(filePath);
+    if (!in)
+        return; // cold cache
+    std::string line;
+    size_t rejected = 0;
+    while (std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        std::map<std::string, std::string> fields;
+        harness::RunResult r;
+        uint64_t fp = 0;
+        if (!parseFlatJson(line, fields) ||
+            !runRecordParse(fields, r) ||
+            fields.find("fp") == fields.end() ||
+            std::sscanf(fields.at("fp").c_str(), "%llx",
+                        reinterpret_cast<unsigned long long *>(&fp)) !=
+                1) {
+            ++rejected;
+            continue;
+        }
+        entries[fp] = r;
+    }
+    if (rejected > 0) {
+        warn("run cache: ignored %zu unparseable record(s) in %s "
+             "(stale schema or corruption); they will be recomputed",
+             rejected, filePath.c_str());
+    }
+}
+
+bool
+RunCache::lookup(uint64_t fp, harness::RunResult &out) const
+{
+    auto it = entries.find(fp);
+    if (it == entries.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+RunCache::append(uint64_t fp, uint64_t scale,
+                 const harness::RunResult &r)
+{
+    entries[fp] = r;
+    if (filePath.empty())
+        return; // cache directory was unusable
+    std::ofstream out(filePath, std::ios::app);
+    if (!out) {
+        warn("run cache: cannot append to %s", filePath.c_str());
+        return;
+    }
+    out << runRecordLine(r, fp, scale) << '\n';
+}
+
+} // namespace sweep
+} // namespace cwsim

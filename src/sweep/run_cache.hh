@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The on-disk run cache behind the sweep engine.
+ *
+ * Every (workload, scale, SimConfig) triple is fingerprinted — a
+ * 64-bit FNV-1a hash over the workload name, the dynamic-instruction
+ * scale, and the exhaustive serializeConfig() text, so ANY config
+ * field (including check.* and fault-injection knobs) that changes the
+ * simulation changes the key. Completed RunResults are appended to
+ * <dir>/runs.jsonl, one flat JSON object per line; re-running a bench
+ * or resuming an interrupted sweep then skips every run whose
+ * fingerprint is already present. Entries with unknown schema
+ * versions, malformed JSON, or stale fingerprints are silently
+ * ignored (and recomputed) — a poisoned cache can cost time, never
+ * correctness.
+ */
+
+#ifndef CWSIM_SWEEP_RUN_CACHE_HH
+#define CWSIM_SWEEP_RUN_CACHE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "sim/config.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+/** Cache-entry schema; bump when RunResult's serialized shape changes. */
+constexpr unsigned run_record_version = 1;
+
+/** Fingerprint of one run: workload name + scale + full config. */
+uint64_t fingerprintRun(const std::string &workload, uint64_t scale,
+                        const SimConfig &cfg);
+
+/** One JSONL record for @p r (also the exported-results format). */
+std::string runRecordLine(const harness::RunResult &r, uint64_t fp,
+                          uint64_t scale);
+
+/**
+ * Rebuild a RunResult from a parsed record. Returns false when the
+ * record is from another schema version or any field is missing or
+ * malformed.
+ */
+bool runRecordParse(const std::map<std::string, std::string> &fields,
+                    harness::RunResult &out);
+
+class RunCache
+{
+  public:
+    /**
+     * Open (creating if needed) the cache under @p dir and index every
+     * parseable record of <dir>/runs.jsonl. Later records win, so a
+     * re-run after a schema bump supersedes old lines in place.
+     */
+    explicit RunCache(const std::string &dir);
+
+    /** Look up a completed run; true and fills @p out on a hit. */
+    bool lookup(uint64_t fp, harness::RunResult &out) const;
+
+    /** Append @p r under @p fp (durable once the stream flushes). */
+    void append(uint64_t fp, uint64_t scale,
+                const harness::RunResult &r);
+
+    size_t size() const { return entries.size(); }
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    std::map<uint64_t, harness::RunResult> entries;
+};
+
+} // namespace sweep
+} // namespace cwsim
+
+#endif // CWSIM_SWEEP_RUN_CACHE_HH

@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <future>
+#include <thread>
+
 #include "base/bitfield.hh"
 #include "base/circular_queue.hh"
 #include "base/intmath.hh"
+#include "base/logging.hh"
 #include "base/random.hh"
 #include "base/sat_counter.hh"
+#include "base/sim_error.hh"
 #include "base/str.hh"
 
 namespace cwsim
@@ -225,6 +231,95 @@ TEST(StrTest, SplitAndTrim)
     EXPECT_EQ(trim(""), "");
     EXPECT_TRUE(startsWith("NAS/SYNC", "NAS"));
     EXPECT_FALSE(startsWith("AS", "NAS"));
+}
+
+TEST(StrTest, EnvUint64)
+{
+    unsetenv("CWSIM_TEST_KNOB");
+    EXPECT_EQ(envUint64("CWSIM_TEST_KNOB", 1, 7), 7u);
+
+    setenv("CWSIM_TEST_KNOB", "42", 1);
+    EXPECT_EQ(envUint64("CWSIM_TEST_KNOB", 1, 7), 42u);
+
+    // Below the minimum: warned and ignored.
+    setenv("CWSIM_TEST_KNOB", "3", 1);
+    EXPECT_EQ(envUint64("CWSIM_TEST_KNOB", 10, 7), 7u);
+
+    // Malformed values fall back instead of silently truncating.
+    for (const char *bad : {"", "abc", "12abc", "-4", "1e3",
+                            "99999999999999999999999999"}) {
+        setenv("CWSIM_TEST_KNOB", bad, 1);
+        EXPECT_EQ(envUint64("CWSIM_TEST_KNOB", 1, 7), 7u)
+            << "value: '" << bad << "'";
+    }
+    unsetenv("CWSIM_TEST_KNOB");
+}
+
+TEST(SimErrorTrap, NestsOnOneThread)
+{
+    EXPECT_FALSE(errorTrapActive());
+    EXPECT_EQ(errorTrapDepth(), 0);
+    {
+        ScopedErrorTrap outer;
+        EXPECT_EQ(errorTrapDepth(), 1);
+        {
+            ScopedErrorTrap inner;
+            EXPECT_EQ(errorTrapDepth(), 2);
+            EXPECT_THROW(panic("inner"), SimError);
+        }
+        // The inner trap is gone but the outer still converts.
+        EXPECT_EQ(errorTrapDepth(), 1);
+        EXPECT_THROW(fatal("outer"), SimError);
+    }
+    EXPECT_FALSE(errorTrapActive());
+}
+
+/**
+ * Regression: two OVERLAPPING traps on different threads must each
+ * catch only their own SimError. The promises force the overlap: both
+ * traps are armed before either thread panics, so a process-global
+ * trap slot (rather than a per-thread one) would mis-route or
+ * double-count.
+ */
+TEST(SimErrorTrap, OverlappingTrapsOnTwoThreads)
+{
+    std::promise<void> aArmed, bArmed;
+    auto aReady = aArmed.get_future();
+    auto bReady = bArmed.get_future();
+
+    auto run = [](const char *msg, std::promise<void> &mine,
+                  std::future<void> &other) -> std::string {
+        ScopedErrorTrap trap;
+        mine.set_value();
+        other.wait();
+        try {
+            panic("%s", msg);
+        } catch (const SimError &e) {
+            return e.message();
+        }
+        return "not caught";
+    };
+
+    auto a = std::async(std::launch::async, [&] {
+        return run("boom A", aArmed, bReady);
+    });
+    auto b = std::async(std::launch::async, [&] {
+        return run("boom B", bArmed, aReady);
+    });
+
+    EXPECT_EQ(a.get(), "boom A");
+    EXPECT_EQ(b.get(), "boom B");
+    // Neither worker's trap leaked into this thread.
+    EXPECT_FALSE(errorTrapActive());
+}
+
+TEST(SimErrorTrap, WorkerTrapDoesNotArmOtherThreads)
+{
+    ScopedErrorTrap trap; // armed on the main test thread
+    bool worker_armed = true;
+    std::thread([&] { worker_armed = errorTrapActive(); }).join();
+    EXPECT_FALSE(worker_armed);
+    EXPECT_TRUE(errorTrapActive());
 }
 
 } // anonymous namespace

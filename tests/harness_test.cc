@@ -27,6 +27,24 @@ TEST(GeomeanTest, Basics)
                 1e-12);
 }
 
+TEST(GeomeanTest, SkipsAndCountsUnusableEntries)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // Failed runs (NaN metrics) and degenerate values are dropped
+    // from the mean but reported via warn() so a half-failed sweep is
+    // visible; the usable entries still average correctly.
+    EXPECT_DOUBLE_EQ(harness::geomean({nan, 4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(harness::geomean({-1.0, 0.0, 2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(harness::geomean({inf, 9.0}), 9.0);
+
+    // Nothing usable at all: NaN, not a crash and not a fake average.
+    EXPECT_TRUE(std::isnan(harness::geomean({})));
+    EXPECT_TRUE(std::isnan(harness::geomean({nan, nan})));
+    EXPECT_TRUE(std::isnan(harness::geomean({0.0, -3.0})));
+}
+
 TEST(FormatTest, Speedups)
 {
     EXPECT_EQ(harness::formatSpeedup(1.123), "+12.3%");

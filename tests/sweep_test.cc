@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: serial-vs-parallel determinism
+ * over the whole workload suite, the on-disk run cache (hits, stale
+ * fingerprints, poisoned entries), JSONL export, and the JSON-lines
+ * helpers underneath it all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "sweep/bench_cli.hh"
+#include "sweep/jsonl.hh"
+#include "sweep/run_cache.hh"
+#include "sweep/sweep.hh"
+
+namespace cwsim
+{
+namespace
+{
+
+using harness::RunResult;
+using harness::Runner;
+using sweep::SweepEngine;
+using sweep::SweepOptions;
+using sweep::SweepPlan;
+
+/**
+ * A fresh scratch directory under the test's working directory
+ * (inside the build tree), removed on destruction.
+ */
+struct ScratchDir
+{
+    explicit ScratchDir(const std::string &tag)
+        : path(tag + "." + std::to_string(::getpid()))
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+
+    std::string path;
+};
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.committedLoads, b.committedLoads);
+    EXPECT_EQ(a.committedStores, b.committedStores);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.replays, b.replays);
+    EXPECT_EQ(a.selectiveRecoveries, b.selectiveRecoveries);
+    EXPECT_EQ(a.selectiveFallbacks, b.selectiveFallbacks);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.squashedInsts, b.squashedInsts);
+    EXPECT_EQ(a.falseDepLoads, b.falseDepLoads);
+    EXPECT_EQ(a.falseDepLatency, b.falseDepLatency);
+    EXPECT_EQ(a.injectedViolations, b.injectedViolations);
+}
+
+/** All 18 workloads under NAV with both recovery models. */
+SweepPlan
+fullSuitePlan()
+{
+    SweepPlan plan;
+    for (const auto &name : workloads::allNames()) {
+        SimConfig squash = withPolicy(makeW128Config(), LsqModel::NAS,
+                                      SpecPolicy::Naive);
+        plan.add(name, squash);
+        SimConfig selective = squash;
+        selective.mdp.recovery = RecoveryModel::Selective;
+        plan.add(name, selective);
+    }
+    return plan;
+}
+
+TEST(SweepDeterminism, SerialVsParallelFullSuite)
+{
+    SweepPlan plan = fullSuitePlan();
+
+    Runner serialRunner(4000);
+    SweepOptions serialOpts;
+    serialOpts.jobs = 1;
+    serialOpts.useCache = false;
+    SweepEngine serial(serialRunner, serialOpts);
+    auto serialResults = serial.run(plan);
+
+    Runner parallelRunner(4000);
+    SweepOptions parallelOpts;
+    parallelOpts.jobs = 8;
+    parallelOpts.useCache = false;
+    SweepEngine parallel(parallelRunner, parallelOpts);
+    auto parallelResults = parallel.run(plan);
+
+    ASSERT_EQ(serialResults.size(), plan.size());
+    ASSERT_EQ(parallelResults.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        SCOPED_TRACE(plan.jobs()[i].workload + " / " +
+                     plan.jobs()[i].config.name());
+        expectSameResult(serialResults[i], parallelResults[i]);
+    }
+    EXPECT_TRUE(serialRunner.failures().empty());
+    EXPECT_TRUE(parallelRunner.failures().empty());
+}
+
+TEST(SweepEngine, ResultsComeBackInSpecOrder)
+{
+    SweepPlan plan;
+    const std::vector<std::string> names = {"129.compress", "102.swim",
+                                            "099.go", "130.li"};
+    for (const auto &name : names) {
+        plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                  SpecPolicy::Naive));
+    }
+
+    Runner runner(3000);
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.useCache = false;
+    SweepEngine engine(runner, opts);
+    auto results = engine.run(plan);
+
+    ASSERT_EQ(results.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(results[i].workload, names[i]);
+    EXPECT_EQ(engine.timingRuns(), names.size());
+    EXPECT_EQ(engine.cacheHits(), 0u);
+}
+
+TEST(SweepCache, SecondSweepSimulatesNothing)
+{
+    ScratchDir dir("sweep_cache_test");
+    SweepPlan plan;
+    for (const auto &name :
+         {"129.compress", "101.tomcatv", "124.m88ksim"}) {
+        plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                  SpecPolicy::Naive));
+        plan.add(name, withPolicy(makeW128Config(), LsqModel::NAS,
+                                  SpecPolicy::SpecSync));
+    }
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir.path;
+
+    Runner cold(3000);
+    SweepEngine coldEngine(cold, opts);
+    auto coldResults = coldEngine.run(plan);
+    EXPECT_EQ(coldEngine.timingRuns(), plan.size());
+    EXPECT_EQ(coldEngine.cacheHits(), 0u);
+
+    // A fresh runner + engine sharing only the cache directory: every
+    // run must be served from disk, zero timing simulations.
+    Runner warm(3000);
+    SweepEngine warmEngine(warm, opts);
+    auto warmResults = warmEngine.run(plan);
+    EXPECT_EQ(warmEngine.timingRuns(), 0u);
+    EXPECT_EQ(warmEngine.cacheHits(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i)
+        expectSameResult(coldResults[i], warmResults[i]);
+}
+
+TEST(SweepCache, StaleAndPoisonedEntriesAreRecomputed)
+{
+    ScratchDir dir("sweep_poison_test");
+    SweepPlan plan;
+    plan.add("129.compress", withPolicy(makeW128Config(),
+                                        LsqModel::NAS,
+                                        SpecPolicy::Naive));
+
+    // Poison the cache: garbage, truncation, a record with a stale
+    // fingerprint (different scale), and one with an unknown schema.
+    {
+        Runner other(9000);
+        RunResult fake = other.run("129.compress", plan.jobs()[0].config);
+        uint64_t staleFp = sweep::fingerprintRun(
+            "129.compress", 9000, plan.jobs()[0].config);
+        std::ofstream out(dir.path + "/runs.jsonl");
+        out << "this is not json\n";
+        out << "{\"v\":1,\"fp\":\"0123\",\"workload\":\"x\"\n";
+        out << sweep::runRecordLine(fake, staleFp, 9000) << '\n';
+        out << "{\"v\":999,\"fp\":\"00ff\",\"ok\":true}\n";
+    }
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir.path;
+    Runner runner(3000);
+    SweepEngine engine(runner, opts);
+    auto results = engine.run(plan);
+
+    // Nothing matched the scale-3000 fingerprint, so the run was
+    // simulated fresh, and the result reflects scale 3000.
+    EXPECT_EQ(engine.timingRuns(), 1u);
+    EXPECT_EQ(engine.cacheHits(), 0u);
+    ASSERT_TRUE(results[0].ok);
+    EXPECT_LT(results[0].commits, 6000u);
+
+    // The freshly appended record must now hit.
+    Runner again(3000);
+    SweepEngine engine2(again, opts);
+    auto results2 = engine2.run(plan);
+    EXPECT_EQ(engine2.timingRuns(), 0u);
+    EXPECT_EQ(engine2.cacheHits(), 1u);
+    expectSameResult(results[0], results2[0]);
+}
+
+TEST(SweepJson, OneRecordPerRunIncludingFailures)
+{
+    ScratchDir dir("sweep_json_test");
+    std::string jsonPath = dir.path + "/results.jsonl";
+
+    SweepPlan plan;
+    plan.add("129.compress", withPolicy(makeW128Config(),
+                                        LsqModel::NAS,
+                                        SpecPolicy::Naive));
+    // A run that cannot finish: the cycle budget is far below what
+    // the workload needs, so the halt check raises a SimError.
+    SimConfig doomed = withPolicy(makeW128Config(), LsqModel::NAS,
+                                  SpecPolicy::Naive);
+    doomed.maxCycles = 50;
+    plan.add("129.compress", doomed);
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.useCache = false;
+    opts.jsonPath = jsonPath;
+    Runner runner(3000);
+    SweepEngine engine(runner, opts);
+    auto results = engine.run(plan);
+
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_EQ(runner.failures().size(), 1u);
+
+    std::ifstream in(jsonPath);
+    ASSERT_TRUE(in.good());
+    std::vector<std::map<std::string, std::string>> records;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::map<std::string, std::string> fields;
+        ASSERT_TRUE(sweep::parseFlatJson(line, fields)) << line;
+        records.push_back(std::move(fields));
+    }
+    ASSERT_EQ(records.size(), plan.size());
+    EXPECT_EQ(records[0].at("ok"), "true");
+    EXPECT_EQ(records[1].at("ok"), "false");
+    EXPECT_NE(records[1].at("error"), "");
+    EXPECT_EQ(records[0].at("workload"), "129.compress");
+
+    // Round trip through the record parser.
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(records[1], parsed));
+    expectSameResult(results[1], parsed);
+}
+
+TEST(SweepFingerprint, SensitiveToEveryInput)
+{
+    SimConfig base = withPolicy(makeW128Config(), LsqModel::NAS,
+                                SpecPolicy::Naive);
+    uint64_t fp = sweep::fingerprintRun("129.compress", 4000, base);
+
+    // Stable.
+    EXPECT_EQ(fp, sweep::fingerprintRun("129.compress", 4000, base));
+
+    // Workload and scale.
+    EXPECT_NE(fp, sweep::fingerprintRun("130.li", 4000, base));
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4001, base));
+
+    // Any config knob, including check.* and fault knobs.
+    SimConfig differ = base;
+    differ.mdp.recovery = RecoveryModel::Selective;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+    differ = base;
+    differ.check.level = 2;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+    differ = base;
+    differ.check.faults.seed = 99;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+    differ = base;
+    differ.check.faults.spuriousViolationRate = 0.25;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+    differ = base;
+    differ.mem.l2AccessLatency += 1;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+}
+
+TEST(SweepParallelFor, CoversAllIndicesOnce)
+{
+    std::vector<int> counts(100, 0);
+    sweep::parallelFor(counts.size(), 7,
+                       [&](size_t i) { counts[i]++; });
+    for (int c : counts)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(SweepParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(
+        sweep::parallelFor(16, 4,
+                           [](size_t i) {
+                               if (i == 9)
+                                   throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+}
+
+TEST(JsonlTest, EscapeAndRoundTrip)
+{
+    sweep::JsonObject obj;
+    obj.add("s", std::string("a\"b\\c\nd"))
+        .add("n", static_cast<uint64_t>(42))
+        .add("f", 0.5)
+        .add("b", true)
+        .add("nan", std::numeric_limits<double>::quiet_NaN());
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(obj.str(), fields));
+    EXPECT_EQ(fields.at("s"), "a\"b\\c\nd");
+    EXPECT_EQ(fields.at("n"), "42");
+    EXPECT_EQ(fields.at("f"), "0.5");
+    EXPECT_EQ(fields.at("b"), "true");
+    EXPECT_EQ(fields.at("nan"), "nan");
+}
+
+TEST(JsonlTest, RejectsMalformedLines)
+{
+    std::map<std::string, std::string> fields;
+    EXPECT_FALSE(sweep::parseFlatJson("", fields));
+    EXPECT_FALSE(sweep::parseFlatJson("not json", fields));
+    EXPECT_FALSE(sweep::parseFlatJson("{\"a\":1", fields));
+    EXPECT_FALSE(sweep::parseFlatJson("{\"a\":{\"b\":1}}", fields));
+    EXPECT_FALSE(sweep::parseFlatJson("{\"a\":1}trailing", fields));
+    EXPECT_TRUE(sweep::parseFlatJson("{}", fields));
+    EXPECT_TRUE(fields.empty());
+}
+
+TEST(BenchCliTest, ParsesSharedFlags)
+{
+    const char *argv[] = {"bench",      "--jobs",  "3",
+                          "--scale",    "12000",   "--filter",
+                          "compress",   "--json",  "out.jsonl",
+                          "--no-cache", "--cache-dir", "cdir"};
+    sweep::BenchOptions opts = sweep::parseBenchArgs(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.scale, 12000u);
+    EXPECT_EQ(opts.filter, "compress");
+    EXPECT_EQ(opts.jsonPath, "out.jsonl");
+    EXPECT_FALSE(opts.cache);
+    EXPECT_EQ(opts.cacheDir, "cdir");
+}
+
+TEST(BenchCliTest, DefaultScaleRespectsEnvAndOverride)
+{
+    unsetenv("CWSIM_SCALE");
+    const char *bare[] = {"bench"};
+    EXPECT_EQ(sweep::parseBenchArgs(1, const_cast<char **>(bare)).scale,
+              80'000u);
+    EXPECT_EQ(sweep::parseBenchArgs(1, const_cast<char **>(bare), 40'000)
+                  .scale,
+              40'000u);
+    setenv("CWSIM_SCALE", "24000", 1);
+    EXPECT_EQ(sweep::parseBenchArgs(1, const_cast<char **>(bare)).scale,
+              24'000u);
+    unsetenv("CWSIM_SCALE");
+}
+
+TEST(BenchCliTest, FilterNames)
+{
+    std::vector<std::string> names = {"099.go", "129.compress",
+                                      "130.li"};
+    EXPECT_EQ(sweep::filterNames(names, "").size(), 3u);
+    EXPECT_EQ(sweep::filterNames(names, "compress").size(), 1u);
+    EXPECT_EQ(sweep::filterNames(names, "1").size(), 2u);
+    EXPECT_TRUE(sweep::filterNames(names, "zzz").empty());
+}
+
+TEST(SweepJobs, ResolveJobsPrefersExplicitThenEnv)
+{
+    unsetenv("CWSIM_JOBS");
+    EXPECT_EQ(sweep::resolveJobs(5), 5u);
+    EXPECT_GE(sweep::resolveJobs(0), 1u);
+    setenv("CWSIM_JOBS", "3", 1);
+    EXPECT_EQ(sweep::resolveJobs(0), 3u);
+    setenv("CWSIM_JOBS", "junk", 1);
+    EXPECT_GE(sweep::resolveJobs(0), 1u); // falls back with a warn
+    unsetenv("CWSIM_JOBS");
+}
+
+} // anonymous namespace
+} // namespace cwsim
