@@ -68,6 +68,27 @@ startsWith(const std::string &s, const std::string &prefix)
            s.compare(0, prefix.size(), prefix) == 0;
 }
 
+std::string
+lastLines(const std::string &s, size_t n)
+{
+    if (n == 0)
+        return "";
+    std::vector<std::string> kept;
+    for (const std::string &line : split(s, '\n')) {
+        if (trim(line).empty())
+            continue;
+        kept.push_back(line);
+    }
+    size_t begin = kept.size() > n ? kept.size() - n : 0;
+    std::string out;
+    for (size_t i = begin; i < kept.size(); ++i) {
+        if (!out.empty())
+            out += '\n';
+        out += kept[i];
+    }
+    return out;
+}
+
 uint64_t
 envUint64(const char *name, uint64_t min, uint64_t fallback)
 {

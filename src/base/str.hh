@@ -32,6 +32,13 @@ std::string trim(const std::string &s);
 bool startsWith(const std::string &s, const std::string &prefix);
 
 /**
+ * The last (up to) @p n non-empty lines of @p s, newline-joined, no
+ * trailing newline. Used to attach the tail of a diagnostic dump
+ * (flight-recorder events) to failure summaries.
+ */
+std::string lastLines(const std::string &s, size_t n);
+
+/**
  * Read an unsigned integer from the environment, with validation.
  *
  * Returns @p fallback when @p name is unset. Malformed values (empty,

@@ -97,6 +97,16 @@ struct DynInst
     bool fdIsFalse = false;
     Cycles fdLatency = 0;
 
+    // Pipeline timeline (O3PipeView traces; see src/obs/pipeview.hh).
+    // Maintained unconditionally — plain stores, cheaper than gating.
+    Tick fetchedAt = 0;
+    Tick dispatchedAt = 0;
+    Tick completedAt = 0;
+    /** Selective-recovery / AS re-executions of this instruction. */
+    uint16_t timesReplayed = 0;
+    /** The load waited on a SYNC-predicted producing store. */
+    bool waitedSync = false;
+
     bool isLoad() const { return si.isLoad(); }
     bool isStore() const { return si.isStore(); }
 

@@ -9,9 +9,23 @@
 
 #include "base/logging.hh"
 #include "isa/exec_fn.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
+
+const char *
+toString(SquashCause cause)
+{
+    switch (cause) {
+      case SquashCause::None: return "none";
+      case SquashCause::BranchMispredict: return "branch-mispredict";
+      case SquashCause::MemOrderViolation: return "mem-order";
+      case SquashCause::InjectedViolation: return "injected";
+      case SquashCause::Drain: return "drain";
+    }
+    return "?";
+}
 
 void
 ProcStats::registerIn(stats::StatGroup &group)
@@ -71,7 +85,8 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
       fetchHalted(false), fetchStalledOnSeq(0), memPortsLeft(0),
       lsqInPortsLeft(0), cycle(0), nextSeq(1), nextFetchTraceIdx(0),
       commitCount(0), haltedFlag(false), lastMdptReset(0),
-      statGroup("proc")
+      statGroup("proc"),
+      pipe(obs::TraceManager::instance().pipeView())
 {
     fatal_if(policy == SpecPolicy::Oracle && !oracle,
              "NAS/ORACLE requires pre-pass dependence information");
@@ -85,6 +100,17 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
     pstats.registerIn(statGroup);
     memSys.registerStats(statGroup);
     bpred.registerStats(statGroup);
+
+    obs::TraceManager &tm = obs::TraceManager::instance();
+    if (tm.intervalPeriod() > 0) {
+        std::string label = obs::runLabel().empty()
+            ? cfg.name()
+            : obs::runLabel();
+        sampler = std::make_unique<obs::IntervalSampler>(
+            tm.intervalPath(), tm.intervalPeriod(), label);
+        if (!sampler->valid())
+            sampler.reset();
+    }
 }
 
 void
@@ -108,7 +134,7 @@ Processor::runTiming(uint64_t max_commits)
     // the caller) sees a clean architectural boundary.
     if (!rob.empty() || !fetchQueue.empty()) {
         squashYoungerThan(0, archRegs.pc, commitCount,
-                          /*repair_bpred=*/false);
+                          /*repair_bpred=*/false, SquashCause::Drain);
     }
     eq.drain();
     // Committed stores already updated architectural memory at commit;
@@ -165,6 +191,12 @@ Processor::fastForward(uint64_t n)
 void
 Processor::tick()
 {
+    // Refresh the thread-local trace timestamp so cycle-less components
+    // (MdpTable) stamp their lines correctly; skipped entirely when
+    // tracing is off.
+    if (obs::tracingActive())
+        obs::setTraceCycle(cycle);
+
     eq.runUntil(cycle);
     if (haltedFlag)
         return;
@@ -202,6 +234,9 @@ Processor::tick()
 
     ++cycle;
     ++pstats.cycles;
+
+    if (sampler && sampler->due(cycle))
+        emitIntervalSample();
 
     if (usesMdpt && cycle - lastMdptReset >= cfg.mdp.resetInterval) {
         mdpTable.reset();
@@ -242,6 +277,11 @@ Processor::doCommit()
             haltedFlag = true;
             ++commitCount;
             ++pstats.commits;
+            CWSIM_TRACE(Commit, "commit seq %llu pc 0x%llx halt",
+                        static_cast<unsigned long long>(head.seq),
+                        static_cast<unsigned long long>(head.pc));
+            if (pipe)
+                emitPipeRecord(head, SquashCause::None);
             rob.popFront();
             return;
         }
@@ -288,6 +328,13 @@ Processor::doCommit()
 
         if (head.si.isMem())
             --lsqCount;
+
+        CWSIM_TRACE(Commit, "commit seq %llu pc 0x%llx %s",
+                    static_cast<unsigned long long>(head.seq),
+                    static_cast<unsigned long long>(head.pc),
+                    head.si.disassemble().c_str());
+        if (pipe)
+            emitPipeRecord(head, SquashCause::None);
 
         rob.popFront();
         ++commitCount;
@@ -395,6 +442,8 @@ Processor::doDispatch()
         inst.traceIdx = fi.traceIdx;
         inst.pc = fi.pc;
         inst.si = fi.si;
+        inst.fetchedAt = fi.fetchedAt;
+        inst.dispatchedAt = cycle;
         inst.predTaken = fi.predTaken;
         inst.predTarget = fi.predTarget;
         inst.predTargetKnown = fi.predTargetKnown;
@@ -436,6 +485,10 @@ Processor::doDispatch()
                 mdpTable.predictsDependence(inst.pc)) {
                 sb.slot(inst.sbSlot).barrier = true;
                 unissuedBarriers.insert(inst.seq);
+                CWSIM_TRACE(MDP, "STORE predicts dependence: store seq "
+                            "%llu pc 0x%llx becomes a barrier",
+                            static_cast<unsigned long long>(inst.seq),
+                            static_cast<unsigned long long>(inst.pc));
             }
             if (policy == SpecPolicy::SpecSync) {
                 Synonym syn = mdpTable.synonymOf(inst.pc);
@@ -451,6 +504,10 @@ Processor::doDispatch()
                 mdpTable.predictsDependence(inst.pc)) {
                 inst.waitAllStores = true;
                 ++pstats.selHolds;
+                CWSIM_TRACE(MDP, "SEL predicts dependence: load seq "
+                            "%llu pc 0x%llx waits for all older stores",
+                            static_cast<unsigned long long>(inst.seq),
+                            static_cast<unsigned long long>(inst.pc));
             }
             if (policy == SpecPolicy::SpecSync) {
                 Synonym syn = mdpTable.synonymOf(inst.pc);
@@ -462,8 +519,19 @@ Processor::doDispatch()
                         if (e.seq < inst.seq &&
                             e.producerSynonym == syn && !e.committed) {
                             inst.hasSyncWait = true;
+                            inst.waitedSync = true;
                             inst.syncWaitStore = e.seq;
                             ++pstats.syncWaits;
+                            CWSIM_TRACE(MDP, "SYNC: load seq %llu pc "
+                                        "0x%llx synchronizes on store "
+                                        "seq %llu (synonym %u)",
+                                        static_cast<unsigned long long>(
+                                            inst.seq),
+                                        static_cast<unsigned long long>(
+                                            inst.pc),
+                                        static_cast<unsigned long long>(
+                                            e.seq),
+                                        static_cast<unsigned>(syn));
                             break;
                         }
                     }
@@ -543,6 +611,11 @@ Processor::doFetch()
         fi.pc = fetchPc;
         fi.si = si;
         fi.readyAt = cycle + cfg.core.fetchToDispatch;
+        fi.fetchedAt = cycle;
+        CWSIM_TRACE(Fetch, "fetch seq %llu pc 0x%llx %s",
+                    static_cast<unsigned long long>(fi.seq),
+                    static_cast<unsigned long long>(fi.pc),
+                    si.disassemble().c_str());
 
         if (si.isHalt()) {
             fetchQueue.push_back(fi);
@@ -713,6 +786,7 @@ void
 Processor::completeInst(DynInst &inst)
 {
     inst.done = true;
+    inst.completedAt = cycle;
     if (inst.si.writesReg())
         broadcastResult(inst);
     if (inst.si.isControl()) {
@@ -753,13 +827,19 @@ Processor::resolveControl(DynInst &inst)
 
     if (mispredict) {
         ++pstats.branchMispredicts;
+        CWSIM_TRACE(Recovery, "branch mispredict: seq %llu pc 0x%llx "
+                    "-> 0x%llx",
+                    static_cast<unsigned long long>(inst.seq),
+                    static_cast<unsigned long long>(inst.pc),
+                    static_cast<unsigned long long>(next_pc));
         bool repaired = false;
         if (inst.si.isBranch()) {
             bpred.repairAndResolve(inst.checkpoint, inst.actualTaken);
             repaired = true;
         }
         squashYoungerThan(inst.seq, next_pc, inst.traceIdx + 1,
-                          /*repair_bpred=*/!repaired);
+                          /*repair_bpred=*/!repaired,
+                          SquashCause::BranchMispredict);
     } else if (fetchStalledOnSeq == inst.seq) {
         resumeFetch(next_pc);
     }
@@ -768,7 +848,7 @@ Processor::resolveControl(DynInst &inst)
 void
 Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
                              TraceIndex restart_trace_idx,
-                             bool repair_bpred)
+                             bool repair_bpred, SquashCause cause)
 {
     if (repair_bpred) {
         // Repair to the state just before the oldest squashed
@@ -807,8 +887,31 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
             --lsqCount;
         ++pstats.squashedInsts;
         ++squashed;
+        if (pipe)
+            emitPipeRecord(inst, cause);
         rob.truncate(1);
     }
+
+    if (pipe) {
+        // Fetched-but-never-dispatched instructions also get a (mostly
+        // empty) timeline record so the trace accounts for every fetch.
+        for (const FetchedInst &fi : fetchQueue) {
+            obs::PipeViewWriter::Record r;
+            r.seq = fi.seq;
+            r.pc = fi.pc;
+            r.fetch = fi.fetchedAt;
+            r.disasm = fi.si.disassemble() +
+                       strfmt(" [squash: %s]", toString(cause));
+            pipe->write(r);
+        }
+    }
+
+    CWSIM_TRACE(Recovery,
+                "squash (%s): %u insts younger than seq %llu, "
+                "restart pc 0x%llx",
+                toString(cause), squashed,
+                static_cast<unsigned long long>(keep_seq),
+                static_cast<unsigned long long>(restart_pc));
 
     frec.record(cycle, check::EventKind::Squash, keep_seq, restart_pc,
                 squashed);
@@ -823,6 +926,60 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
     nextFetchTraceIdx = restart_trace_idx;
     fetchStalledOnSeq = 0;
     fetchHalted = false;
+}
+
+void
+Processor::emitPipeRecord(const DynInst &inst, SquashCause cause)
+{
+    obs::PipeViewWriter::Record r;
+    r.seq = inst.seq;
+    r.pc = inst.pc;
+
+    // Record fields are in cycles; the writer converts to ticks.
+    r.fetch = inst.fetchedAt;
+    // This model has no distinct decode/rename stages; mirror the
+    // neighbouring stage times so Konata draws a contiguous bar.
+    r.decode = r.fetch;
+    r.rename = inst.dispatchedAt;
+    r.dispatch = inst.dispatchedAt;
+    r.issue = inst.issued ? inst.issuedAt : 0;
+    r.complete = inst.done ? inst.completedAt : 0;
+    // Squashed instructions never retire (time 0 = stage not reached).
+    r.retire = cause == SquashCause::None ? cycle : 0;
+    if (inst.isStore() && cause == SquashCause::None)
+        r.storeComplete = r.retire;
+
+    std::string annot;
+    if (inst.timesReplayed)
+        annot += strfmt(" [replay x%u]", unsigned{inst.timesReplayed});
+    if (inst.waitedSync)
+        annot += " [sync-wait]";
+    if (inst.waitAllStores)
+        annot += " [sel-hold]";
+    if (inst.fdEvaluated && inst.fdIsFalse) {
+        annot += strfmt(" [false-dep %lluc]",
+                        static_cast<unsigned long long>(inst.fdLatency));
+    }
+    if (inst.speculativeLoad)
+        annot += " [spec-load]";
+    if (cause != SquashCause::None)
+        annot += strfmt(" [squash: %s]", toString(cause));
+    r.disasm = inst.si.disassemble() + annot;
+
+    pipe->write(r);
+}
+
+void
+Processor::emitIntervalSample()
+{
+    obs::IntervalCounters now;
+    now.commits = pstats.commits.value();
+    now.violations = pstats.memOrderViolations.value();
+    now.replays = pstats.loadReplays.value();
+    now.falseDepLoads = pstats.falseDepLoads.value();
+    now.occupancySum = pstats.windowOccupancy.sum();
+    now.occupancyCount = pstats.windowOccupancy.count();
+    sampler->sample(cycle, now);
 }
 
 } // namespace cwsim

@@ -40,12 +40,26 @@
 #include "mdp/oracle.hh"
 #include "mem/functional_memory.hh"
 #include "mem/timing_cache.hh"
+#include "obs/interval.hh"
+#include "obs/pipeview.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace cwsim
 {
+
+/** Why a squash happened — annotated onto pipeline-trace records. */
+enum class SquashCause : uint8_t
+{
+    None,             ///< Not squashed (committed normally).
+    BranchMispredict,
+    MemOrderViolation, ///< A memory dependence miss-speculation.
+    InjectedViolation, ///< Fault injection forced the violation.
+    Drain,            ///< runTiming() boundary drain.
+};
+
+const char *toString(SquashCause cause);
 
 /** Aggregate statistics for one Processor run. */
 struct ProcStats
@@ -234,11 +248,18 @@ class Processor
     /**
      * Squash every instruction younger than @p keep_seq (everything if
      * keep_seq == 0), repair the branch predictor, and redirect fetch.
+     * @p cause annotates the squashed instructions' pipeline-trace
+     * records.
      */
     void squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
                            TraceIndex restart_trace_idx,
-                           bool repair_bpred);
+                           bool repair_bpred, SquashCause cause);
     void resumeFetch(Addr target);
+
+    // ---- observability (src/obs/) -----------------------------------
+    /** Emit @p inst's O3PipeView record (cause != None => squashed). */
+    void emitPipeRecord(const DynInst &inst, SquashCause cause);
+    void emitIntervalSample();
 
     void captureOperand(DynInst::Operand &op, RegId reg);
     void renameDest(DynInst &inst);
@@ -296,6 +317,7 @@ class Processor
         bool hasCheckpoint = false;
         BPredCheckpoint checkpoint;
         Tick readyAt = 0;
+        Tick fetchedAt = 0;
     };
     std::deque<FetchedInst> fetchQueue;
     Addr fetchPc;
@@ -318,6 +340,12 @@ class Processor
 
     ProcStats pstats;
     stats::StatGroup statGroup;
+
+    // ---- observability ------------------------------------------------
+    /** Pipeline-trace writer (nullptr when not recording). */
+    obs::PipeViewWriter *pipe;
+    /** Interval stats sampler (nullptr when not sampling). */
+    std::unique_ptr<obs::IntervalSampler> sampler;
 };
 
 } // namespace cwsim

@@ -228,7 +228,8 @@ Processor::injectSpuriousViolation(const SbEntry &entry)
     Addr restart_pc = victim->pc;
     TraceIndex restart_idx = victim->traceIdx;
     squashYoungerThan(victim->seq - 1, restart_pc, restart_idx,
-                      /*repair_bpred=*/true);
+                      /*repair_bpred=*/true,
+                      SquashCause::InjectedViolation);
 }
 
 void

@@ -9,6 +9,7 @@
 #include "base/logging.hh"
 #include "cpu/processor.hh"
 #include "isa/exec_fn.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
@@ -336,6 +337,16 @@ Processor::executeLoad(DynInst &inst)
     inst.loadRaw = raw;
     inst.loadSourceSeq = source;
     inst.result = exec::loadExtend(inst.si, raw);
+    CWSIM_TRACE(Issue, "load seq %llu pc 0x%llx addr 0x%llx%s%s%s",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc),
+                static_cast<unsigned long long>(inst.effAddr),
+                all_forwarded ? " [forwarded]" : "",
+                inst.speculativeLoad ? " [speculative]" : "",
+                source ? strfmt(" [src-store seq %llu]",
+                                static_cast<unsigned long long>(source))
+                             .c_str()
+                       : "");
     finishFalseDepStall(inst);
 }
 
@@ -348,7 +359,13 @@ Processor::replayLoad(DynInst &inst)
     inst.memIssued = false;
     inst.memDone = false;
     inst.done = false;
+    ++inst.timesReplayed;
     ++pstats.loadReplays;
+    CWSIM_TRACE(Recovery, "silent replay: load seq %llu pc 0x%llx "
+                "(replay #%u)",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc),
+                unsigned{inst.timesReplayed});
     frec.record(cycle, check::EventKind::Replay, inst.seq, inst.pc);
 }
 
@@ -366,6 +383,10 @@ Processor::executeStoreNas(DynInst &inst)
     entry.data = exec::storeValue(inst.si, inst.src2.value);
     entry.dataValid = true;
     inst.effAddr = entry.addr;
+    CWSIM_TRACE(Issue, "store seq %llu pc 0x%llx addr 0x%llx",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc),
+                static_cast<unsigned long long>(entry.addr));
     storeBecameExecuted(inst, entry);
 }
 
@@ -383,6 +404,12 @@ Processor::postStoreAddr(DynInst &inst)
                     inst.seq, inst.pc, delay);
     }
     inst.effAddr = entry.addr;
+    CWSIM_TRACE(LSQ, "store addr posted: seq %llu pc 0x%llx "
+                "addr 0x%llx visible at cycle %llu",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc),
+                static_cast<unsigned long long>(entry.addr),
+                static_cast<unsigned long long>(entry.addrVisibleAt));
     if (entry.dataValid)
         storeBecameExecuted(inst, entry);
 }
@@ -393,6 +420,9 @@ Processor::postStoreData(DynInst &inst)
     SbEntry &entry = sb.slot(inst.sbSlot);
     entry.data = exec::storeValue(inst.si, inst.src2.value);
     entry.dataValid = true;
+    CWSIM_TRACE(LSQ, "store data posted: seq %llu pc 0x%llx",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc));
     if (entry.addrValid)
         storeBecameExecuted(inst, entry);
 }
@@ -430,6 +460,9 @@ Processor::storeBecameExecuted(DynInst &inst, SbEntry &entry)
 void
 Processor::trainPredictors(const DynInst &load, const SbEntry &store)
 {
+    CWSIM_TRACE(MDP, "train: load pc 0x%llx / store pc 0x%llx",
+                static_cast<unsigned long long>(load.pc),
+                static_cast<unsigned long long>(store.pc));
     switch (policy) {
       case SpecPolicy::SpecSync:
         mdpTable.pair(load.pc, store.pc);
@@ -466,6 +499,14 @@ Processor::checkViolationsNas(const SbEntry &entry)
             continue; // forwarded from a younger store: value is fine
 
         ++pstats.memOrderViolations;
+        CWSIM_TRACE(Recovery, "mem-order violation: load seq %llu "
+                    "pc 0x%llx vs store seq %llu pc 0x%llx "
+                    "addr 0x%llx",
+                    static_cast<unsigned long long>(load.seq),
+                    static_cast<unsigned long long>(load.pc),
+                    static_cast<unsigned long long>(entry.seq),
+                    static_cast<unsigned long long>(entry.pc),
+                    static_cast<unsigned long long>(entry.addr));
         frec.record(cycle, check::EventKind::Violation, load.seq,
                     load.pc, entry.pc);
         trainPredictors(load, entry);
@@ -479,6 +520,10 @@ Processor::checkViolationsNas(const SbEntry &entry)
                 continue;
             }
             ++pstats.selectiveFallbacks;
+            CWSIM_TRACE(Recovery, "selective recovery fell back to "
+                        "squash: load seq %llu pc 0x%llx",
+                        static_cast<unsigned long long>(load.seq),
+                        static_cast<unsigned long long>(load.pc));
             frec.record(cycle, check::EventKind::SelectiveFallback,
                         load.seq, load.pc);
         }
@@ -488,7 +533,8 @@ Processor::checkViolationsNas(const SbEntry &entry)
         Addr restart_pc = load.pc;
         TraceIndex restart_idx = load.traceIdx;
         squashYoungerThan(load.seq - 1, restart_pc, restart_idx,
-                          /*repair_bpred=*/true);
+                          /*repair_bpred=*/true,
+                          SquashCause::MemOrderViolation);
         return;
     }
 }
@@ -506,6 +552,7 @@ Processor::resetForReplay(DynInst &inst)
     inst.memIssued = false;
     inst.memDone = false;
     inst.effAddr = invalid_addr;
+    ++inst.timesReplayed;
 
     if (inst.isStore() && inst.sbSlot >= 0) {
         SbEntry &entry = sb.slot(inst.sbSlot);
@@ -596,6 +643,11 @@ Processor::replayDependenceSlice(DynInst &victim)
 
     ++pstats.selectiveRecoveries;
     pstats.sliceSize.sample(static_cast<double>(slice.size()));
+    CWSIM_TRACE(Recovery, "selective recovery: victim seq %llu "
+                "pc 0x%llx, slice of %zu insts replayed",
+                static_cast<unsigned long long>(victim.seq),
+                static_cast<unsigned long long>(victim.pc),
+                slice.size());
     frec.record(cycle, check::EventKind::SelectiveRecovery, victim.seq,
                 victim.pc, slice.size());
     return true;
@@ -624,13 +676,21 @@ Processor::checkStaleLoadsAs(const SbEntry &entry)
 
         if (anyConsumerIssued(load)) {
             ++pstats.memOrderViolations;
+            CWSIM_TRACE(Recovery, "stale AS load with consumers: "
+                        "seq %llu pc 0x%llx vs store seq %llu "
+                        "pc 0x%llx",
+                        static_cast<unsigned long long>(load.seq),
+                        static_cast<unsigned long long>(load.pc),
+                        static_cast<unsigned long long>(entry.seq),
+                        static_cast<unsigned long long>(entry.pc));
             frec.record(cycle, check::EventKind::Violation, load.seq,
                         load.pc, entry.pc);
             trainPredictors(load, entry);
             Addr restart_pc = load.pc;
             TraceIndex restart_idx = load.traceIdx;
             squashYoungerThan(load.seq - 1, restart_pc, restart_idx,
-                              /*repair_bpred=*/true);
+                              /*repair_bpred=*/true,
+                              SquashCause::MemOrderViolation);
             return;
         }
 
@@ -662,6 +722,11 @@ Processor::noteFalseDepStall(DynInst &inst)
             true_dep = true;
     }
     inst.fdIsFalse = !true_dep;
+    CWSIM_TRACE(LSQ, "load stalled by %s dependence: seq %llu "
+                "pc 0x%llx",
+                true_dep ? "a true" : "a false",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<unsigned long long>(inst.pc));
 }
 
 void

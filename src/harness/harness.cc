@@ -1,6 +1,7 @@
 #include "harness/harness.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include "base/sim_error.hh"
 #include "base/str.hh"
 #include "check/equivalence.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
@@ -78,6 +80,17 @@ Runner::run(const std::string &name, const SimConfig &cfg)
     r.workload = name;
     r.config = cfg.name();
 
+    // Tag this worker's trace lines with "workload config" so parallel
+    // sweeps stay attributable. Cheap enough to do unconditionally.
+    obs::setRunLabel(name + " " + r.config);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    auto stamp_wall = [&] {
+        r.wallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    };
+
     try {
         // While the trap is live, panic()/fatal() anywhere below us
         // throw SimError instead of aborting the process.
@@ -124,9 +137,14 @@ Runner::run(const std::string &name, const SimConfig &cfg)
                                __FILE__, __LINE__, diff);
             }
         }
+        stamp_wall();
     } catch (const SimError &e) {
+        stamp_wall();
         r.ok = false;
         r.error = e.summary();
+        // The last few flight-recorder events (the dump's tail) make
+        // the FAILED RUNS row self-diagnosing.
+        r.diagnostic = lastLines(e.diagnostic(), 8);
         recordFailure(r);
         warn("run failed (%s, %s): %s", name.c_str(),
              cfg.name().c_str(), e.summary().c_str());
@@ -156,6 +174,17 @@ reportFailures(const Runner &runner)
     for (const auto &f : fails)
         table.addRow({f.workload, f.config, f.error});
     std::fputs(table.toString().c_str(), stdout);
+
+    // Each failure's diagnostic tail (last flight-recorder events),
+    // so the report alone localizes the fault.
+    for (const auto &f : fails) {
+        if (f.diagnostic.empty())
+            continue;
+        std::printf("\n%s under %s — last events:\n",
+                    f.workload.c_str(), f.config.c_str());
+        for (const std::string &line : split(f.diagnostic, '\n'))
+            std::printf("    %s\n", line.c_str());
+    }
     return fails.size();
 }
 

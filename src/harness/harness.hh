@@ -56,6 +56,25 @@ struct RunResult
     bool ok = true;
     /** One-line failure summary (empty when ok). */
     std::string error;
+    /**
+     * Failure diagnostics: the last few flight-recorder events (or
+     * whatever dump the SimError carried), so a FAILED RUNS row is
+     * self-diagnosing without rerunning under a debugger.
+     */
+    std::string diagnostic;
+
+    // Host-side profiling (not part of the simulated result; excluded
+    // from determinism comparisons).
+    double wallMs = 0;     ///< Wall-clock time of this run.
+    bool cacheHit = false; ///< Served from the sweep's run cache.
+
+    double
+    simCyclesPerSec() const
+    {
+        return wallMs > 0 ? static_cast<double>(cycles) /
+                                (wallMs / 1000.0)
+                          : 0;
+    }
 
     double
     ipc() const

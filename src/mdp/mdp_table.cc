@@ -2,6 +2,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
@@ -83,7 +84,13 @@ MdpTable::recordMissSpeculation(Addr pc)
 {
     Entry &e = allocate(pc);
     e.confidence.increment();
-    return e.confidence.value() >= predictThreshold;
+    bool predicts = e.confidence.value() >= predictThreshold;
+    CWSIM_TRACE(MDP, "miss-speculation recorded: pc 0x%llx "
+                "confidence %u%s",
+                static_cast<unsigned long long>(pc),
+                e.confidence.value(),
+                predicts ? " (predicting)" : "");
+    return predicts;
 }
 
 bool
@@ -117,6 +124,11 @@ MdpTable::pair(Addr load_pc, Addr store_pc)
     store_e.synonym = syn;
     load_e.synonym = syn;
     ++pairings;
+    CWSIM_TRACE(MDP, "paired load pc 0x%llx with store pc 0x%llx "
+                "under synonym %llu",
+                static_cast<unsigned long long>(load_pc),
+                static_cast<unsigned long long>(store_pc),
+                static_cast<unsigned long long>(syn));
     return syn;
 }
 
@@ -213,6 +225,8 @@ MdpTable::reset()
         e.synonym = invalid_synonym;
     }
     ++resets;
+    CWSIM_TRACE(MDP, "table reset #%llu",
+                static_cast<unsigned long long>(resets.value()));
 }
 
 } // namespace cwsim

@@ -1,0 +1,100 @@
+#include "obs/interval.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON string escape for the label field. Labels are workload
+ * and config names today, but defend against anything.
+ */
+std::string
+escapeLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+IntervalSampler::IntervalSampler(const std::string &path,
+                                 uint64_t period, std::string label)
+    : out(std::fopen(path.c_str(), "a")), periodCycles(period),
+      nextSampleAt(period), label(std::move(label))
+{
+    if (!out) {
+        warn("interval stats: cannot open %s; sampling disabled",
+             path.c_str());
+    }
+}
+
+IntervalSampler::~IntervalSampler()
+{
+    if (out)
+        std::fclose(out);
+}
+
+void
+IntervalSampler::sample(Tick cycle, const IntervalCounters &now)
+{
+    while (nextSampleAt <= cycle)
+        nextSampleAt += periodCycles;
+    if (!out)
+        return;
+
+    uint64_t cycles = cycle - lastCycle;
+    uint64_t commits = now.commits - last.commits;
+    uint64_t occ_n = now.occupancyCount - last.occupancyCount;
+    double occ_mean =
+        occ_n ? (now.occupancySum - last.occupancySum) / occ_n : 0.0;
+
+    // One fprintf per line: with line buffering the whole record lands
+    // in one write, so concurrent samplers appending to the same file
+    // cannot shear a line.
+    std::fprintf(
+        out,
+        "{\"label\":\"%s\",\"cycle\":%llu,\"interval\":%llu,"
+        "\"commits\":%llu,\"ipc\":%.6f,\"violations\":%llu,"
+        "\"replays\":%llu,\"false_dep_loads\":%llu,"
+        "\"window_occupancy\":%.4f}\n",
+        escapeLabel(label).c_str(),
+        static_cast<unsigned long long>(cycle),
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(commits),
+        cycles ? static_cast<double>(commits) / cycles : 0.0,
+        static_cast<unsigned long long>(now.violations -
+                                        last.violations),
+        static_cast<unsigned long long>(now.replays - last.replays),
+        static_cast<unsigned long long>(now.falseDepLoads -
+                                        last.falseDepLoads),
+        occ_mean);
+    std::fflush(out);
+
+    last = now;
+    lastCycle = cycle;
+    ++samples;
+}
+
+} // namespace obs
+} // namespace cwsim

@@ -1,0 +1,189 @@
+#include "obs/pipeview.hh"
+
+#include <cctype>
+#include <istream>
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+namespace
+{
+
+uint64_t
+ticks(Tick cycle)
+{
+    return cycle * pipeview_ticks_per_cycle;
+}
+
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+bool
+allHexDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+/** The mid-record stages, in the order a record must emit them. */
+const char *const mid_stages[] = {"decode", "rename", "dispatch",
+                                  "issue", "complete"};
+constexpr size_t num_mid_stages = 5;
+
+} // anonymous namespace
+
+PipeViewWriter::PipeViewWriter(const std::string &path)
+    : filePath(path), out(std::fopen(path.c_str(), "w"))
+{
+}
+
+PipeViewWriter::~PipeViewWriter()
+{
+    if (out)
+        std::fclose(out);
+}
+
+void
+PipeViewWriter::write(const Record &rec)
+{
+    if (!out)
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::fprintf(out,
+                 "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n"
+                 "O3PipeView:decode:%llu\n"
+                 "O3PipeView:rename:%llu\n"
+                 "O3PipeView:dispatch:%llu\n"
+                 "O3PipeView:issue:%llu\n"
+                 "O3PipeView:complete:%llu\n",
+                 static_cast<unsigned long long>(ticks(rec.fetch)),
+                 static_cast<unsigned long long>(rec.pc),
+                 static_cast<unsigned long long>(rec.seq),
+                 rec.disasm.c_str(),
+                 static_cast<unsigned long long>(ticks(rec.decode)),
+                 static_cast<unsigned long long>(ticks(rec.rename)),
+                 static_cast<unsigned long long>(ticks(rec.dispatch)),
+                 static_cast<unsigned long long>(ticks(rec.issue)),
+                 static_cast<unsigned long long>(ticks(rec.complete)));
+    if (rec.storeComplete) {
+        std::fprintf(out, "O3PipeView:retire:%llu:store:%llu\n",
+                     static_cast<unsigned long long>(ticks(rec.retire)),
+                     static_cast<unsigned long long>(
+                         ticks(rec.storeComplete)));
+    } else {
+        std::fprintf(out, "O3PipeView:retire:%llu\n",
+                     static_cast<unsigned long long>(ticks(rec.retire)));
+    }
+    ++records;
+}
+
+std::string
+validatePipeViewLine(const std::string &line)
+{
+    std::vector<std::string> f = split(line, ':');
+    if (f.size() < 2 || f[0] != "O3PipeView")
+        return "does not start with 'O3PipeView:<stage>'";
+    const std::string &stage = f[1];
+
+    if (stage == "fetch") {
+        // O3PipeView:fetch:<tick>:0x<pc>:0:<seq>:<disasm...>
+        if (f.size() < 7)
+            return "fetch line needs 7 ':'-separated fields";
+        if (!allDigits(f[2]))
+            return "fetch tick is not a number";
+        if (!startsWith(f[3], "0x") || !allHexDigits(f[3].substr(2)))
+            return "fetch pc is not 0x<hex>";
+        if (!allDigits(f[4]))
+            return "fetch upc is not a number";
+        if (!allDigits(f[5]))
+            return "fetch seq is not a number";
+        return "";
+    }
+    for (const char *mid : mid_stages) {
+        if (stage == mid) {
+            if (f.size() != 3)
+                return strfmt("%s line needs exactly 3 fields", mid);
+            if (!allDigits(f[2]))
+                return strfmt("%s tick is not a number", mid);
+            return "";
+        }
+    }
+    if (stage == "retire") {
+        // O3PipeView:retire:<tick>[:store:<tick>]
+        if (f.size() != 3 && f.size() != 5)
+            return "retire line needs 3 or 5 fields";
+        if (!allDigits(f[2]))
+            return "retire tick is not a number";
+        if (f.size() == 5) {
+            if (f[3] != "store")
+                return "retire 4th field must be 'store'";
+            if (!allDigits(f[4]))
+                return "retire store tick is not a number";
+        }
+        return "";
+    }
+    return strfmt("unknown stage '%s'", stage.c_str());
+}
+
+std::string
+validatePipeViewStream(std::istream &in, size_t *records)
+{
+    size_t count = 0;
+    size_t line_no = 0;
+    // Index into the expected next stage: 0 = fetch,
+    // 1..num_mid_stages = mid stages, then retire.
+    size_t expect = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty())
+            continue;
+        std::string complaint = validatePipeViewLine(line);
+        if (!complaint.empty())
+            return strfmt("line %zu: %s", line_no, complaint.c_str());
+
+        std::string stage = split(line, ':')[1];
+        std::string expected =
+            expect == 0 ? "fetch"
+                        : (expect <= num_mid_stages
+                               ? mid_stages[expect - 1]
+                               : "retire");
+        if (stage != expected) {
+            return strfmt("line %zu: expected %s line, got %s",
+                          line_no, expected.c_str(), stage.c_str());
+        }
+        if (stage == "retire") {
+            ++count;
+            expect = 0;
+        } else {
+            ++expect;
+        }
+    }
+    if (expect != 0)
+        return strfmt("truncated record at end of stream");
+    if (records)
+        *records = count;
+    return "";
+}
+
+} // namespace obs
+} // namespace cwsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A per-instruction pipeline timeline writer in gem5's O3PipeView
+ * format, which Konata (and gem5's util/o3-pipeview.py) render as a
+ * scrolling pipeline diagram.
+ *
+ * One committed (or squashed) instruction becomes one record of
+ * newline-terminated stage lines:
+ *
+ *   O3PipeView:fetch:<tick>:0x<pc>:0:<seq>:<disasm>
+ *   O3PipeView:decode:<tick>
+ *   O3PipeView:rename:<tick>
+ *   O3PipeView:dispatch:<tick>
+ *   O3PipeView:issue:<tick>
+ *   O3PipeView:complete:<tick>
+ *   O3PipeView:retire:<tick>:store:<store-tick>
+ *
+ * Ticks are cycle * tick_per_cycle (gem5 convention; Konata only uses
+ * ratios). A tick of 0 marks a stage the instruction never reached —
+ * in particular squashed instructions retire at 0, which viewers
+ * render as a flushed (grey) row. Memory-dependence history rides in
+ * the disasm field as bracketed annotations: [squash: mem-order],
+ * [replay x2], [sync-wait], [sel-hold], [false-dep 12c] — making the
+ * speculation behavior the paper studies visible per instruction.
+ *
+ * Records are written whole under one mutex, so a record is never
+ * interleaved; but two parallel runs writing the same file still
+ * interleave *records*. Pipeline traces are a single-run debugging
+ * tool: use --jobs 1 --filter <one workload> (documented in
+ * EXPERIMENTS.md).
+ */
+
+#ifndef CWSIM_OBS_PIPEVIEW_HH
+#define CWSIM_OBS_PIPEVIEW_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+/** gem5 writes 500 ticks per cycle at 2GHz; any constant > 0 works. */
+constexpr uint64_t pipeview_ticks_per_cycle = 500;
+
+class PipeViewWriter
+{
+  public:
+    /** One instruction's stage timestamps, in cycles (0 = never). */
+    struct Record
+    {
+        InstSeqNum seq = 0;
+        Addr pc = 0;
+        std::string disasm;
+        Tick fetch = 0;
+        Tick decode = 0;
+        Tick rename = 0;
+        Tick dispatch = 0;
+        Tick issue = 0;
+        Tick complete = 0;
+        /** 0 = squashed (never retired). */
+        Tick retire = 0;
+        /** Stores: when the store left the store buffer (0 = n/a). */
+        Tick storeComplete = 0;
+    };
+
+    explicit PipeViewWriter(const std::string &path);
+    ~PipeViewWriter();
+
+    bool valid() const { return out != nullptr; }
+    const std::string &path() const { return filePath; }
+
+    /** Emit one whole record (all stage lines, atomically). */
+    void write(const Record &rec);
+
+    uint64_t recordsWritten() const { return records; }
+
+  private:
+    std::string filePath;
+    std::FILE *out;
+    std::mutex mutex;
+    uint64_t records = 0;
+};
+
+/**
+ * Validate one O3PipeView line. @return "" when well-formed, else a
+ * complaint. Used by tests and the CI trace-smoke job.
+ */
+std::string validatePipeViewLine(const std::string &line);
+
+/**
+ * Validate a whole pipeline-trace stream: every line well-formed and
+ * stage lines grouped into complete fetch..retire records. On success
+ * returns the number of records via @p records and "". On the first
+ * malformed line returns "line N: <complaint>".
+ */
+std::string validatePipeViewStream(std::istream &in, size_t *records);
+
+} // namespace obs
+} // namespace cwsim
+
+#endif // CWSIM_OBS_PIPEVIEW_HH

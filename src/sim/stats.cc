@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 #include "base/str.hh"
 
@@ -117,6 +118,90 @@ StatGroup::hasScalar(const std::string &name) const
                        [&](const auto &s) { return s.name == name; });
 }
 
+bool
+StatGroup::hasAverage(const std::string &name) const
+{
+    return std::any_of(averages.begin(), averages.end(),
+                       [&](const auto &a) { return a.name == name; });
+}
+
+bool
+StatGroup::hasDistribution(const std::string &name) const
+{
+    return std::any_of(dists.begin(), dists.end(),
+                       [&](const auto &d) { return d.name == name; });
+}
+
+namespace
+{
+
+/**
+ * Strip "<group>." off a fully-qualified name; empty result means the
+ * name cannot live under this group.
+ */
+std::string
+stripGroupPrefix(const std::string &fq, const std::string &group)
+{
+    if (fq.size() <= group.size() + 1 || !startsWith(fq, group) ||
+        fq[group.size()] != '.') {
+        return "";
+    }
+    return fq.substr(group.size() + 1);
+}
+
+} // anonymous namespace
+
+const Scalar *
+StatGroup::findScalar(const std::string &fq) const
+{
+    std::string rest = stripGroupPrefix(fq, groupName);
+    if (rest.empty())
+        return nullptr;
+    for (const auto &s : scalars) {
+        if (s.name == rest)
+            return s.stat;
+    }
+    for (const StatGroup *child : children) {
+        if (const Scalar *hit = child->findScalar(rest))
+            return hit;
+    }
+    return nullptr;
+}
+
+const Average *
+StatGroup::findAverage(const std::string &fq) const
+{
+    std::string rest = stripGroupPrefix(fq, groupName);
+    if (rest.empty())
+        return nullptr;
+    for (const auto &a : averages) {
+        if (a.name == rest)
+            return a.stat;
+    }
+    for (const StatGroup *child : children) {
+        if (const Average *hit = child->findAverage(rest))
+            return hit;
+    }
+    return nullptr;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &fq) const
+{
+    std::string rest = stripGroupPrefix(fq, groupName);
+    if (rest.empty())
+        return nullptr;
+    for (const auto &d : dists) {
+        if (d.name == rest)
+            return d.stat;
+    }
+    for (const StatGroup *child : children) {
+        if (const Distribution *hit = child->findDistribution(rest))
+            return hit;
+    }
+    return nullptr;
+}
+
 std::string
 StatGroup::fullName() const
 {
@@ -154,6 +239,74 @@ StatGroup::dump(std::ostream &os) const
     }
     for (const StatGroup *child : children)
         child->dump(os);
+}
+
+void
+StatGroup::collectJson(std::vector<std::string> &fields) const
+{
+    std::string prefix = fullName();
+    // Stat names are C identifiers and group names contain no JSON
+    // metacharacters, so keys need no escaping; values are numbers.
+    for (const auto &s : scalars) {
+        fields.push_back(strfmt(
+            "\"%s.%s\":%llu", prefix.c_str(), s.name.c_str(),
+            static_cast<unsigned long long>(s.stat->value())));
+    }
+    for (const auto &a : averages) {
+        fields.push_back(strfmt("\"%s.%s.mean\":%.17g", prefix.c_str(),
+                                a.name.c_str(), a.stat->mean()));
+        fields.push_back(strfmt(
+            "\"%s.%s.count\":%llu", prefix.c_str(), a.name.c_str(),
+            static_cast<unsigned long long>(a.stat->count())));
+    }
+    for (const auto &d : dists) {
+        const Distribution *stat = d.stat;
+        std::string base = prefix + "." + d.name;
+        fields.push_back(
+            strfmt("\"%s.mean\":%.17g", base.c_str(), stat->mean()));
+        fields.push_back(strfmt(
+            "\"%s.count\":%llu", base.c_str(),
+            static_cast<unsigned long long>(stat->count())));
+        fields.push_back(strfmt("\"%s.min\":%.17g", base.c_str(),
+                                stat->minSample()));
+        fields.push_back(strfmt("\"%s.max\":%.17g", base.c_str(),
+                                stat->maxSample()));
+        fields.push_back(strfmt(
+            "\"%s.underflow\":%llu", base.c_str(),
+            static_cast<unsigned long long>(stat->underflows())));
+        fields.push_back(strfmt(
+            "\"%s.overflow\":%llu", base.c_str(),
+            static_cast<unsigned long long>(stat->overflows())));
+        for (size_t b = 0; b < stat->numBuckets(); ++b) {
+            fields.push_back(strfmt(
+                "\"%s.bucket%zu\":%llu", base.c_str(), b,
+                static_cast<unsigned long long>(stat->bucketCount(b))));
+        }
+    }
+    for (const StatGroup *child : children)
+        child->collectJson(fields);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    std::vector<std::string> fields;
+    collectJson(fields);
+    os << "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << fields[i];
+    }
+    os << "}";
+}
+
+std::string
+StatGroup::jsonString() const
+{
+    std::ostringstream os;
+    dumpJson(os);
+    return os.str();
 }
 
 } // namespace stats

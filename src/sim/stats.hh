@@ -85,6 +85,7 @@ class Distribution
     uint64_t overflows() const { return overflow; }
     uint64_t count() const { return samples; }
     double mean() const { return samples ? total / samples : 0.0; }
+    double sum() const { return total; }
     double minSample() const { return sampleMin; }
     double maxSample() const { return sampleMax; }
 
@@ -125,9 +126,31 @@ class StatGroup
     double averageMean(const std::string &name) const;
 
     bool hasScalar(const std::string &name) const;
+    bool hasAverage(const std::string &name) const;
+    bool hasDistribution(const std::string &name) const;
+
+    /**
+     * Find a stat by fully-qualified name relative to this group —
+     * e.g. a root group "proc" resolves "proc.commits" locally and
+     * "proc.l1d.hits" through its children. Returns nullptr when no
+     * such stat exists (no panic: callers probe).
+     */
+    const Scalar *findScalar(const std::string &fq) const;
+    const Average *findAverage(const std::string &fq) const;
+    const Distribution *findDistribution(const std::string &fq) const;
 
     /** Write "fullName value # desc" lines for all registered stats. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Export the whole group tree as ONE flat JSON object keyed by
+     * fully-qualified stat names, e.g. {"proc.commits":123,...}.
+     * Averages contribute .mean/.count keys; distributions contribute
+     * .mean/.count/.min/.max/.underflow/.overflow and one .bucketK per
+     * bucket. Flat on purpose: sweep::parseFlatJson round-trips it.
+     */
+    void dumpJson(std::ostream &os) const;
+    std::string jsonString() const;
 
     const std::string &name() const { return groupName; }
     std::string fullName() const;
@@ -139,6 +162,8 @@ class StatGroup
                           std::string desc; };
     struct NamedDist { std::string name; const Distribution *stat;
                        std::string desc; };
+
+    void collectJson(std::vector<std::string> &fields) const;
 
     std::string groupName;
     StatGroup *parent;

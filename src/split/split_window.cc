@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/sim_error.hh"
 #include "check/watchdog.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
@@ -22,6 +23,13 @@ SplitWindowSim::SplitWindowSim(const SplitConfig &cfg,
                  cfg.policy != SpecPolicy::Naive &&
                  cfg.policy != SpecPolicy::SpecSync,
              "the split-window model supports NO, NAV and SYNC");
+
+    pipe = obs::TraceManager::instance().pipeView();
+    if (pipe) {
+        disasms.reserve(trace.size());
+        for (const TraceEntry &te : trace)
+            disasms.push_back(te.inst.disassemble());
+    }
 
     // Precompute register and memory producers from the trace.
     std::unordered_map<unsigned, TraceIndex> reg_writer;
@@ -169,6 +177,7 @@ void
 SplitWindowSim::executeStore(Node &store, TraceIndex idx)
 {
     store.issued = true;
+    store.issuedAt = curCycle;
     store.done = true;
     store.doneAt = curCycle;
 
@@ -188,6 +197,13 @@ SplitWindowSim::executeStore(Node &store, TraceIndex idx)
             continue; // already forwarded from this store or younger
         }
         ++numViolations;
+        CWSIM_TRACE(Split, "violation: load idx %llu pc 0x%llx "
+                    "vs store idx %llu pc 0x%llx addr 0x%llx",
+                    static_cast<unsigned long long>(j),
+                    static_cast<unsigned long long>(load.pc),
+                    static_cast<unsigned long long>(idx),
+                    static_cast<unsigned long long>(store.pc),
+                    static_cast<unsigned long long>(store.addr));
         if (cfg.policy == SpecPolicy::SpecSync)
             mdpt.pair(load.pc, store.pc);
         squashFrom(j);
@@ -198,6 +214,7 @@ SplitWindowSim::executeStore(Node &store, TraceIndex idx)
 void
 SplitWindowSim::squashFrom(TraceIndex idx)
 {
+    unsigned squashed = 0;
     for (TraceIndex j = idx; j < nodes.size(); ++j) {
         Node &node = nodes[j];
         // Only in-flight chunks can have made progress.
@@ -210,7 +227,14 @@ SplitWindowSim::squashFrom(TraceIndex idx)
         node.addrPosted = false;
         node.sourceSeen = invalid_trace_index;
         node.notBefore = curCycle + cfg.squashPenalty;
+        ++node.timesSquashed;
+        ++squashed;
     }
+    CWSIM_TRACE(Split, "squash: %u insts from idx %llu, re-dispatch "
+                "at cycle %llu",
+                squashed, static_cast<unsigned long long>(idx),
+                static_cast<unsigned long long>(curCycle +
+                                                cfg.squashPenalty));
 }
 
 uint64_t
@@ -224,6 +248,9 @@ SplitWindowSim::run()
     check::Watchdog wdog(cfg.watchdogInterval);
 
     while (headCommit < n && curCycle < max_cycles) {
+        if (obs::tracingActive())
+            obs::setTraceCycle(curCycle);
+
         // ---- fetch ----
         if (cfg.continuousFetch) {
             // One in-order stream feeding a sliding window: older
@@ -236,6 +263,7 @@ SplitWindowSim::run()
             while (budget > 0 && globalCursor < n &&
                    globalCursor < window_end) {
                 nodes[globalCursor].fetched = true;
+                nodes[globalCursor].fetchedAt = curCycle;
                 ++globalCursor;
                 --budget;
             }
@@ -256,6 +284,7 @@ SplitWindowSim::run()
                 unsigned budget = cfg.unitFetchWidth;
                 while (budget > 0 && cursor < chunk_end) {
                     nodes[cursor].fetched = true;
+                    nodes[cursor].fetchedAt = curCycle;
                     ++cursor;
                     --budget;
                 }
@@ -338,6 +367,7 @@ SplitWindowSim::run()
                     }
                     node.sourceSeen = source;
                     node.issued = true;
+                    node.issuedAt = curCycle;
                     node.done = true;
                     node.doneAt = curCycle + cfg.memLatency +
                                   (cfg.lsqModel == LsqModel::AS
@@ -351,6 +381,7 @@ SplitWindowSim::run()
                     regReady(node.src2Producer, node.chunk)) {
                     --budget;
                     node.issued = true;
+                    node.issuedAt = curCycle;
                     node.done = true;
                     node.doneAt = curCycle + node.latency;
                 }
@@ -364,6 +395,27 @@ SplitWindowSim::run()
             if (!head.done || head.doneAt > curCycle)
                 break;
             head.committed = true;
+            if (pipe) {
+                // Record fields are cycles; the writer scales to ticks.
+                obs::PipeViewWriter::Record r;
+                r.seq = headCommit + 1; // pipeview seqs start at 1
+                r.pc = head.pc;
+                r.fetch = head.fetchedAt;
+                r.decode = r.fetch;
+                r.rename = r.fetch;
+                r.dispatch = r.fetch;
+                r.issue = head.issuedAt;
+                r.complete = head.doneAt;
+                r.retire = curCycle;
+                if (head.isStore)
+                    r.storeComplete = r.retire;
+                r.disasm = disasms[headCommit];
+                if (head.timesSquashed) {
+                    r.disasm += strfmt(" [squashed x%u]",
+                                       unsigned{head.timesSquashed});
+                }
+                pipe->write(r);
+            }
             ++headCommit;
             ++numCommitted;
             ++commits;

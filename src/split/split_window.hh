@@ -31,6 +31,7 @@
 #include "base/types.hh"
 #include "mdp/mdp_table.hh"
 #include "mdp/oracle.hh"
+#include "obs/pipeview.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -148,6 +149,11 @@ class SplitWindowSim
         TraceIndex sourceSeen = invalid_trace_index;
         /** Earliest re-issue time after a squash. */
         Tick notBefore = 0;
+
+        // Pipeline timeline (O3PipeView traces).
+        Tick fetchedAt = 0;
+        Tick issuedAt = 0;
+        uint16_t timesSquashed = 0;
     };
 
     bool regReady(TraceIndex producer, unsigned consumer_chunk) const;
@@ -158,6 +164,11 @@ class SplitWindowSim
     SplitConfig cfg;
     std::vector<Node> nodes;
     MdpTable mdpt;
+
+    /** Pipeline-trace writer (nullptr when not recording). */
+    obs::PipeViewWriter *pipe = nullptr;
+    /** Per-node disassembly, filled only while @ref pipe is active. */
+    std::vector<std::string> disasms;
 
     TraceIndex headCommit;   ///< Next instruction to commit.
     unsigned headChunk;      ///< Oldest in-flight chunk.

@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "obs/trace.hh"
 
 namespace cwsim
 {
@@ -28,7 +29,15 @@ printUsage(const char *prog)
         "  --json PATH    append one JSONL record per run to PATH\n"
         "  --no-cache     bypass the on-disk run cache\n"
         "  --cache-dir D  run-cache directory (default .cwsim-cache)\n"
-        "  --help         this message\n",
+        "  --trace=FLAGS  enable trace flags (e.g. MDP,Recovery or "
+        "all)\n"
+        "  --trace-file P trace output path (default stderr)\n"
+        "  --pipeview P   O3PipeView pipeline-trace path (use "
+        "--jobs 1)\n"
+        "  --interval N   sample interval stats every N cycles\n"
+        "  --interval-file P  interval-stats JSONL path\n"
+        "  --help         this message\n"
+        "Value-taking flags also accept --flag=value.\n",
         prog);
 }
 
@@ -53,13 +62,26 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
     BenchOptions opts;
     opts.scale = defaultScale ? defaultScale : harness::benchScale();
 
+    // Every value-taking flag accepts both "--flag value" and
+    // "--flag=value" (the latter is how --trace=MDP,Recovery reads
+    // naturally).
+    bool has_inline = false;
+    std::string inline_value;
     auto value = [&](int &i, const char *flag) -> std::string {
+        if (has_inline)
+            return inline_value;
         fatal_if(i + 1 >= argc, "%s requires a value", flag);
         return argv[++i];
     };
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        size_t eq = arg.find('=');
+        has_inline = startsWith(arg, "--") && eq != std::string::npos;
+        if (has_inline) {
+            inline_value = arg.substr(eq + 1);
+            arg.erase(eq);
+        }
         if (arg == "--jobs" || arg == "-j") {
             opts.jobs = static_cast<unsigned>(
                 parseCount("--jobs", value(i, "--jobs"), 1));
@@ -74,11 +96,23 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
             opts.cache = false;
         } else if (arg == "--cache-dir") {
             opts.cacheDir = value(i, "--cache-dir");
+        } else if (arg == "--trace") {
+            opts.traceSpec = value(i, "--trace");
+        } else if (arg == "--trace-file") {
+            opts.traceFile = value(i, "--trace-file");
+        } else if (arg == "--pipeview") {
+            opts.pipeviewPath = value(i, "--pipeview");
+        } else if (arg == "--interval") {
+            opts.intervalCycles =
+                parseCount("--interval", value(i, "--interval"), 1);
+        } else if (arg == "--interval-file") {
+            opts.intervalFile = value(i, "--interval-file");
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             std::exit(0);
         } else {
-            fatal("unknown option '%s' (see --help)", arg.c_str());
+            fatal("unknown option '%s' (see --help)",
+                  argv[i]);
         }
     }
     return opts;
@@ -101,6 +135,24 @@ filterNames(const std::vector<std::string> &names,
 BenchCli::BenchCli(int argc, char **argv, uint64_t defaultScale)
     : opts(parseBenchArgs(argc, argv, defaultScale))
 {
+    // Tracing lands on the global TraceManager, never in SimConfig, so
+    // the flags below cannot perturb run-cache fingerprints.
+    obs::TraceManager &tm = obs::TraceManager::instance();
+    if (!opts.traceSpec.empty()) {
+        std::string err;
+        fatal_if(!tm.configure(opts.traceSpec, &err), "--trace: %s",
+                 err.c_str());
+    }
+    if (!opts.traceFile.empty())
+        tm.setOutputPath(opts.traceFile);
+    if (!opts.pipeviewPath.empty()) {
+        fatal_if(!tm.setPipeViewPath(opts.pipeviewPath),
+                 "--pipeview: cannot write %s",
+                 opts.pipeviewPath.c_str());
+    }
+    if (opts.intervalCycles > 0)
+        tm.setInterval(opts.intervalCycles, opts.intervalFile);
+
     theRunner = std::make_unique<harness::Runner>(opts.scale);
     SweepOptions sopts;
     sopts.jobs = opts.jobs;
@@ -118,6 +170,14 @@ BenchCli::finish()
            static_cast<unsigned long long>(theEngine->timingRuns()),
            static_cast<unsigned long long>(theEngine->cacheHits()),
            theEngine->workers());
+    if (theEngine->timingRuns() > 0 && theEngine->totalWallMs() > 0) {
+        double secs = theEngine->totalWallMs() / 1000.0;
+        inform("sweep: %.1fs of simulation wall time, %.0f sim "
+               "cycles/sec aggregate",
+               secs,
+               static_cast<double>(theEngine->totalSimCycles()) /
+                   secs);
+    }
     return harness::reportFailures(*theRunner) ? 1 : 0;
 }
 

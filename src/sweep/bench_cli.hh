@@ -14,7 +14,18 @@
  *                   run to PATH — machine-readable trajectory output
  *   --no-cache      ignore and don't write the on-disk run cache
  *   --cache-dir D   run-cache directory (default .cwsim-cache)
+ *   --trace=FLAGS   enable trace flags ("MDP,Recovery" or "all"; see
+ *                   src/obs/trace.hh). Simulation results are
+ *                   unaffected; output goes to stderr by default
+ *   --trace-file P  write trace lines to P instead of stderr
+ *   --pipeview P    write an O3PipeView/Konata pipeline trace to P
+ *                   (use --jobs 1 for a single coherent timeline)
+ *   --interval N    sample interval stats every N cycles (JSONL)
+ *   --interval-file P  interval-stats path (default
+ *                   cwsim-intervals.jsonl)
  *   --help          usage
+ *
+ * Every value-taking flag also accepts --flag=value.
  *
  * BenchCli bundles flag parsing with the Runner + SweepEngine setup
  * every bench repeats, so a bench main is: parse, build plan, run,
@@ -44,6 +55,15 @@ struct BenchOptions
     bool cache = true;
     std::string cacheDir = ".cwsim-cache";
     std::string jsonPath;
+
+    // Tracing & instrumentation (applied to the global TraceManager by
+    // BenchCli; deliberately not part of SimConfig, so enabling them
+    // cannot change run-cache fingerprints).
+    std::string traceSpec;     ///< --trace flag list ("" = off).
+    std::string traceFile;     ///< --trace-file ("" = stderr).
+    std::string pipeviewPath;  ///< --pipeview ("" = off).
+    uint64_t intervalCycles = 0; ///< --interval (0 = off).
+    std::string intervalFile;  ///< --interval-file ("" = default).
 };
 
 /**

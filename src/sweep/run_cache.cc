@@ -111,7 +111,14 @@ runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
         .add("falseDepLoads", r.falseDepLoads)
         .add("falseDepLatency", r.falseDepLatency)
         .add("injectedViolations", r.injectedViolations)
-        .add("ipc", r.ipc());
+        .add("ipc", r.ipc())
+        // v2 host-profiling and diagnostic fields. wall_ms and
+        // sim_cycles_per_sec vary run to run; determinism comparisons
+        // must ignore them.
+        .add("wall_ms", r.wallMs)
+        .add("sim_cycles_per_sec", r.simCyclesPerSec())
+        .add("cache_hit", r.cacheHit)
+        .add("diagnostic", r.diagnostic);
     return obj.str();
 }
 
@@ -119,9 +126,12 @@ bool
 runRecordParse(const std::map<std::string, std::string> &fields,
                harness::RunResult &out)
 {
+    // v1 records lack the host-profiling fields; they stay readable
+    // with those fields defaulted so a schema bump never invalidates a
+    // warm cache.
     uint64_t version = 0;
     if (!getU64(fields, "v", version) ||
-        version != run_record_version) {
+        (version != 1 && version != run_record_version)) {
         return false;
     }
 
@@ -160,6 +170,23 @@ runRecordParse(const std::map<std::string, std::string> &fields,
                         r.injectedViolations);
     if (!valid)
         return false;
+
+    if (version >= 2) {
+        if (!getF64(fields, "wall_ms", r.wallMs) ||
+            !getStr(fields, "diagnostic", r.diagnostic)) {
+            return false;
+        }
+        auto hit = fields.find("cache_hit");
+        if (hit == fields.end())
+            return false;
+        if (hit->second == "true")
+            r.cacheHit = true;
+        else if (hit->second == "false")
+            r.cacheHit = false;
+        else
+            return false;
+    }
+
     out = r;
     return true;
 }

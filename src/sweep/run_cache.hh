@@ -30,8 +30,13 @@ namespace cwsim
 namespace sweep
 {
 
-/** Cache-entry schema; bump when RunResult's serialized shape changes. */
-constexpr unsigned run_record_version = 1;
+/**
+ * Cache-entry schema; bump when RunResult's serialized shape changes.
+ * v2 added host-profiling (wall_ms, sim_cycles_per_sec, cache_hit) and
+ * the failure diagnostic; v1 records are still accepted on read, with
+ * those fields defaulted.
+ */
+constexpr unsigned run_record_version = 2;
 
 /** Fingerprint of one run: workload name + scale + full config. */
 uint64_t fingerprintRun(const std::string &workload, uint64_t scale,

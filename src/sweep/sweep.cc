@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -103,6 +104,7 @@ SweepEngine::run(const SweepPlan &plan)
             // tables render identically however the result arrived.
             cached.workload = jobs[i].workload;
             cached.config = jobs[i].config.name();
+            cached.cacheHit = true;
             results[i] = cached;
             ++hits;
             if (!cached.ok)
@@ -114,12 +116,37 @@ SweepEngine::run(const SweepPlan &plan)
 
     // Phase 2: simulate the rest on the pool. Runner::run is
     // thread-safe and fail-soft, so a worker never throws; each job
-    // writes only its own result slot.
+    // writes only its own result slot. A progress heartbeat (every
+    // CWSIM_PROGRESS seconds, default 10; 0 disables) keeps long
+    // sweeps from looking hung; the CAS on lastBeatMs elects exactly
+    // one reporting worker per interval.
+    const uint64_t beat_s = envUint64("CWSIM_PROGRESS", 0, 10);
+    auto sweep_start = std::chrono::steady_clock::now();
+    std::atomic<size_t> done{0};
+    std::atomic<uint64_t> lastBeatMs{0};
     parallelFor(pending.size(), workerCount, [&](size_t p) {
         size_t i = pending[p];
         results[i] = runner.run(jobs[i].workload, jobs[i].config);
+        size_t finished = done.fetch_add(1) + 1;
+        if (beat_s == 0 || finished == pending.size())
+            return;
+        uint64_t now_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - sweep_start)
+                .count());
+        uint64_t last = lastBeatMs.load();
+        if (now_ms - last >= beat_s * 1000 &&
+            lastBeatMs.compare_exchange_strong(last, now_ms)) {
+            inform("sweep: %zu/%zu runs done (%.1fs elapsed)",
+                   finished, pending.size(),
+                   static_cast<double>(now_ms) / 1000.0);
+        }
     });
     executed += pending.size();
+    for (size_t i : pending) {
+        wallMsSum += results[i].wallMs;
+        simCycleSum += results[i].cycles;
+    }
 
     // Phase 3: persist the new results — in spec order, post-join, so
     // the cache file's growth is deterministic too.

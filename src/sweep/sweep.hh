@@ -11,7 +11,11 @@
  * Processor instance fed by a shared (once-latched, read-only after
  * construction) functional pre-pass, so a run's RunResult is a pure
  * function of its (workload, scale, config) triple and serial and
- * parallel sweeps produce bit-identical tables.
+ * parallel sweeps produce bit-identical tables. The host-profiling
+ * fields (RunResult::wallMs and friends, the wall_ms /
+ * sim_cycles_per_sec / cache_hit JSONL fields) are the one deliberate
+ * exception: they describe the host, not the simulation, and must be
+ * excluded from any determinism comparison.
  *
  * Caching: completed runs are fingerprinted and persisted under
  * .cwsim-cache/ (see run_cache.hh), so re-running a bench — or
@@ -104,12 +108,21 @@ class SweepEngine
     /** The resolved worker count. */
     unsigned workers() const { return workerCount; }
 
+    // Host-side profiling (cumulative over run() calls; simulated
+    // runs only — cache hits contribute nothing).
+    /** Total wall-clock ms spent inside timing simulations. */
+    double totalWallMs() const { return wallMsSum; }
+    /** Total simulated cycles across executed timing runs. */
+    uint64_t totalSimCycles() const { return simCycleSum; }
+
   private:
     harness::Runner &runner;
     SweepOptions opts;
     unsigned workerCount;
     uint64_t executed = 0;
     uint64_t hits = 0;
+    double wallMsSum = 0;
+    uint64_t simCycleSum = 0;
 };
 
 /**

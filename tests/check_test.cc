@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "base/sim_error.hh"
+#include "base/str.hh"
 #include "check/equivalence.hh"
 #include "check/fault_injector.hh"
 #include "check/flight_recorder.hh"
@@ -359,10 +360,16 @@ TEST(FailSoftSweep, PoisonedConfigIsRecordedAndSweepContinues)
         ipcs.push_back(p.ipc());
     }
 
-    // Both poisoned runs recorded, both good runs unaffected.
+    // Both poisoned runs recorded, both good runs unaffected. Each
+    // failure carries its flight-recorder tail so the FAILED RUNS
+    // report is self-diagnosing.
     ASSERT_EQ(runner.failures().size(), 2u);
-    for (const auto &f : runner.failures())
+    for (const auto &f : runner.failures()) {
         EXPECT_EQ(f.config, poisoned.name());
+        EXPECT_FALSE(f.diagnostic.empty());
+        EXPECT_NE(f.diagnostic.find("cycle"), std::string::npos);
+        EXPECT_LE(split(f.diagnostic, '\n').size(), 8u);
+    }
     EXPECT_EQ(harness::reportFailures(runner), 2u);
 
     // Aggregation over the mixed sweep skips the NaN cells.

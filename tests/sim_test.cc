@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "sim/config.hh"
@@ -14,6 +16,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
+#include "sweep/jsonl.hh"
 
 namespace cwsim
 {
@@ -160,6 +163,121 @@ TEST(StatsTest, NestedGroupNames)
     std::ostringstream oss;
     root.dump(oss);
     EXPECT_NE(oss.str().find("system.l1d.hits"), std::string::npos);
+}
+
+TEST(StatsTest, DistributionEdgeCases)
+{
+    stats::Distribution d;
+    d.init(10, 20, 1); // single bucket [10, 20)
+    EXPECT_EQ(d.numBuckets(), 1u);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+
+    d.sample(9.999); // just under: underflow
+    d.sample(10);    // inclusive lower bound
+    d.sample(19.99); // still in the bucket
+    d.sample(20);    // exclusive upper bound: overflow
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.count(), 4u);
+    // Under/overflow samples still shape min/max/sum/mean.
+    EXPECT_DOUBLE_EQ(d.minSample(), 9.999);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 20.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 9.999 + 10 + 19.99 + 20);
+    EXPECT_DOUBLE_EQ(d.mean(), d.sum() / 4);
+
+    // Reset clears everything, including min/max.
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_EQ(d.bucketCount(0), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+    d.sample(15);
+    EXPECT_DOUBLE_EQ(d.minSample(), 15.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 15.0);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+}
+
+TEST(StatsTest, GroupHasAndFindByFullyQualifiedName)
+{
+    stats::StatGroup root("proc");
+    stats::StatGroup child("mdpt", &root);
+    stats::Scalar commits;
+    stats::Average delay;
+    stats::Distribution occ;
+    stats::Scalar allocs;
+    commits += 11;
+    delay.sample(4);
+    occ.init(0, 128, 8);
+    occ.sample(64);
+    allocs += 3;
+    root.addScalar("commits", &commits);
+    root.addAverage("loadIssueDelay", &delay);
+    root.addDistribution("windowOccupancy", &occ);
+    child.addScalar("allocations", &allocs);
+
+    EXPECT_TRUE(root.hasAverage("loadIssueDelay"));
+    EXPECT_FALSE(root.hasAverage("commits")); // wrong kind
+    EXPECT_TRUE(root.hasDistribution("windowOccupancy"));
+    EXPECT_FALSE(root.hasDistribution("nonesuch"));
+
+    ASSERT_NE(root.findScalar("proc.commits"), nullptr);
+    EXPECT_EQ(root.findScalar("proc.commits")->value(), 11u);
+    ASSERT_NE(root.findAverage("proc.loadIssueDelay"), nullptr);
+    ASSERT_NE(root.findDistribution("proc.windowOccupancy"), nullptr);
+    // Through a child group.
+    ASSERT_NE(root.findScalar("proc.mdpt.allocations"), nullptr);
+    EXPECT_EQ(root.findScalar("proc.mdpt.allocations")->value(), 3u);
+    // Probing misses returns nullptr, no panic.
+    EXPECT_EQ(root.findScalar("proc.nonesuch"), nullptr);
+    EXPECT_EQ(root.findScalar("commits"), nullptr); // must be FQ
+    EXPECT_EQ(root.findScalar("other.commits"), nullptr);
+    EXPECT_EQ(root.findAverage("proc.commits"), nullptr); // wrong kind
+}
+
+TEST(StatsTest, JsonExportRoundTripsThroughFlatJsonParser)
+{
+    stats::StatGroup root("proc");
+    stats::StatGroup child("mdpt", &root);
+    stats::Scalar commits;
+    stats::Average delay;
+    stats::Distribution occ;
+    stats::Scalar allocs;
+    commits += 123;
+    delay.sample(2);
+    delay.sample(4);
+    occ.init(0, 4, 2);
+    occ.sample(-1); // underflow
+    occ.sample(1);  // bucket 0
+    occ.sample(3);  // bucket 1
+    occ.sample(9);  // overflow
+    allocs += 7;
+    root.addScalar("commits", &commits);
+    root.addAverage("loadIssueDelay", &delay);
+    root.addDistribution("windowOccupancy", &occ);
+    child.addScalar("allocations", &allocs);
+
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(root.jsonString(), fields));
+    EXPECT_EQ(fields.at("proc.commits"), "123");
+    EXPECT_EQ(fields.at("proc.mdpt.allocations"), "7");
+    EXPECT_DOUBLE_EQ(std::stod(fields.at("proc.loadIssueDelay.mean")),
+                     3.0);
+    EXPECT_EQ(fields.at("proc.loadIssueDelay.count"), "2");
+    EXPECT_DOUBLE_EQ(
+        std::stod(fields.at("proc.windowOccupancy.mean")), 3.0);
+    EXPECT_EQ(fields.at("proc.windowOccupancy.count"), "4");
+    EXPECT_DOUBLE_EQ(std::stod(fields.at("proc.windowOccupancy.min")),
+                     -1.0);
+    EXPECT_DOUBLE_EQ(std::stod(fields.at("proc.windowOccupancy.max")),
+                     9.0);
+    EXPECT_EQ(fields.at("proc.windowOccupancy.underflow"), "1");
+    EXPECT_EQ(fields.at("proc.windowOccupancy.overflow"), "1");
+    EXPECT_EQ(fields.at("proc.windowOccupancy.bucket0"), "1");
+    EXPECT_EQ(fields.at("proc.windowOccupancy.bucket1"), "1");
 }
 
 TEST(TableTest, AlignsColumns)

@@ -167,8 +167,17 @@ TEST(SweepCache, SecondSweepSimulatesNothing)
     auto warmResults = warmEngine.run(plan);
     EXPECT_EQ(warmEngine.timingRuns(), 0u);
     EXPECT_EQ(warmEngine.cacheHits(), plan.size());
-    for (size_t i = 0; i < plan.size(); ++i)
+    for (size_t i = 0; i < plan.size(); ++i) {
         expectSameResult(coldResults[i], warmResults[i]);
+        // Host-profiling metadata: cold runs were simulated (and timed),
+        // warm runs are flagged as served from the cache.
+        EXPECT_FALSE(coldResults[i].cacheHit);
+        EXPECT_GT(coldResults[i].wallMs, 0.0);
+        EXPECT_TRUE(warmResults[i].cacheHit);
+    }
+    EXPECT_GT(coldEngine.totalWallMs(), 0.0);
+    EXPECT_GT(coldEngine.totalSimCycles(), 0u);
+    EXPECT_EQ(warmEngine.totalWallMs(), 0.0);
 }
 
 TEST(SweepCache, StaleAndPoisonedEntriesAreRecomputed)
@@ -266,6 +275,88 @@ TEST(SweepJson, OneRecordPerRunIncludingFailures)
     expectSameResult(results[1], parsed);
 }
 
+TEST(SweepRecord, V2RoundTripsHostProfilingFields)
+{
+    RunResult r;
+    r.workload = "129.compress";
+    r.config = "NAS/NAV W128";
+    r.ok = false;
+    r.error = "SimError: watchdog";
+    r.cycles = 5000;
+    r.commits = 1234;
+    r.wallMs = 250.0;
+    r.cacheHit = true;
+    r.diagnostic = "cycle 4999: commit seq 42\ncycle 5000: halt";
+    EXPECT_DOUBLE_EQ(r.simCyclesPerSec(), 20'000.0);
+
+    std::string line = sweep::runRecordLine(r, 0xabcdull, 3000);
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(line, fields));
+    EXPECT_EQ(fields.at("v"), "2");
+    EXPECT_EQ(fields.at("wall_ms"), "250");
+    EXPECT_EQ(fields.at("sim_cycles_per_sec"), "20000");
+    EXPECT_EQ(fields.at("cache_hit"), "true");
+    EXPECT_NE(fields.at("diagnostic").find("halt"), std::string::npos);
+
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    expectSameResult(r, parsed);
+    EXPECT_DOUBLE_EQ(parsed.wallMs, 250.0);
+    EXPECT_TRUE(parsed.cacheHit);
+    EXPECT_EQ(parsed.diagnostic, r.diagnostic);
+
+    // A v2 record missing its host-profiling fields is malformed.
+    fields.erase("wall_ms");
+    EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
+}
+
+TEST(SweepRecord, V1RecordsStayReadable)
+{
+    // A record written before the schema gained host-profiling fields
+    // (run_record_version 1) must still parse, with the new fields
+    // defaulted, so bumping the schema never invalidates a warm cache.
+    sweep::JsonObject obj;
+    obj.add("v", static_cast<uint64_t>(1))
+        .add("fp", std::string("00000000deadbeef"))
+        .add("workload", std::string("129.compress"))
+        .add("config", std::string("NAS/NAV W128"))
+        .add("scale", static_cast<uint64_t>(3000))
+        .add("ok", true)
+        .add("error", std::string())
+        .add("cycles", static_cast<uint64_t>(4321))
+        .add("commits", static_cast<uint64_t>(3000))
+        .add("committedLoads", static_cast<uint64_t>(700))
+        .add("committedStores", static_cast<uint64_t>(300))
+        .add("violations", static_cast<uint64_t>(5))
+        .add("replays", static_cast<uint64_t>(9))
+        .add("selectiveRecoveries", static_cast<uint64_t>(2))
+        .add("selectiveFallbacks", static_cast<uint64_t>(1))
+        .add("branchMispredicts", static_cast<uint64_t>(40))
+        .add("squashedInsts", static_cast<uint64_t>(200))
+        .add("falseDepLoads", static_cast<uint64_t>(11))
+        .add("falseDepLatency", 17.5)
+        .add("injectedViolations", static_cast<uint64_t>(0))
+        .add("ipc", 0.694);
+
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(obj.str(), fields));
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    EXPECT_TRUE(parsed.ok);
+    EXPECT_EQ(parsed.cycles, 4321u);
+    EXPECT_EQ(parsed.commits, 3000u);
+    EXPECT_DOUBLE_EQ(parsed.falseDepLatency, 17.5);
+    // New fields come back defaulted.
+    EXPECT_DOUBLE_EQ(parsed.wallMs, 0.0);
+    EXPECT_DOUBLE_EQ(parsed.simCyclesPerSec(), 0.0);
+    EXPECT_FALSE(parsed.cacheHit);
+    EXPECT_TRUE(parsed.diagnostic.empty());
+
+    // Unknown future versions are still rejected outright.
+    fields["v"] = "3";
+    EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
+}
+
 TEST(SweepFingerprint, SensitiveToEveryInput)
 {
     SimConfig base = withPolicy(makeW128Config(), LsqModel::NAS,
@@ -361,6 +452,38 @@ TEST(BenchCliTest, ParsesSharedFlags)
     EXPECT_EQ(opts.jsonPath, "out.jsonl");
     EXPECT_FALSE(opts.cache);
     EXPECT_EQ(opts.cacheDir, "cdir");
+}
+
+TEST(BenchCliTest, ParsesTracingFlags)
+{
+    const char *argv[] = {"bench",         "--trace",    "MDP,Recovery",
+                          "--trace-file",  "trace.log",  "--pipeview",
+                          "pipe.out",      "--interval", "500",
+                          "--interval-file", "iv.jsonl"};
+    sweep::BenchOptions opts = sweep::parseBenchArgs(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(opts.traceSpec, "MDP,Recovery");
+    EXPECT_EQ(opts.traceFile, "trace.log");
+    EXPECT_EQ(opts.pipeviewPath, "pipe.out");
+    EXPECT_EQ(opts.intervalCycles, 500u);
+    EXPECT_EQ(opts.intervalFile, "iv.jsonl");
+}
+
+TEST(BenchCliTest, AcceptsInlineFlagValues)
+{
+    // Both "--flag value" and "--flag=value" forms are accepted.
+    const char *argv[] = {"bench", "--trace=all", "--jobs=2",
+                          "--scale=9000", "--interval=250",
+                          "--filter=compress"};
+    sweep::BenchOptions opts = sweep::parseBenchArgs(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(opts.traceSpec, "all");
+    EXPECT_EQ(opts.jobs, 2u);
+    EXPECT_EQ(opts.scale, 9000u);
+    EXPECT_EQ(opts.intervalCycles, 250u);
+    EXPECT_EQ(opts.filter, "compress");
 }
 
 TEST(BenchCliTest, DefaultScaleRespectsEnvAndOverride)
