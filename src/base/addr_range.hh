@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Overflow-safe address-interval arithmetic shared by the store
+ * buffer, the violation checkers and the split-window model.
+ *
+ * An access is the end-exclusive byte interval [addr, addr + size).
+ * The naive overlap test `a < b + bs && b < a + as` computes `addr +
+ * size` in Addr arithmetic, which wraps at the top of the address
+ * space and produces both false negatives and false positives for
+ * accesses within `size` bytes of ~0. These helpers evaluate the same
+ * predicates as if in unbounded integers.
+ */
+
+#ifndef CWSIM_BASE_ADDR_RANGE_HH
+#define CWSIM_BASE_ADDR_RANGE_HH
+
+#include "base/types.hh"
+
+namespace cwsim
+{
+
+/** Does [a, a+as) intersect [b, b+bs)? Overflow-safe, end-exclusive. */
+inline bool
+rangesOverlap(Addr a, unsigned as, Addr b, unsigned bs)
+{
+    // Evaluated in unbounded integers: when a <= b the intervals meet
+    // iff b lands strictly inside [a, a+as); symmetrically otherwise.
+    // The subtraction cannot wrap in the branch taken.
+    return a <= b ? (b - a < as) : (a - b < bs);
+}
+
+/** Is @p byte_addr within [addr, addr + size)? Overflow-safe. */
+inline bool
+rangeCoversByte(Addr addr, unsigned size, Addr byte_addr)
+{
+    // byte_addr < addr wraps the subtraction to a huge value, which a
+    // sane (< 2^32) size can never exceed.
+    return byte_addr - addr < size;
+}
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_ADDR_RANGE_HH

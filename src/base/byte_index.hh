@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A byte-granular interval index mapping memory addresses to the
+ * in-flight instructions that touch them, ordered by age. The store
+ * buffer keeps one over executed store data (forwarding lookups: the
+ * youngest older store writing a byte), and the processor keeps one
+ * over issued loads (violation checks: the younger loads reading any
+ * byte a store writes). Both replace per-access linear sweeps of the
+ * whole structure with O(bytes) point lookups.
+ *
+ * Entries are (seq, slot) pairs where slot is the owner's stable
+ * CircularQueue slot; stale slots are the caller's problem (verify seq
+ * against the slot's current occupant). Per-byte lists are kept sorted
+ * by seq; they are tiny in practice (few writers of one byte coexist
+ * in a 128-entry window), so sorted-vector insertion beats any tree.
+ */
+
+#ifndef CWSIM_BASE_BYTE_INDEX_HH
+#define CWSIM_BASE_BYTE_INDEX_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace cwsim
+{
+
+class ByteSeqIndex
+{
+  public:
+    struct Ref
+    {
+        InstSeqNum seq = 0;
+        size_t slot = 0;
+    };
+
+    /** Register [addr, addr+size) as written/read by (@p seq, @p slot). */
+    void
+    add(Addr addr, unsigned size, InstSeqNum seq, size_t slot)
+    {
+        for (unsigned i = 0; i < size; ++i) {
+            std::vector<Ref> &v = bytes[addr + i];
+            // Mostly appended in age order; walk back over the few
+            // younger entries when not.
+            size_t pos = v.size();
+            while (pos > 0 && v[pos - 1].seq > seq)
+                --pos;
+            v.insert(v.begin() + pos, Ref{seq, slot});
+        }
+        population += size;
+    }
+
+    /** Remove a registration made with the same (addr, size, seq). */
+    void
+    remove(Addr addr, unsigned size, InstSeqNum seq)
+    {
+        for (unsigned i = 0; i < size; ++i) {
+            auto it = bytes.find(addr + i);
+            panic_if(it == bytes.end(),
+                     "ByteSeqIndex::remove of unindexed byte");
+            std::vector<Ref> &v = it->second;
+            size_t pos = v.size();
+            while (pos > 0 && v[pos - 1].seq != seq)
+                --pos;
+            panic_if(pos == 0,
+                     "ByteSeqIndex::remove of unindexed seq");
+            v.erase(v.begin() + (pos - 1));
+            if (v.empty())
+                bytes.erase(it);
+        }
+        population -= size;
+    }
+
+    /**
+     * The youngest entry with seq < @p before covering @p byte_addr.
+     * @return true and fill @p out if one exists.
+     */
+    bool
+    newestBefore(Addr byte_addr, InstSeqNum before, Ref &out) const
+    {
+        auto it = bytes.find(byte_addr);
+        if (it == bytes.end())
+            return false;
+        const std::vector<Ref> &v = it->second;
+        for (size_t pos = v.size(); pos-- > 0;) {
+            if (v[pos].seq < before) {
+                out = v[pos];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Append every entry with seq > @p after touching any byte of
+     * [addr, addr+size) to @p out. Entries touching several bytes
+     * appear once per byte; callers sort/deduplicate.
+     */
+    void
+    collectYoungerThan(Addr addr, unsigned size, InstSeqNum after,
+                       std::vector<Ref> &out) const
+    {
+        for (unsigned i = 0; i < size; ++i) {
+            auto it = bytes.find(addr + i);
+            if (it == bytes.end())
+                continue;
+            const std::vector<Ref> &v = it->second;
+            for (size_t pos = v.size(); pos-- > 0;) {
+                if (v[pos].seq <= after)
+                    break;
+                out.push_back(v[pos]);
+            }
+        }
+    }
+
+    /** Total (byte, entry) registrations — for invariant checking. */
+    size_t size() const { return population; }
+    bool empty() const { return population == 0; }
+
+    void
+    clear()
+    {
+        bytes.clear();
+        population = 0;
+    }
+
+    /**
+     * Structural self-check: per-byte lists sorted by seq, population
+     * consistent. @return "" when healthy.
+     */
+    std::string
+    selfCheck() const
+    {
+        size_t n = 0;
+        for (const auto &[addr, v] : bytes) {
+            if (v.empty())
+                return "empty per-byte list not erased";
+            for (size_t i = 1; i < v.size(); ++i) {
+                if (v[i - 1].seq >= v[i].seq)
+                    return "per-byte list out of order";
+            }
+            n += v.size();
+        }
+        if (n != population)
+            return "population count drifted";
+        return "";
+    }
+
+  private:
+    std::unordered_map<Addr, std::vector<Ref>> bytes;
+    size_t population = 0;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_BASE_BYTE_INDEX_HH

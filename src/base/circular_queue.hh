@@ -48,7 +48,9 @@ class CircularQueue
     popFront()
     {
         panic_if(empty(), "popFront on empty CircularQueue");
-        headIdx = (headIdx + 1) % slots.size();
+        ++headIdx;
+        if (headIdx == slots.size())
+            headIdx = 0;
         --count;
     }
 
@@ -84,16 +86,45 @@ class CircularQueue
         return slots[physIndex(pos)];
     }
 
-    /** Stable slot index of logical position @p pos. */
+    /**
+     * Stable slot index of logical position @p pos. Wrap by
+     * subtraction rather than %: both operands are < size, and the
+     * hardware divide sits in every window walk's inner loop.
+     */
     size_t
     physIndex(size_t pos) const
     {
-        return (headIdx + pos) % slots.size();
+        size_t idx = headIdx + pos;
+        if (idx >= slots.size())
+            idx -= slots.size();
+        return idx;
     }
 
     /** Direct access by stable slot index. */
     T &slot(size_t idx) { return slots[idx]; }
     const T &slot(size_t idx) const { return slots[idx]; }
+
+    /**
+     * Is @p idx the stable slot of a currently-resident element?
+     * truncate() only shrinks the count, so tail slots keep their old
+     * contents — a slot index recorded before a squash can name a dead
+     * element whose fields still look plausible. Index structures that
+     * hold slot references must check liveness before dereferencing.
+     */
+    bool
+    slotLive(size_t idx) const
+    {
+        size_t pos = idx >= headIdx ? idx - headIdx
+                                    : idx + slots.size() - headIdx;
+        return pos < count;
+    }
+
+    /** Stable slot of @p elem, a reference into this queue's storage. */
+    size_t
+    slotOf(const T &elem) const
+    {
+        return static_cast<size_t>(&elem - slots.data());
+    }
 
     void
     clear()

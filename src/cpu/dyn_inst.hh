@@ -9,6 +9,7 @@
 #ifndef CWSIM_CPU_DYN_INST_HH
 #define CWSIM_CPU_DYN_INST_HH
 
+#include <array>
 #include <cstdint>
 
 #include "base/types.hh"
@@ -72,6 +73,16 @@ struct DynInst
     bool memDone = false;
     uint64_t loadRaw = 0;          ///< Raw bytes read (pre-extension).
     InstSeqNum loadSourceSeq = 0;  ///< Youngest forwarding store (0=mem).
+    /**
+     * Per-byte forwarding source: the seq of the store each byte of
+     * loadRaw came from (0 = architectural memory). A store older than
+     * the load violates it iff some byte it writes has a source seq
+     * below its own — the byte-wise test; the scalar loadSourceSeq
+     * alone cannot distinguish which bytes a partial forward covered.
+     */
+    std::array<InstSeqNum, 8> loadByteSource{};
+    /** This load is registered in the processor's loadBytes index. */
+    bool bytesIndexed = false;
     int sbSlot = -1;               ///< Store-buffer slot for stores.
     /** Ambiguous older stores existed when this load issued. */
     bool speculativeLoad = false;
@@ -87,8 +98,13 @@ struct DynInst
     InstSeqNum syncWaitStore = 0;
     /** SYNC producer state (stores). */
     bool syncProducer = false;
-    /** ORACLE: producing store's trace index. */
-    TraceIndex oracleProducer = invalid_trace_index;
+    /**
+     * ORACLE: distinct producing stores' trace indices, oldest first.
+     * Partial overlaps can give a load up to one producer per byte;
+     * the oracle gate must wait for all of them.
+     */
+    std::array<TraceIndex, 8> oracleProducers{};
+    uint8_t oracleProducerCount = 0;
 
     // False-dependence probe (Table 3) ---------------------------------
     bool fdStallStarted = false;

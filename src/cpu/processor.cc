@@ -81,7 +81,9 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
       memSys(cfg.mem, eq), bpred(cfg.bpred),
       decoder(funcMem, /*tolerate_invalid=*/true), mdpTable(cfg.mdp),
       oracle(oracle), rob(cfg.core.windowSize),
-      sb(cfg.core.storeBufferSize), lsqCount(0), fetchPc(0),
+      sb(cfg.core.storeBufferSize), lsqCount(0),
+      pendingBits(cfg.core.windowSize),
+      consumers(cfg.core.windowSize), fetchPc(0),
       fetchHalted(false), fetchStalledOnSeq(0), memPortsLeft(0),
       lsqInPortsLeft(0), cycle(0), nextSeq(1), nextFetchTraceIdx(0),
       commitCount(0), haltedFlag(false), lastMdptReset(0),
@@ -299,6 +301,7 @@ Processor::doCommit()
             ++pstats.committedStores;
         }
         if (head.isLoad()) {
+            deindexLoadBytes(head);
             ++pstats.committedLoads;
             if (head.fdEvaluated) {
                 if (head.fdIsFalse) {
@@ -376,7 +379,23 @@ Processor::releaseStores()
 // ---------------------------------------------------------------------
 
 void
-Processor::captureOperand(DynInst::Operand &op, RegId reg)
+Processor::registerConsumer(const DynInst &producer,
+                            const DynInst &consumer)
+{
+    std::vector<ConsumerRef> &list = consumers[rob.slotOf(producer)];
+    size_t cslot = rob.slotOf(consumer);
+    // src1 and src2 of one instruction register back to back; one ref
+    // per consumer is enough (broadcast checks both operands).
+    if (!list.empty() && list.back().slot == cslot &&
+        list.back().seq == consumer.seq) {
+        return;
+    }
+    list.push_back(ConsumerRef{cslot, consumer.seq});
+}
+
+void
+Processor::captureOperand(DynInst &inst, DynInst::Operand &op,
+                          RegId reg)
 {
     op.reg = reg;
     if (reg == reg_invalid || reg == reg_zero) {
@@ -400,6 +419,9 @@ Processor::captureOperand(DynInst::Operand &op, RegId reg)
         op.value = archRegs.readReg(reg);
         return;
     }
+    // Even a done producer registers the consumer: a selective replay
+    // can un-complete it later and must be able to recall the value.
+    registerConsumer(*producer, inst);
     if (producer->done) {
         op.ready = true;
         op.value = producer->result;
@@ -436,7 +458,8 @@ Processor::doDispatch()
         if (fi.si.isStore() && sb.full())
             break;
 
-        rob.pushBack(DynInst{});
+        size_t rob_slot = rob.pushBack(DynInst{});
+        consumers[rob_slot].clear();
         DynInst &inst = rob.back();
         inst.seq = fi.seq;
         inst.traceIdx = fi.traceIdx;
@@ -451,12 +474,14 @@ Processor::doDispatch()
         inst.checkpoint = fi.checkpoint;
         inst.memSize = fi.si.memSize();
 
-        captureOperand(inst.src1, fi.si.rs1);
-        captureOperand(inst.src2, fi.si.rs2);
+        captureOperand(inst, inst.src1, fi.si.rs1);
+        captureOperand(inst, inst.src2, fi.si.rs2);
         renameDest(inst);
 
         if (inst.si.isHalt())
             inst.done = true;
+        else
+            pendingBits.set(rob_slot);
 
         if (inst.isStore()) {
             SbEntry entry;
@@ -464,7 +489,7 @@ Processor::doDispatch()
             entry.traceIdx = inst.traceIdx;
             entry.pc = inst.pc;
             entry.size = inst.memSize;
-            inst.sbSlot = static_cast<int>(sb.pushBack(entry));
+            inst.sbSlot = static_cast<int>(sb.allocate(entry));
             unissuedStores.insert(inst.seq);
 
             // Fault injection: AS delays address posting directly in
@@ -493,7 +518,7 @@ Processor::doDispatch()
             if (policy == SpecPolicy::SpecSync) {
                 Synonym syn = mdpTable.synonymOf(inst.pc);
                 if (syn != invalid_synonym) {
-                    sb.slot(inst.sbSlot).producerSynonym = syn;
+                    sb.setProducerSynonym(inst.sbSlot, syn);
                     inst.syncProducer = true;
                 }
             }
@@ -514,32 +539,32 @@ Processor::doDispatch()
                 if (syn != invalid_synonym) {
                     inst.waitSynonym = syn;
                     // Closest preceding store producing this synonym.
-                    for (size_t i = sb.size(); i-- > 0;) {
-                        const SbEntry &e = sb.at(i);
-                        if (e.seq < inst.seq &&
-                            e.producerSynonym == syn && !e.committed) {
-                            inst.hasSyncWait = true;
-                            inst.waitedSync = true;
-                            inst.syncWaitStore = e.seq;
-                            ++pstats.syncWaits;
-                            CWSIM_TRACE(MDP, "SYNC: load seq %llu pc "
-                                        "0x%llx synchronizes on store "
-                                        "seq %llu (synonym %u)",
-                                        static_cast<unsigned long long>(
-                                            inst.seq),
-                                        static_cast<unsigned long long>(
-                                            inst.pc),
-                                        static_cast<unsigned long long>(
-                                            e.seq),
-                                        static_cast<unsigned>(syn));
-                            break;
-                        }
+                    const SbEntry *e =
+                        sb.youngestSynonymProducerBefore(syn, inst.seq);
+                    if (e) {
+                        inst.hasSyncWait = true;
+                        inst.waitedSync = true;
+                        inst.syncWaitStore = e->seq;
+                        ++pstats.syncWaits;
+                        CWSIM_TRACE(MDP, "SYNC: load seq %llu pc "
+                                    "0x%llx synchronizes on store "
+                                    "seq %llu (synonym %u)",
+                                    static_cast<unsigned long long>(
+                                        inst.seq),
+                                    static_cast<unsigned long long>(
+                                        inst.pc),
+                                    static_cast<unsigned long long>(
+                                        e->seq),
+                                    static_cast<unsigned>(syn));
                     }
                 }
             }
             if (oracle) {
-                inst.oracleProducer =
-                    oracle->producerOf(inst.traceIdx);
+                const auto *set = oracle->producersOf(inst.traceIdx);
+                if (set) {
+                    inst.oracleProducers = set->stores;
+                    inst.oracleProducerCount = set->count;
+                }
             }
         }
 
@@ -691,30 +716,73 @@ Processor::findInst(InstSeqNum seq)
 SbEntry *
 Processor::findSbEntry(InstSeqNum seq)
 {
-    for (size_t i = 0; i < sb.size(); ++i) {
-        if (sb.at(i).seq == seq)
-            return &sb.at(i);
-    }
-    return nullptr;
+    return sb.findSeq(seq);
 }
 
 const SbEntry *
 Processor::findSbByTraceIdx(TraceIndex idx) const
 {
-    for (size_t i = 0; i < sb.size(); ++i) {
-        if (sb.at(i).traceIdx == idx)
-            return &sb.at(i);
+    return sb.findTraceIdx(idx);
+}
+
+void
+Processor::indexLoadBytes(DynInst &inst)
+{
+    panic_if(inst.bytesIndexed, "load double-indexed");
+    loadBytes.add(inst.effAddr, inst.memSize, inst.seq,
+                  rob.slotOf(inst));
+    inst.bytesIndexed = true;
+}
+
+void
+Processor::deindexLoadBytes(DynInst &inst)
+{
+    if (!inst.bytesIndexed)
+        return;
+    loadBytes.remove(inst.effAddr, inst.memSize, inst.seq);
+    inst.bytesIndexed = false;
+}
+
+bool
+Processor::loadHasStaleByteFrom(const DynInst &load,
+                                const SbEntry &entry) const
+{
+    for (unsigned i = 0; i < load.memSize; ++i) {
+        if (entry.coversByte(load.effAddr + i) &&
+            load.loadByteSource[i] < entry.seq) {
+            return true;
+        }
     }
-    return nullptr;
+    return false;
+}
+
+bool
+Processor::loadForwardedFrom(const DynInst &load,
+                             InstSeqNum store_seq) const
+{
+    for (unsigned i = 0; i < load.memSize; ++i) {
+        if (load.loadByteSource[i] == store_seq)
+            return true;
+    }
+    return false;
 }
 
 void
 Processor::broadcastResult(const DynInst &producer)
 {
-    for (size_t i = 0; i < rob.size(); ++i) {
-        DynInst &inst = rob.at(i);
-        if (inst.seq <= producer.seq)
+    // Walk the producer's consumer list instead of the whole window.
+    // Refs to squashed consumers (dead slot, or a reused slot holding
+    // a different seq) are compacted away as they are found.
+    std::vector<ConsumerRef> &list = consumers[rob.slotOf(producer)];
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+        const ConsumerRef ref = list[i];
+        if (!rob.slotLive(ref.slot) ||
+            rob.slot(ref.slot).seq != ref.seq) {
             continue;
+        }
+        list[keep++] = ref;
+        DynInst &inst = rob.slot(ref.slot);
         if (inst.src1.hasProducer && !inst.src1.ready &&
             inst.src1.producer == producer.seq) {
             inst.src1.ready = true;
@@ -726,15 +794,22 @@ Processor::broadcastResult(const DynInst &producer)
             inst.src2.value = producer.result;
         }
     }
+    list.resize(keep);
 }
 
 void
 Processor::unbroadcast(const DynInst &producer)
 {
-    for (size_t i = 0; i < rob.size(); ++i) {
-        DynInst &inst = rob.at(i);
-        if (inst.seq <= producer.seq)
+    std::vector<ConsumerRef> &list = consumers[rob.slotOf(producer)];
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+        const ConsumerRef ref = list[i];
+        if (!rob.slotLive(ref.slot) ||
+            rob.slot(ref.slot).seq != ref.seq) {
             continue;
+        }
+        list[keep++] = ref;
+        DynInst &inst = rob.slot(ref.slot);
         if (inst.src1.hasProducer &&
             inst.src1.producer == producer.seq) {
             inst.src1.ready = false;
@@ -747,6 +822,7 @@ Processor::unbroadcast(const DynInst &producer)
         if (inst.src2.hasProducer && inst.src2.producer == producer.seq)
             inst.src2.ready = false;
     }
+    list.resize(keep);
 }
 
 bool
@@ -768,9 +844,13 @@ Processor::consumerCapturedResult(const DynInst &inst) const
 bool
 Processor::anyConsumerIssued(const DynInst &producer) const
 {
-    for (size_t i = 0; i < rob.size(); ++i) {
-        const DynInst &inst = rob.at(i);
-        if (inst.seq <= producer.seq)
+    const std::vector<ConsumerRef> &list =
+        consumers[rob.slotOf(producer)];
+    for (const ConsumerRef &ref : list) {
+        if (!rob.slotLive(ref.slot))
+            continue;
+        const DynInst &inst = rob.slot(ref.slot);
+        if (inst.seq != ref.seq)
             continue;
         bool consumes =
             (inst.src1.hasProducer &&
@@ -787,6 +867,7 @@ Processor::completeInst(DynInst &inst)
 {
     inst.done = true;
     inst.completedAt = cycle;
+    pendingBits.clear(rob.slotOf(inst));
     if (inst.si.writesReg())
         broadcastResult(inst);
     if (inst.si.isControl()) {
@@ -874,6 +955,9 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
     unsigned squashed = 0;
     while (!rob.empty() && rob.back().seq > keep_seq) {
         DynInst &inst = rob.back();
+        pendingBits.clear(rob.slotOf(inst));
+        if (inst.isLoad())
+            deindexLoadBytes(inst);
         if (inst.renamedDest) {
             RegMapEntry &rm = regMap[inst.si.rd];
             rm.busy = inst.prevDestBusy;
@@ -916,10 +1000,7 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
     frec.record(cycle, check::EventKind::Squash, keep_seq, restart_pc,
                 squashed);
 
-    while (!sb.empty() && !sb.back().committed &&
-           sb.back().seq > keep_seq) {
-        sb.truncate(1);
-    }
+    sb.squashYoungerThan(keep_seq);
 
     fetchQueue.clear();
     fetchPc = restart_pc;

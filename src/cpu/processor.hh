@@ -26,7 +26,9 @@
 #include <set>
 #include <vector>
 
+#include "base/byte_index.hh"
 #include "base/sim_error.hh"
+#include "base/slot_bitmap.hh"
 #include "base/types.hh"
 #include "bpred/bpred.hh"
 #include "check/fault_injector.hh"
@@ -181,6 +183,8 @@ class Processor
     void doFetch();
 
     // ---- issue helpers (processor_issue.cc) -------------------------
+    /** One pending instruction's issue attempt (the doIssue body). */
+    void tryIssue(DynInst &inst, unsigned &slots);
     /** The policy gate: may this load access memory this cycle? */
     bool loadMayIssue(DynInst &inst);
     bool gateNasAllOlderStoresIssued(const DynInst &inst) const;
@@ -201,6 +205,22 @@ class Processor
     void replayLoad(DynInst &inst);
 
     /**
+     * The byte-wise staleness test: did @p load read any byte that
+     * @p entry writes from a source older than @p entry (memory or an
+     * older store)? Bytes forwarded from younger stores are correct
+     * regardless of this store's value.
+     */
+    bool loadHasStaleByteFrom(const DynInst &load,
+                              const SbEntry &entry) const;
+    /** Did any byte of @p load forward from store @p store_seq? */
+    bool loadForwardedFrom(const DynInst &load,
+                           InstSeqNum store_seq) const;
+    /** Register an issued load's bytes in the loadBytes index. */
+    void indexLoadBytes(DynInst &inst);
+    /** Remove a load from loadBytes (replay / squash / commit). */
+    void deindexLoadBytes(DynInst &inst);
+
+    /**
      * Selective invalidation: re-execute the violated load and,
      * transitively, every instruction that consumed erroneous data
      * (through registers or store-buffer forwarding).
@@ -211,9 +231,14 @@ class Processor
     bool replayDependenceSlice(DynInst &victim);
     void resetForReplay(DynInst &inst);
 
+    /**
+     * Byte-wise load assembly from the store buffer + memory. When
+     * @p byte_sources is non-null it receives, per byte, the seq of
+     * the forwarding store (0 = memory); must hold @p size elements.
+     */
     uint64_t assembleLoadBytes(Addr addr, unsigned size,
                                InstSeqNum load_seq,
-                               InstSeqNum *source_seq) const;
+                               InstSeqNum *byte_sources) const;
 
     void noteFalseDepStall(DynInst &inst);
     void finishFalseDepStall(DynInst &inst);
@@ -261,8 +286,10 @@ class Processor
     void emitPipeRecord(const DynInst &inst, SquashCause cause);
     void emitIntervalSample();
 
-    void captureOperand(DynInst::Operand &op, RegId reg);
+    void captureOperand(DynInst &inst, DynInst::Operand &op, RegId reg);
     void renameDest(DynInst &inst);
+    void registerConsumer(const DynInst &producer,
+                          const DynInst &consumer);
 
     // ---- configuration ------------------------------------------------
     SimConfig cfg;
@@ -298,6 +325,42 @@ class Processor
     CircularQueue<DynInst> rob;
     StoreBuffer sb;
     unsigned lsqCount; ///< Memory instructions resident in the window.
+
+    /**
+     * Stable ROB slots doIssue must still visit: resident instructions
+     * that are not done, excluding issued plain instructions (they
+     * complete through events) and memory-issued loads. Maintained
+     * incrementally at dispatch / issue / completion / replay / squash;
+     * heavyInvariants() rebuilds it from the window and compares.
+     */
+    SlotBitmap pendingBits;
+
+    /**
+     * Bytes read by in-flight memory-issued loads, by age. Replaces
+     * the full-window sweep of the violation checks: a store that
+     * executes asks for the younger loads that read any byte it
+     * writes. Entries reference ROB slots; validated against seq at
+     * visit time (squash truncation leaves dead slots behind).
+     */
+    ByteSeqIndex loadBytes;
+
+    struct ConsumerRef
+    {
+        size_t slot = 0;
+        InstSeqNum seq = 0;
+    };
+    /**
+     * Per-producer consumer (wakeup) lists, indexed by the producer's
+     * ROB slot; built during operand capture at dispatch. Replaces the
+     * full-window sweeps of broadcastResult / unbroadcast /
+     * anyConsumerIssued. Refs to squashed consumers go stale and are
+     * dropped lazily (slot liveness + seq check); a producer's list is
+     * cleared when its slot is reallocated at dispatch.
+     */
+    std::vector<std::vector<ConsumerRef>> consumers;
+
+    /** Scratch for violation-check candidate collection. */
+    std::vector<ByteSeqIndex::Ref> checkScratch;
 
     /** Un-executed stores, by sequence number (the NAS "NO" gate). */
     std::set<InstSeqNum> unissuedStores;

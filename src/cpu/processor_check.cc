@@ -189,6 +189,147 @@ Processor::heavyInvariants()
                       "MDPT sanity: " + complaint);
         }
     }
+
+    // The store buffer's own incremental indexes against a rebuild.
+    {
+        std::string complaint = sb.selfCheck(cycle);
+        if (!complaint.empty()) {
+            checkFail(SimErrorKind::Invariant,
+                      "store buffer: " + complaint);
+        }
+    }
+
+    // The pending-issue bitmap must be exactly the from-scratch
+    // predicate over the live window: resident, not done, and not yet
+    // (mem)issued.
+    size_t expected_pending = 0;
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const DynInst &inst = rob.at(i);
+        size_t slot = rob.slotOf(inst);
+        bool pending = !inst.done &&
+                       !(inst.isLoad() ? inst.memIssued : inst.issued);
+        if (pending)
+            ++expected_pending;
+        if (pendingBits.test(slot) != pending) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("pending bitmap %s for seq %llu (done %d, "
+                             "issued %d, memIssued %d)",
+                             pending ? "missing" : "stale",
+                             static_cast<unsigned long long>(inst.seq),
+                             inst.done, inst.issued, inst.memIssued));
+        }
+    }
+    if (pendingBits.count() != expected_pending) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("pending bitmap holds %zu bits on dead slots "
+                         "(%zu set, %zu expected)",
+                         pendingBits.count() - expected_pending,
+                         pendingBits.count(), expected_pending));
+    }
+
+    // The issued-load byte index must cover exactly the memory-issued
+    // in-flight loads, byte for byte, and agree with its own redundant
+    // structures.
+    size_t expected_bytes = 0;
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const DynInst &inst = rob.at(i);
+        bool indexed = inst.isLoad() && inst.memIssued;
+        if (inst.bytesIndexed != indexed) {
+            checkFail(SimErrorKind::Invariant,
+                      strfmt("load-byte index flag %d but load seq %llu "
+                             "is %smemory-issued",
+                             inst.bytesIndexed,
+                             static_cast<unsigned long long>(inst.seq),
+                             indexed ? "" : "not "));
+        }
+        if (!indexed)
+            continue;
+        expected_bytes += inst.memSize;
+        size_t slot = rob.slotOf(inst);
+        for (unsigned b = 0; b < inst.memSize; ++b) {
+            ByteSeqIndex::Ref ref;
+            if (!loadBytes.newestBefore(inst.effAddr + b, inst.seq + 1,
+                                        ref) ||
+                ref.seq != inst.seq || ref.slot != slot) {
+                checkFail(SimErrorKind::Invariant,
+                          strfmt("load-byte index misses byte %u of "
+                                 "load seq %llu",
+                                 b,
+                                 static_cast<unsigned long long>(
+                                     inst.seq)));
+            }
+        }
+    }
+    if (loadBytes.size() != expected_bytes) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("load-byte index holds %zu bytes, window "
+                         "accounts for %zu",
+                         loadBytes.size(), expected_bytes));
+    }
+    {
+        std::string complaint = loadBytes.selfCheck();
+        if (!complaint.empty()) {
+            checkFail(SimErrorKind::Invariant,
+                      "load-byte index: " + complaint);
+        }
+    }
+
+    // Consumer lists: every in-flight consumer naming an in-flight
+    // producer must appear on that producer's list (completeness), and
+    // every valid list entry must actually consume the producer
+    // (soundness up to lazy invalidation).
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const DynInst &c = rob.at(i);
+        for (const DynInst::Operand *op : {&c.src1, &c.src2}) {
+            if (!op->hasProducer)
+                continue;
+            const DynInst *p = findInst(op->producer);
+            if (!p)
+                continue; // producer retired; list entry not required
+            size_t pslot = rob.slotOf(*p);
+            size_t cslot = rob.slotOf(c);
+            bool found = false;
+            for (const ConsumerRef &ref : consumers[pslot]) {
+                if (ref.slot == cslot && ref.seq == c.seq) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                checkFail(SimErrorKind::Invariant,
+                          strfmt("consumer seq %llu missing from "
+                                 "producer seq %llu's wakeup list",
+                                 static_cast<unsigned long long>(c.seq),
+                                 static_cast<unsigned long long>(
+                                     p->seq)));
+            }
+        }
+    }
+    for (size_t slot = 0; slot < consumers.size(); ++slot) {
+        // Dead producers keep stale lists until slot reuse; their refs
+        // must simply fail validation against the live window.
+        for (const ConsumerRef &ref : consumers[slot]) {
+            if (!rob.slotLive(ref.slot))
+                continue;
+            const DynInst &c = rob.slot(ref.slot);
+            if (c.seq != ref.seq)
+                continue; // stale ref, lazily compacted later
+            if (!rob.slotLive(slot))
+                continue;
+            const DynInst &p = rob.slot(slot);
+            bool consumes =
+                (c.src1.hasProducer && c.src1.producer == p.seq) ||
+                (c.src2.hasProducer && c.src2.producer == p.seq);
+            if (!consumes) {
+                checkFail(SimErrorKind::Invariant,
+                          strfmt("wakeup list of seq %llu names seq "
+                                 "%llu which does not consume it",
+                                 static_cast<unsigned long long>(p.seq),
+                                 static_cast<unsigned long long>(
+                                     c.seq)));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

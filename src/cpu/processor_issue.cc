@@ -6,6 +6,9 @@
  * the paper's mechanism-under-study.
  */
 
+#include <algorithm>
+
+#include "base/addr_range.hh"
 #include "base/logging.hh"
 #include "cpu/processor.hh"
 #include "isa/exec_fn.hh"
@@ -14,26 +17,47 @@
 namespace cwsim
 {
 
-namespace
-{
-
-bool
-rangesOverlap(Addr a, unsigned as, Addr b, unsigned bs)
-{
-    return a < b + bs && b < a + as;
-}
-
-} // anonymous namespace
-
 void
 Processor::doIssue()
 {
     unsigned slots = cfg.core.issueWidth;
+    if (rob.empty())
+        return;
 
-    for (size_t i = 0; i < rob.size() && slots > 0; ++i) {
-        DynInst &inst = rob.at(i);
-        if (inst.done)
+    // Walk the pending bitmap in age order instead of scanning every
+    // window entry. The window occupies slots [head, head+count) with
+    // wraparound and bits exist only on live slots, so the [head, cap)
+    // segment holds the older part and [0, head) the wrapped younger
+    // part. The head cannot move during issue (commit already ran this
+    // cycle), and every in-visit mutation — a squash clearing bits, a
+    // selective replay setting bits — only touches instructions younger
+    // than the one being visited, i.e. positions the walk has not
+    // reached; nextSet re-reads the words, so the historical full-scan
+    // semantics are preserved exactly.
+    size_t head = rob.slotOf(rob.front());
+    bool wrapped = false;
+    size_t s = pendingBits.nextSet(head);
+    while (slots > 0) {
+        if (s == SlotBitmap::npos || (wrapped && s >= head)) {
+            if (wrapped)
+                break;
+            wrapped = true;
+            s = pendingBits.nextSet(0);
             continue;
+        }
+        tryIssue(rob.slot(s), slots);
+        // Advance only after the visit: a selective replay inside it
+        // may have set a bit between this slot and the next.
+        s = pendingBits.nextSet(s + 1);
+    }
+}
+
+void
+Processor::tryIssue(DynInst &inst, unsigned &slots)
+{
+    {
+        if (inst.done)
+            return;
 
         if (inst.isStore()) {
             SbEntry &entry = sb.slot(inst.sbSlot);
@@ -59,12 +83,12 @@ Processor::doIssue()
                     --lsqInPortsLeft;
                 }
             }
-            continue;
+            return;
         }
 
         if (inst.isLoad()) {
             if (inst.memIssued || !inst.src1.ready)
-                continue;
+                return;
             // Recompute on every attempt: a port-blocked load can sit
             // with a cached address while selective recovery replaces
             // its base register value underneath it.
@@ -72,33 +96,34 @@ Processor::doIssue()
                 exec::effectiveAddr(inst.si, inst.src1.value);
             if (!loadMayIssue(inst)) {
                 noteFalseDepStall(inst);
-                continue;
+                return;
             }
             if (memPortsLeft == 0 || lsqInPortsLeft == 0)
-                continue;
-            size_t rob_size_before = rob.size();
+                return;
             executeLoad(inst);
             if (inst.memIssued) {
                 --slots;
                 --memPortsLeft;
                 --lsqInPortsLeft;
             }
-            (void)rob_size_before;
-            continue;
+            return;
         }
 
-        // Plain computational / control instructions.
+        // Plain computational / control instructions. Once issued they
+        // complete through the event queue and need no further issue
+        // attention; drop them from the pending set.
         if (inst.issued || !inst.srcsReady())
-            continue;
+            return;
         unsigned fu = static_cast<unsigned>(inst.si.fuClass());
         if (fuUsed[fu] >= cfg.core.fuCopies)
-            continue;
+            return;
         ++fuUsed[fu];
         --slots;
 
         inst.issued = true;
         inst.issuedAt = cycle;
         ++inst.epoch;
+        pendingBits.clear(rob.slotOf(inst));
         if (inst.si.writesReg()) {
             inst.result = exec::compute(inst.si, inst.src1.value,
                                         inst.src2.value, inst.pc);
@@ -181,42 +206,36 @@ Processor::gateSync(DynInst &inst)
 bool
 Processor::gateOracle(DynInst &inst)
 {
-    TraceIndex producer = inst.oracleProducer;
-    if (producer == invalid_trace_index)
-        return true;
-    if (producer >= inst.traceIdx) {
-        // Wrong-path garbage mapping; never deadlock on it.
-        return true;
+    // Wait for EVERY producing store, not just the youngest: with
+    // partial overlaps a load reads bytes from several stores, and
+    // issuing after only one of them would forward stale bytes from
+    // the ranges the others cover.
+    for (unsigned i = 0; i < inst.oracleProducerCount; ++i) {
+        TraceIndex producer = inst.oracleProducers[i];
+        if (producer >= inst.traceIdx) {
+            // Wrong-path garbage mapping; never deadlock on it.
+            continue;
+        }
+        if (producer < commitCount)
+            continue; // the producing store already committed
+        const SbEntry *entry = findSbByTraceIdx(producer);
+        if (entry && !entry->executed)
+            return false;
     }
-    if (producer < commitCount)
-        return true; // the producing store already committed
-    const SbEntry *entry = findSbByTraceIdx(producer);
-    if (!entry)
-        return true;
-    return entry->executed;
+    return true;
 }
 
 bool
 Processor::gateAddressScheduler(DynInst &inst, bool speculate)
 {
-    bool ambiguous = false;
-    for (size_t i = 0; i < sb.size(); ++i) {
-        const SbEntry &entry = sb.at(i);
-        if (entry.seq >= inst.seq)
-            break;
-        if (entry.released)
-            continue;
-        if (!entry.addrValid || cycle < entry.addrVisibleAt) {
-            ambiguous = true;
-            continue;
-        }
-        if (entry.overlaps(inst.effAddr, inst.memSize) &&
-            !entry.dataValid) {
-            // Known true dependence: a load always waits for the data.
-            return false;
-        }
+    // Known true dependence: an older store with a visible address
+    // overlapping the load and no data yet — the load always waits.
+    if (sb.blockingOlderStore(inst.effAddr, inst.memSize, inst.seq,
+                              cycle)) {
+        return false;
     }
-    return speculate || !ambiguous;
+    // Otherwise NAV issues through ambiguity, NO waits it out.
+    return speculate || !sb.ambiguousOlderThan(inst.seq, cycle);
 }
 
 // ---------------------------------------------------------------------
@@ -226,33 +245,30 @@ Processor::gateAddressScheduler(DynInst &inst, bool speculate)
 uint64_t
 Processor::assembleLoadBytes(Addr addr, unsigned size,
                              InstSeqNum load_seq,
-                             InstSeqNum *source_seq) const
+                             InstSeqNum *byte_sources) const
 {
+    // Per byte: the youngest older store with valid data covering it
+    // (one indexed lookup), else architectural memory. When the caller
+    // passes @p byte_sources (size elements), each byte's forwarding
+    // store seq is recorded (0 = memory) — the violation checks test
+    // staleness byte-wise against these.
     uint64_t value = 0;
-    InstSeqNum newest = 0;
     for (unsigned i = 0; i < size; ++i) {
         Addr byte_addr = addr + i;
-        bool forwarded = false;
-        for (size_t j = sb.size(); j-- > 0;) {
-            const SbEntry &entry = sb.at(j);
-            if (entry.seq >= load_seq)
-                continue;
-            if (!entry.dataValid || !entry.coversByte(byte_addr))
-                continue;
-            value |= static_cast<uint64_t>(entry.byteAt(byte_addr))
+        ByteSeqIndex::Ref src;
+        if (sb.newestDataBefore(byte_addr, load_seq, src)) {
+            value |= static_cast<uint64_t>(
+                         sb.slot(src.slot).byteAt(byte_addr))
                      << (8 * i);
-            if (entry.seq > newest)
-                newest = entry.seq;
-            forwarded = true;
-            break;
-        }
-        if (!forwarded) {
+            if (byte_sources)
+                byte_sources[i] = src.seq;
+        } else {
             value |= static_cast<uint64_t>(funcMem.read8(byte_addr))
                      << (8 * i);
+            if (byte_sources)
+                byte_sources[i] = 0;
         }
     }
-    if (source_seq)
-        *source_seq = newest;
     return value;
 }
 
@@ -261,39 +277,22 @@ Processor::executeLoad(DynInst &inst)
 {
     // Sample memory at access time: stores executing later than this
     // point are exactly the ones that can violate the load.
-    InstSeqNum source = 0;
+    InstSeqNum sources[8] = {};
     uint64_t raw = assembleLoadBytes(inst.effAddr, inst.memSize,
-                                     inst.seq, &source);
+                                     inst.seq, sources);
+    InstSeqNum source = 0;
+    bool all_forwarded = true;
+    for (unsigned i = 0; i < inst.memSize; ++i) {
+        source = std::max(source, sources[i]);
+        all_forwarded = all_forwarded && sources[i] != 0;
+    }
 
     // Did the load execute with ambiguous older stores outstanding?
     if (lsqModel == LsqModel::NAS) {
         inst.speculativeLoad = !unissuedStores.empty() &&
                                *unissuedStores.begin() < inst.seq;
     } else {
-        inst.speculativeLoad = false;
-        for (size_t i = 0; i < sb.size(); ++i) {
-            const SbEntry &entry = sb.at(i);
-            if (entry.seq >= inst.seq)
-                break;
-            if (!entry.released &&
-                (!entry.addrValid || cycle < entry.addrVisibleAt)) {
-                inst.speculativeLoad = true;
-                break;
-            }
-        }
-    }
-
-    // Full forward if every byte came from the store buffer.
-    bool all_forwarded = true;
-    for (unsigned i = 0; i < inst.memSize && all_forwarded; ++i) {
-        Addr byte_addr = inst.effAddr + i;
-        bool covered = false;
-        for (size_t j = sb.size(); j-- > 0 && !covered;) {
-            const SbEntry &entry = sb.at(j);
-            covered = entry.seq < inst.seq && entry.dataValid &&
-                      entry.coversByte(byte_addr);
-        }
-        all_forwarded = covered;
+        inst.speculativeLoad = sb.ambiguousOlderThan(inst.seq, cycle);
     }
 
     Cycles as_extra =
@@ -336,7 +335,13 @@ Processor::executeLoad(DynInst &inst)
     inst.issuedAt = cycle;
     inst.loadRaw = raw;
     inst.loadSourceSeq = source;
+    for (unsigned i = 0; i < inst.memSize; ++i)
+        inst.loadByteSource[i] = sources[i];
     inst.result = exec::loadExtend(inst.si, raw);
+    indexLoadBytes(inst);
+    // Issued: completion arrives through the event queue; violation
+    // checks reach the load through loadBytes, not the issue walk.
+    pendingBits.clear(rob.slotOf(inst));
     CWSIM_TRACE(Issue, "load seq %llu pc 0x%llx addr 0x%llx%s%s%s",
                 static_cast<unsigned long long>(inst.seq),
                 static_cast<unsigned long long>(inst.pc),
@@ -354,11 +359,13 @@ void
 Processor::replayLoad(DynInst &inst)
 {
     unbroadcast(inst);
+    deindexLoadBytes(inst);
     ++inst.epoch; // invalidate any in-flight completion
     inst.issued = false;
     inst.memIssued = false;
     inst.memDone = false;
     inst.done = false;
+    pendingBits.set(rob.slotOf(inst));
     ++inst.timesReplayed;
     ++pstats.loadReplays;
     CWSIM_TRACE(Recovery, "silent replay: load seq %llu pc 0x%llx "
@@ -376,13 +383,13 @@ Processor::replayLoad(DynInst &inst)
 void
 Processor::executeStoreNas(DynInst &inst)
 {
-    SbEntry &entry = sb.slot(inst.sbSlot);
-    entry.addr = exec::effectiveAddr(inst.si, inst.src1.value);
-    entry.addrValid = true;
-    entry.addrVisibleAt = cycle;
-    entry.data = exec::storeValue(inst.si, inst.src2.value);
-    entry.dataValid = true;
-    inst.effAddr = entry.addr;
+    size_t slot = static_cast<size_t>(inst.sbSlot);
+    SbEntry &entry = sb.slot(slot);
+    Addr addr = exec::effectiveAddr(inst.si, inst.src1.value);
+    // Single-phase store: address immediately visible, data with it.
+    sb.postAddr(slot, addr, cycle, cycle);
+    sb.postData(slot, exec::storeValue(inst.si, inst.src2.value));
+    inst.effAddr = addr;
     CWSIM_TRACE(Issue, "store seq %llu pc 0x%llx addr 0x%llx",
                 static_cast<unsigned long long>(inst.seq),
                 static_cast<unsigned long long>(inst.pc),
@@ -393,17 +400,18 @@ Processor::executeStoreNas(DynInst &inst)
 void
 Processor::postStoreAddr(DynInst &inst)
 {
-    SbEntry &entry = sb.slot(inst.sbSlot);
-    entry.addr = exec::effectiveAddr(inst.si, inst.src1.value);
-    entry.addrValid = true;
-    entry.addrVisibleAt = cycle + cfg.mdp.asLatency;
+    size_t slot = static_cast<size_t>(inst.sbSlot);
+    SbEntry &entry = sb.slot(slot);
+    Addr addr = exec::effectiveAddr(inst.si, inst.src1.value);
+    Tick visible_at = cycle + cfg.mdp.asLatency;
     if (Cycles delay = faults.injectStoreAddrDelay()) {
-        entry.addrVisibleAt += delay;
+        visible_at += delay;
         ++pstats.injectedAddrDelays;
         frec.record(cycle, check::EventKind::InjectedAddrDelay,
                     inst.seq, inst.pc, delay);
     }
-    inst.effAddr = entry.addr;
+    sb.postAddr(slot, addr, visible_at, cycle);
+    inst.effAddr = addr;
     CWSIM_TRACE(LSQ, "store addr posted: seq %llu pc 0x%llx "
                 "addr 0x%llx visible at cycle %llu",
                 static_cast<unsigned long long>(inst.seq),
@@ -417,9 +425,9 @@ Processor::postStoreAddr(DynInst &inst)
 void
 Processor::postStoreData(DynInst &inst)
 {
-    SbEntry &entry = sb.slot(inst.sbSlot);
-    entry.data = exec::storeValue(inst.si, inst.src2.value);
-    entry.dataValid = true;
+    size_t slot = static_cast<size_t>(inst.sbSlot);
+    SbEntry &entry = sb.slot(slot);
+    sb.postData(slot, exec::storeValue(inst.si, inst.src2.value));
     CWSIM_TRACE(LSQ, "store data posted: seq %llu pc 0x%llx",
                 static_cast<unsigned long long>(inst.seq),
                 static_cast<unsigned long long>(inst.pc));
@@ -430,17 +438,22 @@ Processor::postStoreData(DynInst &inst)
 void
 Processor::storeBecameExecuted(DynInst &inst, SbEntry &entry)
 {
-    entry.executed = true;
-    entry.executedAt = cycle;
+    sb.setExecuted(static_cast<size_t>(inst.sbSlot), cycle);
     unissuedStores.erase(inst.seq);
     unissuedBarriers.erase(inst.seq);
     inst.issued = true;
     inst.done = true;
     inst.issuedAt = cycle;
+    pendingBits.clear(rob.slotOf(inst));
 
     if (policy != SpecPolicy::Oracle) {
-        // The oracle never lets a correct-path load violate; wrong-path
-        // loads are cleaned up by control squashes.
+        // The oracle skips detection: gateOracle holds every load
+        // until ALL of its byte-producing stores have executed (not
+        // just the youngest — see OracleDeps::ProducerSet), so a
+        // correct-path load can never forward a stale byte. Wrong-path
+        // loads can, but a control squash discards them before they
+        // commit, and flagging them here would charge the idealized
+        // oracle with violations it never architecturally commits.
         if (lsqModel == LsqModel::AS)
             checkStaleLoadsAs(entry);
         else
@@ -487,16 +500,31 @@ Processor::checkViolationsNas(const SbEntry &entry)
     // rest implicitly, but selective recovery must repair each one or
     // the younger victims keep their stale values forever (this store
     // never re-executes to re-check them).
-    for (size_t i = 0; i < rob.size(); ++i) {
-        DynInst &load = rob.at(i);
-        if (load.seq <= entry.seq || !load.isLoad() || !load.memIssued)
+    //
+    // Candidates come from the loadBytes index (the younger issued
+    // loads reading any byte this store writes) instead of a window
+    // sweep; each is re-validated at visit time because a selective
+    // recovery for an older victim can reset or squash later ones.
+    checkScratch.clear();
+    loadBytes.collectYoungerThan(entry.addr, entry.size, entry.seq,
+                                 checkScratch);
+    if (checkScratch.empty())
+        return;
+    std::sort(checkScratch.begin(), checkScratch.end(),
+              [](const ByteSeqIndex::Ref &a, const ByteSeqIndex::Ref &b)
+              { return a.seq < b.seq; });
+    InstSeqNum visited = 0;
+    for (const ByteSeqIndex::Ref &ref : checkScratch) {
+        if (ref.seq == visited)
+            continue; // one ref per byte read; visit each load once
+        visited = ref.seq;
+        if (!rob.slotLive(ref.slot))
             continue;
-        if (!rangesOverlap(load.effAddr, load.memSize, entry.addr,
-                           entry.size)) {
+        DynInst &load = rob.slot(ref.slot);
+        if (load.seq != ref.seq || !load.isLoad() || !load.memIssued)
             continue;
-        }
-        if (load.loadSourceSeq >= entry.seq)
-            continue; // forwarded from a younger store: value is fine
+        if (!loadHasStaleByteFrom(load, entry))
+            continue; // every shared byte came from a younger store
 
         ++pstats.memOrderViolations;
         CWSIM_TRACE(Recovery, "mem-order violation: load seq %llu "
@@ -546,6 +574,8 @@ Processor::checkViolationsNas(const SbEntry &entry)
 void
 Processor::resetForReplay(DynInst &inst)
 {
+    if (inst.isLoad())
+        deindexLoadBytes(inst); // before the address is forgotten
     ++inst.epoch; // kill in-flight completion events
     inst.issued = false;
     inst.done = false;
@@ -553,14 +583,12 @@ Processor::resetForReplay(DynInst &inst)
     inst.memDone = false;
     inst.effAddr = invalid_addr;
     ++inst.timesReplayed;
+    pendingBits.set(rob.slotOf(inst));
 
     if (inst.isStore() && inst.sbSlot >= 0) {
         SbEntry &entry = sb.slot(inst.sbSlot);
         panic_if(entry.seq != inst.seq, "replaying foreign SB entry");
-        entry.addr = invalid_addr;
-        entry.addrValid = false;
-        entry.dataValid = false;
-        entry.executed = false;
+        sb.invalidateForReplay(static_cast<size_t>(inst.sbSlot));
         unissuedStores.insert(inst.seq);
         if (entry.barrier)
             unissuedBarriers.insert(inst.seq);
@@ -568,6 +596,7 @@ Processor::resetForReplay(DynInst &inst)
     if (inst.isLoad()) {
         inst.loadRaw = 0;
         inst.loadSourceSeq = 0;
+        inst.loadByteSource.fill(0);
         inst.speculativeLoad = false;
     }
 }
@@ -600,28 +629,44 @@ Processor::replayDependenceSlice(DynInst &victim)
 
         slice.insert(seq);
 
-        // Register consumers of this instruction's (stale) result.
-        for (size_t i = 0; i < rob.size(); ++i) {
-            DynInst &c = rob.at(i);
-            if (c.seq <= seq)
+        // Register consumers of this instruction's (stale) result,
+        // straight off its consumer list. Unissued consumers recapture
+        // from the re-broadcast; the ones that already acted on the
+        // stale value (issued, or posted it into the store buffer)
+        // must replay.
+        for (const ConsumerRef &ref : consumers[rob.slotOf(*inst)]) {
+            if (!rob.slotLive(ref.slot))
+                continue;
+            DynInst &c = rob.slot(ref.slot);
+            if (c.seq != ref.seq)
                 continue;
             bool consumes =
                 (c.src1.hasProducer && c.src1.producer == seq) ||
                 (c.src2.hasProducer && c.src2.producer == seq);
-            // Unissued consumers recapture from the re-broadcast; the
-            // ones that already acted on the stale value (issued, or
-            // posted it into the store buffer) must replay.
             if (consumes && consumerCapturedResult(c))
                 work.push_back(c.seq);
         }
 
-        // Loads that forwarded from this (stale) store.
-        if (inst->isStore()) {
-            for (size_t i = 0; i < rob.size(); ++i) {
-                DynInst &c = rob.at(i);
-                if (c.seq > seq && c.isLoad() && c.memIssued &&
-                    c.loadSourceSeq == seq) {
-                    work.push_back(c.seq);
+        // Loads that forwarded any byte from this (stale) store. The
+        // loadBytes index narrows the search to loads reading the
+        // store's range; the per-byte source test catches partial
+        // forwards the scalar loadSourceSeq used to hide.
+        if (inst->isStore() && inst->sbSlot >= 0) {
+            const SbEntry &se = sb.slot(inst->sbSlot);
+            if (se.addrValid && se.dataValid) {
+                checkScratch.clear();
+                loadBytes.collectYoungerThan(se.addr, se.size, seq,
+                                             checkScratch);
+                for (const ByteSeqIndex::Ref &ref : checkScratch) {
+                    if (!rob.slotLive(ref.slot))
+                        continue;
+                    DynInst &c = rob.slot(ref.slot);
+                    if (c.seq != ref.seq || !c.isLoad() ||
+                        !c.memIssued) {
+                        continue;
+                    }
+                    if (loadForwardedFrom(c, seq))
+                        work.push_back(c.seq);
                 }
             }
         }
@@ -657,16 +702,31 @@ void
 Processor::checkStaleLoadsAs(const SbEntry &entry)
 {
     // Section 3.4's three conditions: the load read memory, obtained a
-    // different value than the store writes, and propagated it.
-    for (size_t i = 0; i < rob.size(); ++i) {
-        DynInst &load = rob.at(i);
-        if (load.seq <= entry.seq || !load.isLoad() || !load.memIssued)
+    // different value than the store writes, and propagated it. The
+    // loadBytes index yields exactly the memory-issued younger loads
+    // touching the store's range; the byte-wise source test replaces
+    // the scalar loadSourceSeq skip, which wrongly cleared loads that
+    // forwarded only part of their bytes from a younger store.
+    checkScratch.clear();
+    loadBytes.collectYoungerThan(entry.addr, entry.size, entry.seq,
+                                 checkScratch);
+    if (checkScratch.empty())
+        return;
+    std::sort(checkScratch.begin(), checkScratch.end(),
+              [](const ByteSeqIndex::Ref &a, const ByteSeqIndex::Ref &b) {
+                  return a.seq < b.seq;
+              });
+    InstSeqNum visited = 0;
+    for (const ByteSeqIndex::Ref &ref : checkScratch) {
+        if (ref.seq == visited)
+            continue; // one ref per byte; visit each load once
+        visited = ref.seq;
+        if (!rob.slotLive(ref.slot))
             continue;
-        if (!rangesOverlap(load.effAddr, load.memSize, entry.addr,
-                           entry.size)) {
+        DynInst &load = rob.slot(ref.slot);
+        if (load.seq != ref.seq || !load.isLoad() || !load.memIssued)
             continue;
-        }
-        if (load.loadSourceSeq >= entry.seq)
+        if (!loadHasStaleByteFrom(load, entry))
             continue;
 
         uint64_t correct = assembleLoadBytes(load.effAddr, load.memSize,
@@ -714,12 +774,15 @@ Processor::noteFalseDepStall(DynInst &inst)
     // Classify using oracle knowledge: a stalled load with no in-flight
     // producing store is delayed by a false dependence.
     bool true_dep = false;
-    if (oracle && inst.oracleProducer != invalid_trace_index &&
-        inst.oracleProducer < inst.traceIdx &&
-        inst.oracleProducer >= commitCount) {
-        const SbEntry *producer = findSbByTraceIdx(inst.oracleProducer);
-        if (producer && !producer->executed)
+    for (unsigned i = 0; oracle && i < inst.oracleProducerCount; ++i) {
+        TraceIndex p = inst.oracleProducers[i];
+        if (p >= inst.traceIdx || p < commitCount)
+            continue;
+        const SbEntry *producer = findSbByTraceIdx(p);
+        if (producer && !producer->executed) {
             true_dep = true;
+            break;
+        }
     }
     inst.fdIsFalse = !true_dep;
     CWSIM_TRACE(LSQ, "load stalled by %s dependence: seq %llu "

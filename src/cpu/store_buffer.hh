@@ -10,13 +10,36 @@
  * Under the AS model a store posts its address (and later its data)
  * into its entry as the operands arrive; `addrVisibleAt` models the
  * address-based scheduler's latency before loads can see the address.
+ *
+ * StoreBuffer is an *indexed* FIFO: alongside the age-ordered circular
+ * queue it maintains
+ *   - O(1) seq -> slot and traceIdx -> slot lookup maps,
+ *   - a byte-granular ByteSeqIndex over executed store data (the
+ *     forwarding lookup: youngest older store writing a byte),
+ *   - an age-ordered set of stores whose address is still unknown and
+ *     a small list of stores whose posted address is not yet visible
+ *     (the address scheduler's ambiguity test),
+ *   - a list of address-only stores (posted address, data pending —
+ *     the scheduler's known-true-dependence test), and
+ *   - per-synonym producer lists (the SYNC dispatch lookup).
+ * Entry fields that feed an index (addr/data/executed) may only be
+ * written through the mutating API below; bookkeeping flags
+ * (committed, releasing, released, barrier) may be poked directly via
+ * slot(). selfCheck() rebuilds every index from the queue and is run
+ * at check level 2.
  */
 
 #ifndef CWSIM_CPU_STORE_BUFFER_HH
 #define CWSIM_CPU_STORE_BUFFER_HH
 
 #include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "base/addr_range.hh"
+#include "base/byte_index.hh"
 #include "base/circular_queue.hh"
 #include "base/types.hh"
 #include "mdp/mdp_table.hh"
@@ -55,14 +78,14 @@ struct SbEntry
     bool
     overlaps(Addr a, unsigned s) const
     {
-        return addrValid && addr < a + s && a < addr + size;
+        return addrValid && rangesOverlap(addr, size, a, s);
     }
 
     /** Does this store write the byte at @p byte_addr? */
     bool
     coversByte(Addr byte_addr) const
     {
-        return addrValid && byte_addr >= addr && byte_addr < addr + size;
+        return addrValid && rangeCoversByte(addr, size, byte_addr);
     }
 
     uint8_t
@@ -72,7 +95,155 @@ struct SbEntry
     }
 };
 
-using StoreBuffer = CircularQueue<SbEntry>;
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(size_t capacity) : q(capacity) {}
+
+    // ---- FIFO shape (CircularQueue passthrough) ---------------------
+    size_t capacity() const { return q.capacity(); }
+    size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.full(); }
+    SbEntry &front() { return q.front(); }
+    const SbEntry &front() const { return q.front(); }
+    SbEntry &back() { return q.back(); }
+    const SbEntry &back() const { return q.back(); }
+    SbEntry &at(size_t pos) { return q.at(pos); }
+    const SbEntry &at(size_t pos) const { return q.at(pos); }
+    /**
+     * Direct slot access. Writing addr/data/valid/executed through
+     * this would corrupt the indexes — use the mutating API; only
+     * commit/release/barrier/synonym-free bookkeeping is fair game.
+     */
+    SbEntry &slot(size_t idx) { return q.slot(idx); }
+    const SbEntry &slot(size_t idx) const { return q.slot(idx); }
+
+    // ---- lifecycle ---------------------------------------------------
+    /** Dispatch a store: append and index. @return its stable slot. */
+    size_t allocate(SbEntry entry);
+
+    /** Retire the (released) head entry and unindex it. */
+    void popFront();
+
+    /** Squash: drop uncommitted tail entries younger than @p keep. */
+    void squashYoungerThan(InstSeqNum keep);
+
+    // ---- execution-state mutation -----------------------------------
+    /**
+     * Post the effective address. @p visible_at models the address
+     * scheduler's latency (== @p now for single-phase NAS stores).
+     */
+    void postAddr(size_t slot_idx, Addr addr, Tick visible_at,
+                  Tick now);
+
+    /** Post the store data. */
+    void postData(size_t slot_idx, uint64_t data);
+
+    /** Mark address+data complete (the store has "issued"). */
+    void setExecuted(size_t slot_idx, Tick now);
+
+    /** SYNC: tag a store as producing @p syn (dispatch time). */
+    void setProducerSynonym(size_t slot_idx, Synonym syn);
+
+    /**
+     * Selective replay: forget address, data and executed state; the
+     * store will re-post both.
+     */
+    void invalidateForReplay(size_t slot_idx);
+
+    // ---- queries -----------------------------------------------------
+    /** O(1) lookup by sequence number (nullptr if not resident). */
+    SbEntry *findSeq(InstSeqNum seq);
+    const SbEntry *findSeq(InstSeqNum seq) const;
+    /** Slot of @p seq; npos when not resident. */
+    static constexpr size_t npos = ~size_t(0);
+    size_t slotOfSeq(InstSeqNum seq) const;
+
+    /** O(1) lookup by trace index (nullptr if not resident). */
+    const SbEntry *findTraceIdx(TraceIndex idx) const;
+
+    /**
+     * Address-scheduler ambiguity: does a store older than @p seq,
+     * not yet released, have no visible address at @p now?
+     */
+    bool ambiguousOlderThan(InstSeqNum seq, Tick now);
+
+    /**
+     * Address-scheduler dependence: a store older than @p seq whose
+     * address is visible at @p now, overlaps [addr, addr+size), and
+     * whose data has not arrived (the load must wait).
+     */
+    bool blockingOlderStore(Addr addr, unsigned size, InstSeqNum seq,
+                            Tick now);
+
+    /**
+     * Forwarding: the youngest store older than @p before with valid
+     * data covering @p byte_addr. @return true and fill @p out.
+     */
+    bool
+    newestDataBefore(Addr byte_addr, InstSeqNum before,
+                     ByteSeqIndex::Ref &out) const
+    {
+        return dataBytes.newestBefore(byte_addr, before, out);
+    }
+
+    /**
+     * SYNC dispatch: the youngest uncommitted store older than
+     * @p before producing @p syn (nullptr if none).
+     */
+    const SbEntry *youngestSynonymProducerBefore(Synonym syn,
+                                                 InstSeqNum before) const;
+
+    /**
+     * Rebuild every index from the queue and compare (check level 2).
+     * @param now Current cycle, for visibility-list validation.
+     * @return "" when consistent, else a complaint.
+     */
+    std::string selfCheck(Tick now) const;
+
+  private:
+    struct SlotRef
+    {
+        size_t slot = 0;
+        InstSeqNum seq = 0;
+    };
+
+    /** Is (slot, seq) still the resident entry it was recorded for? */
+    bool
+    refValid(const SlotRef &ref) const
+    {
+        return slotLive(ref.slot) && q.slot(ref.slot).seq == ref.seq;
+    }
+
+    bool slotLive(size_t slot_idx) const;
+    void unindexEntry(const SbEntry &entry, size_t slot_idx);
+    static void eraseRef(std::vector<SlotRef> &v, size_t slot_idx);
+
+    CircularQueue<SbEntry> q;
+
+    std::unordered_map<InstSeqNum, size_t> bySeq;
+    std::unordered_map<TraceIndex, size_t> byTrace;
+
+    /** Bytes of entries with addrValid && dataValid. */
+    ByteSeqIndex dataBytes;
+
+    /** Seqs of resident entries with no posted address, age-ordered. */
+    std::set<InstSeqNum> addrUnposted;
+
+    /**
+     * Entries whose posted address is not visible yet (addrVisibleAt
+     * in the future when posted). Compacted lazily as they become
+     * visible or die; bounded by stores posted within asLatency.
+     */
+    std::vector<SlotRef> addrInFlight;
+
+    /** Entries with a posted address awaiting data (AS two-phase). */
+    std::vector<SlotRef> awaitingData;
+
+    /** SYNC: producer entries per synonym, in allocation (age) order. */
+    std::unordered_map<Synonym, std::vector<SlotRef>> bySynonym;
+};
 
 } // namespace cwsim
 

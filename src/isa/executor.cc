@@ -10,22 +10,22 @@ namespace cwsim
 const StaticInst &
 DecodeCache::lookup(Addr pc)
 {
-    auto it = cache.find(pc);
-    if (it != cache.end())
-        return it->second;
+    Slot &slot = slots[(pc >> 2) & (num_slots - 1)];
+    if (slot.pc == pc)
+        return slot.inst;
     uint32_t word = static_cast<uint32_t>(mem->read(pc, 4));
-    StaticInst decoded;
     if (tolerateInvalid && (word >> 26) >= num_opcodes) {
         // Wrong-path fetch into non-code bytes: substitute a harmless
         // no-op; it can never commit.
-        decoded = StaticInst(Opcode::ADD, reg_zero, reg_zero, reg_zero,
-                             0);
+        slot.inst = StaticInst(Opcode::ADD, reg_zero, reg_zero,
+                               reg_zero, 0);
     } else {
-        decoded = StaticInst::decode(word);
+        slot.inst = StaticInst::decode(word);
     }
-    auto [ins, ok] = cache.emplace(pc, decoded);
-    (void)ok;
-    return ins->second;
+    if (slot.pc == invalid_addr)
+        ++numResident;
+    slot.pc = pc;
+    return slot.inst;
 }
 
 Executor::Executor(FunctionalMemory &mem, Addr entry)

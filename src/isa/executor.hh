@@ -12,7 +12,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "base/types.hh"
 #include "isa/static_inst.hh"
@@ -60,17 +60,34 @@ class DecodeCache
      */
     explicit DecodeCache(const FunctionalMemory &mem,
                          bool tolerate_invalid = false)
-        : mem(&mem), tolerateInvalid(tolerate_invalid)
+        : mem(&mem), tolerateInvalid(tolerate_invalid),
+          slots(num_slots)
     {}
 
     const StaticInst &lookup(Addr pc);
 
-    size_t size() const { return cache.size(); }
+    /** Number of resident decoded instructions. */
+    size_t size() const { return numResident; }
 
   private:
+    /**
+     * Direct-mapped by word-aligned pc: fetch hits this once per
+     * fetched instruction, and a hash probe per fetch is measurable.
+     * Code is immutable, so a collision simply re-decodes.
+     */
+    struct Slot
+    {
+        Addr pc = invalid_addr;
+        StaticInst inst;
+    };
+    static constexpr size_t num_slots = 8192;
+    static_assert((num_slots & (num_slots - 1)) == 0,
+                  "slot count must be a power of two");
+
     const FunctionalMemory *mem;
     bool tolerateInvalid;
-    std::unordered_map<Addr, StaticInst> cache;
+    std::vector<Slot> slots;
+    size_t numResident = 0;
 };
 
 /** Everything observable about one functionally executed instruction. */

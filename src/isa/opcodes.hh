@@ -99,8 +99,19 @@ struct OpInfo
     bool memSigned;      ///< Sign-extend the loaded value.
 };
 
-/** Metadata for @p op. */
-const OpInfo &opInfo(Opcode op);
+/** One metadata row per opcode, in enum order (defined in opcodes.cc). */
+extern const OpInfo op_table[num_opcodes];
+
+/**
+ * Metadata for @p op. Inline: the accessors below sit on the fetch,
+ * dispatch, and issue hot paths, where an out-of-line call per query
+ * is measurable.
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return op_table[static_cast<unsigned>(op)];
+}
 
 inline const char *
 opName(Opcode op)

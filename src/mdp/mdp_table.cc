@@ -110,18 +110,34 @@ MdpTable::synonymOf(Addr pc) const
 Synonym
 MdpTable::pair(Addr load_pc, Addr store_pc)
 {
-    Entry &store_e = allocate(store_pc);
+    // Capture the store's synonym by value before touching the load:
+    // allocate(load_pc) can evict the store's entry from the shared set
+    // (same-set at low associativity), after which the reference would
+    // alias the load's freshly reset entry and the store's existing
+    // chain membership would be read as invalid.
+    Synonym store_syn = allocate(store_pc).synonym;
     Entry &load_e = allocate(load_pc);
 
     // Reuse an existing synonym from either side so that chains merge
     // (the level of indirection of Section 3.6); prefer the store's.
-    Synonym syn = store_e.synonym;
+    Synonym syn = store_syn;
     if (syn == invalid_synonym)
         syn = load_e.synonym;
     if (syn == invalid_synonym)
         syn = nextSynonym++;
 
-    store_e.synonym = syn;
+    // Re-find the store: it may have been evicted by the load's
+    // allocation, in which case only the load keeps the synonym (one
+    // set slot cannot hold both). Probe without a recency bump — the
+    // allocate above already counted as the store's use.
+    size_t store_base = static_cast<size_t>(indexOf(store_pc)) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = entries[store_base + w];
+        if (e.valid && e.tag == store_pc) {
+            e.synonym = syn;
+            break;
+        }
+    }
     load_e.synonym = syn;
     ++pairings;
     CWSIM_TRACE(MDP, "paired load pc 0x%llx with store pc 0x%llx "

@@ -1,5 +1,7 @@
 #include "mdp/oracle.hh"
 
+#include <algorithm>
+
 #include "isa/opcodes.hh"
 #include "mem/functional_memory.hh"
 
@@ -27,17 +29,22 @@ runPrepass(const Program &program, const PrepassOptions &opts)
 
         if (info.isLoad) {
             ++result.loadCount;
-            TraceIndex newest = invalid_trace_index;
+            OracleDeps::ProducerSet set;
             for (unsigned i = 0; i < info.memSize; ++i) {
                 auto it = last_writer.find(info.memAddr + i);
-                if (it != last_writer.end() &&
-                    (newest == invalid_trace_index ||
-                     it->second > newest)) {
-                    newest = it->second;
-                }
+                if (it == last_writer.end())
+                    continue;
+                bool dup = false;
+                for (unsigned j = 0; j < set.count; ++j)
+                    dup = dup || set.stores[j] == it->second;
+                if (!dup)
+                    set.stores[set.count++] = it->second;
             }
-            if (newest != invalid_trace_index)
-                result.deps.record(idx, newest);
+            if (set.count) {
+                std::sort(set.stores.begin(),
+                          set.stores.begin() + set.count);
+                result.deps.record(idx, set);
+            }
         } else if (info.isStore) {
             ++result.storeCount;
             for (unsigned i = 0; i < info.memSize; ++i)

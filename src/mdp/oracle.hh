@@ -19,6 +19,7 @@
 #ifndef CWSIM_MDP_ORACLE_HH
 #define CWSIM_MDP_ORACLE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,19 @@ class OracleDeps
 {
   public:
     /**
+     * The distinct stores that produce at least one byte of a load,
+     * oldest first. A load reads at most 8 bytes, so at most 8 stores.
+     * Partial overlaps make the full set necessary: waking the load
+     * after only the youngest producer would forward stale bytes from
+     * the ranges the other producers cover.
+     */
+    struct ProducerSet
+    {
+        std::array<TraceIndex, 8> stores{};
+        uint8_t count = 0;
+    };
+
+    /**
      * Trace index of the last store conflicting with the load at trace
      * index @p load_idx, or invalid_trace_index if the load has no
      * producer.
@@ -43,19 +57,29 @@ class OracleDeps
     producerOf(TraceIndex load_idx) const
     {
         auto it = producers.find(load_idx);
-        return it == producers.end() ? invalid_trace_index : it->second;
+        return it == producers.end()
+                   ? invalid_trace_index
+                   : it->second.stores[it->second.count - 1];
+    }
+
+    /** All distinct byte producers, or nullptr if the load has none. */
+    const ProducerSet *
+    producersOf(TraceIndex load_idx) const
+    {
+        auto it = producers.find(load_idx);
+        return it == producers.end() ? nullptr : &it->second;
     }
 
     void
-    record(TraceIndex load_idx, TraceIndex store_idx)
+    record(TraceIndex load_idx, const ProducerSet &set)
     {
-        producers.emplace(load_idx, store_idx);
+        producers.emplace(load_idx, set);
     }
 
     size_t size() const { return producers.size(); }
 
   private:
-    std::unordered_map<TraceIndex, TraceIndex> producers;
+    std::unordered_map<TraceIndex, ProducerSet> producers;
 };
 
 /** One committed-path instruction, as the split-window model needs it. */

@@ -28,7 +28,7 @@ namespace cwsim
 {
 
 /** Completion callback for a timing access. */
-using MemDoneFn = std::function<void()>;
+using MemDoneFn = InplaceFunction;
 
 /** Anything a cache can forward misses to. */
 class MemLevel

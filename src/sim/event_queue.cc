@@ -20,8 +20,10 @@ void
 EventQueue::runUntil(Tick now)
 {
     while (!heap.empty() && heap.top().when <= now) {
-        // Copy out before popping: the callback may schedule new events.
-        Entry e = heap.top();
+        // Move out before popping: the callback may schedule new
+        // events. pop() only destroys the moved-from top, so the cast
+        // is safe.
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
         heap.pop();
         curTick_ = e.when;
         ++numFired;
@@ -35,7 +37,7 @@ void
 EventQueue::drain()
 {
     while (!heap.empty()) {
-        Entry e = heap.top();
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
         heap.pop();
         curTick_ = e.when;
         ++numFired;

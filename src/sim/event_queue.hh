@@ -13,10 +13,10 @@
 #define CWSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "base/inplace_function.hh"
 #include "base/types.hh"
 
 namespace cwsim
@@ -25,7 +25,7 @@ namespace cwsim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceFunction;
 
     EventQueue() : curTick_(0), nextSeq(0), numScheduled(0), numFired(0) {}
 

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "base/addr_range.hh"
 #include "base/logging.hh"
 #include "base/sim_error.hh"
 #include "check/watchdog.hh"
@@ -156,8 +157,8 @@ SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
             continue;
         if (cfg.lsqModel == LsqModel::AS) {
             if (older.addrPosted && older.addrPostedAt <= curCycle) {
-                bool overlap = older.addr < node.addr + node.size &&
-                               node.addr < older.addr + older.size;
+                bool overlap = rangesOverlap(older.addr, older.size,
+                                             node.addr, node.size);
                 if (overlap && !older.done)
                     return false; // known true dependence: wait
             } else {
@@ -188,8 +189,8 @@ SplitWindowSim::executeStore(Node &store, TraceIndex idx)
         Node &load = nodes[j];
         if (!load.isLoad || !load.done)
             continue;
-        bool overlap = store.addr < load.addr + load.size &&
-                       load.addr < store.addr + store.size;
+        bool overlap = rangesOverlap(store.addr, store.size,
+                                     load.addr, load.size);
         if (!overlap)
             continue;
         if (load.sourceSeen != invalid_trace_index &&
@@ -360,8 +361,8 @@ SplitWindowSim::run()
                         const Node &older = nodes[j];
                         if (older.isStore && older.done &&
                             !older.committed &&
-                            older.addr < node.addr + node.size &&
-                            node.addr < older.addr + older.size) {
+                            rangesOverlap(older.addr, older.size,
+                                          node.addr, node.size)) {
                             source = j;
                         }
                     }

@@ -11,13 +11,16 @@
 #include <future>
 #include <thread>
 
+#include "base/addr_range.hh"
 #include "base/bitfield.hh"
+#include "base/byte_index.hh"
 #include "base/circular_queue.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "base/sat_counter.hh"
 #include "base/sim_error.hh"
+#include "base/slot_bitmap.hh"
 #include "base/str.hh"
 
 namespace cwsim
@@ -212,6 +215,89 @@ TEST(CircularQueueTest, StableSlotIndices)
     size_t s2 = q.pushBack(12);
     EXPECT_NE(s2, s1);
     EXPECT_EQ(q.slot(s0), 10); // stale but stable storage
+}
+
+TEST(AddrRangeTest, OverlapBasics)
+{
+    EXPECT_TRUE(rangesOverlap(0x100, 4, 0x102, 4));
+    EXPECT_TRUE(rangesOverlap(0x102, 4, 0x100, 4));
+    EXPECT_TRUE(rangesOverlap(0x100, 8, 0x102, 2));
+    EXPECT_FALSE(rangesOverlap(0x100, 4, 0x104, 4));
+    EXPECT_FALSE(rangesOverlap(0x104, 4, 0x100, 4));
+}
+
+TEST(AddrRangeTest, OverlapAtAddressSpaceWrap)
+{
+    // End-exclusive bounds computed as addr + size overflow to zero at
+    // the top of the address space and defeat a < comparison; the
+    // subtraction form must not.
+    Addr top = ~Addr(0) - 3;
+    EXPECT_TRUE(rangesOverlap(top, 4, ~Addr(0) - 1, 2));
+    EXPECT_TRUE(rangesOverlap(~Addr(0) - 1, 2, top, 4));
+    EXPECT_TRUE(rangesOverlap(top, 4, ~Addr(0), 1));
+    EXPECT_FALSE(rangesOverlap(top, 4, 0, 4));
+    EXPECT_FALSE(rangesOverlap(0, 4, top, 4));
+
+    EXPECT_TRUE(rangeCoversByte(top, 4, ~Addr(0)));
+    EXPECT_TRUE(rangeCoversByte(top, 4, top));
+    EXPECT_FALSE(rangeCoversByte(top, 4, 0));
+    EXPECT_FALSE(rangeCoversByte(top, 4, top - 1));
+}
+
+TEST(SlotBitmapTest, SetClearIterate)
+{
+    SlotBitmap bm(130); // forces a partial final word
+    EXPECT_TRUE(bm.none());
+    EXPECT_EQ(bm.nextSet(0), SlotBitmap::npos);
+    bm.set(0);
+    bm.set(63);
+    bm.set(64);
+    bm.set(129);
+    EXPECT_EQ(bm.count(), 4u);
+    EXPECT_EQ(bm.nextSet(0), 0u);
+    EXPECT_EQ(bm.nextSet(1), 63u);
+    EXPECT_EQ(bm.nextSet(64), 64u);
+    EXPECT_EQ(bm.nextSet(65), 129u);
+    EXPECT_EQ(bm.nextSet(130), SlotBitmap::npos);
+    bm.clear(63);
+    EXPECT_EQ(bm.nextSet(1), 64u);
+    bm.reset();
+    EXPECT_TRUE(bm.none());
+}
+
+TEST(ByteSeqIndexTest, AddRemoveLookup)
+{
+    ByteSeqIndex idx;
+    idx.add(0x100, 4, 10, 1); // [0x100, 0x104) by seq 10
+    idx.add(0x102, 4, 20, 2); // [0x102, 0x106) by seq 20
+    EXPECT_EQ(idx.size(), 8u);
+    EXPECT_EQ(idx.selfCheck(), "");
+
+    ByteSeqIndex::Ref ref;
+    // Overlapping byte: youngest-older wins, bounded by `before`.
+    ASSERT_TRUE(idx.newestBefore(0x102, 100, ref));
+    EXPECT_EQ(ref.seq, 20u);
+    ASSERT_TRUE(idx.newestBefore(0x102, 20, ref));
+    EXPECT_EQ(ref.seq, 10u);
+    EXPECT_FALSE(idx.newestBefore(0x102, 10, ref));
+    EXPECT_FALSE(idx.newestBefore(0x106, 100, ref));
+
+    std::vector<ByteSeqIndex::Ref> out;
+    idx.collectYoungerThan(0x100, 4, 10, out);
+    // seq 20 touches bytes 0x102 and 0x103 of the queried range: one
+    // ref per byte.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].seq, 20u);
+    EXPECT_EQ(out[1].seq, 20u);
+
+    idx.remove(0x100, 4, 10);
+    EXPECT_EQ(idx.size(), 4u);
+    EXPECT_FALSE(idx.newestBefore(0x100, 100, ref));
+    ASSERT_TRUE(idx.newestBefore(0x105, 100, ref));
+    EXPECT_EQ(ref.seq, 20u);
+    idx.remove(0x102, 4, 20);
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.selfCheck(), "");
 }
 
 TEST(StrTest, Strfmt)

@@ -204,6 +204,35 @@ partialOverlapProgram()
     return b.build();
 }
 
+/**
+ * Two partially overlapping stores into one word, where only the
+ * YOUNGER store's data is ready when the load issues: the load forwards
+ * byte 1 from the younger store and reads byte 0 stale from memory.
+ * When the older store finally executes, a scalar "youngest forwarding
+ * source" test concludes the load already saw a younger store and skips
+ * it — only per-byte source tracking catches the stale byte 0.
+ */
+Program
+byteWiseViolationProgram()
+{
+    ProgramBuilder b;
+    Addr buf = b.dataAlloc(8);
+    b.dataW32(buf, 0x11223344);
+    b.la(ir(1), buf);
+    b.addi(ir(2), reg_zero, 3);
+    b.mul(ir(2), ir(2), ir(2));   // slow data chain for the older store
+    b.mul(ir(2), ir(2), ir(2));
+    b.mul(ir(2), ir(2), ir(2));
+    b.mul(ir(2), ir(2), ir(2));
+    b.sb(ir(2), ir(1), 0);        // S1: byte 0, data arrives late
+    b.addi(ir(3), reg_zero, 0x5a);
+    b.sb(ir(3), ir(1), 1);        // S2: byte 1, executes immediately
+    b.lw(ir(4), ir(1), 0);        // forwards byte 1 from S2, byte 0
+                                  // speculatively from memory
+    b.halt();
+    return b.build();
+}
+
 /** Function calls + stack traffic exercising the RAS and JR. */
 Program
 callProgram()
@@ -626,6 +655,63 @@ TEST(PipelineTest, TinyWindowStillCorrect)
     proc.run();
     ASSERT_TRUE(proc.halted());
     EXPECT_EQ(proc.memory().fingerprint(), golden.memFingerprint);
+}
+
+// ---------------------------------------------------------------------
+// Byte-wise forwarding-source tracking (the partial-overlap violation
+// hole): a load that forwarded SOME bytes from a younger store must
+// still be flagged when an older store writes one of its OTHER bytes.
+// ---------------------------------------------------------------------
+
+TEST(ByteWiseViolation, DetectedUnderSquashRecovery)
+{
+    Program prog = byteWiseViolationProgram();
+    PrepassResult golden = runPrepass(prog);
+    ASSERT_TRUE(golden.halted);
+    RunResult timed =
+        runTimed(prog, LsqModel::NAS, SpecPolicy::Naive, 0,
+                 &golden.deps);
+    expectMatchesFunctional(prog, golden, timed, "NAS/NAV byte-wise");
+    EXPECT_GE(timed.violations, 1u)
+        << "the stale byte 0 must be detected as a violation";
+}
+
+TEST(ByteWiseViolation, DetectedUnderSelectiveRecovery)
+{
+    Program prog = byteWiseViolationProgram();
+    PrepassResult golden = runPrepass(prog);
+    ASSERT_TRUE(golden.halted);
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    cfg.mdp.recovery = RecoveryModel::Selective;
+    cfg.maxCycles = 2'000'000;
+    Processor proc(cfg, prog, &golden.deps);
+    proc.run();
+    ASSERT_TRUE(proc.halted());
+    EXPECT_GE(proc.procStats().memOrderViolations.value(), 1u);
+    for (unsigned r = 0; r < num_arch_regs; ++r) {
+        EXPECT_EQ(proc.archState().regs[r], golden.finalState.regs[r])
+            << "register " << r;
+    }
+}
+
+TEST(StoreBufferEntry, OverlapAtTopOfAddressSpace)
+{
+    // addr + size overflowing to zero must not hide an overlap (or
+    // invent one across the wrap).
+    SbEntry e;
+    e.addr = ~Addr(0) - 3; // writes the top 4 bytes
+    e.size = 4;
+    e.addrValid = true;
+    EXPECT_TRUE(e.overlaps(~Addr(0) - 1, 2));
+    EXPECT_TRUE(e.overlaps(~Addr(0), 1));
+    EXPECT_TRUE(e.overlaps(~Addr(0) - 7, 8));
+    EXPECT_FALSE(e.overlaps(0, 4));
+    EXPECT_FALSE(e.overlaps(~Addr(0) - 7, 4));
+    EXPECT_TRUE(e.coversByte(~Addr(0)));
+    EXPECT_TRUE(e.coversByte(~Addr(0) - 3));
+    EXPECT_FALSE(e.coversByte(0));
+    EXPECT_FALSE(e.coversByte(~Addr(0) - 4));
 }
 
 TEST(PipelineTest, StoreBufferPressureStallsButStaysCorrect)

@@ -118,6 +118,32 @@ TEST(MdpTableTest, UnrelatedPairsGetDistinctSynonyms)
     EXPECT_NE(a, b);
 }
 
+TEST(MdpTableTest, PairSurvivesSameSetEviction)
+{
+    // A pairing whose load allocation evicts the store's entry (same
+    // set, direct-mapped) must still hand the load the store's EXISTING
+    // synonym. Reading the store's entry through a reference held
+    // across the load's allocation instead sees the freshly reset
+    // entry, loses the chain, and mints a new synonym every time.
+    MdpConfig cfg;
+    cfg.mdptEntries = 2;
+    cfg.mdptAssoc = 1; // two direct-mapped sets
+    MdpTable table{cfg};
+
+    const Addr store_pc = 0x100; // set 0
+    const Addr load_a = 0x104;   // set 1: no conflict
+    const Addr load_b = 0x108;   // set 0: evicts the store
+
+    Synonym first = table.pair(load_a, store_pc);
+    ASSERT_NE(first, invalid_synonym);
+    ASSERT_EQ(table.synonymOf(store_pc), first);
+
+    Synonym second = table.pair(load_b, store_pc);
+    EXPECT_EQ(second, first)
+        << "the store's chain membership must survive the eviction";
+    EXPECT_EQ(table.synonymOf(load_b), first);
+}
+
 TEST(MdpTableTest, LruReplacementWithinSet)
 {
     // With 16 entries 2-way, PCs 4*(8k + s) map to set s.
