@@ -55,9 +55,11 @@ figure7Loop(int n)
 
 struct ModelResult
 {
-    uint64_t violations;
-    double misspecPct;
-    double ipc;
+    uint64_t violations = 0;
+    double misspecPct = 0;
+    double ipc = 0;
+    /** Commit-slot accounting, indexed by obs::CpiCause. */
+    std::array<uint64_t, obs::num_cpi_causes> cpi{};
 };
 
 ModelResult
@@ -72,7 +74,28 @@ runModel(const std::vector<TraceEntry> &trace, bool split,
     cfg.asLatency = 0;
     SplitWindowSim sim(cfg, trace);
     sim.run();
-    return {sim.violations(), 100.0 * sim.misspecRate(), sim.ipc()};
+    ModelResult r;
+    r.violations = sim.violations();
+    r.misspecPct = 100.0 * sim.misspecRate();
+    r.ipc = sim.ipc();
+    for (size_t i = 0; i < obs::num_cpi_causes; ++i)
+        r.cpi[i] = sim.cpiStack().slot(obs::CpiCause(i));
+    return r;
+}
+
+/** One CPI-stack table row: percent of total slots per cause. */
+std::vector<std::string>
+cpiRow(const std::string &label, const ModelResult &r)
+{
+    uint64_t total = 0;
+    for (uint64_t s : r.cpi)
+        total += s;
+    std::vector<std::string> row = {label};
+    for (uint64_t s : r.cpi) {
+        row.push_back(total ? formatPct(static_cast<double>(s) / total)
+                            : "n/a");
+    }
+    return row;
 }
 
 /** Rolled variant (8x unrolled body): shared static dependence PCs. */
@@ -174,6 +197,25 @@ main(int argc, char **argv)
         });
     }
     std::printf("%s", table.toString().c_str());
+
+    if (cli.cpiStackEnabled()) {
+        // The split model keeps its own CPI stack (it is not a timing
+        // Processor, so the shared BenchCli table never sees it).
+        std::printf("\nCPI stack (%% of commit slots = cycles x "
+                    "width):\n");
+        TextTable cpi_table;
+        std::vector<std::string> header = {"workload / window"};
+        for (size_t i = 0; i < obs::num_cpi_causes; ++i)
+            header.push_back(obs::toString(obs::CpiCause(i)));
+        cpi_table.setHeader(header);
+        for (size_t i = 0; i < names.size(); ++i) {
+            cpi_table.addRow(cpiRow(names[i] + " cont.",
+                                    rows[i].cont));
+            cpi_table.addRow(cpiRow(names[i] + " split",
+                                    rows[i].split));
+        }
+        std::printf("%s", cpi_table.toString().c_str());
+    }
 
     std::printf("\nTotal miss-speculations: continuous %llu, split "
                 "%llu.\n",

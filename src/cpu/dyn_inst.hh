@@ -20,6 +20,22 @@
 namespace cwsim
 {
 
+/**
+ * Why loadMayIssue() most recently refused a load. Pure observability:
+ * the commit-slot accounting (obs/cpi_stack.hh) reads the head's gate
+ * cause to classify residual slots; no issue decision depends on it.
+ */
+enum class GateBlock : uint8_t
+{
+    None,        ///< Not gate-blocked (or not probed yet).
+    StoreSet,    ///< NO/SEL hold: waiting for all older stores.
+    Barrier,     ///< STORE: held behind an unissued store barrier.
+    Sync,        ///< SYNC: waiting on a synonym-predicted store.
+    OracleWait,  ///< ORACLE: a known producing store is in flight.
+    AsTrueDep,   ///< AS: address scheduler sees a real older conflict.
+    AsAmbiguous, ///< AS: conservative hold on an ambiguous older store.
+};
+
 struct DynInst
 {
     // Identity -----------------------------------------------------------
@@ -105,6 +121,9 @@ struct DynInst
      */
     std::array<TraceIndex, 8> oracleProducers{};
     uint8_t oracleProducerCount = 0;
+
+    /** Last loadMayIssue() verdict; see GateBlock. */
+    GateBlock gateBlock = GateBlock::None;
 
     // False-dependence probe (Table 3) ---------------------------------
     bool fdStallStarted = false;

@@ -87,7 +87,8 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
       fetchHalted(false), fetchStalledOnSeq(0), memPortsLeft(0),
       lsqInPortsLeft(0), cycle(0), nextSeq(1), nextFetchTraceIdx(0),
       commitCount(0), haltedFlag(false), lastMdptReset(0),
-      statGroup("proc"),
+      refetchCause(SquashCause::None),
+      statGroup("proc"), cpi(cfg.core.commitWidth),
       pipe(obs::TraceManager::instance().pipeView())
 {
     fatal_if(policy == SpecPolicy::Oracle && !oracle,
@@ -100,6 +101,7 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
 
     pstats.windowOccupancy.init(0, cfg.core.windowSize + 1, 16);
     pstats.registerIn(statGroup);
+    cpi.registerIn(statGroup);
     memSys.registerStats(statGroup);
     bpred.registerStats(statGroup);
 
@@ -115,6 +117,11 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
     }
 }
 
+Processor::~Processor()
+{
+    finishIntervalSampling();
+}
+
 void
 Processor::run()
 {
@@ -122,6 +129,10 @@ Processor::run()
            !(cfg.maxInsts && pstats.commits.value() >= cfg.maxInsts)) {
         tick();
     }
+    // Flush the sampler's trailing partial interval now rather than at
+    // destruction, so callers reading the interval file right after
+    // run() see the complete time series.
+    finishIntervalSampling();
 }
 
 uint64_t
@@ -208,6 +219,7 @@ Processor::tick()
     fuUsed.fill(0);
     pstats.windowOccupancy.sample(static_cast<double>(rob.size()));
 
+    uint64_t commitsBefore = pstats.commits.value();
     doCommit();
     if (!haltedFlag) {
         releaseStores();
@@ -233,6 +245,18 @@ Processor::tick()
                                  wdog.lastProgressAt())));
         }
     }
+
+    // Commit-slot accounting: every one of this cycle's commitWidth
+    // slots is attributed exactly once — k committed, the rest blamed
+    // on why the window head could not commit. O(1) per cycle; the
+    // residual cause is computed only on non-full cycles. Placed after
+    // checkInvariants() so the level-1 conservation check always sees
+    // a consistent (cycles, slots) pair.
+    unsigned committed =
+        static_cast<unsigned>(pstats.commits.value() - commitsBefore);
+    cpi.account(committed,
+                committed < cfg.core.commitWidth ? classifyResidual()
+                                                 : obs::CpiCause::Committed);
 
     ++cycle;
     ++pstats.cycles;
@@ -573,6 +597,9 @@ Processor::doDispatch()
 
         fetchQueue.pop_front();
         --budget;
+        // The front end has caught up with the last squash's refetch;
+        // subsequent empty-window cycles are ordinary front-end lag.
+        refetchCause = SquashCause::None;
     }
 }
 
@@ -1007,6 +1034,7 @@ Processor::squashYoungerThan(InstSeqNum keep_seq, Addr restart_pc,
     nextFetchTraceIdx = restart_trace_idx;
     fetchStalledOnSeq = 0;
     fetchHalted = false;
+    refetchCause = cause;
 }
 
 void
@@ -1050,8 +1078,8 @@ Processor::emitPipeRecord(const DynInst &inst, SquashCause cause)
     pipe->write(r);
 }
 
-void
-Processor::emitIntervalSample()
+obs::IntervalCounters
+Processor::intervalCounters() const
 {
     obs::IntervalCounters now;
     now.commits = pstats.commits.value();
@@ -1060,7 +1088,99 @@ Processor::emitIntervalSample()
     now.falseDepLoads = pstats.falseDepLoads.value();
     now.occupancySum = pstats.windowOccupancy.sum();
     now.occupancyCount = pstats.windowOccupancy.count();
-    sampler->sample(cycle, now);
+    return now;
+}
+
+void
+Processor::emitIntervalSample()
+{
+    sampler->sample(cycle, intervalCounters());
+}
+
+void
+Processor::finishIntervalSampling()
+{
+    if (sampler)
+        sampler->finalize(cycle, intervalCounters());
+}
+
+obs::CpiCause
+Processor::classifyResidual() const
+{
+    using obs::CpiCause;
+
+    // Empty window: either the front end is refilling after a squash
+    // (blame the squash's cause) or it simply has not caught up.
+    if (rob.empty()) {
+        switch (refetchCause) {
+          case SquashCause::MemOrderViolation:
+          case SquashCause::InjectedViolation:
+            return CpiCause::MemDepSquash;
+          case SquashCause::BranchMispredict:
+            return CpiCause::FetchBranch;
+          default:
+            return CpiCause::FrontEndIdle;
+        }
+    }
+
+    const DynInst &head = rob.front();
+    // A done head with leftover slots only happens on the halt cycle
+    // (commit stops at HALT); nothing architectural was lost.
+    if (head.done)
+        return CpiCause::FrontEndIdle;
+    // A head that is re-executing already paid for its first execution;
+    // the extra cycles are miss-speculation recovery cost.
+    if (head.timesReplayed > 0)
+        return CpiCause::MemDepSquash;
+
+    CpiCause cause = CpiCause::Exec;
+    if (head.isLoad()) {
+        if (head.memIssued) {
+            // In flight: AS loads spend the first asLatency cycles in
+            // the address-scheduler pipeline, the rest in the cache.
+            Tick elapsed = cycle - head.issuedAt;
+            cause = (lsqModel == LsqModel::AS &&
+                     elapsed < Tick{cfg.mdp.asLatency})
+                ? CpiCause::AddrSched
+                : CpiCause::CacheMiss;
+        } else if (!head.src1.ready) {
+            cause = CpiCause::Exec;
+        } else {
+            // Address-ready but unissued: blame the policy gate that
+            // refused it this cycle (doIssue visits the head before
+            // ports run out, so gateBlock is fresh).
+            switch (head.gateBlock) {
+              case GateBlock::Barrier:
+                cause = CpiCause::StoreBarrier;
+                break;
+              case GateBlock::Sync:
+                cause = CpiCause::SyncWait;
+                break;
+              case GateBlock::OracleWait:
+              case GateBlock::AsTrueDep:
+                cause = CpiCause::TrueDep;
+                break;
+              case GateBlock::StoreSet:
+              case GateBlock::AsAmbiguous:
+                // The false-dep probe (oracle pre-pass) tells us
+                // whether this hold protects a real dependence; with
+                // no oracle every hold is charged as false.
+                cause = (head.fdStallStarted && !head.fdIsFalse)
+                    ? CpiCause::TrueDep
+                    : CpiCause::FalseDep;
+                break;
+              case GateBlock::None:
+                cause = CpiCause::Exec; // Port/FU starvation.
+                break;
+            }
+        }
+    }
+
+    // Execution-latency loss hurts doubly when dispatch is also
+    // blocked: reclassify so window pressure is visible.
+    if (cause == CpiCause::Exec && rob.full())
+        cause = CpiCause::WindowFull;
+    return cause;
 }
 
 } // namespace cwsim

@@ -42,6 +42,7 @@
 #include "mdp/oracle.hh"
 #include "mem/functional_memory.hh"
 #include "mem/timing_cache.hh"
+#include "obs/cpi_stack.hh"
 #include "obs/interval.hh"
 #include "obs/pipeview.hh"
 #include "sim/config.hh"
@@ -134,6 +135,7 @@ class Processor
      */
     Processor(const SimConfig &cfg, const Program &program,
               const OracleDeps *oracle = nullptr);
+    ~Processor();
 
     /** Run until HALT commits, cfg.maxInsts commits, or cfg.maxCycles. */
     void run();
@@ -156,6 +158,7 @@ class Processor
     ProcStats &procStats() { return pstats; }
     const ProcStats &procStats() const { return pstats; }
     stats::StatGroup &statsGroup() { return statGroup; }
+    const obs::CpiStack &cpiStack() const { return cpi; }
 
     const ArchState &archState() const { return archRegs; }
     FunctionalMemory &memory() { return funcMem; }
@@ -285,6 +288,16 @@ class Processor
     /** Emit @p inst's O3PipeView record (cause != None => squashed). */
     void emitPipeRecord(const DynInst &inst, SquashCause cause);
     void emitIntervalSample();
+    obs::IntervalCounters intervalCounters() const;
+    /** Flush the sampler's trailing partial interval (idempotent). */
+    void finishIntervalSampling();
+    /**
+     * Blame for this cycle's residual (non-committing) commit slots.
+     * Called only when fewer than commitWidth instructions committed;
+     * inspects the window head after the issue/dispatch/fetch phases
+     * ran (DESIGN.md §11 has the priority order).
+     */
+    obs::CpiCause classifyResidual() const;
 
     void captureOperand(DynInst &inst, DynInst::Operand &op, RegId reg);
     void renameDest(DynInst &inst);
@@ -400,9 +413,17 @@ class Processor
     uint64_t commitCount;
     bool haltedFlag;
     Tick lastMdptReset;
+    /**
+     * Cause of the most recent squash, held until the front end
+     * delivers the first refetched instruction to dispatch; classifies
+     * empty-window cycles as mem-dep-squash vs branch-refetch loss.
+     */
+    SquashCause refetchCause;
 
     ProcStats pstats;
     stats::StatGroup statGroup;
+    /** Commit-slot cycle accounting; child "cpi" group of statGroup. */
+    obs::CpiStack cpi;
 
     // ---- observability ------------------------------------------------
     /** Pipeline-trace writer (nullptr when not recording). */

@@ -73,6 +73,26 @@ Processor::checkInvariants()
                          sb.size(), cfg.core.storeBufferSize));
     }
 
+    // Commit-slot conservation: every completed tick accounted exactly
+    // commitWidth slots. At this point in tick() both counters reflect
+    // the previous N ticks (this tick's accounting happens after the
+    // check), so any pipeline path that advances the cycle count
+    // without accounting trips here the very next cycle.
+    uint64_t expect_slots =
+        pstats.cycles.value() * uint64_t{cfg.core.commitWidth};
+    if (cpi.totalSlots() != expect_slots ||
+        cpi.cycles() != pstats.cycles.value()) {
+        checkFail(SimErrorKind::Invariant,
+                  strfmt("CPI-stack conservation broken: %llu slots / "
+                         "%llu accounted cycles, expected %llu / %llu",
+                         static_cast<unsigned long long>(
+                             cpi.totalSlots()),
+                         static_cast<unsigned long long>(cpi.cycles()),
+                         static_cast<unsigned long long>(expect_slots),
+                         static_cast<unsigned long long>(
+                             pstats.cycles.value())));
+    }
+
     if (checkLevel >= 2)
         heavyInvariants();
 }

@@ -146,27 +146,45 @@ bool
 Processor::loadMayIssue(DynInst &inst)
 {
     if (lsqModel == LsqModel::AS) {
-        // AS configurations pair with NO or NAV only.
+        // AS configurations pair with NO or NAV only. The AS gate
+        // records its own (two-valued) block cause.
         return gateAddressScheduler(inst,
                                     policy == SpecPolicy::Naive);
     }
 
+    // Evaluate the policy gate, and record WHY a refused load is
+    // gate-blocked so the commit-slot accounting can classify a
+    // stalled window head (obs/cpi_stack.hh). Observation only: the
+    // issue decision is exactly the gate's verdict.
+    bool may = true;
+    GateBlock cause = GateBlock::None;
     switch (policy) {
       case SpecPolicy::No:
-        return gateNasAllOlderStoresIssued(inst);
+        may = gateNasAllOlderStoresIssued(inst);
+        cause = GateBlock::StoreSet;
+        break;
       case SpecPolicy::Naive:
-        return true;
+        break;
       case SpecPolicy::Selective:
-        return inst.waitAllStores ? gateNasAllOlderStoresIssued(inst)
-                                  : true;
+        may = inst.waitAllStores ? gateNasAllOlderStoresIssued(inst)
+                                 : true;
+        cause = GateBlock::StoreSet;
+        break;
       case SpecPolicy::StoreBarrier:
-        return gateStoreBarrier(inst);
+        may = gateStoreBarrier(inst);
+        cause = GateBlock::Barrier;
+        break;
       case SpecPolicy::SpecSync:
-        return gateSync(inst);
+        may = gateSync(inst);
+        cause = GateBlock::Sync;
+        break;
       case SpecPolicy::Oracle:
-        return gateOracle(inst);
+        may = gateOracle(inst);
+        cause = GateBlock::OracleWait;
+        break;
     }
-    panic("bad policy");
+    inst.gateBlock = may ? GateBlock::None : cause;
+    return may;
 }
 
 bool
@@ -232,10 +250,16 @@ Processor::gateAddressScheduler(DynInst &inst, bool speculate)
     // overlapping the load and no data yet — the load always waits.
     if (sb.blockingOlderStore(inst.effAddr, inst.memSize, inst.seq,
                               cycle)) {
+        inst.gateBlock = GateBlock::AsTrueDep;
         return false;
     }
     // Otherwise NAV issues through ambiguity, NO waits it out.
-    return speculate || !sb.ambiguousOlderThan(inst.seq, cycle);
+    if (!speculate && sb.ambiguousOlderThan(inst.seq, cycle)) {
+        inst.gateBlock = GateBlock::AsAmbiguous;
+        return false;
+    }
+    inst.gateBlock = GateBlock::None;
+    return true;
 }
 
 // ---------------------------------------------------------------------

@@ -122,6 +122,11 @@ Runner::run(const std::string &name, const SimConfig &cfg)
         r.falseDepLatency = s.falseDepLatency.mean();
         r.injectedViolations = s.injectedViolations.value();
 
+        const obs::CpiStack &cpi = proc.cpiStack();
+        r.commitWidth = cpi.width();
+        for (size_t i = 0; i < obs::num_cpi_causes; ++i)
+            r.cpiSlots[i] = cpi.slot(obs::CpiCause(i));
+
         // Architectural-state equivalence against the functional
         // pre-pass. Only meaningful when the timing run retired the
         // whole program (maxInsts == 0 means run to completion).

@@ -9,6 +9,7 @@
 #ifndef CWSIM_HARNESS_HARNESS_HH
 #define CWSIM_HARNESS_HARNESS_HH
 
+#include <array>
 #include <limits>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "cpu/processor.hh"
+#include "obs/cpi_stack.hh"
 #include "mdp/oracle.hh"
 #include "sim/config.hh"
 #include "sim/table.hh"
@@ -45,6 +47,15 @@ struct RunResult
     uint64_t falseDepLoads = 0;
     double falseDepLatency = 0;
     uint64_t injectedViolations = 0;
+
+    /**
+     * Commit-slot cycle accounting, indexed by obs::CpiCause. Sums to
+     * cycles * commitWidth for a completed run. commitWidth == 0 marks
+     * a record that predates the accounting (schema v1/v2 cache or
+     * JSONL records): the slots are unknown, not zero-loss.
+     */
+    std::array<uint64_t, obs::num_cpi_causes> cpiSlots{};
+    unsigned commitWidth = 0;
 
     /**
      * Fail-soft sweeps: false when the run raised a SimError (watchdog
@@ -102,6 +113,28 @@ struct RunResult
         return committedLoads
             ? static_cast<double>(falseDepLoads) / committedLoads
             : 0;
+    }
+
+    /** True when this record carries CPI-stack data (schema >= v3). */
+    bool hasCpiStack() const { return commitWidth != 0; }
+
+    uint64_t
+    cpiTotalSlots() const
+    {
+        uint64_t total = 0;
+        for (uint64_t s : cpiSlots)
+            total += s;
+        return total;
+    }
+
+    /** Share of all commit slots spent on @p cause (NaN without data). */
+    double
+    cpiFraction(obs::CpiCause cause) const
+    {
+        if (!hasCpiStack() || cpiTotalSlots() == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return static_cast<double>(cpiSlots[size_t(cause)]) /
+               static_cast<double>(cpiTotalSlots());
     }
 };
 

@@ -1,0 +1,87 @@
+#include "obs/cpi_stack.hh"
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+const char *
+toString(CpiCause cause)
+{
+    switch (cause) {
+      case CpiCause::Committed: return "committed";
+      case CpiCause::MemDepSquash: return "mem-dep squash";
+      case CpiCause::FalseDep: return "false dep";
+      case CpiCause::TrueDep: return "true dep";
+      case CpiCause::SyncWait: return "sync wait";
+      case CpiCause::StoreBarrier: return "store barrier";
+      case CpiCause::AddrSched: return "addr sched";
+      case CpiCause::CacheMiss: return "cache miss";
+      case CpiCause::FetchBranch: return "fetch/branch";
+      case CpiCause::WindowFull: return "window full";
+      case CpiCause::FrontEndIdle: return "front-end idle";
+      case CpiCause::Exec: return "exec";
+    }
+    panic("bad CpiCause %d", int(cause));
+}
+
+const char *
+statKey(CpiCause cause)
+{
+    switch (cause) {
+      case CpiCause::Committed: return "committed";
+      case CpiCause::MemDepSquash: return "mem_dep_squash";
+      case CpiCause::FalseDep: return "false_dep";
+      case CpiCause::TrueDep: return "true_dep";
+      case CpiCause::SyncWait: return "sync_wait";
+      case CpiCause::StoreBarrier: return "store_barrier";
+      case CpiCause::AddrSched: return "addr_sched";
+      case CpiCause::CacheMiss: return "cache_miss";
+      case CpiCause::FetchBranch: return "fetch_branch";
+      case CpiCause::WindowFull: return "window_full";
+      case CpiCause::FrontEndIdle: return "front_end_idle";
+      case CpiCause::Exec: return "exec";
+    }
+    panic("bad CpiCause %d", int(cause));
+}
+
+// A zero commit width is legal: such a machine owns zero slots per
+// cycle, so account() accrues nothing and the conservation law holds
+// trivially (0 == cycles * 0). The checked-simulation tests build
+// commitWidth=0 configs on purpose to livelock the core, and the
+// watchdog — not this constructor — must be what reports them.
+CpiStack::CpiStack(unsigned commit_width) : commitWidth(commit_width) {}
+
+void
+CpiStack::registerIn(stats::StatGroup &parent)
+{
+    panic_if(group != nullptr, "CPI stack registered twice");
+    group = std::make_unique<stats::StatGroup>("cpi", &parent);
+    for (size_t i = 0; i < num_cpi_causes; ++i) {
+        auto cause = CpiCause(i);
+        group->addScalar(statKey(cause), &slots[i],
+                         std::string("commit slots: ") + toString(cause));
+    }
+    group->addScalar("cycles", &accounted, "cycles accounted");
+}
+
+uint64_t
+CpiStack::totalSlots() const
+{
+    uint64_t total = 0;
+    for (const auto &s : slots)
+        total += s.value();
+    return total;
+}
+
+double
+CpiStack::fraction(CpiCause cause) const
+{
+    uint64_t total = totalSlots();
+    return total ? double(slot(cause)) / double(total) : 0.0;
+}
+
+} // namespace obs
+} // namespace cwsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Commit-slot cycle accounting ("CPI stacks").
+ *
+ * Every cycle the commit stage owns commitWidth slots. Each slot is
+ * attributed to exactly ONE cause: it either committed an instruction
+ * or it was lost, and the lost slots of a cycle are all blamed on the
+ * single highest-priority reason the window head could not commit
+ * (DESIGN.md §11 records the priority order). Attributing per slot
+ * rather than per cycle gives an exact conservation law,
+ *
+ *     sum over causes of slots(cause) == cycles * commitWidth,
+ *
+ * which the invariant checker enforces at level 1, and lets loss
+ * fractions be read directly as fractions of peak throughput: a
+ * config whose mem_dep_squash share is 0.18 is losing 18% of its
+ * commit bandwidth to miss-speculation recovery.
+ *
+ * The accounting cost is O(1) per cycle (two array adds and an
+ * increment), independent of commitWidth and window size, so it is
+ * always on — there is no flag to disable it.
+ */
+
+#ifndef CWSIM_OBS_CPI_STACK_HH
+#define CWSIM_OBS_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/stats.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+/**
+ * Why a commit slot was spent. One value per slot per cycle; residual
+ * (non-committing) slots of a cycle all share one cause.
+ */
+enum class CpiCause : uint8_t
+{
+    /** The slot committed an instruction. */
+    Committed,
+    /** Window drained/replaying after a memory-order violation. */
+    MemDepSquash,
+    /** Head load gated on a predicted dependence that was false. */
+    FalseDep,
+    /** Head load gated on a genuine in-flight store dependence. */
+    TrueDep,
+    /** Head load waiting for a synonym store under SPEC-SYNC. */
+    SyncWait,
+    /** Head load held behind an unissued store barrier. */
+    StoreBarrier,
+    /** Head load paying the address-scheduler pipeline latency. */
+    AddrSched,
+    /** Head load's memory access in flight (cache/memory latency). */
+    CacheMiss,
+    /** Window drained by a branch mispredict; refetch in progress. */
+    FetchBranch,
+    /** Head stalled for execution while the window is full. */
+    WindowFull,
+    /** Nothing old enough to commit: front end has not caught up. */
+    FrontEndIdle,
+    /** Head executing: operands, FU/port contention, plain latency. */
+    Exec,
+};
+
+constexpr size_t num_cpi_causes = size_t(CpiCause::Exec) + 1;
+
+/** Human-readable label, e.g. "mem-dep squash". */
+const char *toString(CpiCause cause);
+
+/**
+ * Stable machine key, e.g. "mem_dep_squash". Used as the StatGroup
+ * stat name and (prefixed "cpi_") as the sweep JSONL field name.
+ */
+const char *statKey(CpiCause cause);
+
+/**
+ * The per-run accumulator. Owners call account() exactly once per
+ * simulated cycle; the conservation law then holds by construction.
+ * Standalone-usable (the split-window model has no StatGroup);
+ * registerIn() optionally exports the counters as a "cpi" child
+ * group, so they ride along in flat-JSON stat dumps.
+ */
+class CpiStack
+{
+  public:
+    explicit CpiStack(unsigned commit_width);
+
+    /** Export all counters under a "cpi" child of @p parent. */
+    void registerIn(stats::StatGroup &parent);
+
+    /**
+     * Account one cycle: @p committed slots committed; the remaining
+     * width() - committed slots are all blamed on @p residual. When
+     * every slot committed the residual cause is ignored.
+     */
+    void
+    account(unsigned committed, CpiCause residual)
+    {
+        slots[size_t(CpiCause::Committed)] += committed;
+        if (committed < commitWidth)
+            slots[size_t(residual)] += commitWidth - committed;
+        ++accounted;
+    }
+
+    unsigned width() const { return commitWidth; }
+    /** Number of cycles accounted so far. */
+    uint64_t cycles() const { return accounted.value(); }
+    uint64_t slot(CpiCause cause) const
+    {
+        return slots[size_t(cause)].value();
+    }
+    /** Sum over all causes; equals cycles() * width() by construction. */
+    uint64_t totalSlots() const;
+    /** Share of all slots spent on @p cause (0 when no cycles yet). */
+    double fraction(CpiCause cause) const;
+
+  private:
+    unsigned commitWidth;
+    std::array<stats::Scalar, num_cpi_causes> slots;
+    stats::Scalar accounted;
+    /** Owned child group; allocated only when registerIn() is used. */
+    std::unique_ptr<stats::StatGroup> group;
+};
+
+} // namespace obs
+} // namespace cwsim
+
+#endif // CWSIM_OBS_CPI_STACK_HH

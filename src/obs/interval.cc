@@ -96,5 +96,13 @@ IntervalSampler::sample(Tick cycle, const IntervalCounters &now)
     ++samples;
 }
 
+void
+IntervalSampler::finalize(Tick cycle, const IntervalCounters &now)
+{
+    if (!out || cycle <= lastCycle)
+        return;
+    sample(cycle, now);
+}
+
 } // namespace obs
 } // namespace cwsim

@@ -64,6 +64,15 @@ class IntervalSampler
     /** Emit the line for the interval ending at @p cycle. */
     void sample(Tick cycle, const IntervalCounters &now);
 
+    /**
+     * Flush the trailing partial interval at end of run. When the run
+     * length is not a multiple of the period the tail cycles since the
+     * last boundary would otherwise be silently dropped from the time
+     * series. No-op when the final cycle already closed an interval
+     * (so calling it after a boundary sample never duplicates a line).
+     */
+    void finalize(Tick cycle, const IntervalCounters &now);
+
     uint64_t samplesWritten() const { return samples; }
 
   private:

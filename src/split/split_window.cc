@@ -16,7 +16,7 @@ SplitWindowSim::SplitWindowSim(const SplitConfig &cfg,
     : cfg(cfg), nodes(trace.size()), mdpt(MdpConfig{}), headCommit(0),
       headChunk(0), fetchCursor(cfg.numUnits, invalid_trace_index),
       globalCursor(0), curCycle(0), numViolations(0), numCommitted(0),
-      numLoads(0)
+      numLoads(0), cpi(cfg.commitWidth)
 {
     fatal_if(cfg.numUnits == 0 || cfg.chunkSize == 0,
              "split config needs at least one unit and chunk");
@@ -421,6 +421,12 @@ SplitWindowSim::run()
             ++numCommitted;
             ++commits;
         }
+        // Commit-slot accounting: blame this cycle's leftover slots on
+        // why the next-to-commit instruction is not done yet.
+        cpi.account(commits, commits < cfg.commitWidth
+                                 ? classifyResidual()
+                                 : obs::CpiCause::Committed);
+
         if (commits > 0)
             wdog.progress(curCycle);
         if (wdog.expired(curCycle)) {
@@ -457,7 +463,64 @@ SplitWindowSim::run()
     }
 
     panic_if(headCommit < n, "split-window simulation did not converge");
+    panic_if(cpi.totalSlots() != curCycle * uint64_t{cfg.commitWidth} ||
+                 cpi.slot(obs::CpiCause::Committed) != numCommitted,
+             "split-window CPI-stack conservation broken: %llu slots / "
+             "%llu committed over %llu cycles x width %u",
+             static_cast<unsigned long long>(cpi.totalSlots()),
+             static_cast<unsigned long long>(
+                 cpi.slot(obs::CpiCause::Committed)),
+             static_cast<unsigned long long>(curCycle),
+             cfg.commitWidth);
     return curCycle;
+}
+
+obs::CpiCause
+SplitWindowSim::classifyResidual() const
+{
+    using obs::CpiCause;
+
+    const TraceIndex n = nodes.size();
+    // Everything committed: only the trailing cycle's spare slots.
+    if (headCommit >= n)
+        return CpiCause::FrontEndIdle;
+
+    const Node &head = nodes[headCommit];
+    if (!head.fetched)
+        return CpiCause::FrontEndIdle;
+    // Squash penalty wait or post-squash re-execution: recovery cost.
+    if (head.timesSquashed > 0)
+        return CpiCause::MemDepSquash;
+
+    if (head.done) {
+        // In flight (doneAt > curCycle). AS loads spend the first
+        // asLatency cycles in the address-scheduler pipeline.
+        if (head.isLoad) {
+            return (cfg.lsqModel == LsqModel::AS &&
+                    curCycle - head.issuedAt < Tick{cfg.asLatency})
+                ? CpiCause::AddrSched
+                : CpiCause::CacheMiss;
+        }
+        return CpiCause::Exec;
+    }
+
+    if (head.isLoad && regReady(head.src1Producer, head.chunk) &&
+        !loadMayIssue(head, headCommit)) {
+        // Gate-blocked with a ready address: under SYNC a
+        // synonym-carrying load is synchronizing; otherwise the hold
+        // is a dependence wait — true when the trace's producing
+        // store is genuinely outstanding, false otherwise.
+        if (cfg.policy == SpecPolicy::SpecSync &&
+            mdpt.synonymOf(head.pc) != invalid_synonym) {
+            return CpiCause::SyncWait;
+        }
+        bool true_dep = head.memProducer != invalid_trace_index &&
+                        !nodes[head.memProducer].committed &&
+                        !nodes[head.memProducer].done;
+        return true_dep ? CpiCause::TrueDep : CpiCause::FalseDep;
+    }
+
+    return CpiCause::Exec;
 }
 
 } // namespace cwsim

@@ -31,6 +31,7 @@
 #include "base/types.hh"
 #include "mdp/mdp_table.hh"
 #include "mdp/oracle.hh"
+#include "obs/cpi_stack.hh"
 #include "obs/pipeview.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -107,6 +108,8 @@ class SplitWindowSim
     uint64_t cycles() const { return curCycle; }
     uint64_t violations() const { return numViolations; }
     uint64_t committed() const { return numCommitted; }
+    /** Commit-slot cycle accounting (conserves by construction). */
+    const obs::CpiStack &cpiStack() const { return cpi; }
 
     double
     ipc() const
@@ -160,6 +163,8 @@ class SplitWindowSim
     bool loadMayIssue(const Node &node, TraceIndex idx) const;
     void executeStore(Node &node, TraceIndex idx);
     void squashFrom(TraceIndex idx);
+    /** Blame for this cycle's residual commit slots (DESIGN.md §11). */
+    obs::CpiCause classifyResidual() const;
 
     SplitConfig cfg;
     std::vector<Node> nodes;
@@ -179,6 +184,7 @@ class SplitWindowSim
     uint64_t numViolations;
     uint64_t numCommitted;
     uint64_t numLoads;
+    obs::CpiStack cpi;
 };
 
 } // namespace cwsim

@@ -6,7 +6,9 @@
 
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "obs/cpi_stack.hh"
 #include "obs/trace.hh"
+#include "sim/table.hh"
 
 namespace cwsim
 {
@@ -17,28 +19,53 @@ namespace
 {
 
 void
-printUsage(const char *prog)
+printUsage(const char *prog, std::FILE *out)
 {
-    std::printf(
-        "usage: %s [options]\n"
-        "  --jobs N       worker threads (default: CWSIM_JOBS env, "
-        "else hardware threads)\n"
-        "  --scale N      dynamic-instruction target per workload "
-        "(min 1000)\n"
-        "  --filter SUB   only workloads whose name contains SUB\n"
-        "  --json PATH    append one JSONL record per run to PATH\n"
-        "  --no-cache     bypass the on-disk run cache\n"
-        "  --cache-dir D  run-cache directory (default .cwsim-cache)\n"
-        "  --trace=FLAGS  enable trace flags (e.g. MDP,Recovery or "
-        "all)\n"
-        "  --trace-file P trace output path (default stderr)\n"
-        "  --pipeview P   O3PipeView pipeline-trace path (use "
-        "--jobs 1)\n"
-        "  --interval N   sample interval stats every N cycles\n"
-        "  --interval-file P  interval-stats JSONL path\n"
-        "  --help         this message\n"
-        "Value-taking flags also accept --flag=value.\n",
-        prog);
+    // One row per flag: description, then the environment-variable
+    // equivalent ("-" when the flag has none). Keep this table in sync
+    // with the parser below and the header comment.
+    struct FlagHelp
+    {
+        const char *flag;
+        const char *desc;
+        const char *env;
+    };
+    static const FlagHelp flags[] = {
+        {"--jobs N", "worker threads (default: all hardware threads)",
+         "CWSIM_JOBS"},
+        {"--scale N",
+         "dynamic-instruction target per workload (min 1000)",
+         "CWSIM_SCALE"},
+        {"--filter SUB", "only workloads whose name contains SUB",
+         "-"},
+        {"--json PATH", "append one JSONL record per run to PATH",
+         "-"},
+        {"--no-cache", "bypass the on-disk run cache", "-"},
+        {"--cache-dir D", "run-cache directory (default .cwsim-cache)",
+         "-"},
+        {"--trace=FLAGS",
+         "enable trace flags (e.g. MDP,Recovery or all)",
+         "CWSIM_TRACE"},
+        {"--trace-file P", "trace output path (default stderr)",
+         "CWSIM_TRACE_FILE"},
+        {"--pipeview P",
+         "O3PipeView pipeline-trace path (use --jobs 1)",
+         "CWSIM_PIPEVIEW"},
+        {"--interval N", "sample interval stats every N cycles",
+         "CWSIM_INTERVAL"},
+        {"--interval-file P", "interval-stats JSONL path",
+         "CWSIM_INTERVAL_FILE"},
+        {"--cpi-stack",
+         "print the per-run CPI stack (commit-slot losses)",
+         "CWSIM_CPI_STACK"},
+        {"--help", "this message", "-"},
+    };
+    std::fprintf(out, "usage: %s [options]\n", prog);
+    std::fprintf(out, "  %-18s %-53s %s\n", "flag", "description",
+                 "env equivalent");
+    for (const FlagHelp &f : flags)
+        std::fprintf(out, "  %-18s %-53s %s\n", f.flag, f.desc, f.env);
+    std::fprintf(out, "Value-taking flags also accept --flag=value.\n");
 }
 
 uint64_t
@@ -61,6 +88,7 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
 {
     BenchOptions opts;
     opts.scale = defaultScale ? defaultScale : harness::benchScale();
+    opts.cpiStack = envUint64("CWSIM_CPI_STACK", 0, 0) != 0;
 
     // Every value-taking flag accepts both "--flag value" and
     // "--flag=value" (the latter is how --trace=MDP,Recovery reads
@@ -107,12 +135,16 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
                 parseCount("--interval", value(i, "--interval"), 1);
         } else if (arg == "--interval-file") {
             opts.intervalFile = value(i, "--interval-file");
+        } else if (arg == "--cpi-stack") {
+            opts.cpiStack = true;
         } else if (arg == "--help" || arg == "-h") {
-            printUsage(argv[0]);
+            printUsage(argv[0], stdout);
             std::exit(0);
         } else {
-            fatal("unknown option '%s' (see --help)",
-                  argv[i]);
+            // Mistyped flags are the most common bench-CLI mistake;
+            // show the full usage so the fix is one screen away.
+            printUsage(argv[0], stderr);
+            fatal("unknown option '%s'", argv[i]);
         }
     }
     return opts;
@@ -160,6 +192,35 @@ BenchCli::BenchCli(int argc, char **argv, uint64_t defaultScale)
     sopts.cacheDir = opts.cacheDir;
     sopts.jsonPath = opts.jsonPath;
     theEngine = std::make_unique<SweepEngine>(*theRunner, sopts);
+}
+
+std::vector<harness::RunResult>
+BenchCli::run(const SweepPlan &plan)
+{
+    std::vector<harness::RunResult> results = theEngine->run(plan);
+    if (!opts.cpiStack)
+        return results;
+
+    // Commit-slot loss breakdown, one row per run, in plan order (the
+    // engine returns results in plan order at any --jobs count, so
+    // this table is deterministic). Cache hits from a pre-v3 cache
+    // have no accounting; render "n/a", never 0%.
+    std::printf("\nCPI stack (%% of commit slots = cycles x width):\n");
+    TextTable table;
+    std::vector<std::string> header = {"workload", "config"};
+    for (size_t i = 0; i < obs::num_cpi_causes; ++i)
+        header.push_back(obs::toString(obs::CpiCause(i)));
+    table.setHeader(header);
+    for (const harness::RunResult &r : results) {
+        std::vector<std::string> row = {r.workload, r.config};
+        for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+            row.push_back(harness::formatPct(
+                r.cpiFraction(obs::CpiCause(i))));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    return results;
 }
 
 int

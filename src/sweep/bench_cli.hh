@@ -23,9 +23,12 @@
  *   --interval N    sample interval stats every N cycles (JSONL)
  *   --interval-file P  interval-stats path (default
  *                   cwsim-intervals.jsonl)
- *   --help          usage
+ *   --cpi-stack     print a per-(workload, config) CPI-stack table
+ *                   (commit-slot loss breakdown) after the sweep
+ *   --help          usage (lists each flag's env-var equivalent)
  *
- * Every value-taking flag also accepts --flag=value.
+ * Every value-taking flag also accepts --flag=value. Unknown flags
+ * print the usage text and fail.
  *
  * BenchCli bundles flag parsing with the Runner + SweepEngine setup
  * every bench repeats, so a bench main is: parse, build plan, run,
@@ -64,6 +67,13 @@ struct BenchOptions
     std::string pipeviewPath;  ///< --pipeview ("" = off).
     uint64_t intervalCycles = 0; ///< --interval (0 = off).
     std::string intervalFile;  ///< --interval-file ("" = default).
+
+    /**
+     * --cpi-stack (or CWSIM_CPI_STACK=1): print the per-run commit-slot
+     * loss breakdown after each sweep. Pure output — accounting always
+     * runs, so this cannot change results or fingerprints.
+     */
+    bool cpiStack = false;
 };
 
 /**
@@ -99,12 +109,14 @@ class BenchCli
         return filterNames(all, opts.filter);
     }
 
-    /** Shorthand: run @p plan on the engine. */
-    std::vector<harness::RunResult>
-    run(const SweepPlan &plan)
-    {
-        return theEngine->run(plan);
-    }
+    /** True when --cpi-stack (or CWSIM_CPI_STACK=1) was given. */
+    bool cpiStackEnabled() const { return opts.cpiStack; }
+
+    /**
+     * Shorthand: run @p plan on the engine; under --cpi-stack also
+     * print the per-run commit-slot loss table for these results.
+     */
+    std::vector<harness::RunResult> run(const SweepPlan &plan);
 
     /**
      * Report failures and a sweep summary (stderr, so stdout tables

@@ -1,0 +1,720 @@
+#include "sweep/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/str.hh"
+#include "obs/cpi_stack.hh"
+#include "sweep/jsonl.hh"
+#include "sweep/run_cache.hh"
+#include "workloads/workload.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Format-agnostic section/table model. The report is assembled once
+// and rendered as markdown or HTML from the same data, so the two
+// formats cannot drift apart.
+// ---------------------------------------------------------------------
+
+struct Table
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+struct Section
+{
+    std::string title;
+    std::vector<std::string> paragraphs;
+    std::vector<Table> tables;
+};
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+renderTableMd(std::ostringstream &os, const Table &t)
+{
+    os << "|";
+    for (const auto &h : t.header)
+        os << " " << h << " |";
+    os << "\n|";
+    for (size_t i = 0; i < t.header.size(); ++i)
+        os << (i == 0 ? " :--- |" : " ---: |");
+    os << "\n";
+    for (const auto &row : t.rows) {
+        os << "|";
+        for (const auto &cell : row)
+            os << " " << cell << " |";
+        os << "\n";
+    }
+    os << "\n";
+}
+
+void
+renderTableHtml(std::ostringstream &os, const Table &t)
+{
+    os << "<table>\n<tr>";
+    for (const auto &h : t.header)
+        os << "<th>" << htmlEscape(h) << "</th>";
+    os << "</tr>\n";
+    for (const auto &row : t.rows) {
+        os << "<tr>";
+        for (const auto &cell : row)
+            os << "<td>" << htmlEscape(cell) << "</td>";
+        os << "</tr>\n";
+    }
+    os << "</table>\n";
+}
+
+std::string
+render(const std::string &title, const std::vector<Section> &sections,
+       ReportFormat format)
+{
+    std::ostringstream os;
+    if (format == ReportFormat::Html) {
+        os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+           << "<title>" << htmlEscape(title) << "</title>\n"
+           << "<style>body{font-family:sans-serif;margin:2em}"
+           << "table{border-collapse:collapse;margin:1em 0}"
+           << "th,td{border:1px solid #999;padding:2px 8px;"
+           << "text-align:right}"
+           << "th:first-child,td:first-child{text-align:left}"
+           << "</style></head><body>\n"
+           << "<h1>" << htmlEscape(title) << "</h1>\n";
+        for (const Section &s : sections) {
+            os << "<h2>" << htmlEscape(s.title) << "</h2>\n";
+            for (const auto &p : s.paragraphs)
+                os << "<p>" << htmlEscape(p) << "</p>\n";
+            for (const Table &t : s.tables)
+                renderTableHtml(os, t);
+        }
+        os << "</body></html>\n";
+    } else {
+        os << "# " << title << "\n\n";
+        for (const Section &s : sections) {
+            os << "## " << s.title << "\n\n";
+            for (const auto &p : s.paragraphs)
+                os << p << "\n\n";
+            for (const Table &t : s.tables)
+                renderTableMd(os, t);
+        }
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Report assembly helpers.
+// ---------------------------------------------------------------------
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+/** Quiet geomean over positive finite entries (NaN when none). */
+double
+quietGeomean(const std::vector<double> &values)
+{
+    double log_sum = 0;
+    size_t used = 0;
+    for (double v : values) {
+        if (std::isfinite(v) && v > 0) {
+            log_sum += std::log(v);
+            ++used;
+        }
+    }
+    return used ? std::exp(log_sum / used) : nan_v;
+}
+
+std::string
+fmtIpc(double ipc)
+{
+    return std::isnan(ipc) ? "n/a" : strfmt("%.3f", ipc);
+}
+
+std::string
+fmtRatio(double ratio)
+{
+    if (std::isnan(ratio))
+        return "n/a";
+    return strfmt("%+.1f%%", (ratio - 1.0) * 100.0);
+}
+
+std::string
+fmtPct(double fraction, int decimals = 1)
+{
+    if (std::isnan(fraction))
+        return "n/a";
+    return strfmt("%.*f%%", decimals, fraction * 100.0);
+}
+
+/** The per-key latest record, preserving first-appearance orders. */
+struct RecordIndex
+{
+    std::vector<std::string> workloads; ///< First-appearance order.
+    std::vector<std::string> configs;   ///< First-appearance order.
+    /** (workload, config) -> latest record. */
+    std::map<std::pair<std::string, std::string>,
+             const ReportRecord *> byKey;
+
+    const ReportRecord *
+    find(const std::string &w, const std::string &c) const
+    {
+        auto it = byKey.find({w, c});
+        return it == byKey.end() ? nullptr : it->second;
+    }
+
+    double
+    ipc(const std::string &w, const std::string &c) const
+    {
+        const ReportRecord *r = find(w, c);
+        return r ? r->run.ipc() : nan_v;
+    }
+
+    bool
+    hasConfig(const std::string &c) const
+    {
+        return std::find(configs.begin(), configs.end(), c) !=
+               configs.end();
+    }
+};
+
+RecordIndex
+indexRecords(const std::vector<ReportRecord> &records)
+{
+    RecordIndex idx;
+    for (const ReportRecord &r : records) {
+        auto key = std::make_pair(r.run.workload, r.run.config);
+        if (!idx.byKey.count(key)) {
+            if (std::find(idx.workloads.begin(), idx.workloads.end(),
+                          r.run.workload) == idx.workloads.end()) {
+                idx.workloads.push_back(r.run.workload);
+            }
+            if (!idx.hasConfig(r.run.config))
+                idx.configs.push_back(r.run.config);
+        }
+        idx.byKey[key] = &r; // later records win
+    }
+    return idx;
+}
+
+/** Geomean rows (int / fp / all) for a vector-valued ratio column. */
+std::vector<double>
+ratios(const RecordIndex &idx, const std::vector<std::string> &names,
+       const std::string &num_cfg, const std::string &den_cfg)
+{
+    std::vector<double> out;
+    for (const auto &w : names) {
+        double num = idx.ipc(w, num_cfg);
+        double den = idx.ipc(w, den_cfg);
+        out.push_back(den > 0 ? num / den : nan_v);
+    }
+    return out;
+}
+
+/** Workloads of @p group that appear in the index, index order. */
+std::vector<std::string>
+presentOf(const RecordIndex &idx, const std::vector<std::string> &group)
+{
+    std::vector<std::string> out;
+    for (const auto &w : idx.workloads) {
+        if (std::find(group.begin(), group.end(), w) != group.end())
+            out.push_back(w);
+    }
+    return out;
+}
+
+void
+addSpeedupSummaryRows(Table &t, const RecordIndex &idx,
+                      const std::vector<std::string> &num_cfgs,
+                      const std::string &den_cfg, size_t lead_cols)
+{
+    struct Group { const char *label; std::vector<std::string> names; };
+    std::vector<Group> groups = {
+        {"geomean (int)", presentOf(idx, workloads::intNames())},
+        {"geomean (fp)", presentOf(idx, workloads::fpNames())},
+        {"geomean (all)", idx.workloads},
+    };
+    for (const Group &g : groups) {
+        if (g.names.empty())
+            continue;
+        std::vector<std::string> row = {g.label};
+        for (size_t i = 1; i < lead_cols; ++i)
+            row.push_back("");
+        for (const auto &cfg : num_cfgs) {
+            row.push_back(
+                fmtRatio(quietGeomean(ratios(idx, g.names, cfg,
+                                             den_cfg))));
+        }
+        t.rows.push_back(std::move(row));
+    }
+}
+
+} // anonymous namespace
+
+bool
+loadRunRecords(const std::string &path, std::vector<ReportRecord> &out,
+               std::string *err, size_t *rejected)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = strfmt("cannot open %s", path.c_str());
+        return false;
+    }
+    size_t bad = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        std::map<std::string, std::string> fields;
+        ReportRecord rec;
+        if (!parseFlatJson(line, fields) ||
+            !runRecordParse(fields, rec.run)) {
+            ++bad;
+            continue;
+        }
+        auto scale_it = fields.find("scale");
+        if (scale_it != fields.end()) {
+            rec.scale =
+                std::strtoull(scale_it->second.c_str(), nullptr, 10);
+        }
+        auto fp_it = fields.find("fp");
+        if (fp_it != fields.end())
+            rec.fp = fp_it->second;
+        out.push_back(std::move(rec));
+    }
+    if (rejected)
+        *rejected = bad;
+    return true;
+}
+
+std::string
+renderReport(const std::vector<ReportRecord> &records,
+             ReportFormat format)
+{
+    RecordIndex idx = indexRecords(records);
+    std::vector<Section> sections;
+
+    // ---- Summary -----------------------------------------------------
+    {
+        Section s;
+        s.title = "Summary";
+        size_t failed = 0;
+        std::vector<uint64_t> scales;
+        for (const auto &[key, rec] : idx.byKey) {
+            if (!rec->run.ok)
+                ++failed;
+            if (std::find(scales.begin(), scales.end(), rec->scale) ==
+                scales.end()) {
+                scales.push_back(rec->scale);
+            }
+        }
+        std::sort(scales.begin(), scales.end());
+        std::string scale_txt;
+        for (uint64_t sc : scales) {
+            scale_txt += (scale_txt.empty() ? "" : ", ") +
+                         strfmt("%llu",
+                                static_cast<unsigned long long>(sc));
+        }
+        s.paragraphs.push_back(strfmt(
+            "%zu run record(s): %zu workload(s) x %zu config(s), "
+            "scale(s) %s, %zu failed run(s).",
+            idx.byKey.size(), idx.workloads.size(), idx.configs.size(),
+            scale_txt.c_str(), failed));
+        sections.push_back(std::move(s));
+    }
+
+    // ---- IPC matrix --------------------------------------------------
+    {
+        Section s;
+        s.title = "IPC by configuration";
+        Table t;
+        t.header.push_back("workload");
+        for (const auto &cfg : idx.configs)
+            t.header.push_back(cfg);
+        for (const auto &w : idx.workloads) {
+            std::vector<std::string> row = {w};
+            for (const auto &cfg : idx.configs) {
+                const ReportRecord *r = idx.find(w, cfg);
+                if (!r)
+                    row.push_back("-");
+                else if (!r->run.ok)
+                    row.push_back("FAILED");
+                else
+                    row.push_back(fmtIpc(r->run.ipc()));
+            }
+            t.rows.push_back(std::move(row));
+        }
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+
+    // ---- Figure 2: naive speculation vs no speculation vs oracle ----
+    if (idx.hasConfig("NAS/NO") && idx.hasConfig("NAS/NAV") &&
+        idx.hasConfig("NAS/ORACLE")) {
+        Section s;
+        s.title = "Figure 2: naive memory-dependence speculation";
+        s.paragraphs.push_back(
+            "Naive speculation (NAV) and the oracle relative to no "
+            "speculation (NO) on the NAS machine; \"gap to ORACLE\" is "
+            "how much of the remaining headroom NAV leaves on the "
+            "table, and misspec is violations per committed load.");
+        Table t;
+        t.header = {"program", "NAS/NO", "NAS/NAV", "NAS/ORACLE",
+                    "NAV/NO", "ORACLE/NO", "gap to ORACLE",
+                    "NAV misspec"};
+        for (const auto &w : idx.workloads) {
+            double no = idx.ipc(w, "NAS/NO");
+            double nav = idx.ipc(w, "NAS/NAV");
+            double oracle = idx.ipc(w, "NAS/ORACLE");
+            const ReportRecord *nav_r = idx.find(w, "NAS/NAV");
+            t.rows.push_back(
+                {w, fmtIpc(no), fmtIpc(nav), fmtIpc(oracle),
+                 fmtRatio(no > 0 ? nav / no : nan_v),
+                 fmtRatio(no > 0 ? oracle / no : nan_v),
+                 fmtRatio(nav > 0 ? oracle / nav : nan_v),
+                 nav_r ? fmtPct(nav_r->run.misspecRate(), 2) : "n/a"});
+        }
+        addSpeedupSummaryRows(t, idx, {"NAS/NAV", "NAS/ORACLE"},
+                              "NAS/NO", 4);
+        // The summary rows only fill the two speedup-over-NO columns;
+        // pad the remainder so every row has the same width.
+        for (auto &row : t.rows) {
+            while (row.size() < t.header.size())
+                row.push_back("");
+        }
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+
+    // ---- Figure 5: selective speculation and store barriers ---------
+    if (idx.hasConfig("NAS/SEL") && idx.hasConfig("NAS/STORE") &&
+        idx.hasConfig("NAS/NAV")) {
+        Section s;
+        s.title = "Figure 5: intelligent speculation (SEL, STORE)";
+        s.paragraphs.push_back(
+            "Selective speculation and store barriers relative to "
+            "naive speculation. Misspec columns show how much "
+            "miss-speculation each policy eliminates.");
+        Table t;
+        bool have_oracle = idx.hasConfig("NAS/ORACLE");
+        t.header = {"program", "SEL/NAV", "STORE/NAV"};
+        if (have_oracle)
+            t.header.push_back("ORACLE/NAV");
+        t.header.push_back("NAV misspec");
+        t.header.push_back("SEL misspec");
+        t.header.push_back("STORE misspec");
+        for (const auto &w : idx.workloads) {
+            double nav = idx.ipc(w, "NAS/NAV");
+            std::vector<std::string> row = {
+                w,
+                fmtRatio(nav > 0 ? idx.ipc(w, "NAS/SEL") / nav : nan_v),
+                fmtRatio(nav > 0 ? idx.ipc(w, "NAS/STORE") / nav
+                                 : nan_v)};
+            if (have_oracle) {
+                row.push_back(fmtRatio(
+                    nav > 0 ? idx.ipc(w, "NAS/ORACLE") / nav : nan_v));
+            }
+            for (const char *cfg :
+                 {"NAS/NAV", "NAS/SEL", "NAS/STORE"}) {
+                const ReportRecord *r = idx.find(w, cfg);
+                row.push_back(r ? fmtPct(r->run.misspecRate(), 2)
+                                : "n/a");
+            }
+            t.rows.push_back(std::move(row));
+        }
+        std::vector<std::string> nums = {"NAS/SEL", "NAS/STORE"};
+        if (have_oracle)
+            nums.push_back("NAS/ORACLE");
+        addSpeedupSummaryRows(t, idx, nums, "NAS/NAV", 1);
+        for (auto &row : t.rows) {
+            while (row.size() < t.header.size())
+                row.push_back("");
+        }
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+
+    // ---- Figure 6: speculation + synchronization --------------------
+    if (idx.hasConfig("NAS/SYNC") && idx.hasConfig("NAS/NAV")) {
+        Section s;
+        s.title = "Figure 6: speculation + synchronization (SYNC)";
+        s.paragraphs.push_back(
+            "SYNC relative to naive speculation, against the oracle "
+            "ceiling; \"captured\" is the fraction of the "
+            "NAV-to-ORACLE gap that synchronization recovers.");
+        Table t;
+        bool have_oracle = idx.hasConfig("NAS/ORACLE");
+        t.header = {"program", "SYNC/NAV"};
+        if (have_oracle) {
+            t.header.push_back("ORACLE/NAV");
+            t.header.push_back("captured");
+        }
+        for (const auto &w : idx.workloads) {
+            double nav = idx.ipc(w, "NAS/NAV");
+            double sync = idx.ipc(w, "NAS/SYNC");
+            std::vector<std::string> row = {
+                w, fmtRatio(nav > 0 ? sync / nav : nan_v)};
+            if (have_oracle) {
+                double oracle = idx.ipc(w, "NAS/ORACLE");
+                row.push_back(
+                    fmtRatio(nav > 0 ? oracle / nav : nan_v));
+                double gap = oracle - nav;
+                row.push_back(gap > 0 ? fmtPct((sync - nav) / gap)
+                                      : "n/a");
+            }
+            t.rows.push_back(std::move(row));
+        }
+        std::vector<std::string> nums = {"NAS/SYNC"};
+        if (have_oracle)
+            nums.push_back("NAS/ORACLE");
+        addSpeedupSummaryRows(t, idx, nums, "NAS/NAV", 1);
+        for (auto &row : t.rows) {
+            while (row.size() < t.header.size())
+                row.push_back("");
+        }
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+
+    // ---- CPI stacks --------------------------------------------------
+    {
+        // One table per config that carries schema-v3 accounting:
+        // rows are workloads, columns the causes that are nonzero
+        // anywhere under that config (plus "committed", always).
+        Section s;
+        s.title = "CPI stacks (commit-slot loss breakdown)";
+        s.paragraphs.push_back(
+            "Each cell is the share of commit slots (cycles x "
+            "commitWidth) attributed to a cause; rows sum to 100%. "
+            "Records from pre-v3 sweeps have no accounting and are "
+            "omitted.");
+        for (const auto &cfg : idx.configs) {
+            std::vector<obs::CpiCause> causes;
+            for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+                auto cause = obs::CpiCause(i);
+                bool nonzero = cause == obs::CpiCause::Committed;
+                for (const auto &w : idx.workloads) {
+                    const ReportRecord *r = idx.find(w, cfg);
+                    if (r && r->run.ok && r->run.hasCpiStack() &&
+                        r->run.cpiSlots[i] > 0) {
+                        nonzero = true;
+                        break;
+                    }
+                }
+                if (nonzero)
+                    causes.push_back(cause);
+            }
+
+            Table t;
+            t.header.push_back(cfg);
+            for (auto cause : causes)
+                t.header.push_back(obs::toString(cause));
+            for (const auto &w : idx.workloads) {
+                const ReportRecord *r = idx.find(w, cfg);
+                if (!r || !r->run.ok || !r->run.hasCpiStack())
+                    continue;
+                std::vector<std::string> row = {w};
+                for (auto cause : causes)
+                    row.push_back(fmtPct(r->run.cpiFraction(cause)));
+                t.rows.push_back(std::move(row));
+            }
+            if (!t.rows.empty())
+                s.tables.push_back(std::move(t));
+        }
+        if (s.tables.empty()) {
+            s.paragraphs.push_back(
+                "No records with CPI-stack data in this file.");
+        }
+        sections.push_back(std::move(s));
+    }
+
+    // ---- Failed runs -------------------------------------------------
+    {
+        Table t;
+        t.header = {"workload", "config", "error"};
+        for (const auto &[key, rec] : idx.byKey) {
+            if (!rec->run.ok) {
+                t.rows.push_back(
+                    {rec->run.workload, rec->run.config,
+                     rec->run.error});
+            }
+        }
+        if (!t.rows.empty()) {
+            Section s;
+            s.title = "Failed runs";
+            s.tables.push_back(std::move(t));
+            sections.push_back(std::move(s));
+        }
+    }
+
+    return render("cwsim sweep report", sections, format);
+}
+
+// ---------------------------------------------------------------------
+// Stats diff.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using RecordMap = std::map<std::string, const ReportRecord *>;
+
+RecordMap
+mapByRunKey(const std::vector<ReportRecord> &records)
+{
+    RecordMap out;
+    for (const ReportRecord &r : records) {
+        std::string key = strfmt(
+            "%s %s (scale %llu)", r.run.workload.c_str(),
+            r.run.config.c_str(),
+            static_cast<unsigned long long>(r.scale));
+        out[key] = &r; // later records win
+    }
+    return out;
+}
+
+void
+diffField(DiffResult &d, const std::string &key, const char *field,
+          const std::string &base, const std::string &cur)
+{
+    if (base != cur)
+        d.drift.push_back({key, field, base, cur});
+}
+
+void
+diffU64(DiffResult &d, const std::string &key, const char *field,
+        uint64_t base, uint64_t cur)
+{
+    diffField(d, key, field,
+              strfmt("%llu", static_cast<unsigned long long>(base)),
+              strfmt("%llu", static_cast<unsigned long long>(cur)));
+}
+
+} // anonymous namespace
+
+DiffResult
+diffRunRecords(const std::vector<ReportRecord> &baseline,
+               const std::vector<ReportRecord> &current)
+{
+    DiffResult d;
+    RecordMap base = mapByRunKey(baseline);
+    RecordMap cur = mapByRunKey(current);
+
+    for (const auto &[key, b] : base) {
+        auto it = cur.find(key);
+        if (it == cur.end()) {
+            ++d.baselineOnly;
+            d.drift.push_back({key, "presence", "present", "missing"});
+            continue;
+        }
+        const harness::RunResult &rb = b->run;
+        const harness::RunResult &rc = it->second->run;
+        ++d.compared;
+
+        diffField(d, key, "ok", rb.ok ? "true" : "false",
+                  rc.ok ? "true" : "false");
+        diffField(d, key, "error", rb.error, rc.error);
+        diffU64(d, key, "cycles", rb.cycles, rc.cycles);
+        diffU64(d, key, "commits", rb.commits, rc.commits);
+        diffU64(d, key, "committedLoads", rb.committedLoads,
+                rc.committedLoads);
+        diffU64(d, key, "committedStores", rb.committedStores,
+                rc.committedStores);
+        diffU64(d, key, "violations", rb.violations, rc.violations);
+        diffU64(d, key, "replays", rb.replays, rc.replays);
+        diffU64(d, key, "selectiveRecoveries", rb.selectiveRecoveries,
+                rc.selectiveRecoveries);
+        diffU64(d, key, "selectiveFallbacks", rb.selectiveFallbacks,
+                rc.selectiveFallbacks);
+        diffU64(d, key, "branchMispredicts", rb.branchMispredicts,
+                rc.branchMispredicts);
+        diffU64(d, key, "squashedInsts", rb.squashedInsts,
+                rc.squashedInsts);
+        diffU64(d, key, "falseDepLoads", rb.falseDepLoads,
+                rc.falseDepLoads);
+        // Compare the %.17g round-trip text: exact for identical
+        // doubles, and NaN == NaN (a failed probe must not drift
+        // against an identical failed probe).
+        diffField(d, key, "falseDepLatency",
+                  strfmt("%.17g", rb.falseDepLatency),
+                  strfmt("%.17g", rc.falseDepLatency));
+        diffU64(d, key, "injectedViolations", rb.injectedViolations,
+                rc.injectedViolations);
+
+        // CPI stacks only compare when both records carry them: a
+        // baseline captured before schema v3 cannot constrain them.
+        if (rb.hasCpiStack() && rc.hasCpiStack()) {
+            diffU64(d, key, "commit_width", rb.commitWidth,
+                    rc.commitWidth);
+            for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+                std::string field =
+                    std::string("cpi_") +
+                    obs::statKey(obs::CpiCause(i));
+                diffU64(d, key, field.c_str(), rb.cpiSlots[i],
+                        rc.cpiSlots[i]);
+            }
+        } else {
+            ++d.cpiSkipped;
+        }
+    }
+    for (const auto &[key, c] : cur) {
+        (void)c;
+        if (!base.count(key)) {
+            ++d.currentOnly;
+            d.drift.push_back({key, "presence", "missing", "present"});
+        }
+    }
+    return d;
+}
+
+std::string
+formatDiff(const DiffResult &d)
+{
+    std::ostringstream os;
+    os << strfmt("stats-diff: %zu run(s) compared, %zu drifting "
+                 "field(s), %zu baseline-only, %zu current-only",
+                 d.compared, d.drift.size() - d.baselineOnly -
+                     d.currentOnly,
+                 d.baselineOnly, d.currentOnly);
+    if (d.cpiSkipped > 0) {
+        os << strfmt(" (%zu run(s) without CPI data on one side)",
+                     d.cpiSkipped);
+    }
+    os << "\n";
+    for (const DriftEntry &e : d.drift) {
+        os << strfmt("DRIFT %s: %s %s -> %s\n", e.key.c_str(),
+                     e.field.c_str(), e.baseline.c_str(),
+                     e.current.c_str());
+    }
+    if (d.clean())
+        os << "no drift\n";
+    return os.str();
+}
+
+} // namespace sweep
+} // namespace cwsim

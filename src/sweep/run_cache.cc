@@ -119,6 +119,14 @@ runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
         .add("sim_cycles_per_sec", r.simCyclesPerSec())
         .add("cache_hit", r.cacheHit)
         .add("diagnostic", r.diagnostic);
+    // v3 commit-slot accounting. commit_width == 0 round-trips the
+    // "predates the accounting" marker for records rebuilt from older
+    // caches.
+    obj.add("commit_width", static_cast<uint64_t>(r.commitWidth));
+    for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+        obj.add(std::string("cpi_") + obs::statKey(obs::CpiCause(i)),
+                r.cpiSlots[i]);
+    }
     return obj.str();
 }
 
@@ -126,12 +134,13 @@ bool
 runRecordParse(const std::map<std::string, std::string> &fields,
                harness::RunResult &out)
 {
-    // v1 records lack the host-profiling fields; they stay readable
-    // with those fields defaulted so a schema bump never invalidates a
-    // warm cache.
+    // Older records lack the fields later schemas added; every prior
+    // version stays readable with those fields defaulted so a schema
+    // bump never invalidates a warm cache. Future (unknown) versions
+    // are rejected: their semantics are unknowable here.
     uint64_t version = 0;
-    if (!getU64(fields, "v", version) ||
-        (version != 1 && version != run_record_version)) {
+    if (!getU64(fields, "v", version) || version < 1 ||
+        version > run_record_version) {
         return false;
     }
 
@@ -185,6 +194,21 @@ runRecordParse(const std::map<std::string, std::string> &fields,
             r.cacheHit = false;
         else
             return false;
+    }
+
+    if (version >= 3) {
+        uint64_t width = 0;
+        if (!getU64(fields, "commit_width", width) ||
+            width > std::numeric_limits<unsigned>::max()) {
+            return false;
+        }
+        r.commitWidth = static_cast<unsigned>(width);
+        for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+            std::string key =
+                std::string("cpi_") + obs::statKey(obs::CpiCause(i));
+            if (!getU64(fields, key.c_str(), r.cpiSlots[i]))
+                return false;
+        }
     }
 
     out = r;

@@ -32,11 +32,14 @@ namespace sweep
 
 /**
  * Cache-entry schema; bump when RunResult's serialized shape changes.
- * v2 added host-profiling (wall_ms, sim_cycles_per_sec, cache_hit) and
- * the failure diagnostic; v1 records are still accepted on read, with
- * those fields defaulted.
+ * v3 added the commit-slot CPI stack (commit_width + one cpi_* field
+ * per obs::CpiCause); v2 added host-profiling (wall_ms,
+ * sim_cycles_per_sec, cache_hit) and the failure diagnostic. v1/v2
+ * records are still accepted on read with the newer fields defaulted —
+ * a v1/v2 record parses with commit_width == 0, which RunResult treats
+ * as "CPI stack unknown", never as zero loss.
  */
-constexpr unsigned run_record_version = 2;
+constexpr unsigned run_record_version = 3;
 
 /** Fingerprint of one run: workload name + scale + full config. */
 uint64_t fingerprintRun(const std::string &workload, uint64_t scale,

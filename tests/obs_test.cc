@@ -271,6 +271,56 @@ TEST_F(ObsTest, IntervalSamplerComputesDeltas)
     std::remove(path.c_str());
 }
 
+TEST_F(ObsTest, IntervalSamplerFinalizeFlushesTrailingPartialInterval)
+{
+    std::string path = tmpPath("intervals_tail.jsonl");
+    std::remove(path.c_str());
+    {
+        // Run length 2750 with period 1000: two full intervals plus a
+        // 750-cycle tail that only finalize() can emit.
+        obs::IntervalSampler sampler(path, 1000, "tail test");
+        ASSERT_TRUE(sampler.valid());
+        obs::IntervalCounters c;
+        c.commits = 1000;
+        sampler.sample(1000, c);
+        c.commits = 2100;
+        sampler.sample(2000, c);
+        c.commits = 2700;
+        sampler.finalize(2750, c);
+        EXPECT_EQ(sampler.samplesWritten(), 3u);
+        // A second finalize at the same cycle must not double-emit.
+        sampler.finalize(2750, c);
+        EXPECT_EQ(sampler.samplesWritten(), 3u);
+    }
+
+    std::ifstream in(path);
+    std::string line;
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(std::getline(in, line));
+    ASSERT_TRUE(std::getline(in, line));
+    ASSERT_TRUE(std::getline(in, line)); // the flushed tail
+    ASSERT_TRUE(sweep::parseFlatJson(line, fields));
+    EXPECT_EQ(fields.at("cycle"), "2750");
+    EXPECT_EQ(fields.at("interval"), "750");
+    EXPECT_EQ(fields.at("commits"), "600");
+    EXPECT_FALSE(std::getline(in, line));
+    std::remove(path.c_str());
+
+    // A run whose length lands exactly on a period boundary must NOT
+    // gain an extra empty sample from finalize().
+    std::string exact_path = tmpPath("intervals_exact.jsonl");
+    std::remove(exact_path.c_str());
+    {
+        obs::IntervalSampler sampler(exact_path, 1000, "exact");
+        obs::IntervalCounters c;
+        c.commits = 500;
+        sampler.sample(1000, c);
+        sampler.finalize(1000, c);
+        EXPECT_EQ(sampler.samplesWritten(), 1u);
+    }
+    std::remove(exact_path.c_str());
+}
+
 TEST_F(ObsTest, ProcessorEmitsValidPipelineTraceAndIntervals)
 {
     std::string pipe_path = tmpPath("proc_pipeview.out");
@@ -327,10 +377,10 @@ TEST_F(ObsTest, ProcessorEmitsValidPipelineTraceAndIntervals)
         ++interval_lines;
     }
     EXPECT_GT(interval_lines, 0u);
-    // Interval deltas sum to at most the total (the tail after the
-    // last sample boundary is never emitted).
-    EXPECT_LE(total_commits, pre.instCount);
-    EXPECT_GT(total_commits, 0u);
+    // Interval deltas sum to exactly the total: run() flushes the
+    // trailing partial interval, so no commits are lost after the
+    // last period boundary.
+    EXPECT_EQ(total_commits, pre.instCount);
 
     std::remove(pipe_path.c_str());
     std::remove(interval_path.c_str());

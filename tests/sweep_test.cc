@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <unistd.h>
 
+#include "obs/cpi_stack.hh"
 #include "sweep/bench_cli.hh"
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
@@ -67,6 +69,11 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.falseDepLoads, b.falseDepLoads);
     EXPECT_EQ(a.falseDepLatency, b.falseDepLatency);
     EXPECT_EQ(a.injectedViolations, b.injectedViolations);
+    EXPECT_EQ(a.commitWidth, b.commitWidth);
+    for (size_t i = 0; i < obs::num_cpi_causes; ++i) {
+        EXPECT_EQ(a.cpiSlots[i], b.cpiSlots[i])
+            << obs::toString(obs::CpiCause(i));
+    }
 }
 
 /** All 18 workloads under NAV with both recovery models. */
@@ -292,7 +299,7 @@ TEST(SweepRecord, V2RoundTripsHostProfilingFields)
     std::string line = sweep::runRecordLine(r, 0xabcdull, 3000);
     std::map<std::string, std::string> fields;
     ASSERT_TRUE(sweep::parseFlatJson(line, fields));
-    EXPECT_EQ(fields.at("v"), "2");
+    EXPECT_EQ(fields.at("v"), "3");
     EXPECT_EQ(fields.at("wall_ms"), "250");
     EXPECT_EQ(fields.at("sim_cycles_per_sec"), "20000");
     EXPECT_EQ(fields.at("cache_hit"), "true");
@@ -305,9 +312,50 @@ TEST(SweepRecord, V2RoundTripsHostProfilingFields)
     EXPECT_TRUE(parsed.cacheHit);
     EXPECT_EQ(parsed.diagnostic, r.diagnostic);
 
-    // A v2 record missing its host-profiling fields is malformed.
+    // A v2+ record missing its host-profiling fields is malformed.
     fields.erase("wall_ms");
     EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
+}
+
+TEST(SweepRecord, V3RoundTripsCpiStack)
+{
+    RunResult r;
+    r.workload = "129.compress";
+    r.config = "NAS/NAV W128";
+    r.cycles = 1000;
+    r.commits = 2600;
+    r.commitWidth = 8;
+    r.cpiSlots[size_t(obs::CpiCause::Committed)] = 2600;
+    r.cpiSlots[size_t(obs::CpiCause::MemDepSquash)] = 1400;
+    r.cpiSlots[size_t(obs::CpiCause::CacheMiss)] = 4000;
+    ASSERT_EQ(r.cpiTotalSlots(), r.cycles * 8);
+    EXPECT_TRUE(r.hasCpiStack());
+    EXPECT_DOUBLE_EQ(r.cpiFraction(obs::CpiCause::CacheMiss), 0.5);
+
+    std::string line = sweep::runRecordLine(r, 0x1234ull, 3000);
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(line, fields));
+    EXPECT_EQ(fields.at("commit_width"), "8");
+    EXPECT_EQ(fields.at("cpi_committed"), "2600");
+    EXPECT_EQ(fields.at("cpi_mem_dep_squash"), "1400");
+    EXPECT_EQ(fields.at("cpi_cache_miss"), "4000");
+    EXPECT_EQ(fields.at("cpi_exec"), "0");
+
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    expectSameResult(r, parsed);
+
+    // A v3 record missing any CPI field is malformed.
+    fields.erase("cpi_window_full");
+    EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
+
+    // But the same fields relabeled v2 parse fine — the CPI columns
+    // are simply unknown, signalled by commitWidth == 0.
+    fields["v"] = "2";
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    EXPECT_FALSE(parsed.hasCpiStack());
+    EXPECT_EQ(parsed.commitWidth, 0u);
+    EXPECT_TRUE(std::isnan(parsed.cpiFraction(obs::CpiCause::Exec)));
 }
 
 TEST(SweepRecord, V1RecordsStayReadable)
@@ -351,9 +399,12 @@ TEST(SweepRecord, V1RecordsStayReadable)
     EXPECT_DOUBLE_EQ(parsed.simCyclesPerSec(), 0.0);
     EXPECT_FALSE(parsed.cacheHit);
     EXPECT_TRUE(parsed.diagnostic.empty());
+    // ... including the v3 CPI stack, whose absence is marked by
+    // commitWidth == 0 ("unknown"), never zero-loss.
+    EXPECT_FALSE(parsed.hasCpiStack());
 
     // Unknown future versions are still rejected outright.
-    fields["v"] = "3";
+    fields["v"] = "4";
     EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * cwsim-report: render a sweep JSONL file (the run-cache / --json
+ * export format) as a markdown or HTML report, or diff two JSONL
+ * files field-by-field to flag simulated-stat drift.
+ *
+ * Exit codes: 0 success (diff clean), 1 drift detected, 2 usage or
+ * I/O error. The CI stats-diff job relies on this split to tell
+ * "stats changed" apart from "the tool broke".
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sweep/report.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--format md|html] [--out PATH] SWEEP.jsonl\n"
+        "       %s --diff BASELINE.jsonl CURRENT.jsonl\n"
+        "\n"
+        "Render a cwsim sweep JSONL file as a report, or compare two\n"
+        "sweep files and flag any drift in simulated stats\n"
+        "(host-profiling fields are ignored).\n"
+        "\n"
+        "  --format md|html  report output format (default: md)\n"
+        "  --out PATH        write the report to PATH (default: stdout)\n"
+        "  --diff            compare two files instead of rendering\n"
+        "  --help            show this message\n",
+        argv0, argv0);
+    return 2;
+}
+
+bool
+load(const std::string &path,
+     std::vector<cwsim::sweep::ReportRecord> &out)
+{
+    std::string err;
+    size_t rejected = 0;
+    if (!cwsim::sweep::loadRunRecords(path, out, &err, &rejected)) {
+        std::fprintf(stderr, "cwsim-report: %s\n", err.c_str());
+        return false;
+    }
+    if (rejected > 0) {
+        std::fprintf(stderr,
+                     "cwsim-report: warning: skipped %zu unparseable "
+                     "record(s) in %s\n",
+                     rejected, path.c_str());
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "cwsim-report: no parseable records in %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool diff = false;
+    cwsim::sweep::ReportFormat format =
+        cwsim::sweep::ReportFormat::Markdown;
+    std::string out_path;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (std::strcmp(arg, "--diff") == 0) {
+            diff = true;
+        } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
+            std::string value = argv[++i];
+            if (value == "md") {
+                format = cwsim::sweep::ReportFormat::Markdown;
+            } else if (value == "html") {
+                format = cwsim::sweep::ReportFormat::Html;
+            } else {
+                std::fprintf(stderr,
+                             "cwsim-report: unknown format '%s'\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::fprintf(stderr, "cwsim-report: unknown flag '%s'\n",
+                         arg);
+            return usage(argv[0]);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+
+    if (diff) {
+        if (inputs.size() != 2)
+            return usage(argv[0]);
+        std::vector<cwsim::sweep::ReportRecord> baseline, current;
+        if (!load(inputs[0], baseline) || !load(inputs[1], current))
+            return 2;
+        cwsim::sweep::DiffResult result =
+            cwsim::sweep::diffRunRecords(baseline, current);
+        std::fputs(cwsim::sweep::formatDiff(result).c_str(), stdout);
+        return result.clean() ? 0 : 1;
+    }
+
+    if (inputs.size() != 1)
+        return usage(argv[0]);
+    std::vector<cwsim::sweep::ReportRecord> records;
+    if (!load(inputs[0], records))
+        return 2;
+    std::string report = cwsim::sweep::renderReport(records, format);
+    if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cwsim-report: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << report;
+    }
+    return 0;
+}
