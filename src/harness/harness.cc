@@ -18,6 +18,50 @@ namespace cwsim
 namespace harness
 {
 
+const char *
+toString(FailKind kind)
+{
+    switch (kind) {
+      case FailKind::None:
+        return "none";
+      case FailKind::SimError:
+        return "sim_error";
+      case FailKind::Crash:
+        return "crash";
+      case FailKind::Timeout:
+        return "timeout";
+      case FailKind::Oom:
+        return "oom";
+      case FailKind::Protocol:
+        return "protocol";
+    }
+    return "none";
+}
+
+bool
+failKindFromString(const std::string &text, FailKind &out)
+{
+    for (FailKind k :
+         {FailKind::None, FailKind::SimError, FailKind::Crash,
+          FailKind::Timeout, FailKind::Oom, FailKind::Protocol}) {
+        if (text == toString(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+RunResult::failLabel() const
+{
+    if (failKind == FailKind::None)
+        return "-";
+    if (failDetail.empty())
+        return toString(failKind);
+    return strfmt("%s(%s)", toString(failKind), failDetail.c_str());
+}
+
 Runner::Runner(uint64_t scale) : runScale(scale)
 {
 }
@@ -146,6 +190,7 @@ Runner::run(const std::string &name, const SimConfig &cfg)
     } catch (const SimError &e) {
         stamp_wall();
         r.ok = false;
+        r.failKind = FailKind::SimError;
         r.error = e.summary();
         // The last few flight-recorder events (the dump's tail) make
         // the FAILED RUNS row self-diagnosing.
@@ -175,10 +220,21 @@ reportFailures(const Runner &runner)
     std::printf("\nFAILED RUNS (%zu):\n",
                 static_cast<size_t>(fails.size()));
     TextTable table;
-    table.setHeader({"workload", "config", "error"});
-    for (const auto &f : fails)
-        table.addRow({f.workload, f.config, f.error});
+    table.setHeader({"workload", "config", "kind", "error"});
+    size_t injected = 0;
+    for (const auto &f : fails) {
+        std::string kind = f.failLabel();
+        if (f.injectedHostFault) {
+            kind += " [injected]";
+            ++injected;
+        }
+        table.addRow({f.workload, f.config, kind, f.error});
+    }
     std::fputs(table.toString().c_str(), stdout);
+    if (injected > 0) {
+        std::printf("(%zu injected host fault(s) contained — not "
+                    "counted as campaign failures)\n", injected);
+    }
 
     // Each failure's diagnostic tail (last flight-recorder events),
     // so the report alone localizes the fault.
@@ -190,7 +246,7 @@ reportFailures(const Runner &runner)
         for (const std::string &line : split(f.diagnostic, '\n'))
             std::printf("    %s\n", line.c_str());
     }
-    return fails.size();
+    return fails.size() - injected;
 }
 
 double

@@ -29,6 +29,29 @@ namespace cwsim
 namespace harness
 {
 
+/**
+ * First-class failure taxonomy for a run. SimError is the in-process
+ * fail-soft class PR 1 introduced (watchdog, invariant, equivalence…);
+ * the host-level classes (Crash, Timeout, Oom, Protocol) can only be
+ * observed by the --isolate sweep executor, which runs each simulation
+ * in a sandboxed child process and classifies how the child died.
+ */
+enum class FailKind
+{
+    None,     ///< The run completed (ok == true).
+    SimError, ///< In-process SimError caught by the fail-soft harness.
+    Crash,    ///< Child killed by a signal or a nonzero exit.
+    Timeout,  ///< Wall-clock deadline (SIGKILL) or RLIMIT_CPU.
+    Oom,      ///< Allocation failure under RLIMIT_AS or the OOM killer.
+    Protocol, ///< Child exited 0 but its result record was unreadable.
+};
+
+/** Stable wire/text name: "none", "sim_error", "crash", ... */
+const char *toString(FailKind kind);
+
+/** Parse a toString(FailKind) name back; false on unknown text. */
+bool failKindFromString(const std::string &text, FailKind &out);
+
 /** Everything a bench needs from one (workload, config) timing run. */
 struct RunResult
 {
@@ -67,6 +90,21 @@ struct RunResult
     bool ok = true;
     /** One-line failure summary (empty when ok). */
     std::string error;
+    /** How the run failed (None when ok). */
+    FailKind failKind = FailKind::None;
+    /**
+     * Kind-specific detail: the signal name for a crash ("SIGSEGV"),
+     * "exit=N" for a nonzero exit, the deadline for a timeout…
+     */
+    std::string failDetail;
+    /**
+     * True when the failure was provoked by an armed host-fault
+     * injection mode (check.faults.host*Rate): the run died exactly as
+     * designed, so containment benches report it in FAILED RUNS without
+     * counting it as a campaign failure (reportFailures() skips it when
+     * deciding the exit code).
+     */
+    bool injectedHostFault = false;
     /**
      * Failure diagnostics: the last few flight-recorder events (or
      * whatever dump the SimError carried), so a FAILED RUNS row is
@@ -114,6 +152,12 @@ struct RunResult
             ? static_cast<double>(falseDepLoads) / committedLoads
             : 0;
     }
+
+    /**
+     * Rendered failure kind for tables: "-" when ok, "sim_error", or
+     * "crash(SIGSEGV)"-style kind(detail) for host-level failures.
+     */
+    std::string failLabel() const;
 
     /** True when this record carries CPI-stack data (schema >= v3). */
     bool hasCpiStack() const { return commitWidth != 0; }
@@ -211,7 +255,12 @@ class Runner
 /**
  * Print a table of @p runner's failed runs (no-op when none), sorted
  * by (workload, config) so parallel sweeps report deterministically.
- * @return the number of failures, so bench mains can exit non-zero.
+ * Each row carries its FailKind label; failures marked
+ * injectedHostFault are listed (tagged "[injected]") but excluded from
+ * the return value — a containment bench that killed exactly the runs
+ * it armed faults on still exits 0.
+ * @return the number of unexpected failures, so bench mains can exit
+ * non-zero.
  */
 size_t reportFailures(const Runner &runner);
 

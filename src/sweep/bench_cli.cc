@@ -8,7 +8,9 @@
 #include "base/str.hh"
 #include "obs/cpi_stack.hh"
 #include "obs/trace.hh"
+#include "sim/config_parse.hh"
 #include "sim/table.hh"
+#include "sweep/run_cache.hh"
 
 namespace cwsim
 {
@@ -58,6 +60,23 @@ printUsage(const char *prog, std::FILE *out)
         {"--cpi-stack",
          "print the per-run CPI stack (commit-slot losses)",
          "CWSIM_CPI_STACK"},
+        {"--isolate",
+         "sandbox each run in a child process (contain crashes)",
+         "CWSIM_ISOLATE"},
+        {"--timeout S",
+         "wall-clock deadline per isolated run, seconds (0 = none)",
+         "CWSIM_TIMEOUT"},
+        {"--mem-limit MB",
+         "address-space cap per isolated run, MiB (0 = none)",
+         "CWSIM_MEM_LIMIT"},
+        {"--retries N",
+         "retries for host-level failures of an isolated run",
+         "CWSIM_RETRIES"},
+        {"--set K=V",
+         "apply a config override to every job (repeatable)", "-"},
+        {"--cache-fsck", "scan the run cache, report, and exit", "-"},
+        {"--cache-compact",
+         "drop superseded run-cache records and exit", "-"},
         {"--help", "this message", "-"},
     };
     std::fprintf(out, "usage: %s [options]\n", prog);
@@ -81,6 +100,37 @@ parseCount(const char *flag, const std::string &value, uint64_t min)
     return v;
 }
 
+double
+parseSeconds(const char *flag, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    fatal_if(value.empty() || *end != '\0' || errno == ERANGE ||
+             !(v >= 0),
+             "%s: not a non-negative number of seconds: '%s'", flag,
+             value.c_str());
+    return v;
+}
+
+/** CWSIM_TIMEOUT-style fractional-seconds env knob. */
+double
+envSeconds(const char *name, double fallback)
+{
+    const char *text = std::getenv(name);
+    if (!text || !*text)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (*end != '\0' || errno == ERANGE || !(v >= 0)) {
+        warn("%s: not a non-negative number: '%s' (using %g)", name,
+             text, fallback);
+        return fallback;
+    }
+    return v;
+}
+
 } // anonymous namespace
 
 BenchOptions
@@ -89,6 +139,11 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
     BenchOptions opts;
     opts.scale = defaultScale ? defaultScale : harness::benchScale();
     opts.cpiStack = envUint64("CWSIM_CPI_STACK", 0, 0) != 0;
+    opts.isolate = envUint64("CWSIM_ISOLATE", 0, 0) != 0;
+    opts.timeoutSec = envSeconds("CWSIM_TIMEOUT", 0);
+    opts.memLimitMb = envUint64("CWSIM_MEM_LIMIT", 0, 0);
+    opts.retries = static_cast<unsigned>(
+        envUint64("CWSIM_RETRIES", 0, 1));
 
     // Every value-taking flag accepts both "--flag value" and
     // "--flag=value" (the latter is how --trace=MDP,Recovery reads
@@ -137,6 +192,26 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
             opts.intervalFile = value(i, "--interval-file");
         } else if (arg == "--cpi-stack") {
             opts.cpiStack = true;
+        } else if (arg == "--isolate") {
+            opts.isolate = true;
+        } else if (arg == "--timeout") {
+            opts.timeoutSec =
+                parseSeconds("--timeout", value(i, "--timeout"));
+        } else if (arg == "--mem-limit") {
+            opts.memLimitMb =
+                parseCount("--mem-limit", value(i, "--mem-limit"), 0);
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                parseCount("--retries", value(i, "--retries"), 0));
+        } else if (arg == "--set") {
+            // Validation happens when the override is applied (it
+            // needs a config to apply to); a bad key is still fatal
+            // before any simulation runs.
+            opts.configOverrides.push_back(value(i, "--set"));
+        } else if (arg == "--cache-fsck") {
+            opts.cacheFsck = true;
+        } else if (arg == "--cache-compact") {
+            opts.cacheCompact = true;
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0], stdout);
             std::exit(0);
@@ -185,19 +260,55 @@ BenchCli::BenchCli(int argc, char **argv, uint64_t defaultScale)
     if (opts.intervalCycles > 0)
         tm.setInterval(opts.intervalCycles, opts.intervalFile);
 
+    // Cache maintenance short-circuits the bench entirely: report (or
+    // rewrite) and exit before any workload is even built.
+    if (opts.cacheFsck) {
+        CacheFsckReport rep = fsckRunCache(opts.cacheDir);
+        std::printf("%s\n", rep.summary().c_str());
+        std::exit(rep.clean() ? 0 : 1);
+    }
+    if (opts.cacheCompact) {
+        std::string err;
+        CacheFsckReport rep;
+        fatal_if(!compactRunCache(opts.cacheDir, &err, &rep),
+                 "--cache-compact: %s", err.c_str());
+        std::printf("%s\n", rep.summary().c_str());
+        std::exit(0);
+    }
+
     theRunner = std::make_unique<harness::Runner>(opts.scale);
     SweepOptions sopts;
     sopts.jobs = opts.jobs;
     sopts.useCache = opts.cache;
     sopts.cacheDir = opts.cacheDir;
     sopts.jsonPath = opts.jsonPath;
+    sopts.isolate = opts.isolate;
+    sopts.timeoutSec = opts.timeoutSec;
+    sopts.memLimitMb = opts.memLimitMb;
+    sopts.retries = opts.retries;
     theEngine = std::make_unique<SweepEngine>(*theRunner, sopts);
 }
 
 std::vector<harness::RunResult>
 BenchCli::run(const SweepPlan &plan)
 {
-    std::vector<harness::RunResult> results = theEngine->run(plan);
+    // --set overrides rewrite every job's config before it runs. The
+    // overridden config fingerprints differently, so cached results of
+    // the unmodified sweep are untouched.
+    const SweepPlan *effective = &plan;
+    SweepPlan overridden;
+    if (!opts.configOverrides.empty()) {
+        for (const SweepJob &job : plan.jobs()) {
+            SimConfig cfg = job.config;
+            for (const std::string &o : opts.configOverrides)
+                applyConfigOption(cfg, o);
+            overridden.add(job.workload, std::move(cfg));
+        }
+        effective = &overridden;
+    }
+
+    std::vector<harness::RunResult> results =
+        theEngine->run(*effective);
     if (!opts.cpiStack)
         return results;
 

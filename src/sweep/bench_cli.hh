@@ -25,6 +25,21 @@
  *                   cwsim-intervals.jsonl)
  *   --cpi-stack     print a per-(workload, config) CPI-stack table
  *                   (commit-slot loss breakdown) after the sweep
+ *   --isolate       run each simulation in a sandboxed child process:
+ *                   crashes, hangs, and OOMs are contained, classified
+ *                   (FAILED RUNS kind column), and retried instead of
+ *                   killing the bench (see src/sweep/isolate.hh)
+ *   --timeout S     wall-clock deadline per isolated run, seconds
+ *                   (fractional OK; 0 = none)
+ *   --mem-limit MB  RLIMIT_AS cap per isolated run, MiB (0 = none)
+ *   --retries N     retry budget for host-level failures of an
+ *                   isolated run (default 1; sim_errors never retry)
+ *   --set K=V       apply one config override (config_parse.hh key) to
+ *                   every job of the sweep; repeatable
+ *   --cache-fsck    scan the run cache, print a report, exit (0 iff
+ *                   nothing but valid records)
+ *   --cache-compact rewrite the run cache keeping only the newest
+ *                   record per fingerprint, then exit
  *   --help          usage (lists each flag's env-var equivalent)
  *
  * Every value-taking flag also accepts --flag=value. Unknown flags
@@ -74,6 +89,23 @@ struct BenchOptions
      * runs, so this cannot change results or fingerprints.
      */
     bool cpiStack = false;
+
+    // Process isolation (see sweep/isolate.hh for semantics).
+    bool isolate = false;     ///< --isolate / CWSIM_ISOLATE=1.
+    double timeoutSec = 0;    ///< --timeout / CWSIM_TIMEOUT (seconds).
+    uint64_t memLimitMb = 0;  ///< --mem-limit / CWSIM_MEM_LIMIT (MiB).
+    unsigned retries = 1;     ///< --retries / CWSIM_RETRIES.
+
+    /**
+     * --set key=value overrides, applied in order to every job's
+     * config before the sweep runs. Unlike tracing these DO change
+     * run-cache fingerprints — an overridden run is a different run.
+     */
+    std::vector<std::string> configOverrides;
+
+    // Run-cache maintenance actions: perform and exit, no sweep.
+    bool cacheFsck = false;    ///< --cache-fsck.
+    bool cacheCompact = false; ///< --cache-compact.
 };
 
 /**
@@ -113,7 +145,8 @@ class BenchCli
     bool cpiStackEnabled() const { return opts.cpiStack; }
 
     /**
-     * Shorthand: run @p plan on the engine; under --cpi-stack also
+     * Shorthand: run @p plan on the engine, with any --set overrides
+     * applied to every job's config first; under --cpi-stack also
      * print the per-run commit-slot loss table for these results.
      */
     std::vector<harness::RunResult> run(const SweepPlan &plan);
@@ -121,7 +154,8 @@ class BenchCli
     /**
      * Report failures and a sweep summary (stderr, so stdout tables
      * stay byte-identical across --jobs values).
-     * @return the bench's exit code: non-zero iff any run failed.
+     * @return the bench's exit code: non-zero iff any run failed
+     * unexpectedly (injected host faults are contained, not counted).
      */
     int finish();
 

@@ -1,0 +1,434 @@
+#include "sweep/isolate.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <map>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <new>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/sim_error.hh"
+#include "base/str.hh"
+#include "sweep/jsonl.hh"
+#include "sweep/run_cache.hh"
+
+namespace cwsim
+{
+namespace sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+using harness::FailKind;
+using harness::RunResult;
+
+// Reserved child exit codes. Anything else nonzero is a crash.
+constexpr int exit_oom = 33;      ///< operator new failed (RLIMIT_AS).
+constexpr int exit_uncaught = 34; ///< non-SimError exception escaped.
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS:  return "SIGBUS";
+      case SIGILL:  return "SIGILL";
+      case SIGFPE:  return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGTERM: return "SIGTERM";
+      case SIGXCPU: return "SIGXCPU";
+      default: return nullptr;
+    }
+}
+
+/** Child-side: run the simulation and stream the record back. */
+[[noreturn]] void
+childMain(harness::Runner &runner, const SweepJob &job, uint64_t fp,
+          const IsolateOptions &opts, int wfd)
+{
+    // Allocation failure (RLIMIT_AS, alloc storms) exits with the
+    // reserved OOM code instead of an unclassifiable abort. The
+    // handler must not allocate.
+    std::set_new_handler([] { _exit(exit_oom); });
+
+    if (opts.memLimitMb > 0) {
+        rlim_t bytes =
+            static_cast<rlim_t>(opts.memLimitMb) * 1024 * 1024;
+        struct rlimit rl = {bytes, bytes};
+        ::setrlimit(RLIMIT_AS, &rl);
+    }
+    if (opts.timeoutSec > 0) {
+        // CPU-time backstop behind the parent's wall-clock deadline:
+        // if the parent dies, a spinning child still gets SIGXCPU.
+        rlim_t secs = static_cast<rlim_t>(
+            std::ceil(opts.timeoutSec)) + 10;
+        struct rlimit rl = {secs, secs};
+        ::setrlimit(RLIMIT_CPU, &rl);
+    }
+
+    RunResult r;
+    try {
+        // SimErrors are caught inside run() (fail-soft) and travel in
+        // the record; only host-level surprises reach the catches.
+        r = runner.run(job.workload, job.config);
+    } catch (const std::bad_alloc &) {
+        _exit(exit_oom);
+    } catch (...) {
+        _exit(exit_uncaught);
+    }
+
+    std::string line = runRecordLine(r, fp, runner.scale());
+    line += '\n';
+    const char *data = line.data();
+    size_t len = line.size();
+    while (len > 0) {
+        ssize_t n = ::write(wfd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            _exit(exit_uncaught);
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    _exit(0);
+}
+
+/** One live child process slot. */
+struct Child
+{
+    pid_t pid = -1;
+    int fd = -1;
+    size_t jobIdx = 0;
+    unsigned attempt = 0; ///< 0-based attempt number.
+    bool killed = false;  ///< We delivered SIGKILL (wall timeout).
+    bool eof = false;
+    std::string buf;      ///< Record bytes read so far.
+    Clock::time_point deadline;
+    bool hasDeadline = false;
+};
+
+/** A queued (not yet forked) attempt. */
+struct PendingAttempt
+{
+    size_t jobIdx;
+    unsigned attempt;
+    Clock::time_point notBefore;
+};
+
+struct Classified
+{
+    FailKind kind = FailKind::None;
+    std::string detail;
+    RunResult parsed; ///< Valid only when kind is None or SimError.
+};
+
+Classified
+classifyExit(const Child &c, int status, const IsolateOptions &opts)
+{
+    Classified out;
+    if (WIFEXITED(status)) {
+        int code = WEXITSTATUS(status);
+        if (code == 0) {
+            std::map<std::string, std::string> fields;
+            std::string line = c.buf;
+            size_t nl = line.find('\n');
+            if (nl != std::string::npos)
+                line.erase(nl);
+            if (parseFlatJson(line, fields) &&
+                runRecordParse(fields, out.parsed)) {
+                out.kind = out.parsed.ok ? FailKind::None
+                                         : FailKind::SimError;
+                return out;
+            }
+            out.kind = FailKind::Protocol;
+            out.detail = c.buf.empty() ? "empty record"
+                                       : "unparseable record";
+            return out;
+        }
+        if (code == exit_oom) {
+            out.kind = FailKind::Oom;
+            out.detail = opts.memLimitMb > 0
+                ? strfmt("alloc failed under %llu MiB",
+                         static_cast<unsigned long long>(
+                             opts.memLimitMb))
+                : "alloc failed";
+            return out;
+        }
+        out.kind = FailKind::Crash;
+        out.detail = strfmt("exit=%d", code);
+        return out;
+    }
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        if (c.killed) {
+            out.kind = FailKind::Timeout;
+            out.detail = strfmt("wall-clock %.1fs", opts.timeoutSec);
+            return out;
+        }
+        if (sig == SIGXCPU) {
+            out.kind = FailKind::Timeout;
+            out.detail = "rlimit-cpu";
+            return out;
+        }
+        if (sig == SIGKILL) {
+            // Not ours, so the kernel's (the OOM killer is the usual
+            // sender of unsolicited SIGKILLs).
+            out.kind = FailKind::Oom;
+            out.detail = "SIGKILL (host oom killer?)";
+            return out;
+        }
+        out.kind = FailKind::Crash;
+        const char *name = signalName(sig);
+        out.detail = name ? name : strfmt("signal %d", sig);
+        return out;
+    }
+    out.kind = FailKind::Protocol;
+    out.detail = strfmt("wait status 0x%x", status);
+    return out;
+}
+
+bool
+retryable(FailKind kind)
+{
+    // Host-level failures may be environmental (a loaded machine, a
+    // flaky OOM); a SimError is a deterministic property of the run.
+    return kind == FailKind::Crash || kind == FailKind::Timeout ||
+           kind == FailKind::Oom || kind == FailKind::Protocol;
+}
+
+} // anonymous namespace
+
+void
+runIsolated(harness::Runner &runner,
+            const std::vector<SweepJob> &jobs,
+            const std::vector<size_t> &pending,
+            const std::vector<uint64_t> &fps,
+            const IsolateOptions &opts,
+            std::vector<RunResult> &results)
+{
+    if (pending.empty())
+        return;
+
+    // Pre-warm every workload's functional pre-pass in the parent so
+    // each forked child inherits it copy-on-write instead of redoing
+    // it. Per-call error traps keep a bad workload fail-soft here (the
+    // child will then fail the same way and say so in its record).
+    {
+        std::vector<std::string> names;
+        for (size_t i : pending) {
+            const std::string &w = jobs[i].workload;
+            if (std::find(names.begin(), names.end(), w) == names.end())
+                names.push_back(w);
+        }
+        parallelFor(names.size(), opts.slots, [&](size_t n) {
+            try {
+                ScopedErrorTrap trap;
+                runner.prepass(names[n]);
+            } catch (const SimError &) {
+            }
+        });
+    }
+
+    unsigned slots = std::max(1u, opts.slots);
+    std::deque<PendingAttempt> queue;
+    for (size_t i : pending)
+        queue.push_back({i, 0, Clock::now()});
+    std::vector<Child> live;
+
+    auto finalize = [&](size_t jobIdx, const Classified &cls,
+                        unsigned attempts) {
+        const SweepJob &job = jobs[jobIdx];
+        if (cls.kind == FailKind::None ||
+            cls.kind == FailKind::SimError) {
+            RunResult r = cls.parsed;
+            // Names travel with the record, but trust the spec's (the
+            // same rule cache hits follow).
+            r.workload = job.workload;
+            r.config = job.config.name();
+            results[jobIdx] = r;
+            return;
+        }
+        RunResult r;
+        r.workload = job.workload;
+        r.config = job.config.name();
+        r.ok = false;
+        r.failKind = cls.kind;
+        r.failDetail = cls.detail;
+        r.injectedHostFault = job.config.check.faults.hostAny();
+        r.error = strfmt("isolated run died: %s after %u attempt(s)",
+                         r.failLabel().c_str(), attempts);
+        results[jobIdx] = r;
+    };
+
+    auto spawn = [&](const PendingAttempt &p) -> bool {
+        const SweepJob &job = jobs[p.jobIdx];
+        int fds[2];
+        if (::pipe2(fds, O_CLOEXEC) < 0) {
+            warn("isolate: pipe2 failed (%s); running %s in-process",
+                 std::strerror(errno), job.workload.c_str());
+            results[p.jobIdx] =
+                runner.run(job.workload, job.config);
+            return false;
+        }
+        // The child _exit()s, so any bytes sitting in stdio buffers
+        // would otherwise be flushed by both processes.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            warn("isolate: fork failed (%s); running %s in-process",
+                 std::strerror(errno), job.workload.c_str());
+            results[p.jobIdx] =
+                runner.run(job.workload, job.config);
+            return false;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            childMain(runner, job, fps[p.jobIdx], opts, fds[1]);
+        }
+        ::close(fds[1]);
+        int flags = ::fcntl(fds[0], F_GETFL, 0);
+        ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+        Child c;
+        c.pid = pid;
+        c.fd = fds[0];
+        c.jobIdx = p.jobIdx;
+        c.attempt = p.attempt;
+        if (opts.timeoutSec > 0) {
+            c.deadline = Clock::now() +
+                         std::chrono::microseconds(static_cast<int64_t>(
+                             opts.timeoutSec * 1e6));
+            c.hasDeadline = true;
+        }
+        live.push_back(c);
+        return true;
+    };
+
+    while (!queue.empty() || !live.empty()) {
+        // Fill free slots with ready attempts, preserving queue order.
+        Clock::time_point now = Clock::now();
+        for (auto it = queue.begin();
+             it != queue.end() && live.size() < slots;) {
+            if (it->notBefore <= now) {
+                spawn(*it);
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (live.empty()) {
+            // Only backoff-delayed retries remain: sleep to the
+            // earliest one.
+            Clock::time_point earliest = queue.front().notBefore;
+            for (const PendingAttempt &p : queue)
+                earliest = std::min(earliest, p.notBefore);
+            std::this_thread::sleep_until(earliest);
+            continue;
+        }
+
+        // Poll every live pipe until data/EOF or the next deadline.
+        int poll_ms = -1;
+        now = Clock::now();
+        for (const Child &c : live) {
+            if (!c.hasDeadline)
+                continue;
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(c.deadline - now).count();
+            int ms = static_cast<int>(std::max<int64_t>(0, left)) + 1;
+            poll_ms = poll_ms < 0 ? ms : std::min(poll_ms, ms);
+        }
+        std::vector<struct pollfd> pfds;
+        pfds.reserve(live.size());
+        for (const Child &c : live)
+            pfds.push_back({c.fd, POLLIN, 0});
+        int rc = ::poll(pfds.data(), pfds.size(), poll_ms);
+        if (rc < 0 && errno != EINTR) {
+            panic("isolate: poll failed (%s)", std::strerror(errno));
+        }
+
+        // Drain readable pipes; EOF means the child is done (or dead).
+        for (size_t k = 0; k < live.size(); ++k) {
+            if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[4096];
+            for (;;) {
+                ssize_t n = ::read(live[k].fd, chunk, sizeof(chunk));
+                if (n > 0) {
+                    live[k].buf.append(chunk,
+                                       static_cast<size_t>(n));
+                    continue;
+                }
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n < 0 && errno == EAGAIN)
+                    break;
+                live[k].eof = true; // 0 (EOF) or a hard error
+                break;
+            }
+        }
+
+        // Enforce wall-clock deadlines on stragglers.
+        now = Clock::now();
+        for (Child &c : live) {
+            if (!c.eof && c.hasDeadline && !c.killed &&
+                now >= c.deadline) {
+                ::kill(c.pid, SIGKILL);
+                c.killed = true;
+            }
+        }
+
+        // Reap finished children and classify.
+        for (size_t k = 0; k < live.size();) {
+            if (!live[k].eof) {
+                ++k;
+                continue;
+            }
+            Child c = live[k];
+            live.erase(live.begin() + k);
+            ::close(c.fd);
+            int status = 0;
+            pid_t w;
+            do {
+                w = ::waitpid(c.pid, &status, 0);
+            } while (w < 0 && errno == EINTR);
+            Classified cls = classifyExit(c, status, opts);
+
+            if (retryable(cls.kind) && c.attempt < opts.retries) {
+                warn("isolate: %s under %s died (%s, attempt %u/%u); "
+                     "retrying",
+                     jobs[c.jobIdx].workload.c_str(),
+                     jobs[c.jobIdx].config.name().c_str(),
+                     cls.detail.c_str(), c.attempt + 1,
+                     opts.retries + 1);
+                // Exponential backoff so a thrashing host gets air.
+                auto backoff =
+                    std::chrono::milliseconds(100u << c.attempt);
+                queue.push_back({c.jobIdx, c.attempt + 1,
+                                 Clock::now() + backoff});
+            } else {
+                finalize(c.jobIdx, cls, c.attempt + 1);
+            }
+        }
+    }
+}
+
+} // namespace sweep
+} // namespace cwsim

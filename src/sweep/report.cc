@@ -556,12 +556,15 @@ renderReport(const std::vector<ReportRecord> &records,
     // ---- Failed runs -------------------------------------------------
     {
         Table t;
-        t.header = {"workload", "config", "error"};
+        t.header = {"workload", "config", "kind", "error"};
         for (const auto &[key, rec] : idx.byKey) {
             if (!rec->run.ok) {
+                std::string kind = rec->run.failLabel();
+                if (rec->run.injectedHostFault)
+                    kind += " [injected]";
                 t.rows.push_back(
                     {rec->run.workload, rec->run.config,
-                     rec->run.error});
+                     std::move(kind), rec->run.error});
             }
         }
         if (!t.rows.empty()) {
@@ -639,6 +642,11 @@ diffRunRecords(const std::vector<ReportRecord> &baseline,
         diffField(d, key, "ok", rb.ok ? "true" : "false",
                   rc.ok ? "true" : "false");
         diffField(d, key, "error", rb.error, rc.error);
+        // Compare the failure class but not fail_detail: the detail
+        // text can be host-dependent (signal spelling, limits), while
+        // the kind must not drift.
+        diffField(d, key, "fail_kind", harness::toString(rb.failKind),
+                  harness::toString(rc.failKind));
         diffU64(d, key, "cycles", rb.cycles, rc.cycles);
         diffU64(d, key, "commits", rb.commits, rc.commits);
         diffU64(d, key, "committedLoads", rb.committedLoads,

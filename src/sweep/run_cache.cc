@@ -1,11 +1,19 @@
 #include "sweep/run_cache.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <limits>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "base/str.hh"
@@ -119,6 +127,10 @@ runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
         .add("sim_cycles_per_sec", r.simCyclesPerSec())
         .add("cache_hit", r.cacheHit)
         .add("diagnostic", r.diagnostic);
+    // v4 failure taxonomy (--isolate classification).
+    obj.add("fail_kind", harness::toString(r.failKind))
+        .add("fail_detail", r.failDetail)
+        .add("fail_injected", r.injectedHostFault);
     // v3 commit-slot accounting. commit_width == 0 round-trips the
     // "predates the accounting" marker for records rebuilt from older
     // caches.
@@ -196,6 +208,28 @@ runRecordParse(const std::map<std::string, std::string> &fields,
             return false;
     }
 
+    // Pre-v4 records predate process isolation: the only failure class
+    // that existed was the in-process SimError.
+    r.failKind = r.ok ? harness::FailKind::None
+                      : harness::FailKind::SimError;
+    if (version >= 4) {
+        std::string kind;
+        if (!getStr(fields, "fail_kind", kind) ||
+            !harness::failKindFromString(kind, r.failKind) ||
+            !getStr(fields, "fail_detail", r.failDetail)) {
+            return false;
+        }
+        auto injected = fields.find("fail_injected");
+        if (injected == fields.end())
+            return false;
+        if (injected->second == "true")
+            r.injectedHostFault = true;
+        else if (injected->second == "false")
+            r.injectedHostFault = false;
+        else
+            return false;
+    }
+
     if (version >= 3) {
         uint64_t width = 0;
         if (!getU64(fields, "commit_width", width) ||
@@ -215,6 +249,96 @@ runRecordParse(const std::map<std::string, std::string> &fields,
     return true;
 }
 
+namespace
+{
+
+/**
+ * One scanned line of a cache file. Torn tails (an unterminated,
+ * unparseable final line — the signature of a writer killed
+ * mid-append) are reported separately from corruption because they are
+ * expected after a dirty shutdown and must not alarm anyone.
+ */
+struct ScanVisitor
+{
+    /** Called per parsed record, raw line included (for compaction). */
+    std::function<void(uint64_t fp, const harness::RunResult &,
+                       const std::string &line)> onRecord;
+    size_t lines = 0;
+    size_t rejected = 0;
+    bool tornTail = false;
+    bool ioError = false;
+};
+
+void
+scanCacheFile(const std::string &path, ScanVisitor &v)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        v.ioError = true;
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    if (in.bad()) {
+        v.ioError = true;
+        return;
+    }
+
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        bool terminated = nl != std::string::npos;
+        std::string line = text.substr(
+            pos, terminated ? nl - pos : std::string::npos);
+        pos = terminated ? nl + 1 : text.size();
+        if (trim(line).empty())
+            continue;
+        ++v.lines;
+
+        std::map<std::string, std::string> fields;
+        harness::RunResult r;
+        uint64_t fp = 0;
+        if (!parseFlatJson(line, fields) ||
+            !runRecordParse(fields, r) ||
+            fields.find("fp") == fields.end() ||
+            std::sscanf(fields.at("fp").c_str(), "%llx",
+                        reinterpret_cast<unsigned long long *>(&fp)) !=
+                1) {
+            if (!terminated) {
+                // Torn trailing line: skip silently, the next append
+                // repairs the file.
+                v.tornTail = true;
+                --v.lines;
+            } else {
+                ++v.rejected;
+            }
+            continue;
+        }
+        if (v.onRecord)
+            v.onRecord(fp, r, line);
+    }
+}
+
+/** write(2) all of @p data to @p fd, retrying partial writes/EINTR. */
+bool
+writeFully(int fd, const char *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
 RunCache::RunCache(const std::string &dir)
 {
     std::error_code ec;
@@ -226,33 +350,31 @@ RunCache::RunCache(const std::string &dir)
     }
     filePath = dir + "/runs.jsonl";
 
-    std::ifstream in(filePath);
-    if (!in)
-        return; // cold cache
-    std::string line;
-    size_t rejected = 0;
-    while (std::getline(in, line)) {
-        if (trim(line).empty())
-            continue;
-        std::map<std::string, std::string> fields;
-        harness::RunResult r;
-        uint64_t fp = 0;
-        if (!parseFlatJson(line, fields) ||
-            !runRecordParse(fields, r) ||
-            fields.find("fp") == fields.end() ||
-            std::sscanf(fields.at("fp").c_str(), "%llx",
-                        reinterpret_cast<unsigned long long *>(&fp)) !=
-                1) {
-            ++rejected;
-            continue;
-        }
-        entries[fp] = r;
-    }
-    if (rejected > 0) {
+    ScanVisitor v;
+    v.onRecord = [&](uint64_t fp, const harness::RunResult &r,
+                     const std::string &) { entries[fp] = r; };
+    scanCacheFile(filePath, v);
+    if (v.rejected > 0) {
         warn("run cache: ignored %zu unparseable record(s) in %s "
              "(stale schema or corruption); they will be recomputed",
-             rejected, filePath.c_str());
+             v.rejected, filePath.c_str());
     }
+
+    // O_RDWR, not O_WRONLY: append() pread()s the last byte to detect
+    // (and repair) a torn tail, which a write-only descriptor forbids.
+    fd = ::open(filePath.c_str(),
+                O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        warn("run cache: cannot open %s for append (%s); new results "
+             "will not persist", filePath.c_str(),
+             std::strerror(errno));
+    }
+}
+
+RunCache::~RunCache()
+{
+    if (fd >= 0)
+        ::close(fd);
 }
 
 bool
@@ -269,15 +391,160 @@ void
 RunCache::append(uint64_t fp, uint64_t scale,
                  const harness::RunResult &r)
 {
-    entries[fp] = r;
-    if (filePath.empty())
-        return; // cache directory was unusable
-    std::ofstream out(filePath, std::ios::app);
-    if (!out) {
-        warn("run cache: cannot append to %s", filePath.c_str());
-        return;
+    {
+        std::lock_guard<std::mutex> lock(appendMutex);
+        entries[fp] = r;
     }
-    out << runRecordLine(r, fp, scale) << '\n';
+    if (fd < 0)
+        return; // cache directory was unusable
+
+    std::string line = runRecordLine(r, fp, scale);
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(appendMutex);
+    // flock() excludes other processes; the mutex above excludes other
+    // threads of this one (they share this fd, so flock alone is a
+    // no-op between them).
+    while (::flock(fd, LOCK_EX) < 0 && errno == EINTR) {
+    }
+    // Repair a torn tail left by a writer that died mid-append: if the
+    // file does not end in a newline, lead with one so this record
+    // cannot be glued onto the truncated line. The newline travels in
+    // the same single write so the repair is as atomic as the append.
+    struct stat st;
+    char last = '\n';
+    if (::fstat(fd, &st) == 0 && st.st_size > 0 &&
+        ::pread(fd, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+        line.insert(line.begin(), '\n');
+    }
+    // One write(2): O_APPEND makes the offset update atomic, so
+    // concurrent appenders cannot interleave bytes within a record.
+    if (!writeFully(fd, line.data(), line.size())) {
+        warn("run cache: append to %s failed (%s)", filePath.c_str(),
+             std::strerror(errno));
+    } else if (::fdatasync(fd) < 0 && errno != EINVAL &&
+               errno != ENOSYS) {
+        warn("run cache: fdatasync of %s failed (%s)",
+             filePath.c_str(), std::strerror(errno));
+    }
+    while (::flock(fd, LOCK_UN) < 0 && errno == EINTR) {
+    }
+}
+
+std::string
+CacheFsckReport::summary() const
+{
+    if (ioError)
+        return "cache-fsck: cannot read cache file";
+    std::string s = strfmt(
+        "cache-fsck: %zu record line(s): %zu valid (%zu distinct, "
+        "%zu superseded), %zu unparseable", lines, valid, distinct(),
+        duplicates, unparseable);
+    if (tornTail)
+        s += ", torn trailing line (will be repaired on next append)";
+    return s;
+}
+
+CacheFsckReport
+fsckRunCache(const std::string &dir)
+{
+    CacheFsckReport rep;
+    std::string path = dir + "/runs.jsonl";
+    if (!std::filesystem::exists(path))
+        return rep; // a cold cache is trivially clean
+
+    std::map<uint64_t, size_t> seen;
+    ScanVisitor v;
+    v.onRecord = [&](uint64_t fp, const harness::RunResult &,
+                     const std::string &) {
+        ++rep.valid;
+        if (++seen[fp] > 1)
+            ++rep.duplicates;
+    };
+    scanCacheFile(path, v);
+    rep.lines = v.lines;
+    rep.unparseable = v.rejected;
+    rep.tornTail = v.tornTail;
+    rep.ioError = v.ioError;
+    return rep;
+}
+
+bool
+compactRunCache(const std::string &dir, std::string *err,
+                CacheFsckReport *report)
+{
+    std::string path = dir + "/runs.jsonl";
+    if (!std::filesystem::exists(path)) {
+        if (report)
+            *report = CacheFsckReport{};
+        return true; // nothing to compact
+    }
+
+    // Hold the same advisory lock appenders take, so the snapshot we
+    // rewrite cannot have a record added mid-copy.
+    int lock_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (lock_fd < 0) {
+        if (err)
+            *err = strfmt("cannot open %s: %s", path.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+    while (::flock(lock_fd, LOCK_EX) < 0 && errno == EINTR) {
+    }
+
+    // Newest record per fingerprint, kept in first-appearance order so
+    // compaction is deterministic.
+    std::vector<uint64_t> order;
+    std::map<uint64_t, std::string> newest;
+    ScanVisitor v;
+    v.onRecord = [&](uint64_t fp, const harness::RunResult &,
+                     const std::string &line) {
+        if (!newest.count(fp))
+            order.push_back(fp);
+        newest[fp] = line;
+    };
+    scanCacheFile(path, v);
+    if (report) {
+        *report = fsckRunCache(dir);
+    }
+    if (v.ioError) {
+        ::close(lock_fd);
+        if (err)
+            *err = strfmt("cannot read %s", path.c_str());
+        return false;
+    }
+
+    std::string tmp = path + ".compact.tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out) {
+            ::close(lock_fd);
+            if (err)
+                *err = strfmt("cannot write %s", tmp.c_str());
+            return false;
+        }
+        for (uint64_t fp : order)
+            out << newest[fp] << '\n';
+        out.flush();
+        if (!out) {
+            ::close(lock_fd);
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            if (err)
+                *err = strfmt("short write to %s", tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    ::close(lock_fd); // also releases the flock on the old inode
+    if (ec) {
+        if (err)
+            *err = strfmt("cannot rename %s over %s: %s", tmp.c_str(),
+                          path.c_str(), ec.message().c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace sweep

@@ -19,6 +19,7 @@
 #define CWSIM_SWEEP_RUN_CACHE_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,14 +33,18 @@ namespace sweep
 
 /**
  * Cache-entry schema; bump when RunResult's serialized shape changes.
- * v3 added the commit-slot CPI stack (commit_width + one cpi_* field
- * per obs::CpiCause); v2 added host-profiling (wall_ms,
- * sim_cycles_per_sec, cache_hit) and the failure diagnostic. v1/v2
+ * v4 added the failure taxonomy (fail_kind, fail_detail,
+ * fail_injected) introduced with the --isolate executor; v3 added the
+ * commit-slot CPI stack (commit_width + one cpi_* field per
+ * obs::CpiCause); v2 added host-profiling (wall_ms,
+ * sim_cycles_per_sec, cache_hit) and the failure diagnostic. Older
  * records are still accepted on read with the newer fields defaulted —
- * a v1/v2 record parses with commit_width == 0, which RunResult treats
- * as "CPI stack unknown", never as zero loss.
+ * a v1/v2 record parses with commit_width == 0 ("CPI stack unknown",
+ * never zero loss), and a pre-v4 record's fail_kind is derived from
+ * its ok flag (none when ok, sim_error otherwise — the only failure
+ * class that existed before process isolation).
  */
-constexpr unsigned run_record_version = 3;
+constexpr unsigned run_record_version = 4;
 
 /** Fingerprint of one run: workload name + scale + full config. */
 uint64_t fingerprintRun(const std::string &workload, uint64_t scale,
@@ -57,6 +62,16 @@ std::string runRecordLine(const harness::RunResult &r, uint64_t fp,
 bool runRecordParse(const std::map<std::string, std::string> &fields,
                     harness::RunResult &out);
 
+/**
+ * Crash-safe against dirty shutdowns and concurrent writers: appends
+ * are a single write(2) to an O_APPEND descriptor under an advisory
+ * flock, followed by an explicit fdatasync, so two processes sweeping
+ * into the same cache directory can never interleave record bytes and
+ * a record is durable before append() returns. A process killed
+ * mid-append leaves at most one torn trailing line, which reload
+ * silently skips (it is expected damage, not corruption) and the next
+ * append repairs by prefixing a newline.
+ */
 class RunCache
 {
   public:
@@ -66,11 +81,18 @@ class RunCache
      * re-run after a schema bump supersedes old lines in place.
      */
     explicit RunCache(const std::string &dir);
+    ~RunCache();
+
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
 
     /** Look up a completed run; true and fills @p out on a hit. */
     bool lookup(uint64_t fp, harness::RunResult &out) const;
 
-    /** Append @p r under @p fp (durable once the stream flushes). */
+    /**
+     * Append @p r under @p fp: one atomic O_APPEND write under flock,
+     * fdatasync'd before return. Thread-safe.
+     */
     void append(uint64_t fp, uint64_t scale,
                 const harness::RunResult &r);
 
@@ -79,8 +101,39 @@ class RunCache
 
   private:
     std::string filePath;
+    int fd = -1; ///< O_RDWR|O_APPEND|O_CLOEXEC; -1 when unusable.
+    std::mutex appendMutex; ///< flock() excludes processes, not threads.
     std::map<uint64_t, harness::RunResult> entries;
 };
+
+/** What fsckRunCache() found in a cache file. */
+struct CacheFsckReport
+{
+    size_t lines = 0;       ///< Non-blank lines examined.
+    size_t valid = 0;       ///< Parseable, current-or-older schema.
+    size_t unparseable = 0; ///< Garbage / unknown schema (torn tail excluded).
+    size_t duplicates = 0;  ///< Valid records superseded by a later one.
+    bool tornTail = false;  ///< Final line truncated (no newline, unparseable).
+    bool ioError = false;   ///< The file could not be read.
+
+    size_t distinct() const { return valid - duplicates; }
+    /** Nothing but valid records (a torn tail is expected damage). */
+    bool clean() const { return unparseable == 0 && !ioError; }
+    std::string summary() const;
+};
+
+/** Scan <dir>/runs.jsonl without modifying it. */
+CacheFsckReport fsckRunCache(const std::string &dir);
+
+/**
+ * Rewrite <dir>/runs.jsonl keeping only the newest valid record per
+ * fingerprint (first-appearance order), via a temp file + atomic
+ * rename under the cache flock. Run it between sweeps: a writer
+ * holding the old inode open would keep appending to the replaced
+ * file. Returns false with @p err set on I/O failure.
+ */
+bool compactRunCache(const std::string &dir, std::string *err = nullptr,
+                     CacheFsckReport *report = nullptr);
 
 } // namespace sweep
 } // namespace cwsim

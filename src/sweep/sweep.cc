@@ -11,6 +11,7 @@
 
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "sweep/isolate.hh"
 #include "sweep/run_cache.hh"
 
 namespace cwsim
@@ -43,17 +44,22 @@ parallelFor(size_t n, unsigned jobs,
     }
 
     std::atomic<size_t> next{0};
+    std::atomic<bool> canceled{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
     auto body = [&] {
-        while (true) {
+        while (!canceled.load(std::memory_order_relaxed)) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
             try {
                 fn(i);
             } catch (...) {
+                // Fatal (non-run) error: stop claiming indices so the
+                // pool drains promptly instead of finishing a queue
+                // whose results will be discarded by the rethrow.
+                canceled.store(true, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)
                     first_error = std::current_exception();
@@ -114,34 +120,52 @@ SweepEngine::run(const SweepPlan &plan)
         pending.push_back(i);
     }
 
-    // Phase 2: simulate the rest on the pool. Runner::run is
-    // thread-safe and fail-soft, so a worker never throws; each job
+    // Phase 2: simulate the rest. With isolation on, each run forks a
+    // sandboxed child (workers become process slots) and failures come
+    // back classified instead of crashing the bench; the executor does
+    // not touch the runner's failure list itself, so record them here —
+    // a contained crash then reports exactly like a cached or in-
+    // process failure. Otherwise, run on the thread pool: Runner::run
+    // is thread-safe and fail-soft, so a worker never throws; each job
     // writes only its own result slot. A progress heartbeat (every
     // CWSIM_PROGRESS seconds, default 10; 0 disables) keeps long
     // sweeps from looking hung; the CAS on lastBeatMs elects exactly
     // one reporting worker per interval.
-    const uint64_t beat_s = envUint64("CWSIM_PROGRESS", 0, 10);
-    auto sweep_start = std::chrono::steady_clock::now();
-    std::atomic<size_t> done{0};
-    std::atomic<uint64_t> lastBeatMs{0};
-    parallelFor(pending.size(), workerCount, [&](size_t p) {
-        size_t i = pending[p];
-        results[i] = runner.run(jobs[i].workload, jobs[i].config);
-        size_t finished = done.fetch_add(1) + 1;
-        if (beat_s == 0 || finished == pending.size())
-            return;
-        uint64_t now_ms = static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - sweep_start)
-                .count());
-        uint64_t last = lastBeatMs.load();
-        if (now_ms - last >= beat_s * 1000 &&
-            lastBeatMs.compare_exchange_strong(last, now_ms)) {
-            inform("sweep: %zu/%zu runs done (%.1fs elapsed)",
-                   finished, pending.size(),
-                   static_cast<double>(now_ms) / 1000.0);
+    if (opts.isolate) {
+        IsolateOptions iso;
+        iso.slots = workerCount;
+        iso.timeoutSec = opts.timeoutSec;
+        iso.memLimitMb = opts.memLimitMb;
+        iso.retries = opts.retries;
+        runIsolated(runner, jobs, pending, fps, iso, results);
+        for (size_t i : pending) {
+            if (!results[i].ok)
+                runner.recordFailure(results[i]);
         }
-    });
+    } else {
+        const uint64_t beat_s = envUint64("CWSIM_PROGRESS", 0, 10);
+        auto sweep_start = std::chrono::steady_clock::now();
+        std::atomic<size_t> done{0};
+        std::atomic<uint64_t> lastBeatMs{0};
+        parallelFor(pending.size(), workerCount, [&](size_t p) {
+            size_t i = pending[p];
+            results[i] = runner.run(jobs[i].workload, jobs[i].config);
+            size_t finished = done.fetch_add(1) + 1;
+            if (beat_s == 0 || finished == pending.size())
+                return;
+            uint64_t now_ms = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - sweep_start)
+                    .count());
+            uint64_t last = lastBeatMs.load();
+            if (now_ms - last >= beat_s * 1000 &&
+                lastBeatMs.compare_exchange_strong(last, now_ms)) {
+                inform("sweep: %zu/%zu runs done (%.1fs elapsed)",
+                       finished, pending.size(),
+                       static_cast<double>(now_ms) / 1000.0);
+            }
+        });
+    }
     executed += pending.size();
     for (size_t i : pending) {
         wallMsSum += results[i].wallMs;

@@ -83,6 +83,18 @@ struct SweepOptions
     std::string cacheDir = ".cwsim-cache";
     /** Append every RunResult as JSONL here ("" = no export). */
     std::string jsonPath;
+
+    // Process isolation (see isolate.hh). With isolate set, workers
+    // become forked child processes: a crashing, hanging, or OOMing
+    // run is contained, classified (FailKind), and retried instead of
+    // taking the whole bench down.
+    bool isolate = false;
+    /** Wall-clock deadline per isolated attempt, seconds (0 = none). */
+    double timeoutSec = 0;
+    /** RLIMIT_AS cap per isolated child, MiB (0 = none). */
+    uint64_t memLimitMb = 0;
+    /** Retry budget for host-level failures of an isolated run. */
+    unsigned retries = 1;
 };
 
 /** Resolve a --jobs request: @p requested, CWSIM_JOBS, or core count. */
@@ -130,8 +142,11 @@ class SweepEngine
  * @p jobs worker threads. fn must not touch shared mutable state
  * except through its index (each index owns its output slot). Used by
  * benches whose per-workload work is not a Runner timing run (e.g.
- * the split-window model). The first exception thrown by any fn is
- * rethrown on the caller after all workers join.
+ * the split-window model). The first exception thrown by any fn
+ * cancels the remaining queue — workers stop claiming new indices and
+ * drain promptly — and is rethrown on the caller after all workers
+ * join, so a fatal (non-run) error cannot burn minutes finishing work
+ * whose results will be discarded.
  */
 void parallelFor(size_t n, unsigned jobs,
                  const std::function<void(size_t)> &fn);

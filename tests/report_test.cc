@@ -106,7 +106,18 @@ TEST(Report, RendersFig5Fig6AndFailedRuns)
     ReportRecord failed = makeRun("099.go", "AS/NAV", 0, 0);
     failed.run.ok = false;
     failed.run.error = "SimError: watchdog";
+    failed.run.failKind = harness::FailKind::SimError;
     records.push_back(failed);
+
+    // A contained host-level failure carries its kind and the
+    // [injected] containment tag into the table.
+    ReportRecord crashed = makeRun("099.go", "AS/SEL", 0, 0);
+    crashed.run.ok = false;
+    crashed.run.error = "isolated run died: crash(SIGSEGV)";
+    crashed.run.failKind = harness::FailKind::Crash;
+    crashed.run.failDetail = "SIGSEGV";
+    crashed.run.injectedHostFault = true;
+    records.push_back(crashed);
 
     std::string md =
         sweep::renderReport(records, ReportFormat::Markdown);
@@ -119,6 +130,9 @@ TEST(Report, RendersFig5Fig6AndFailedRuns)
 
     EXPECT_NE(md.find("## Failed runs"), std::string::npos);
     EXPECT_NE(md.find("SimError: watchdog"), std::string::npos);
+    EXPECT_NE(md.find("sim_error"), std::string::npos) << md;
+    EXPECT_NE(md.find("crash(SIGSEGV) [injected]"), std::string::npos)
+        << md;
     EXPECT_NE(md.find("FAILED"), std::string::npos);
 }
 
@@ -204,6 +218,32 @@ TEST(ReportDiff, SkipsCpiComparisonWhenOneSidePredatesV3)
     EXPECT_EQ(d.cpiSkipped, 1u);
     EXPECT_NE(sweep::formatDiff(d).find("without CPI data"),
               std::string::npos);
+}
+
+TEST(ReportDiff, ComparesFailKindButNotHostDependentDetail)
+{
+    std::vector<ReportRecord> a = {
+        makeRun("130.li", "NAS/NAV", 1000, 2000)};
+    a[0].run.ok = false;
+    a[0].run.failKind = harness::FailKind::Timeout;
+    a[0].run.failDetail = "wall-clock 2.0s";
+    a[0].run.error = "isolated run died: timeout(wall-clock 2.0s) "
+                     "after 1 attempt(s)";
+    std::vector<ReportRecord> b = a;
+
+    // Same kind, different detail text (a different host's limits):
+    // not drift.
+    b[0].run.failDetail = "rlimit-cpu";
+    EXPECT_TRUE(sweep::diffRunRecords(a, b).clean());
+
+    // A changed failure class is drift.
+    b[0].run.failKind = harness::FailKind::Oom;
+    DiffResult d = sweep::diffRunRecords(a, b);
+    EXPECT_FALSE(d.clean());
+    ASSERT_EQ(d.drift.size(), 1u);
+    EXPECT_EQ(d.drift[0].field, "fail_kind");
+    EXPECT_EQ(d.drift[0].baseline, "timeout");
+    EXPECT_EQ(d.drift[0].current, "oom");
 }
 
 TEST(ReportDiff, NanFalseDepLatencyDoesNotSelfDrift)

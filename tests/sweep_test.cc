@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 
 #include "obs/cpi_stack.hh"
@@ -56,6 +59,9 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.config, b.config);
     EXPECT_EQ(a.ok, b.ok);
     EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.failKind, b.failKind);
+    EXPECT_EQ(a.failDetail, b.failDetail);
+    EXPECT_EQ(a.injectedHostFault, b.injectedHostFault);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.commits, b.commits);
     EXPECT_EQ(a.committedLoads, b.committedLoads);
@@ -299,7 +305,7 @@ TEST(SweepRecord, V2RoundTripsHostProfilingFields)
     std::string line = sweep::runRecordLine(r, 0xabcdull, 3000);
     std::map<std::string, std::string> fields;
     ASSERT_TRUE(sweep::parseFlatJson(line, fields));
-    EXPECT_EQ(fields.at("v"), "3");
+    EXPECT_EQ(fields.at("v"), "4");
     EXPECT_EQ(fields.at("wall_ms"), "250");
     EXPECT_EQ(fields.at("sim_cycles_per_sec"), "20000");
     EXPECT_EQ(fields.at("cache_hit"), "true");
@@ -404,8 +410,180 @@ TEST(SweepRecord, V1RecordsStayReadable)
     EXPECT_FALSE(parsed.hasCpiStack());
 
     // Unknown future versions are still rejected outright.
-    fields["v"] = "4";
+    fields["v"] = "9";
     EXPECT_FALSE(sweep::runRecordParse(fields, parsed));
+}
+
+TEST(SweepRecord, V4RoundTripsFailureTaxonomy)
+{
+    RunResult r;
+    r.workload = "126.gcc";
+    r.config = "NAS/NAV W128";
+    r.ok = false;
+    r.error = "isolated run died: crash(SIGSEGV) after 2 attempt(s)";
+    r.failKind = harness::FailKind::Crash;
+    r.failDetail = "SIGSEGV";
+    r.injectedHostFault = true;
+
+    std::string line = sweep::runRecordLine(r, 0x1234ull, 3000);
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(line, fields));
+    EXPECT_EQ(fields.at("fail_kind"), "crash");
+    EXPECT_EQ(fields.at("fail_detail"), "SIGSEGV");
+    EXPECT_EQ(fields.at("fail_injected"), "true");
+
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    expectSameResult(r, parsed);
+
+    // A v4 record missing any taxonomy field is malformed...
+    auto broken = fields;
+    broken.erase("fail_kind");
+    EXPECT_FALSE(sweep::runRecordParse(broken, parsed));
+    broken = fields;
+    broken["fail_kind"] = "exploded";
+    EXPECT_FALSE(sweep::runRecordParse(broken, parsed));
+
+    // ...but the same fields relabeled v3 parse fine, with the kind
+    // derived from ok: pre-isolation failures were all sim_errors.
+    fields["v"] = "3";
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    EXPECT_EQ(parsed.failKind, harness::FailKind::SimError);
+    EXPECT_TRUE(parsed.failDetail.empty());
+    EXPECT_FALSE(parsed.injectedHostFault);
+}
+
+TEST(FailKindTest, NamesRoundTrip)
+{
+    using harness::FailKind;
+    for (FailKind k : {FailKind::None, FailKind::SimError,
+                       FailKind::Crash, FailKind::Timeout,
+                       FailKind::Oom, FailKind::Protocol}) {
+        FailKind back = FailKind::None;
+        ASSERT_TRUE(harness::failKindFromString(harness::toString(k),
+                                                back));
+        EXPECT_EQ(back, k);
+    }
+    FailKind out;
+    EXPECT_FALSE(harness::failKindFromString("bogus", out));
+
+    RunResult r;
+    EXPECT_EQ(r.failLabel(), "-");
+    r.failKind = FailKind::Timeout;
+    EXPECT_EQ(r.failLabel(), "timeout");
+    r.failDetail = "wall-clock 2.0s";
+    EXPECT_EQ(r.failLabel(), "timeout(wall-clock 2.0s)");
+}
+
+TEST(SweepCache, TornTrailingRecordIsSilentlySkipped)
+{
+    ScratchDir dir("sweep_torn_test");
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+
+    RunResult good;
+    good.workload = "129.compress";
+    good.config = cfg.name();
+    good.cycles = 1234;
+    good.commits = 999;
+    uint64_t fp = sweep::fingerprintRun("129.compress", 3000, cfg);
+
+    // A complete record followed by a record torn mid-line — the
+    // signature of a writer killed inside append() — with no newline.
+    {
+        std::ofstream out(dir.path + "/runs.jsonl", std::ios::binary);
+        out << sweep::runRecordLine(good, fp, 3000) << '\n';
+        std::string torn = sweep::runRecordLine(good, fp + 1, 3000);
+        out << torn.substr(0, torn.size() / 2);
+    }
+
+    // Reload: the torn tail is expected damage, not corruption.
+    sweep::RunCache cache(dir.path);
+    EXPECT_EQ(cache.size(), 1u);
+    RunResult out;
+    ASSERT_TRUE(cache.lookup(fp, out));
+    EXPECT_EQ(out.cycles, 1234u);
+    EXPECT_FALSE(cache.lookup(fp + 1, out));
+
+    sweep::CacheFsckReport rep = sweep::fsckRunCache(dir.path);
+    EXPECT_TRUE(rep.tornTail);
+    EXPECT_EQ(rep.unparseable, 0u);
+    EXPECT_TRUE(rep.clean());
+
+    // The next append repairs the tail: every line of the file,
+    // including the new record, now parses.
+    RunResult fresh = good;
+    fresh.cycles = 4321;
+    cache.append(fp + 2, 3000, fresh);
+
+    sweep::RunCache reloaded(dir.path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    ASSERT_TRUE(reloaded.lookup(fp + 2, out));
+    EXPECT_EQ(out.cycles, 4321u);
+    EXPECT_FALSE(sweep::fsckRunCache(dir.path).tornTail);
+}
+
+TEST(SweepCache, FsckAndCompact)
+{
+    ScratchDir dir("sweep_fsck_test");
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    RunResult r;
+    r.workload = "130.li";
+    r.config = cfg.name();
+
+    // Two distinct fingerprints; fp1 written twice (later wins), plus
+    // a garbage line and a torn tail.
+    {
+        std::ofstream out(dir.path + "/runs.jsonl", std::ios::binary);
+        r.cycles = 1;
+        out << sweep::runRecordLine(r, 0xa1, 3000) << '\n';
+        r.cycles = 2;
+        out << sweep::runRecordLine(r, 0xb2, 3000) << '\n';
+        out << "definitely not json\n";
+        r.cycles = 3;
+        out << sweep::runRecordLine(r, 0xa1, 3000) << '\n';
+        out << "{\"v\":4,\"torn";
+    }
+
+    sweep::CacheFsckReport rep = sweep::fsckRunCache(dir.path);
+    EXPECT_EQ(rep.lines, 4u);
+    EXPECT_EQ(rep.valid, 3u);
+    EXPECT_EQ(rep.duplicates, 1u);
+    EXPECT_EQ(rep.distinct(), 2u);
+    EXPECT_EQ(rep.unparseable, 1u);
+    EXPECT_TRUE(rep.tornTail);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_NE(rep.summary().find("2 distinct"), std::string::npos);
+
+    // Compaction keeps the newest record per fingerprint and drops the
+    // garbage and the torn tail.
+    std::string err;
+    sweep::CacheFsckReport before;
+    ASSERT_TRUE(sweep::compactRunCache(dir.path, &err, &before))
+        << err;
+    EXPECT_EQ(before.distinct(), 2u);
+
+    sweep::CacheFsckReport after = sweep::fsckRunCache(dir.path);
+    EXPECT_EQ(after.lines, 2u);
+    EXPECT_EQ(after.valid, 2u);
+    EXPECT_EQ(after.duplicates, 0u);
+    EXPECT_EQ(after.unparseable, 0u);
+    EXPECT_FALSE(after.tornTail);
+    EXPECT_TRUE(after.clean());
+
+    // The superseding (cycles == 3) record survived, not the original.
+    sweep::RunCache cache(dir.path);
+    RunResult out;
+    ASSERT_TRUE(cache.lookup(0xa1, out));
+    EXPECT_EQ(out.cycles, 3u);
+    ASSERT_TRUE(cache.lookup(0xb2, out));
+    EXPECT_EQ(out.cycles, 2u);
+
+    // Compacting a directory with no cache file is a clean no-op.
+    ScratchDir empty("sweep_fsck_empty");
+    EXPECT_TRUE(sweep::compactRunCache(empty.path, &err));
+    EXPECT_TRUE(sweep::fsckRunCache(empty.path).clean());
 }
 
 TEST(SweepFingerprint, SensitiveToEveryInput)
@@ -435,6 +613,9 @@ TEST(SweepFingerprint, SensitiveToEveryInput)
     differ.check.faults.spuriousViolationRate = 0.25;
     EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
     differ = base;
+    differ.check.faults.hostCrashRate = 0.5;
+    EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
+    differ = base;
     differ.mem.l2AccessLatency += 1;
     EXPECT_NE(fp, sweep::fingerprintRun("129.compress", 4000, differ));
 }
@@ -457,6 +638,26 @@ TEST(SweepParallelFor, PropagatesExceptions)
                                    throw std::runtime_error("boom");
                            }),
         std::runtime_error);
+}
+
+TEST(SweepParallelFor, CancelsQueuePromptlyOnError)
+{
+    // A fatal error in one job must stop workers from claiming the
+    // rest of the queue: with 10k queued jobs and a throw on the very
+    // first, only the handful already claimed may still run.
+    constexpr size_t n = 10'000;
+    std::atomic<size_t> executed{0};
+    EXPECT_THROW(
+        sweep::parallelFor(n, 4,
+                           [&](size_t i) {
+                               if (i == 0)
+                                   throw std::runtime_error("fatal");
+                               executed.fetch_add(1);
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(1));
+                           }),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), n / 10);
 }
 
 TEST(JsonlTest, EscapeAndRoundTrip)
@@ -535,6 +736,66 @@ TEST(BenchCliTest, AcceptsInlineFlagValues)
     EXPECT_EQ(opts.scale, 9000u);
     EXPECT_EQ(opts.intervalCycles, 250u);
     EXPECT_EQ(opts.filter, "compress");
+}
+
+TEST(BenchCliTest, ParsesIsolationFlags)
+{
+    const char *argv[] = {"bench",       "--isolate", "--timeout",
+                          "2.5",         "--mem-limit", "4096",
+                          "--retries",   "3",         "--set",
+                          "core.windowSize=64", "--set=mdp.policy=SYNC"};
+    sweep::BenchOptions opts = sweep::parseBenchArgs(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_TRUE(opts.isolate);
+    EXPECT_DOUBLE_EQ(opts.timeoutSec, 2.5);
+    EXPECT_EQ(opts.memLimitMb, 4096u);
+    EXPECT_EQ(opts.retries, 3u);
+    ASSERT_EQ(opts.configOverrides.size(), 2u);
+    EXPECT_EQ(opts.configOverrides[0], "core.windowSize=64");
+    EXPECT_EQ(opts.configOverrides[1], "mdp.policy=SYNC");
+    EXPECT_FALSE(opts.cacheFsck);
+    EXPECT_FALSE(opts.cacheCompact);
+
+    const char *maint[] = {"bench", "--cache-fsck", "--cache-compact"};
+    opts = sweep::parseBenchArgs(3, const_cast<char **>(maint));
+    EXPECT_TRUE(opts.cacheFsck);
+    EXPECT_TRUE(opts.cacheCompact);
+}
+
+TEST(BenchCliTest, IsolationFlagsReadEnvDefaults)
+{
+    const char *bare[] = {"bench"};
+    unsetenv("CWSIM_ISOLATE");
+    unsetenv("CWSIM_TIMEOUT");
+    unsetenv("CWSIM_MEM_LIMIT");
+    unsetenv("CWSIM_RETRIES");
+    sweep::BenchOptions opts =
+        sweep::parseBenchArgs(1, const_cast<char **>(bare));
+    EXPECT_FALSE(opts.isolate);
+    EXPECT_DOUBLE_EQ(opts.timeoutSec, 0.0);
+    EXPECT_EQ(opts.memLimitMb, 0u);
+    EXPECT_EQ(opts.retries, 1u);
+
+    setenv("CWSIM_ISOLATE", "1", 1);
+    setenv("CWSIM_TIMEOUT", "1.5", 1);
+    setenv("CWSIM_MEM_LIMIT", "2048", 1);
+    setenv("CWSIM_RETRIES", "0", 1);
+    opts = sweep::parseBenchArgs(1, const_cast<char **>(bare));
+    EXPECT_TRUE(opts.isolate);
+    EXPECT_DOUBLE_EQ(opts.timeoutSec, 1.5);
+    EXPECT_EQ(opts.memLimitMb, 2048u);
+    EXPECT_EQ(opts.retries, 0u);
+
+    // Malformed env values warn and fall back, like every CWSIM knob.
+    setenv("CWSIM_TIMEOUT", "soon", 1);
+    opts = sweep::parseBenchArgs(1, const_cast<char **>(bare));
+    EXPECT_DOUBLE_EQ(opts.timeoutSec, 0.0);
+
+    unsetenv("CWSIM_ISOLATE");
+    unsetenv("CWSIM_TIMEOUT");
+    unsetenv("CWSIM_MEM_LIMIT");
+    unsetenv("CWSIM_RETRIES");
 }
 
 TEST(BenchCliTest, DefaultScaleRespectsEnvAndOverride)

@@ -30,7 +30,8 @@ usage(const char *argv0)
         "\n"
         "Render a cwsim sweep JSONL file as a report, or compare two\n"
         "sweep files and flag any drift in simulated stats\n"
-        "(host-profiling fields are ignored).\n"
+        "(host-profiling fields are ignored; failed runs compare by\n"
+        "fail-kind class, not the host-dependent detail text).\n"
         "\n"
         "  --format md|html  report output format (default: md)\n"
         "  --out PATH        write the report to PATH (default: stdout)\n"
