@@ -22,6 +22,7 @@
 
 #include "base/sim_error.hh"
 #include "harness/harness.hh"
+#include "sweep/report.hh"
 #include "sim/config_parse.hh"
 #include "sim/table.hh"
 
@@ -145,5 +146,5 @@ main(int argc, char **argv)
         });
     }
     std::printf("%s", table.toString().c_str());
-    return harness::reportFailures(runner) ? 1 : 0;
+    return sweep::reportFailures(runner) ? 1 : 0;
 }

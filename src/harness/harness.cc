@@ -202,51 +202,24 @@ Runner::run(const std::string &name, const SimConfig &cfg)
     return r;
 }
 
-size_t
-reportFailures(const Runner &runner)
+FailureSummary
+collectFailures(const Runner &runner)
 {
+    FailureSummary summary;
     // Copy and sort: under a parallel sweep the arrival order of
     // failures depends on worker scheduling, and the FAILED RUNS table
     // must be byte-identical at any --jobs count.
-    std::vector<RunResult> fails = runner.failures();
-    if (fails.empty())
-        return 0;
-    std::sort(fails.begin(), fails.end(),
+    summary.failures = runner.failures();
+    std::sort(summary.failures.begin(), summary.failures.end(),
               [](const RunResult &a, const RunResult &b) {
                   return std::tie(a.workload, a.config, a.error) <
                          std::tie(b.workload, b.config, b.error);
               });
-
-    std::printf("\nFAILED RUNS (%zu):\n",
-                static_cast<size_t>(fails.size()));
-    TextTable table;
-    table.setHeader({"workload", "config", "kind", "error"});
-    size_t injected = 0;
-    for (const auto &f : fails) {
-        std::string kind = f.failLabel();
-        if (f.injectedHostFault) {
-            kind += " [injected]";
-            ++injected;
-        }
-        table.addRow({f.workload, f.config, kind, f.error});
+    for (const RunResult &f : summary.failures) {
+        if (f.injectedHostFault)
+            ++summary.injected;
     }
-    std::fputs(table.toString().c_str(), stdout);
-    if (injected > 0) {
-        std::printf("(%zu injected host fault(s) contained — not "
-                    "counted as campaign failures)\n", injected);
-    }
-
-    // Each failure's diagnostic tail (last flight-recorder events),
-    // so the report alone localizes the fault.
-    for (const auto &f : fails) {
-        if (f.diagnostic.empty())
-            continue;
-        std::printf("\n%s under %s — last events:\n",
-                    f.workload.c_str(), f.config.c_str());
-        for (const std::string &line : split(f.diagnostic, '\n'))
-            std::printf("    %s\n", line.c_str());
-    }
-    return fails.size() - injected;
+    return summary;
 }
 
 double

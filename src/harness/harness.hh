@@ -21,7 +21,6 @@
 #include "obs/cpi_stack.hh"
 #include "mdp/oracle.hh"
 #include "sim/config.hh"
-#include "sim/table.hh"
 #include "workloads/workload.hh"
 
 namespace cwsim
@@ -253,16 +252,30 @@ class Runner
 };
 
 /**
- * Print a table of @p runner's failed runs (no-op when none), sorted
- * by (workload, config) so parallel sweeps report deterministically.
- * Each row carries its FailKind label; failures marked
- * injectedHostFault are listed (tagged "[injected]") but excluded from
- * the return value — a containment bench that killed exactly the runs
- * it armed faults on still exits 0.
- * @return the number of unexpected failures, so bench mains can exit
- * non-zero.
+ * A campaign's failed runs, collected for reporting: sorted by
+ * (workload, config) so parallel sweeps summarize deterministically,
+ * with the injected-host-fault tally split out. Pure data — rendering
+ * (the FAILED RUNS table) lives in sweep::reportFailures() so this
+ * library stays printf-free and a daemon can link it headlessly.
  */
-size_t reportFailures(const Runner &runner);
+struct FailureSummary
+{
+    /** Every failed run, sorted by (workload, config, error). */
+    std::vector<RunResult> failures;
+    /** How many of them were armed host-fault injections. */
+    size_t injected = 0;
+
+    bool empty() const { return failures.empty(); }
+    /**
+     * Failures that count against the campaign: injected host faults
+     * died exactly as designed, so a containment bench that killed
+     * only the runs it armed faults on still exits 0.
+     */
+    size_t unexpected() const { return failures.size() - injected; }
+};
+
+/** Snapshot @p runner's failed runs as a sorted FailureSummary. */
+FailureSummary collectFailures(const Runner &runner);
 
 /**
  * Geometric mean of the positive, finite entries of @p values.

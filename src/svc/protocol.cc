@@ -1,0 +1,42 @@
+#include "svc/protocol.hh"
+
+#include "base/logging.hh"
+
+namespace cwsim
+{
+namespace svc
+{
+
+std::string
+mergeJson(const std::string &base, const std::string &extra)
+{
+    // {"a":1} + {"b":2} -> {"a":1,"b":2}; an empty side passes the
+    // other through untouched.
+    panic_if(base.size() < 2 || base.front() != '{' ||
+                 base.back() != '}',
+             "mergeJson: not a flat object: %s", base.c_str());
+    panic_if(extra.size() < 2 || extra.front() != '{' ||
+                 extra.back() != '}',
+             "mergeJson: not a flat object: %s", extra.c_str());
+    if (extra.size() == 2)
+        return base;
+    if (base.size() == 2)
+        return extra;
+    return base.substr(0, base.size() - 1) + "," + extra.substr(1);
+}
+
+bool
+takeLine(std::string &buf, std::string &line)
+{
+    size_t nl = buf.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    line = buf.substr(0, nl);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back(); // tolerate CRLF from telnet-style probes
+    buf.erase(0, nl + 1);
+    return true;
+}
+
+} // namespace svc
+} // namespace cwsim

@@ -1,0 +1,652 @@
+#include "svc/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include "base/logging.hh"
+#include "base/sim_error.hh"
+#include "base/str.hh"
+#include "svc/protocol.hh"
+#include "sweep/jsonl.hh"
+
+namespace cwsim
+{
+namespace svc
+{
+
+namespace
+{
+
+std::string
+field(const std::map<std::string, std::string> &fields,
+      const char *key)
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? std::string() : it->second;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // anonymous namespace
+
+Server::Server(ServerOptions o) : opts(std::move(o))
+{
+    if (opts.defaultScale == 0)
+        opts.defaultScale = harness::benchScale();
+    sched = Scheduler(opts.limits);
+}
+
+Server::~Server()
+{
+    for (auto &[fd, s] : sessions)
+        ::close(fd);
+    closeFd(unixFd);
+    closeFd(tcpFd);
+    closeFd(stopRd);
+    closeFd(stopWr);
+    if (!opts.socketPath.empty())
+        ::unlink(opts.socketPath.c_str());
+}
+
+bool
+Server::start(std::string *err)
+{
+    // A client that disconnects mid-stream must cost us an EPIPE
+    // errno, not a process-killing signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    cache = std::make_unique<sweep::RunCache>(opts.cacheDir);
+
+    int pipeFds[2];
+    if (::pipe2(pipeFds, O_CLOEXEC | O_NONBLOCK) < 0) {
+        if (err)
+            *err = strfmt("pipe2: %s", std::strerror(errno));
+        return false;
+    }
+    stopRd = pipeFds[0];
+    stopWr = pipeFds[1];
+
+    if (opts.socketPath.empty()) {
+        if (err)
+            *err = "a Unix socket path is required";
+        return false;
+    }
+    struct sockaddr_un addr{};
+    if (opts.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = strfmt("socket path too long: %s",
+                          opts.socketPath.c_str());
+        return false;
+    }
+    unixFd = ::socket(AF_UNIX,
+                      SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (unixFd < 0) {
+        if (err)
+            *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts.socketPath.c_str()); // stale socket from a dead daemon
+    if (::bind(unixFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(unixFd, 64) < 0) {
+        if (err)
+            *err = strfmt("bind %s: %s", opts.socketPath.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+
+    if (opts.tcpPort != 0) {
+        tcpFd = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+        if (tcpFd < 0) {
+            if (err)
+                *err = strfmt("socket: %s", std::strerror(errno));
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        struct sockaddr_in in{};
+        in.sin_family = AF_INET;
+        in.sin_port = htons(opts.tcpPort);
+        // Loopback only: the protocol has no authentication, so the
+        // TCP listener must not be reachable off-host.
+        in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(tcpFd, reinterpret_cast<struct sockaddr *>(&in),
+                   sizeof(in)) < 0 ||
+            ::listen(tcpFd, 64) < 0) {
+            if (err)
+                *err = strfmt("bind 127.0.0.1:%u: %s",
+                              unsigned(opts.tcpPort),
+                              std::strerror(errno));
+            return false;
+        }
+    }
+
+    if (opts.isolate) {
+        sweep::IsolateOptions iopts;
+        iopts.slots = opts.slots;
+        iopts.timeoutSec = opts.timeoutSec;
+        iopts.memLimitMb = opts.memLimitMb;
+        iopts.retries = opts.retries;
+        pool = std::make_unique<sweep::IsolatePool>(iopts);
+    }
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe: one write to the self-pipe. A full pipe means
+    // a stop is already pending, which is fine.
+    if (stopWr >= 0) {
+        char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(stopWr, &b, 1);
+    }
+}
+
+harness::Runner &
+Server::runnerFor(uint64_t scale)
+{
+    auto &slot = runners[scale];
+    if (!slot)
+        slot = std::make_unique<harness::Runner>(scale);
+    return *slot;
+}
+
+Server::Session *
+Server::sessionByClient(uint64_t client)
+{
+    for (auto &[fd, s] : sessions) {
+        if (s.id == client)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+Server::send(Session &s, const std::string &line)
+{
+    if (s.dead)
+        return;
+    s.outBuf += line;
+    s.outBuf += '\n';
+    if (s.outBuf.size() > opts.maxOutBuf) {
+        warn("cwsimd: client %llu exceeded the %zu-byte output "
+             "backlog; dropping it",
+             static_cast<unsigned long long>(s.id), opts.maxOutBuf);
+        s.dead = true;
+        return;
+    }
+    flushSession(s);
+}
+
+void
+Server::flushSession(Session &s)
+{
+    while (!s.dead && !s.outBuf.empty()) {
+        ssize_t n = ::write(s.fd, s.outBuf.data(), s.outBuf.size());
+        if (n > 0) {
+            s.outBuf.erase(0, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // poll will retry when writable
+        s.dead = true; // EPIPE/ECONNRESET: the client is gone
+    }
+}
+
+void
+Server::acceptPending(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept4(listenFd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN, or a transient accept error
+        }
+        Session s;
+        s.id = nextClientId++;
+        s.fd = fd;
+        sessions.emplace(fd, std::move(s));
+        ++totalSessions;
+    }
+}
+
+void
+Server::deliverRecord(Session &s, const RunRef &ref,
+                      const harness::RunResult &r, uint64_t fp,
+                      uint64_t scale)
+{
+    sweep::JsonObject env;
+    env.add("ev", "run")
+        .add("id", ref.sweepId)
+        .add("seq", ref.seq)
+        .add("total", ref.total);
+    send(s, mergeJson(env.str(), sweep::runRecordLine(r, fp, scale)));
+
+    SweepProgress &prog = s.sweeps[ref.sweepId];
+    prog.total = ref.total;
+    ++prog.delivered;
+    if (!r.ok) {
+        if (r.injectedHostFault)
+            ++prog.injected;
+        else
+            ++prog.failed;
+    }
+    if (prog.delivered >= prog.total) {
+        sweep::JsonObject done;
+        done.add("ev", "done")
+            .add("id", ref.sweepId)
+            .add("runs", prog.total)
+            .add("failed", prog.failed)
+            .add("injected", prog.injected);
+        send(s, done.str());
+        s.sweeps.erase(ref.sweepId);
+    }
+}
+
+void
+Server::finishUnit(uint64_t key, const harness::RunResult &r,
+                   const std::vector<std::string> &intervalLines)
+{
+    RunUnit *unit = sched.find(key);
+    if (!unit)
+        return;
+    uint64_t fp = unit->fp;
+    uint64_t scale = unit->scale;
+    cache->append(fp, scale, r);
+    ++executedRuns;
+
+    std::vector<RunRef> refs = sched.complete(key);
+    for (const RunRef &ref : refs) {
+        Session *s = sessionByClient(ref.client);
+        if (!s || s->dead)
+            continue; // orphaned subscription; the cache has it
+        for (const std::string &sample : intervalLines) {
+            sweep::JsonObject env;
+            env.add("ev", "interval")
+                .add("id", ref.sweepId)
+                .add("seq", ref.seq);
+            send(*s, mergeJson(env.str(), sample));
+        }
+        deliverRecord(*s, ref, r, fp, scale);
+    }
+}
+
+void
+Server::dispatchReady()
+{
+    if (!pool)
+        return;
+    while (pool->freeSlots() > 0) {
+        RunUnit *unit = sched.next();
+        if (!unit)
+            break;
+        harness::Runner &runner = runnerFor(unit->scale);
+        // Pre-warm the functional pre-pass in the parent so every
+        // forked child inherits it copy-on-write. Fail-soft: if the
+        // workload is broken, the child hits the same error and says
+        // so in its record.
+        try {
+            ScopedErrorTrap trap;
+            runner.prepass(unit->job.workload);
+        } catch (const SimError &) {
+        }
+        sweep::IsolatePool::Task task;
+        task.token = unit->key;
+        task.runner = &runner;
+        task.job = unit->job;
+        task.fp = unit->fp;
+        task.intervalCycles = unit->intervalCycles;
+        pool->enqueue(std::move(task));
+    }
+    pool->pump(); // fork now so the new pipes join this poll round
+}
+
+void
+Server::runInlineUnit()
+{
+    RunUnit *unit = sched.next();
+    if (!unit)
+        return;
+    // Runner::run is fail-soft (SimErrors come back in the record);
+    // inline mode deliberately skips process isolation, so host-fault
+    // workloads belong on the isolated executor.
+    harness::RunResult r =
+        runnerFor(unit->scale).run(unit->job.workload,
+                                   unit->job.config);
+    finishUnit(unit->key, r, {});
+}
+
+void
+Server::handleSubmit(Session &s,
+                     const std::map<std::string, std::string> &req)
+{
+    std::string id = field(req, "id");
+    auto reject = [&](const std::string &reason) {
+        sweep::JsonObject o;
+        o.add("ev", "rejected").add("id", id).add("reason", reason);
+        send(s, o.str());
+    };
+
+    if (draining)
+        return reject("draining");
+    SweepSpec spec;
+    std::string err;
+    if (!parseSweepSpec(req, spec, err))
+        return reject(err);
+    if (s.sweeps.count(spec.id))
+        return reject("sweep id already in flight");
+
+    uint64_t scale = spec.scale ? spec.scale : opts.defaultScale;
+    std::vector<sweep::SweepJob> jobs = spec.jobs();
+
+    // Admission is all-or-nothing: a dry pass sorts every job into its
+    // service tier — cache hit, subscribe to an in-flight unit, or
+    // fresh unit — and the whole submit is rejected if the fresh units
+    // would overflow the queue or the refs would bust the client's
+    // quota. Partial sweeps help nobody.
+    enum Tier { Cached, Attach, Fresh };
+    std::vector<uint64_t> fps(jobs.size());
+    std::vector<Tier> tier(jobs.size(), Cached);
+    std::set<uint64_t> freshFps;
+    uint64_t cached = 0, attached = 0, fresh = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        fps[i] = sweep::fingerprintRun(jobs[i].workload, scale,
+                                       jobs[i].config);
+        harness::RunResult hit;
+        if (cache->lookup(fps[i], hit)) {
+            tier[i] = Cached;
+            ++cached;
+        } else if (sched.hasPending(fps[i]) || freshFps.count(fps[i])) {
+            tier[i] = Attach;
+            ++attached;
+        } else {
+            tier[i] = Fresh;
+            ++fresh;
+            freshFps.insert(fps[i]);
+        }
+    }
+    std::string reason;
+    if (!sched.canAdmit(s.id, fresh, attached + fresh, reason))
+        return reject(reason);
+
+    sweep::JsonObject acc;
+    acc.add("ev", "accepted")
+        .add("id", spec.id)
+        .add("runs", static_cast<uint64_t>(jobs.size()))
+        .add("cached", cached)
+        .add("deduped", attached)
+        .add("queued", fresh);
+    send(s, acc.str());
+
+    s.sweeps[spec.id] = SweepProgress{jobs.size(), 0, 0, 0};
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        RunRef ref{s.id, spec.id, i, jobs.size()};
+        if (tier[i] == Cached) {
+            harness::RunResult hit;
+            cache->lookup(fps[i], hit);
+            hit.cacheHit = true;
+            ++cacheHitRuns;
+            deliverRecord(s, ref, hit, fps[i], scale);
+        } else {
+            if (!sched.admit(ref, fps[i], jobs[i], scale,
+                             spec.intervalCycles)) {
+                ++dedupedRuns;
+            }
+        }
+    }
+}
+
+void
+Server::handleLine(Session &s, const std::string &line)
+{
+    std::map<std::string, std::string> req;
+    if (!sweep::parseFlatJson(line, req)) {
+        sweep::JsonObject o;
+        o.add("ev", "error").add("reason", "malformed request");
+        send(s, o.str());
+        return;
+    }
+    std::string cmd = field(req, "cmd");
+    if (cmd == "hello") {
+        sweep::JsonObject o;
+        o.add("ev", "hello")
+            .add("proto", static_cast<uint64_t>(protocol_version))
+            .add("slots", static_cast<uint64_t>(opts.slots))
+            .add("isolate", opts.isolate)
+            .add("cache_dir", opts.cacheDir)
+            .add("cache_size", static_cast<uint64_t>(cache->size()))
+            .add("scale", opts.defaultScale);
+        send(s, o.str());
+    } else if (cmd == "ping") {
+        sweep::JsonObject o;
+        o.add("ev", "pong");
+        send(s, o.str());
+    } else if (cmd == "stats") {
+        sweep::JsonObject o;
+        o.add("ev", "stats")
+            .add("clients", static_cast<uint64_t>(sessions.size()))
+            .add("total_clients", totalSessions)
+            .add("executed", executedRuns)
+            .add("cache_hits", cacheHitRuns)
+            .add("deduped", dedupedRuns)
+            .add("queued", static_cast<uint64_t>(sched.queued()))
+            .add("running", static_cast<uint64_t>(sched.running()))
+            .add("cache_size", static_cast<uint64_t>(cache->size()))
+            .add("draining", draining);
+        send(s, o.str());
+    } else if (cmd == "corpus") {
+        // The whole shared corpus, one record per event — what
+        // `cwsim-report --connect` renders from.
+        uint64_t count = 0;
+        cache->forEach([&](uint64_t fp, uint64_t scale,
+                           const harness::RunResult &r) {
+            sweep::JsonObject env;
+            env.add("ev", "corpus_record");
+            send(s, mergeJson(env.str(),
+                              sweep::runRecordLine(r, fp, scale)));
+            ++count;
+        });
+        sweep::JsonObject o;
+        o.add("ev", "corpus_done").add("count", count);
+        send(s, o.str());
+    } else if (cmd == "submit") {
+        handleSubmit(s, req);
+    } else if (cmd == "shutdown") {
+        // Same path as SIGTERM: drain, then the final shutdown event.
+        requestStop();
+    } else {
+        sweep::JsonObject o;
+        o.add("ev", "error")
+            .add("reason", strfmt("unknown cmd '%s'", cmd.c_str()));
+        send(s, o.str());
+    }
+}
+
+void
+Server::reapDeadSessions()
+{
+    for (auto it = sessions.begin(); it != sessions.end();) {
+        if (!it->second.dead) {
+            ++it;
+            continue;
+        }
+        // The client's units become orphans and still execute; only
+        // the subscriptions die with the session.
+        sched.dropClient(it->second.id);
+        ::close(it->second.fd);
+        it = sessions.erase(it);
+    }
+}
+
+int
+Server::run()
+{
+    std::vector<struct pollfd> pfds;
+    char buf[65536];
+    for (;;) {
+        // A drain is complete once every admitted run has finished —
+        // orphans included, so a SIGTERM never discards paid-for work.
+        if (draining && sched.queued() == 0 && sched.running() == 0 &&
+            (!pool || pool->idle())) {
+            for (auto &[fd, s] : sessions) {
+                sweep::JsonObject o;
+                o.add("ev", "shutdown");
+                send(s, o.str());
+                // Final flush: switch to blocking so the goodbye
+                // cannot be lost to one EAGAIN.
+                int flags = ::fcntl(fd, F_GETFL, 0);
+                ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+                flushSession(s);
+                ::close(fd);
+            }
+            sessions.clear();
+            // The address dies with the service, not the process: a
+            // supervisor polling the path sees the drain finish even
+            // though the Server object lingers.
+            closeFd(unixFd);
+            closeFd(tcpFd);
+            ::unlink(opts.socketPath.c_str());
+            return 0;
+        }
+
+        dispatchReady();
+
+        pfds.clear();
+        pfds.push_back({stopRd, POLLIN, 0});
+        if (!draining) {
+            if (unixFd >= 0)
+                pfds.push_back({unixFd, POLLIN, 0});
+            if (tcpFd >= 0)
+                pfds.push_back({tcpFd, POLLIN, 0});
+        }
+        size_t sessionsAt = pfds.size();
+        for (auto &[fd, s] : sessions) {
+            short events = POLLIN;
+            if (!s.outBuf.empty())
+                events |= POLLOUT;
+            pfds.push_back({fd, events, 0});
+        }
+        size_t poolAt = pfds.size();
+        if (pool)
+            pool->addPollFds(pfds);
+
+        int timeout = -1;
+        if (pool)
+            timeout = pool->timeoutMs();
+        else if (sched.queued() > 0)
+            timeout = 0; // inline executor has work now
+
+        int rc = ::poll(pfds.data(), pfds.size(), timeout);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            panic("cwsimd: poll failed (%s)", std::strerror(errno));
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            while (::read(stopRd, buf, sizeof(buf)) > 0) {
+            }
+            if (!draining) {
+                draining = true;
+                closeFd(unixFd);
+                closeFd(tcpFd);
+            }
+        }
+        if (!draining) {
+            for (size_t i = 1; i < sessionsAt; ++i) {
+                if (pfds[i].revents & POLLIN)
+                    acceptPending(pfds[i].fd);
+            }
+        }
+
+        // Sessions: read requests, resume stalled writes. Handle by
+        // fd lookup — a session may have died earlier this round.
+        for (size_t i = sessionsAt; i < poolAt; ++i) {
+            auto it = sessions.find(pfds[i].fd);
+            if (it == sessions.end())
+                continue;
+            Session &s = it->second;
+            if (pfds[i].revents & POLLOUT)
+                flushSession(s);
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            for (;;) {
+                ssize_t n = ::read(s.fd, buf, sizeof(buf));
+                if (n > 0) {
+                    s.inBuf.append(buf, static_cast<size_t>(n));
+                    continue;
+                }
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n < 0 &&
+                    (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                    break;
+                }
+                s.dead = true; // EOF or hard error
+                break;
+            }
+            std::string line;
+            while (!s.dead && takeLine(s.inBuf, line)) {
+                if (line.size() > max_request_line) {
+                    sweep::JsonObject o;
+                    o.add("ev", "error")
+                        .add("reason", "request line too long");
+                    send(s, o.str());
+                    s.dead = true;
+                    break;
+                }
+                if (!trim(line).empty())
+                    handleLine(s, line);
+            }
+            // An unterminated line beyond the cap is the same
+            // violation as an oversized one — don't buffer it forever.
+            if (!s.dead && s.inBuf.size() > max_request_line) {
+                sweep::JsonObject o;
+                o.add("ev", "error")
+                    .add("reason", "request line too long");
+                send(s, o.str());
+                s.dead = true;
+            }
+        }
+
+        if (pool) {
+            for (sweep::IsolatePool::Done &d : pool->service())
+                finishUnit(d.token, d.result, d.intervalLines);
+        } else {
+            runInlineUnit();
+        }
+
+        reapDeadSessions();
+    }
+}
+
+} // namespace svc
+} // namespace cwsim

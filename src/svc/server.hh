@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The cwsimd server: one process, one poll(2) loop, many tenants.
+ *
+ * Architecture — a single-threaded event loop multiplexing four fd
+ * classes:
+ *
+ *   - a self-pipe, written by requestStop() (the SIGTERM handler in
+ *     tools/cwsimd.cc), turning signals into poll wakeups
+ *   - the listeners: a Unix-domain socket, plus an optional loopback
+ *     TCP port for remote clients
+ *   - client sessions: buffered line-delimited JSON (svc/protocol.hh),
+ *     non-blocking both ways, with a hard output-backlog cap so one
+ *     stalled reader cannot wedge the server
+ *   - the IsolatePool's child pipes: every admitted run executes in a
+ *     forked worker slot (sweep/isolate.hh), so a crashing, hanging,
+ *     or OOMing simulation is classified into the failure taxonomy
+ *     and answered like any other result — the daemon itself never
+ *     dies of a bad run
+ *
+ * Shared corpus: all results land in one flock-guarded run cache
+ * (sweep/run_cache.hh). A submit is served from three tiers — the
+ * cache (completed earlier, by anyone), the scheduler (currently
+ * queued/running for another client: the submit subscribes instead of
+ * re-running), or a fresh worker slot.
+ *
+ * Drain semantics: SIGTERM (or a shutdown request) closes the
+ * listeners and rejects new submits, but every admitted run finishes
+ * and is delivered; then each session gets a final shutdown event and
+ * run() returns. Orphaned work (client gone mid-sweep) finishes too —
+ * its results belong to the corpus, not the departed client.
+ *
+ * The executor can also run inline (opts.isolate = false): queued
+ * units execute one per loop iteration on the server thread through
+ * the ordinary fail-soft Runner. That trades crash containment and
+ * parallelism for determinism and speed — it exists for tests and
+ * single-user setups; interval streaming requires the isolated
+ * executor.
+ */
+
+#ifndef CWSIM_SVC_SERVER_HH
+#define CWSIM_SVC_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/harness.hh"
+#include "svc/scheduler.hh"
+#include "svc/spec.hh"
+#include "sweep/isolate.hh"
+#include "sweep/run_cache.hh"
+
+namespace cwsim
+{
+namespace svc
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path (required). */
+    std::string socketPath;
+    /** Loopback TCP port (0 = Unix socket only). */
+    uint16_t tcpPort = 0;
+    /** Shared run-cache directory. */
+    std::string cacheDir = ".cwsim-cache";
+    /** Default dynamic-instruction scale for specs that omit one. */
+    uint64_t defaultScale = 0; ///< 0 = harness::benchScale().
+
+    /** Worker slots (isolated child processes). */
+    unsigned slots = 1;
+    /** Execute runs in forked slots (false = inline, for tests). */
+    bool isolate = true;
+    double timeoutSec = 0;
+    uint64_t memLimitMb = 0;
+    unsigned retries = 1;
+
+    SchedulerLimits limits;
+    /** Output backlog cap per session before it is dropped. */
+    size_t maxOutBuf = 64 * 1024 * 1024;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listeners, open the cache, arm the self-pipe. False
+     * with @p err set when a socket cannot be bound.
+     */
+    bool start(std::string *err);
+
+    /**
+     * Serve until a stop request has drained: accept sessions, admit
+     * sweeps, execute runs, stream results. Returns the process exit
+     * code (0 on clean drain).
+     */
+    int run();
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (one write(2) to the
+     * self-pipe) and thread-safe — THE one method another thread or a
+     * signal handler may call while run() is live.
+     */
+    void requestStop();
+
+  private:
+    struct SweepProgress
+    {
+        uint64_t total = 0;
+        uint64_t delivered = 0;
+        uint64_t failed = 0;   ///< Unexpected failures (campaign).
+        uint64_t injected = 0; ///< Armed host-fault deaths.
+    };
+
+    struct Session
+    {
+        uint64_t id = 0;
+        int fd = -1;
+        std::string inBuf;
+        std::string outBuf;
+        bool dead = false;
+        std::map<std::string, SweepProgress> sweeps;
+    };
+
+    harness::Runner &runnerFor(uint64_t scale);
+    void acceptPending(int listenFd);
+    void handleLine(Session &s, const std::string &line);
+    void handleSubmit(Session &s,
+                      const std::map<std::string, std::string> &req);
+    void deliverRecord(Session &s, const RunRef &ref,
+                       const harness::RunResult &r, uint64_t fp,
+                       uint64_t scale);
+    void finishUnit(uint64_t key, const harness::RunResult &r,
+                    const std::vector<std::string> &intervalLines);
+    void dispatchReady();
+    void runInlineUnit();
+    void send(Session &s, const std::string &line);
+    void flushSession(Session &s);
+    void reapDeadSessions();
+    Session *sessionByClient(uint64_t client);
+
+    ServerOptions opts;
+    std::unique_ptr<sweep::RunCache> cache;
+    Scheduler sched;
+    std::unique_ptr<sweep::IsolatePool> pool;
+    std::map<uint64_t, std::unique_ptr<harness::Runner>> runners;
+    std::map<int, Session> sessions; ///< By fd.
+    int unixFd = -1;
+    int tcpFd = -1;
+    int stopRd = -1;
+    int stopWr = -1;
+    bool draining = false;
+    uint64_t nextClientId = 1;
+
+    // Counters surfaced by the stats event.
+    uint64_t executedRuns = 0;
+    uint64_t cacheHitRuns = 0;
+    uint64_t dedupedRuns = 0;
+    uint64_t totalSessions = 0;
+};
+
+} // namespace svc
+} // namespace cwsim
+
+#endif // CWSIM_SVC_SERVER_HH

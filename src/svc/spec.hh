@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sweep specifications: the request-side description of a (workload,
+ * config) matrix, as carried by a submit request.
+ *
+ * A spec is deliberately reconstructive, not serialized state: it
+ * names workloads and describes each config as a set of
+ * config_parse.hh overrides applied to the default machine, so the
+ * server rebuilds exactly the SimConfig a bench CLI would have built —
+ * and therefore the same fingerprints, making the shared run cache hit
+ * across clients, benches, and daemon restarts.
+ *
+ * Submit request fields (all optional except id):
+ *
+ *   id         client-chosen sweep identifier, echoed in every event
+ *   preset     named plan: "fig2" = the paper's Figure 2 matrix
+ *              (NO / ORACLE / NAV under NAS) over all workloads
+ *   workloads  "all" (default), "int", "fp", or comma-separated
+ *              full/short names ("129.compress,126" works)
+ *   filter     keep only workloads whose name contains this substring
+ *   scale      dynamic-instruction target (default: the server's)
+ *   configs    ';'-separated override sets, each a ','-separated list
+ *              of key=value options ("mdp.policy=NO,core.windowSize=64;
+ *              mdp.policy=SYNC"); empty = one default config
+ *   set        extra overrides appended to EVERY config (the bench
+ *              CLI's --set)
+ *   interval   sample interval stats every N cycles and stream them
+ *              back (0 = off; isolated executor only)
+ *
+ * Jobs expand workload-major — for each workload, every config in
+ * order — matching how the fig benches enqueue their plans.
+ */
+
+#ifndef CWSIM_SVC_SPEC_HH
+#define CWSIM_SVC_SPEC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sweep/sweep.hh"
+
+namespace cwsim
+{
+namespace svc
+{
+
+struct SweepSpec
+{
+    std::string id;
+    uint64_t scale = 0; ///< 0 = use the server's default scale.
+    uint64_t intervalCycles = 0;
+    /** Resolved full workload names, suite order. */
+    std::vector<std::string> workloads;
+    /** One entry per config: the SimConfig plus its override text. */
+    std::vector<SimConfig> configs;
+
+    /** The expanded job list, workload-major. */
+    std::vector<sweep::SweepJob> jobs() const;
+    size_t runCount() const
+    {
+        return workloads.size() * configs.size();
+    }
+};
+
+/**
+ * Build a SweepSpec from a parsed submit request. Config overrides are
+ * applied fail-soft: a bad key or value makes this return false with a
+ * one-line @p err instead of killing the process (the parser's
+ * fatal() is trapped), so a hostile or buggy client costs the server
+ * one rejected event, nothing more.
+ */
+bool parseSweepSpec(const std::map<std::string, std::string> &fields,
+                    SweepSpec &out, std::string &err);
+
+} // namespace svc
+} // namespace cwsim
+
+#endif // CWSIM_SVC_SPEC_HH

@@ -10,6 +10,7 @@
 #include "obs/trace.hh"
 #include "sim/config_parse.hh"
 #include "sim/table.hh"
+#include "sweep/report.hh"
 #include "sweep/run_cache.hh"
 
 namespace cwsim
@@ -44,7 +45,7 @@ printUsage(const char *prog, std::FILE *out)
          "-"},
         {"--no-cache", "bypass the on-disk run cache", "-"},
         {"--cache-dir D", "run-cache directory (default .cwsim-cache)",
-         "-"},
+         "CWSIM_CACHE_DIR"},
         {"--trace=FLAGS",
          "enable trace flags (e.g. MDP,Recovery or all)",
          "CWSIM_TRACE"},
@@ -144,6 +145,13 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
     opts.memLimitMb = envUint64("CWSIM_MEM_LIMIT", 0, 0);
     opts.retries = static_cast<unsigned>(
         envUint64("CWSIM_RETRIES", 0, 1));
+    // A shared corpus (ROADMAP item 1): point every bench and the
+    // cwsimd daemon at one cache directory without threading a flag
+    // through each invocation. --cache-dir still overrides.
+    if (const char *dir = std::getenv("CWSIM_CACHE_DIR");
+        dir && *dir) {
+        opts.cacheDir = dir;
+    }
 
     // Every value-taking flag accepts both "--flag value" and
     // "--flag=value" (the latter is how --trace=MDP,Recovery reads
@@ -350,7 +358,7 @@ BenchCli::finish()
                static_cast<double>(theEngine->totalSimCycles()) /
                    secs);
     }
-    return harness::reportFailures(*theRunner) ? 1 : 0;
+    return reportFailures(*theRunner) ? 1 : 0;
 }
 
 } // namespace sweep

@@ -1,7 +1,6 @@
 #include "sweep/isolate.hh"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <signal.h>
 #include <sys/resource.h>
 #include <sys/wait.h>
@@ -10,17 +9,19 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <map>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <deque>
+#include <fstream>
+#include <limits>
+#include <map>
 #include <new>
 #include <thread>
 
 #include "base/logging.hh"
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "obs/trace.hh"
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
 
@@ -40,6 +41,13 @@ using harness::RunResult;
 constexpr int exit_oom = 33;      ///< operator new failed (RLIMIT_AS).
 constexpr int exit_uncaught = 34; ///< non-SimError exception escaped.
 
+/**
+ * Child-side prefix marking an interval-sample line on the result
+ * pipe, so the parent can split samples from the final run record
+ * without guessing.
+ */
+constexpr const char *interval_prefix = "#interval ";
+
 const char *
 signalName(int sig)
 {
@@ -56,10 +64,26 @@ signalName(int sig)
     }
 }
 
+bool
+writePipeFully(int fd, const char *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
 /** Child-side: run the simulation and stream the record back. */
 [[noreturn]] void
-childMain(harness::Runner &runner, const SweepJob &job, uint64_t fp,
-          const IsolateOptions &opts, int wfd)
+childMain(const IsolatePool::Task &task, const IsolateOptions &opts,
+          int wfd)
 {
     // Allocation failure (RLIMIT_AS, alloc storms) exits with the
     // reserved OOM code instead of an unclassifiable abort. The
@@ -81,84 +105,102 @@ childMain(harness::Runner &runner, const SweepJob &job, uint64_t fp,
         ::setrlimit(RLIMIT_CPU, &rl);
     }
 
+    // Per-run interval sampling into a child-private temp file; the
+    // lines are streamed back (prefixed) once the run's sampler has
+    // closed it. Only this forked child sees the global reconfig.
+    std::string interval_path;
+    if (task.intervalCycles > 0) {
+        interval_path = strfmt("%s/cwsim-iv-%d.jsonl", P_tmpdir,
+                               static_cast<int>(::getpid()));
+        obs::TraceManager::instance().setInterval(task.intervalCycles,
+                                                  interval_path);
+    }
+
     RunResult r;
     try {
         // SimErrors are caught inside run() (fail-soft) and travel in
         // the record; only host-level surprises reach the catches.
-        r = runner.run(job.workload, job.config);
+        r = task.runner->run(task.job.workload, task.job.config);
     } catch (const std::bad_alloc &) {
         _exit(exit_oom);
     } catch (...) {
         _exit(exit_uncaught);
     }
 
-    std::string line = runRecordLine(r, fp, runner.scale());
-    line += '\n';
-    const char *data = line.data();
-    size_t len = line.size();
-    while (len > 0) {
-        ssize_t n = ::write(wfd, data, len);
-        if (n < 0) {
-            if (errno == EINTR)
+    if (!interval_path.empty()) {
+        std::ifstream in(interval_path);
+        std::string sample;
+        while (in && std::getline(in, sample)) {
+            if (sample.empty())
                 continue;
-            _exit(exit_uncaught);
+            std::string line = interval_prefix + sample + "\n";
+            if (!writePipeFully(wfd, line.data(), line.size()))
+                _exit(exit_uncaught);
         }
-        data += n;
-        len -= static_cast<size_t>(n);
+        ::unlink(interval_path.c_str());
     }
+
+    std::string line = runRecordLine(r, task.fp, task.runner->scale());
+    line += '\n';
+    if (!writePipeFully(wfd, line.data(), line.size()))
+        _exit(exit_uncaught);
     _exit(0);
 }
-
-/** One live child process slot. */
-struct Child
-{
-    pid_t pid = -1;
-    int fd = -1;
-    size_t jobIdx = 0;
-    unsigned attempt = 0; ///< 0-based attempt number.
-    bool killed = false;  ///< We delivered SIGKILL (wall timeout).
-    bool eof = false;
-    std::string buf;      ///< Record bytes read so far.
-    Clock::time_point deadline;
-    bool hasDeadline = false;
-};
-
-/** A queued (not yet forked) attempt. */
-struct PendingAttempt
-{
-    size_t jobIdx;
-    unsigned attempt;
-    Clock::time_point notBefore;
-};
 
 struct Classified
 {
     FailKind kind = FailKind::None;
     std::string detail;
     RunResult parsed; ///< Valid only when kind is None or SimError.
+    std::vector<std::string> intervalLines;
 };
 
+/**
+ * Split a finished child's pipe bytes into interval-sample lines and
+ * the run record (the first complete non-interval line).
+ */
+void
+splitChildOutput(const std::string &buf, std::string &record,
+                 std::vector<std::string> &intervals)
+{
+    size_t pos = 0;
+    const std::string prefix = interval_prefix;
+    while (pos < buf.size()) {
+        size_t nl = buf.find('\n', pos);
+        std::string line = buf.substr(
+            pos, nl == std::string::npos ? std::string::npos
+                                         : nl - pos);
+        pos = nl == std::string::npos ? buf.size() : nl + 1;
+        if (line.empty())
+            continue;
+        if (startsWith(line, prefix)) {
+            intervals.push_back(line.substr(prefix.size()));
+        } else if (record.empty()) {
+            record = line;
+        }
+    }
+}
+
 Classified
-classifyExit(const Child &c, int status, const IsolateOptions &opts)
+classifyExit(const std::string &buf, bool killed, int status,
+             const IsolateOptions &opts)
 {
     Classified out;
     if (WIFEXITED(status)) {
         int code = WEXITSTATUS(status);
         if (code == 0) {
+            std::string record;
+            splitChildOutput(buf, record, out.intervalLines);
             std::map<std::string, std::string> fields;
-            std::string line = c.buf;
-            size_t nl = line.find('\n');
-            if (nl != std::string::npos)
-                line.erase(nl);
-            if (parseFlatJson(line, fields) &&
+            if (parseFlatJson(record, fields) &&
                 runRecordParse(fields, out.parsed)) {
                 out.kind = out.parsed.ok ? FailKind::None
                                          : FailKind::SimError;
                 return out;
             }
             out.kind = FailKind::Protocol;
-            out.detail = c.buf.empty() ? "empty record"
-                                       : "unparseable record";
+            out.detail = buf.empty() ? "empty record"
+                                     : "unparseable record";
             return out;
         }
         if (code == exit_oom) {
@@ -176,7 +218,7 @@ classifyExit(const Child &c, int status, const IsolateOptions &opts)
     }
     if (WIFSIGNALED(status)) {
         int sig = WTERMSIG(status);
-        if (c.killed) {
+        if (killed) {
             out.kind = FailKind::Timeout;
             out.detail = strfmt("wall-clock %.1fs", opts.timeoutSec);
             return out;
@@ -212,7 +254,264 @@ retryable(FailKind kind)
            kind == FailKind::Oom || kind == FailKind::Protocol;
 }
 
+/** The final RunResult for a task, names and taxonomy filled. */
+RunResult
+finalizeResult(const IsolatePool::Task &task, const Classified &cls,
+               unsigned attempts)
+{
+    if (cls.kind == FailKind::None || cls.kind == FailKind::SimError) {
+        RunResult r = cls.parsed;
+        // Names travel with the record, but trust the spec's (the
+        // same rule cache hits follow).
+        r.workload = task.job.workload;
+        r.config = task.job.config.name();
+        return r;
+    }
+    RunResult r;
+    r.workload = task.job.workload;
+    r.config = task.job.config.name();
+    r.ok = false;
+    r.failKind = cls.kind;
+    r.failDetail = cls.detail;
+    r.injectedHostFault = task.job.config.check.faults.hostAny();
+    r.error = strfmt("isolated run died: %s after %u attempt(s)",
+                     r.failLabel().c_str(), attempts);
+    return r;
+}
+
 } // anonymous namespace
+
+IsolatePool::IsolatePool(IsolateOptions opts) : opts(opts)
+{
+}
+
+IsolatePool::~IsolatePool()
+{
+    // Abandoned work (the owner is going away mid-flight): make sure
+    // no orphaned child outlives the pool.
+    for (Child &c : live) {
+        ::kill(c.pid, SIGKILL);
+        ::close(c.fd);
+        int status = 0;
+        pid_t w;
+        do {
+            w = ::waitpid(c.pid, &status, 0);
+        } while (w < 0 && errno == EINTR);
+    }
+}
+
+void
+IsolatePool::enqueue(Task task)
+{
+    queue.push_back({std::move(task), 0, Clock::now()});
+}
+
+bool
+IsolatePool::spawn(const Attempt &a, std::vector<Done> &out)
+{
+    const Task &task = a.task;
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) < 0) {
+        warn("isolate: pipe2 failed (%s); running %s in-process",
+             std::strerror(errno), task.job.workload.c_str());
+        Done d;
+        d.token = task.token;
+        d.result = task.runner->run(task.job.workload,
+                                    task.job.config);
+        d.attempts = a.attempt + 1;
+        out.push_back(std::move(d));
+        return false;
+    }
+    // The child _exit()s, so any bytes sitting in stdio buffers
+    // would otherwise be flushed by both processes.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        warn("isolate: fork failed (%s); running %s in-process",
+             std::strerror(errno), task.job.workload.c_str());
+        Done d;
+        d.token = task.token;
+        d.result = task.runner->run(task.job.workload,
+                                    task.job.config);
+        d.attempts = a.attempt + 1;
+        out.push_back(std::move(d));
+        return false;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childMain(task, opts, fds[1]);
+    }
+    ::close(fds[1]);
+    int flags = ::fcntl(fds[0], F_GETFL, 0);
+    ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+    Child c;
+    c.task = task;
+    c.pid = pid;
+    c.fd = fds[0];
+    c.attempt = a.attempt;
+    if (opts.timeoutSec > 0) {
+        c.deadline = Clock::now() +
+                     std::chrono::microseconds(static_cast<int64_t>(
+                         opts.timeoutSec * 1e6));
+        c.hasDeadline = true;
+    }
+    live.push_back(std::move(c));
+    return true;
+}
+
+void
+IsolatePool::pump()
+{
+    // This overload exists for callers that want forking decoupled
+    // from result collection; service() pumps too.
+    unsigned slots = std::max(1u, opts.slots);
+    Clock::time_point now = Clock::now();
+    std::vector<Done> stray;
+    for (auto it = queue.begin();
+         it != queue.end() && live.size() < slots;) {
+        if (it->notBefore <= now) {
+            spawn(*it, stray);
+            it = queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // In-process fallbacks (pipe/fork failure) finished synchronously;
+    // hold them so the next service() returns them.
+    for (Done &d : stray)
+        fallbackDone.push_back(std::move(d));
+}
+
+size_t
+IsolatePool::addPollFds(std::vector<struct pollfd> &out) const
+{
+    for (const Child &c : live)
+        out.push_back({c.fd, POLLIN, 0});
+    return live.size();
+}
+
+int
+IsolatePool::timeoutMs() const
+{
+    Clock::time_point now = Clock::now();
+    int64_t best = -1;
+    auto consider = [&](Clock::time_point t) {
+        int64_t ms = std::chrono::duration_cast<
+                         std::chrono::milliseconds>(t - now)
+                         .count();
+        ms = std::max<int64_t>(0, ms) + 1;
+        best = best < 0 ? ms : std::min(best, ms);
+    };
+    for (const Child &c : live) {
+        if (c.hasDeadline && !c.killed)
+            consider(c.deadline);
+    }
+    unsigned slots = std::max(1u, opts.slots);
+    if (live.size() < slots) {
+        for (const Attempt &a : queue)
+            consider(a.notBefore);
+    }
+    return best > std::numeric_limits<int>::max()
+        ? std::numeric_limits<int>::max()
+        : static_cast<int>(best);
+}
+
+void
+IsolatePool::drainPipes()
+{
+    for (Child &c : live) {
+        if (c.eof)
+            continue;
+        char chunk[4096];
+        for (;;) {
+            ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                c.buf.append(chunk, static_cast<size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && errno == EAGAIN)
+                break;
+            c.eof = true; // 0 (EOF) or a hard error
+            break;
+        }
+    }
+}
+
+void
+IsolatePool::enforceDeadlines()
+{
+    Clock::time_point now = Clock::now();
+    for (Child &c : live) {
+        if (!c.eof && c.hasDeadline && !c.killed && now >= c.deadline) {
+            ::kill(c.pid, SIGKILL);
+            c.killed = true;
+        }
+    }
+}
+
+void
+IsolatePool::reap(std::vector<Done> &out)
+{
+    for (size_t k = 0; k < live.size();) {
+        if (!live[k].eof) {
+            ++k;
+            continue;
+        }
+        Child c = std::move(live[k]);
+        live.erase(live.begin() + k);
+        ::close(c.fd);
+        int status = 0;
+        pid_t w;
+        do {
+            w = ::waitpid(c.pid, &status, 0);
+        } while (w < 0 && errno == EINTR);
+        Classified cls = classifyExit(c.buf, c.killed, status, opts);
+
+        if (retryable(cls.kind) && c.attempt < opts.retries) {
+            warn("isolate: %s under %s died (%s, attempt %u/%u); "
+                 "retrying",
+                 c.task.job.workload.c_str(),
+                 c.task.job.config.name().c_str(),
+                 cls.detail.c_str(), c.attempt + 1,
+                 opts.retries + 1);
+            // Exponential backoff so a thrashing host gets air.
+            auto backoff =
+                std::chrono::milliseconds(100u << c.attempt);
+            queue.push_back({std::move(c.task), c.attempt + 1,
+                             Clock::now() + backoff});
+        } else {
+            Done d;
+            d.token = c.task.token;
+            d.result = finalizeResult(c.task, cls, c.attempt + 1);
+            d.intervalLines = std::move(cls.intervalLines);
+            d.attempts = c.attempt + 1;
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+std::vector<IsolatePool::Done>
+IsolatePool::service()
+{
+    std::vector<Done> out;
+    for (Done &d : fallbackDone)
+        out.push_back(std::move(d));
+    fallbackDone.clear();
+    drainPipes();
+    enforceDeadlines();
+    reap(out);
+    pump();
+    // A just-pumped fallback (fork failure) is already final too.
+    for (Done &d : fallbackDone)
+        out.push_back(std::move(d));
+    fallbackDone.clear();
+    return out;
+}
 
 void
 runIsolated(harness::Runner &runner,
@@ -245,188 +544,34 @@ runIsolated(harness::Runner &runner,
         });
     }
 
-    unsigned slots = std::max(1u, opts.slots);
-    std::deque<PendingAttempt> queue;
-    for (size_t i : pending)
-        queue.push_back({i, 0, Clock::now()});
-    std::vector<Child> live;
+    IsolatePool pool(opts);
+    for (size_t i : pending) {
+        IsolatePool::Task t;
+        t.token = i;
+        t.runner = &runner;
+        t.job = jobs[i];
+        t.fp = fps[i];
+        pool.enqueue(std::move(t));
+    }
 
-    auto finalize = [&](size_t jobIdx, const Classified &cls,
-                        unsigned attempts) {
-        const SweepJob &job = jobs[jobIdx];
-        if (cls.kind == FailKind::None ||
-            cls.kind == FailKind::SimError) {
-            RunResult r = cls.parsed;
-            // Names travel with the record, but trust the spec's (the
-            // same rule cache hits follow).
-            r.workload = job.workload;
-            r.config = job.config.name();
-            results[jobIdx] = r;
-            return;
-        }
-        RunResult r;
-        r.workload = job.workload;
-        r.config = job.config.name();
-        r.ok = false;
-        r.failKind = cls.kind;
-        r.failDetail = cls.detail;
-        r.injectedHostFault = job.config.check.faults.hostAny();
-        r.error = strfmt("isolated run died: %s after %u attempt(s)",
-                         r.failLabel().c_str(), attempts);
-        results[jobIdx] = r;
-    };
-
-    auto spawn = [&](const PendingAttempt &p) -> bool {
-        const SweepJob &job = jobs[p.jobIdx];
-        int fds[2];
-        if (::pipe2(fds, O_CLOEXEC) < 0) {
-            warn("isolate: pipe2 failed (%s); running %s in-process",
-                 std::strerror(errno), job.workload.c_str());
-            results[p.jobIdx] =
-                runner.run(job.workload, job.config);
-            return false;
-        }
-        // The child _exit()s, so any bytes sitting in stdio buffers
-        // would otherwise be flushed by both processes.
-        std::fflush(stdout);
-        std::fflush(stderr);
-        pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(fds[0]);
-            ::close(fds[1]);
-            warn("isolate: fork failed (%s); running %s in-process",
-                 std::strerror(errno), job.workload.c_str());
-            results[p.jobIdx] =
-                runner.run(job.workload, job.config);
-            return false;
-        }
-        if (pid == 0) {
-            ::close(fds[0]);
-            childMain(runner, job, fps[p.jobIdx], opts, fds[1]);
-        }
-        ::close(fds[1]);
-        int flags = ::fcntl(fds[0], F_GETFL, 0);
-        ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
-        Child c;
-        c.pid = pid;
-        c.fd = fds[0];
-        c.jobIdx = p.jobIdx;
-        c.attempt = p.attempt;
-        if (opts.timeoutSec > 0) {
-            c.deadline = Clock::now() +
-                         std::chrono::microseconds(static_cast<int64_t>(
-                             opts.timeoutSec * 1e6));
-            c.hasDeadline = true;
-        }
-        live.push_back(c);
-        return true;
-    };
-
-    while (!queue.empty() || !live.empty()) {
-        // Fill free slots with ready attempts, preserving queue order.
-        Clock::time_point now = Clock::now();
-        for (auto it = queue.begin();
-             it != queue.end() && live.size() < slots;) {
-            if (it->notBefore <= now) {
-                spawn(*it);
-                it = queue.erase(it);
-            } else {
-                ++it;
-            }
-        }
-        if (live.empty()) {
-            // Only backoff-delayed retries remain: sleep to the
-            // earliest one.
-            Clock::time_point earliest = queue.front().notBefore;
-            for (const PendingAttempt &p : queue)
-                earliest = std::min(earliest, p.notBefore);
-            std::this_thread::sleep_until(earliest);
-            continue;
-        }
-
-        // Poll every live pipe until data/EOF or the next deadline.
-        int poll_ms = -1;
-        now = Clock::now();
-        for (const Child &c : live) {
-            if (!c.hasDeadline)
-                continue;
-            auto left = std::chrono::duration_cast<
-                std::chrono::milliseconds>(c.deadline - now).count();
-            int ms = static_cast<int>(std::max<int64_t>(0, left)) + 1;
-            poll_ms = poll_ms < 0 ? ms : std::min(poll_ms, ms);
-        }
+    while (!pool.idle()) {
+        pool.pump();
         std::vector<struct pollfd> pfds;
-        pfds.reserve(live.size());
-        for (const Child &c : live)
-            pfds.push_back({c.fd, POLLIN, 0});
-        int rc = ::poll(pfds.data(), pfds.size(), poll_ms);
-        if (rc < 0 && errno != EINTR) {
-            panic("isolate: poll failed (%s)", std::strerror(errno));
-        }
-
-        // Drain readable pipes; EOF means the child is done (or dead).
-        for (size_t k = 0; k < live.size(); ++k) {
-            if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR)))
-                continue;
-            char chunk[4096];
-            for (;;) {
-                ssize_t n = ::read(live[k].fd, chunk, sizeof(chunk));
-                if (n > 0) {
-                    live[k].buf.append(chunk,
-                                       static_cast<size_t>(n));
-                    continue;
-                }
-                if (n < 0 && errno == EINTR)
-                    continue;
-                if (n < 0 && errno == EAGAIN)
-                    break;
-                live[k].eof = true; // 0 (EOF) or a hard error
-                break;
+        pool.addPollFds(pfds);
+        int timeout = pool.timeoutMs();
+        if (!pfds.empty()) {
+            int rc = ::poll(pfds.data(), pfds.size(), timeout);
+            if (rc < 0 && errno != EINTR) {
+                panic("isolate: poll failed (%s)",
+                      std::strerror(errno));
             }
+        } else if (timeout > 0) {
+            // Only backoff-delayed retries remain: sleep it off.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(timeout));
         }
-
-        // Enforce wall-clock deadlines on stragglers.
-        now = Clock::now();
-        for (Child &c : live) {
-            if (!c.eof && c.hasDeadline && !c.killed &&
-                now >= c.deadline) {
-                ::kill(c.pid, SIGKILL);
-                c.killed = true;
-            }
-        }
-
-        // Reap finished children and classify.
-        for (size_t k = 0; k < live.size();) {
-            if (!live[k].eof) {
-                ++k;
-                continue;
-            }
-            Child c = live[k];
-            live.erase(live.begin() + k);
-            ::close(c.fd);
-            int status = 0;
-            pid_t w;
-            do {
-                w = ::waitpid(c.pid, &status, 0);
-            } while (w < 0 && errno == EINTR);
-            Classified cls = classifyExit(c, status, opts);
-
-            if (retryable(cls.kind) && c.attempt < opts.retries) {
-                warn("isolate: %s under %s died (%s, attempt %u/%u); "
-                     "retrying",
-                     jobs[c.jobIdx].workload.c_str(),
-                     jobs[c.jobIdx].config.name().c_str(),
-                     cls.detail.c_str(), c.attempt + 1,
-                     opts.retries + 1);
-                // Exponential backoff so a thrashing host gets air.
-                auto backoff =
-                    std::chrono::milliseconds(100u << c.attempt);
-                queue.push_back({c.jobIdx, c.attempt + 1,
-                                 Clock::now() + backoff});
-            } else {
-                finalize(c.jobIdx, cls, c.attempt + 1);
-            }
-        }
+        for (IsolatePool::Done &d : pool.service())
+            results[d.token] = std::move(d.result);
     }
 }
 

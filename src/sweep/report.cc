@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -9,6 +10,7 @@
 
 #include "base/str.hh"
 #include "obs/cpi_stack.hh"
+#include "sim/table.hh"
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
 #include "workloads/workload.hh"
@@ -722,6 +724,48 @@ formatDiff(const DiffResult &d)
     if (d.clean())
         os << "no drift\n";
     return os.str();
+}
+
+size_t
+reportFailures(const harness::FailureSummary &summary)
+{
+    if (summary.empty())
+        return 0;
+    const auto &fails = summary.failures;
+
+    std::printf("\nFAILED RUNS (%zu):\n", fails.size());
+    TextTable table;
+    table.setHeader({"workload", "config", "kind", "error"});
+    for (const auto &f : fails) {
+        std::string kind = f.failLabel();
+        if (f.injectedHostFault)
+            kind += " [injected]";
+        table.addRow({f.workload, f.config, kind, f.error});
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    if (summary.injected > 0) {
+        std::printf("(%zu injected host fault(s) contained — not "
+                    "counted as campaign failures)\n",
+                    summary.injected);
+    }
+
+    // Each failure's diagnostic tail (last flight-recorder events),
+    // so the report alone localizes the fault.
+    for (const auto &f : fails) {
+        if (f.diagnostic.empty())
+            continue;
+        std::printf("\n%s under %s — last events:\n",
+                    f.workload.c_str(), f.config.c_str());
+        for (const std::string &line : split(f.diagnostic, '\n'))
+            std::printf("    %s\n", line.c_str());
+    }
+    return summary.unexpected();
+}
+
+size_t
+reportFailures(const harness::Runner &runner)
+{
+    return reportFailures(harness::collectFailures(runner));
 }
 
 } // namespace sweep

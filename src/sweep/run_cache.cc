@@ -261,7 +261,8 @@ namespace
 struct ScanVisitor
 {
     /** Called per parsed record, raw line included (for compaction). */
-    std::function<void(uint64_t fp, const harness::RunResult &,
+    std::function<void(uint64_t fp, uint64_t scale,
+                       const harness::RunResult &,
                        const std::string &line)> onRecord;
     size_t lines = 0;
     size_t rejected = 0;
@@ -315,8 +316,10 @@ scanCacheFile(const std::string &path, ScanVisitor &v)
             }
             continue;
         }
+        uint64_t scale = 0;
+        getU64(fields, "scale", scale);
         if (v.onRecord)
-            v.onRecord(fp, r, line);
+            v.onRecord(fp, scale, r, line);
     }
 }
 
@@ -351,8 +354,9 @@ RunCache::RunCache(const std::string &dir)
     filePath = dir + "/runs.jsonl";
 
     ScanVisitor v;
-    v.onRecord = [&](uint64_t fp, const harness::RunResult &r,
-                     const std::string &) { entries[fp] = r; };
+    v.onRecord = [&](uint64_t fp, uint64_t scale,
+                     const harness::RunResult &r,
+                     const std::string &) { entries[fp] = {r, scale}; };
     scanCacheFile(filePath, v);
     if (v.rejected > 0) {
         warn("run cache: ignored %zu unparseable record(s) in %s "
@@ -383,8 +387,17 @@ RunCache::lookup(uint64_t fp, harness::RunResult &out) const
     auto it = entries.find(fp);
     if (it == entries.end())
         return false;
-    out = it->second;
+    out = it->second.run;
     return true;
+}
+
+void
+RunCache::forEach(
+    const std::function<void(uint64_t, uint64_t,
+                             const harness::RunResult &)> &fn) const
+{
+    for (const auto &[fp, entry] : entries)
+        fn(fp, entry.scale, entry.run);
 }
 
 void
@@ -393,7 +406,7 @@ RunCache::append(uint64_t fp, uint64_t scale,
 {
     {
         std::lock_guard<std::mutex> lock(appendMutex);
-        entries[fp] = r;
+        entries[fp] = {r, scale};
     }
     if (fd < 0)
         return; // cache directory was unusable
@@ -455,7 +468,7 @@ fsckRunCache(const std::string &dir)
 
     std::map<uint64_t, size_t> seen;
     ScanVisitor v;
-    v.onRecord = [&](uint64_t fp, const harness::RunResult &,
+    v.onRecord = [&](uint64_t fp, uint64_t, const harness::RunResult &,
                      const std::string &) {
         ++rep.valid;
         if (++seen[fp] > 1)
@@ -481,15 +494,20 @@ compactRunCache(const std::string &dir, std::string *err,
     }
 
     // Hold the same advisory lock appenders take, so the snapshot we
-    // rewrite cannot have a record added mid-copy.
-    int lock_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (lock_fd < 0) {
+    // rewrite cannot have a record added mid-copy — and rewrite the
+    // SAME inode (truncate + rewrite) rather than renaming a temp file
+    // over it: a live writer's O_APPEND descriptor then keeps landing
+    // records in the surviving file. The flock is held across the
+    // whole truncate-to-fdatasync window, so no appender can observe
+    // (or write into) a half-rewritten file.
+    int rw_fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (rw_fd < 0) {
         if (err)
             *err = strfmt("cannot open %s: %s", path.c_str(),
                           std::strerror(errno));
         return false;
     }
-    while (::flock(lock_fd, LOCK_EX) < 0 && errno == EINTR) {
+    while (::flock(rw_fd, LOCK_EX) < 0 && errno == EINTR) {
     }
 
     // Newest record per fingerprint, kept in first-appearance order so
@@ -497,7 +515,7 @@ compactRunCache(const std::string &dir, std::string *err,
     std::vector<uint64_t> order;
     std::map<uint64_t, std::string> newest;
     ScanVisitor v;
-    v.onRecord = [&](uint64_t fp, const harness::RunResult &,
+    v.onRecord = [&](uint64_t fp, uint64_t, const harness::RunResult &,
                      const std::string &line) {
         if (!newest.count(fp))
             order.push_back(fp);
@@ -508,42 +526,66 @@ compactRunCache(const std::string &dir, std::string *err,
         *report = fsckRunCache(dir);
     }
     if (v.ioError) {
-        ::close(lock_fd);
+        ::close(rw_fd);
         if (err)
             *err = strfmt("cannot read %s", path.c_str());
         return false;
     }
 
-    std::string tmp = path + ".compact.tmp";
+    // Keep a sidecar backup of the compacted bytes before truncating,
+    // so a crash mid-rewrite cannot lose the corpus: the backup is
+    // complete (and fsync'd) before the original shrinks.
+    std::string compacted;
+    for (uint64_t fp : order) {
+        compacted += newest[fp];
+        compacted += '\n';
+    }
+    std::string bak = path + ".compact.bak";
     {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out) {
-            ::close(lock_fd);
+        std::ofstream out(bak, std::ios::trunc | std::ios::binary);
+        if (!out ||
+            !out.write(compacted.data(),
+                       static_cast<std::streamsize>(compacted.size()))
+                 .flush()) {
+            ::close(rw_fd);
             if (err)
-                *err = strfmt("cannot write %s", tmp.c_str());
-            return false;
-        }
-        for (uint64_t fp : order)
-            out << newest[fp] << '\n';
-        out.flush();
-        if (!out) {
-            ::close(lock_fd);
-            std::error_code ec;
-            std::filesystem::remove(tmp, ec);
-            if (err)
-                *err = strfmt("short write to %s", tmp.c_str());
+                *err = strfmt("cannot write %s", bak.c_str());
             return false;
         }
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    ::close(lock_fd); // also releases the flock on the old inode
-    if (ec) {
-        if (err)
-            *err = strfmt("cannot rename %s over %s: %s", tmp.c_str(),
-                          path.c_str(), ec.message().c_str());
+
+    bool okWrite = ::ftruncate(rw_fd, 0) == 0;
+    size_t off = 0;
+    while (okWrite && off < compacted.size()) {
+        ssize_t n = ::pwrite(rw_fd, compacted.data() + off,
+                             compacted.size() - off,
+                             static_cast<off_t>(off));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            okWrite = false;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (okWrite && ::fdatasync(rw_fd) < 0 && errno != EINVAL &&
+        errno != ENOSYS) {
+        okWrite = false;
+    }
+    while (::flock(rw_fd, LOCK_UN) < 0 && errno == EINTR) {
+    }
+    ::close(rw_fd);
+    if (!okWrite) {
+        if (err) {
+            *err = strfmt("in-place rewrite of %s failed (%s); "
+                          "compacted copy preserved at %s",
+                          path.c_str(), std::strerror(errno),
+                          bak.c_str());
+        }
         return false;
     }
+    std::error_code ec;
+    std::filesystem::remove(bak, ec);
     return true;
 }
 

@@ -20,6 +20,7 @@
 #include "check/watchdog.hh"
 #include "cpu/processor.hh"
 #include "harness/harness.hh"
+#include "sweep/report.hh"
 #include "mdp/mdp_table.hh"
 #include "mdp/oracle.hh"
 #include "sim/config.hh"
@@ -405,7 +406,7 @@ TEST(FailSoftSweep, PoisonedConfigIsRecordedAndSweepContinues)
         EXPECT_NE(f.diagnostic.find("cycle"), std::string::npos);
         EXPECT_LE(split(f.diagnostic, '\n').size(), 8u);
     }
-    EXPECT_EQ(harness::reportFailures(runner), 2u);
+    EXPECT_EQ(sweep::reportFailures(runner), 2u);
 
     // Aggregation over the mixed sweep skips the NaN cells.
     double gm = harness::geomean(ipcs);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/harness.hh"
+#include "sweep/report.hh"
 #include "sweep/run_cache.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workload.hh"
@@ -171,7 +172,7 @@ TEST(IsolateContainment, FaultStormAcrossTheSuite)
     // table lists them, but the campaign still exits 0.
     size_t faulted = alloc.empty() ? 2u : 3u;
     EXPECT_EQ(runner.failures().size(), faulted);
-    EXPECT_EQ(harness::reportFailures(runner), 0u);
+    EXPECT_EQ(sweep::reportFailures(runner), 0u);
 }
 
 TEST(IsolateContainment, SimErrorsPassThroughUnchanged)
@@ -204,7 +205,7 @@ TEST(IsolateContainment, SimErrorsPassThroughUnchanged)
     EXPECT_EQ(results[0].error, expected.error);
     EXPECT_EQ(results[0].diagnostic, expected.diagnostic);
     EXPECT_FALSE(results[0].injectedHostFault);
-    EXPECT_EQ(harness::reportFailures(runner), 1u);
+    EXPECT_EQ(sweep::reportFailures(runner), 1u);
 }
 
 TEST(IsolateContainment, HostFailuresRetryUpToBudget)
@@ -351,13 +352,13 @@ TEST(ReportFailureTally, InjectedFaultsAreNotCampaignFailures)
     injected.injectedHostFault = true;
     injected.error = "isolated run died: crash(SIGABRT)";
     runner.recordFailure(injected);
-    EXPECT_EQ(harness::reportFailures(runner), 0u);
+    EXPECT_EQ(sweep::reportFailures(runner), 0u);
 
     RunResult real = injected;
     real.workload = "126.gcc";
     real.injectedHostFault = false;
     runner.recordFailure(real);
-    EXPECT_EQ(harness::reportFailures(runner), 1u);
+    EXPECT_EQ(sweep::reportFailures(runner), 1u);
 }
 
 } // anonymous namespace

@@ -586,6 +586,79 @@ TEST(SweepCache, FsckAndCompact)
     EXPECT_TRUE(sweep::fsckRunCache(empty.path).clean());
 }
 
+TEST(SweepCache, CompactIsSafeWhileAWriterHoldsTheCacheOpen)
+{
+    // A daemon keeps its RunCache (and its O_APPEND descriptor) open
+    // across compactions. Because compaction rewrites the same inode
+    // in place under the appenders' flock — rather than renaming a
+    // temp file over it — records the live writer appends AFTER the
+    // compaction must land in the surviving file, not a renamed-away
+    // orphan.
+    ScratchDir dir("sweep_compact_live_writer");
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    RunResult r;
+    r.workload = "130.li";
+    r.config = cfg.name();
+
+    sweep::RunCache writer(dir.path); // stays open throughout
+    r.cycles = 1;
+    writer.append(0xa1, 3000, r);
+    r.cycles = 2;
+    writer.append(0xa1, 3000, r); // superseded duplicate
+    r.cycles = 3;
+    writer.append(0xb2, 3000, r);
+
+    std::string err;
+    ASSERT_TRUE(sweep::compactRunCache(dir.path, &err)) << err;
+    EXPECT_EQ(sweep::fsckRunCache(dir.path).duplicates, 0u);
+
+    // The still-open writer appends more; a fresh reader must see both
+    // the compacted records and the post-compaction append.
+    r.cycles = 4;
+    writer.append(0xc3, 3000, r);
+
+    sweep::RunCache reader(dir.path);
+    EXPECT_EQ(reader.size(), 3u);
+    RunResult out;
+    ASSERT_TRUE(reader.lookup(0xa1, out));
+    EXPECT_EQ(out.cycles, 2u);
+    ASSERT_TRUE(reader.lookup(0xb2, out));
+    EXPECT_EQ(out.cycles, 3u);
+    ASSERT_TRUE(reader.lookup(0xc3, out));
+    EXPECT_EQ(out.cycles, 4u);
+    EXPECT_TRUE(sweep::fsckRunCache(dir.path).clean());
+}
+
+TEST(SweepCache, ForEachVisitsEveryEntryWithItsScale)
+{
+    ScratchDir dir("sweep_foreach_test");
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+    RunResult r;
+    r.workload = "130.li";
+    r.config = cfg.name();
+
+    sweep::RunCache cache(dir.path);
+    r.cycles = 7;
+    cache.append(0xa1, 3000, r);
+    r.cycles = 8;
+    cache.append(0xb2, 5000, r);
+
+    // Scale must survive a reload too (it rides in the record line).
+    sweep::RunCache reloaded(dir.path);
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> seen;
+    reloaded.forEach([&](uint64_t fp, uint64_t scale,
+                         const RunResult &run) {
+        seen[fp] = {scale, run.cycles};
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0xa1].first, 3000u);
+    EXPECT_EQ(seen[0xa1].second, 7u);
+    EXPECT_EQ(seen[0xb2].first, 5000u);
+    EXPECT_EQ(seen[0xb2].second, 8u);
+}
+
 TEST(SweepFingerprint, SensitiveToEveryInput)
 {
     SimConfig base = withPolicy(makeW128Config(), LsqModel::NAS,

@@ -2,7 +2,10 @@
  * @file
  * cwsim-report: render a sweep JSONL file (the run-cache / --json
  * export format) as a markdown or HTML report, or diff two JSONL
- * files field-by-field to flag simulated-stat drift.
+ * files field-by-field to flag simulated-stat drift. With --connect
+ * the records come from a live cwsimd's shared corpus instead of a
+ * file, so a report can be pulled from a running service without
+ * touching its cache directory.
  *
  * Exit codes: 0 success (diff clean), 1 drift detected, 2 usage or
  * I/O error. The CI stats-diff job relies on this split to tell
@@ -10,12 +13,16 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "svc/client.hh"
 #include "sweep/report.hh"
+#include "sweep/run_cache.hh"
 
 namespace
 {
@@ -27,6 +34,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--format md|html] [--out PATH] SWEEP.jsonl\n"
         "       %s --diff BASELINE.jsonl CURRENT.jsonl\n"
+        "       %s --connect SOCKET [--format md|html] [--out PATH]\n"
         "\n"
         "Render a cwsim sweep JSONL file as a report, or compare two\n"
         "sweep files and flag any drift in simulated stats\n"
@@ -36,8 +44,11 @@ usage(const char *argv0)
         "  --format md|html  report output format (default: md)\n"
         "  --out PATH        write the report to PATH (default: stdout)\n"
         "  --diff            compare two files instead of rendering\n"
+        "  --connect SOCKET  pull the corpus from a running cwsimd\n"
+        "                    (Unix socket) instead of a file; may also\n"
+        "                    be the CURRENT side of a --diff\n"
         "  --help            show this message\n",
-        argv0, argv0);
+        argv0, argv0, argv0);
     return 2;
 }
 
@@ -65,6 +76,77 @@ load(const std::string &path,
     return true;
 }
 
+/**
+ * Pull every corpus record from a running cwsimd over its Unix
+ * socket. The daemon streams them as corpus_record events — one run
+ * record wrapped in an event envelope, which runRecordParse ignores —
+ * terminated by corpus_done.
+ */
+bool
+fetchCorpus(const std::string &socketPath,
+            std::vector<cwsim::sweep::ReportRecord> &out)
+{
+    cwsim::svc::Client client;
+    std::string err;
+    if (!client.connectUnix(socketPath, &err)) {
+        std::fprintf(stderr, "cwsim-report: %s\n", err.c_str());
+        return false;
+    }
+    if (!client.sendLine("{\"cmd\":\"corpus\"}", &err)) {
+        std::fprintf(stderr, "cwsim-report: %s\n", err.c_str());
+        return false;
+    }
+    size_t rejected = 0;
+    std::map<std::string, std::string> ev;
+    for (;;) {
+        if (!client.nextEvent(ev, &err)) {
+            std::fprintf(stderr, "cwsim-report: %s\n",
+                         err.empty() ? "server closed mid-corpus"
+                                     : err.c_str());
+            return false;
+        }
+        auto kind = ev.find("ev");
+        if (kind == ev.end())
+            continue;
+        if (kind->second == "corpus_done")
+            break;
+        if (kind->second == "error") {
+            auto reason = ev.find("reason");
+            std::fprintf(stderr, "cwsim-report: server error: %s\n",
+                         reason == ev.end() ? "?"
+                                            : reason->second.c_str());
+            return false;
+        }
+        if (kind->second != "corpus_record")
+            continue;
+        cwsim::sweep::ReportRecord rec;
+        if (!cwsim::sweep::runRecordParse(ev, rec.run)) {
+            ++rejected;
+            continue;
+        }
+        auto fp = ev.find("fp");
+        if (fp != ev.end())
+            rec.fp = fp->second;
+        auto scale = ev.find("scale");
+        if (scale != ev.end())
+            rec.scale = std::strtoull(scale->second.c_str(), nullptr,
+                                      10);
+        out.push_back(std::move(rec));
+    }
+    if (rejected > 0) {
+        std::fprintf(stderr,
+                     "cwsim-report: warning: skipped %zu unparseable "
+                     "record(s) from %s\n",
+                     rejected, socketPath.c_str());
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "cwsim-report: empty corpus at %s\n",
+                     socketPath.c_str());
+        return false;
+    }
+    return true;
+}
+
 } // anonymous namespace
 
 int
@@ -73,7 +155,7 @@ main(int argc, char **argv)
     bool diff = false;
     cwsim::sweep::ReportFormat format =
         cwsim::sweep::ReportFormat::Markdown;
-    std::string out_path;
+    std::string out_path, connect_path;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -98,6 +180,9 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(arg, "--connect") == 0 &&
+                   i + 1 < argc) {
+            connect_path = argv[++i];
         } else if (arg[0] == '-' && arg[1] != '\0') {
             std::fprintf(stderr, "cwsim-report: unknown flag '%s'\n",
                          arg);
@@ -108,10 +193,15 @@ main(int argc, char **argv)
     }
 
     if (diff) {
-        if (inputs.size() != 2)
+        // With --connect the daemon's corpus is the CURRENT side and
+        // the single positional file is the baseline.
+        if (inputs.size() != (connect_path.empty() ? 2u : 1u))
             return usage(argv[0]);
         std::vector<cwsim::sweep::ReportRecord> baseline, current;
-        if (!load(inputs[0], baseline) || !load(inputs[1], current))
+        if (!load(inputs[0], baseline))
+            return 2;
+        if (connect_path.empty() ? !load(inputs[1], current)
+                                 : !fetchCorpus(connect_path, current))
             return 2;
         cwsim::sweep::DiffResult result =
             cwsim::sweep::diffRunRecords(baseline, current);
@@ -119,10 +209,11 @@ main(int argc, char **argv)
         return result.clean() ? 0 : 1;
     }
 
-    if (inputs.size() != 1)
+    if (inputs.size() != (connect_path.empty() ? 1u : 0u))
         return usage(argv[0]);
     std::vector<cwsim::sweep::ReportRecord> records;
-    if (!load(inputs[0], records))
+    if (connect_path.empty() ? !load(inputs[0], records)
+                             : !fetchCorpus(connect_path, records))
         return 2;
     std::string report = cwsim::sweep::renderReport(records, format);
     if (out_path.empty()) {
