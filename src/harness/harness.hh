@@ -114,6 +114,14 @@ struct RunResult
     // Host-side profiling (not part of the simulated result; excluded
     // from determinism comparisons).
     double wallMs = 0;     ///< Wall-clock time of this run.
+    /**
+     * Host-side time the run spent waiting to execute (scheduler
+     * queue plus isolate-pool queue), as opposed to wallMs which is
+     * the execute time itself. Always 0 for cache hits, which never
+     * queue — the split is what makes cached vs. fresh runs
+     * distinguishable in reports.
+     */
+    double queueMs = 0;
     bool cacheHit = false; ///< Served from the sweep's run cache.
 
     double

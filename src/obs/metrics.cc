@@ -1,0 +1,294 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : upper(std::move(upperBounds)), buckets(upper.size() + 1)
+{
+    panic_if(upper.empty(), "histogram needs at least one bucket bound");
+    panic_if(!std::is_sorted(upper.begin(), upper.end()),
+             "histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(double x)
+{
+    size_t i =
+        std::lower_bound(upper.begin(), upper.end(), x) - upper.begin();
+    buckets[i].fetch_add(1, std::memory_order_relaxed);
+    double cur = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(cur, cur + x,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t n = 0;
+    for (const auto &b : buckets)
+        n += b.load(std::memory_order_relaxed);
+    return n;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    uint64_t n = count();
+    if (n == 0)
+        return std::nan("");
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the q-quantile sample, 1-based; walk the cumulative
+    // distribution until we cover it.
+    double rank = q * static_cast<double>(n);
+    uint64_t cumul = 0;
+    for (size_t i = 0; i < buckets.size(); i++) {
+        uint64_t inBucket = buckets[i].load(std::memory_order_relaxed);
+        if (inBucket == 0)
+            continue;
+        if (static_cast<double>(cumul + inBucket) >= rank) {
+            if (i >= upper.size()) {
+                // Overflow bucket: no upper edge to interpolate
+                // toward; clamp to the highest finite bound.
+                return upper.back();
+            }
+            double lo = i == 0 ? 0.0 : upper[i - 1];
+            double hi = upper[i];
+            double frac =
+                (rank - static_cast<double>(cumul)) / inBucket;
+            return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+        }
+        cumul += inBucket;
+    }
+    return upper.back();
+}
+
+std::vector<double>
+Histogram::latencySeconds()
+{
+    return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+            0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0, 120.0};
+}
+
+MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &name,
+                      const std::string &labelValue)
+{
+    for (auto &e : entries) {
+        if (e->name == name && e->labelValue == labelValue)
+            return e.get();
+    }
+    return nullptr;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    return counter(name, help, "", "");
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help,
+                         const std::string &labelKey,
+                         const std::string &labelValue)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Entry *e = find(name, labelValue)) {
+        panic_if(e->kind != Kind::CounterKind,
+                 "metric %s re-registered with a different type",
+                 name.c_str());
+        return *e->counter;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->help = help;
+    e->labelKey = labelKey;
+    e->labelValue = labelValue;
+    e->kind = Kind::CounterKind;
+    e->counter = std::make_unique<Counter>();
+    entries.push_back(std::move(e));
+    return *entries.back()->counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Entry *e = find(name, "")) {
+        panic_if(e->kind != Kind::GaugeKind,
+                 "metric %s re-registered with a different type",
+                 name.c_str());
+        return *e->gauge;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->help = help;
+    e->kind = Kind::GaugeKind;
+    e->gauge = std::make_unique<Gauge>();
+    entries.push_back(std::move(e));
+    return *entries.back()->gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, const std::string &help,
+                           std::vector<double> upperBounds)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Entry *e = find(name, "")) {
+        panic_if(e->kind != Kind::HistogramKind,
+                 "metric %s re-registered with a different type",
+                 name.c_str());
+        return *e->histogram;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->help = help;
+    e->kind = Kind::HistogramKind;
+    e->histogram = std::make_unique<Histogram>(std::move(upperBounds));
+    entries.push_back(std::move(e));
+    return *entries.back()->histogram;
+}
+
+namespace
+{
+
+/**
+ * Prometheus sample values: integers render without an exponent or
+ * trailing zeros; everything else gets shortest-round-trip %g.
+ */
+std::string
+promNumber(double x)
+{
+    if (std::isfinite(x) && x == std::floor(x) &&
+        std::abs(x) < 1e15) {
+        return strfmt("%lld", static_cast<long long>(x));
+    }
+    return strfmt("%.10g", x);
+}
+
+} // anonymous namespace
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::string out;
+    std::string lastHeader; // Emit HELP/TYPE once per metric name.
+    for (const auto &e : entries) {
+        if (e->name != lastHeader) {
+            const char *type = e->kind == Kind::CounterKind ? "counter"
+                               : e->kind == Kind::GaugeKind ? "gauge"
+                                                            : "histogram";
+            out += strfmt("# HELP %s %s\n", e->name.c_str(),
+                          e->help.c_str());
+            out += strfmt("# TYPE %s %s\n", e->name.c_str(), type);
+            lastHeader = e->name;
+        }
+        switch (e->kind) {
+          case Kind::CounterKind:
+            if (e->labelKey.empty()) {
+                out += strfmt("%s %llu\n", e->name.c_str(),
+                              (unsigned long long)e->counter->value());
+            } else {
+                out += strfmt("%s{%s=\"%s\"} %llu\n", e->name.c_str(),
+                              e->labelKey.c_str(), e->labelValue.c_str(),
+                              (unsigned long long)e->counter->value());
+            }
+            break;
+          case Kind::GaugeKind:
+            out += strfmt("%s %s\n", e->name.c_str(),
+                          promNumber(e->gauge->value()).c_str());
+            break;
+          case Kind::HistogramKind: {
+            const Histogram &h = *e->histogram;
+            uint64_t cumul = 0;
+            for (size_t i = 0; i < h.bounds().size(); i++) {
+                cumul += h.bucketValue(i);
+                out += strfmt("%s_bucket{le=\"%s\"} %llu\n",
+                              e->name.c_str(),
+                              promNumber(h.bounds()[i]).c_str(),
+                              (unsigned long long)cumul);
+            }
+            cumul += h.bucketValue(h.bucketCount() - 1);
+            out += strfmt("%s_bucket{le=\"+Inf\"} %llu\n",
+                          e->name.c_str(), (unsigned long long)cumul);
+            out += strfmt("%s_sum %s\n", e->name.c_str(),
+                          promNumber(h.sum()).c_str());
+            out += strfmt("%s_count %llu\n", e->name.c_str(),
+                          (unsigned long long)cumul);
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Flat-JSON values follow the JsonObject convention: non-finite
+ * doubles are quoted so the line stays parseable. */
+std::string
+jsonNumber(double x)
+{
+    if (!std::isfinite(x))
+        return strfmt("\"%s\"", std::isnan(x) ? "nan" : "inf");
+    return promNumber(x);
+}
+
+} // anonymous namespace
+
+std::string
+MetricsRegistry::flatJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::string out = "{";
+    bool first = true;
+    auto emit = [&](const std::string &key, const std::string &value) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strfmt("\"%s\":%s", key.c_str(), value.c_str());
+    };
+    for (const auto &e : entries) {
+        // Labeled series flatten to <name>_<labelValue>; metric names
+        // and label values are code-controlled identifiers, so no
+        // escaping is needed.
+        std::string key = e->labelKey.empty()
+                              ? e->name
+                              : e->name + "_" + e->labelValue;
+        switch (e->kind) {
+          case Kind::CounterKind:
+            emit(key, strfmt("%llu",
+                             (unsigned long long)e->counter->value()));
+            break;
+          case Kind::GaugeKind:
+            emit(key, jsonNumber(e->gauge->value()));
+            break;
+          case Kind::HistogramKind: {
+            const Histogram &h = *e->histogram;
+            emit(key + "_count",
+                 strfmt("%llu", (unsigned long long)h.count()));
+            emit(key + "_sum", jsonNumber(h.sum()));
+            emit(key + "_p50", jsonNumber(h.quantile(0.50)));
+            emit(key + "_p90", jsonNumber(h.quantile(0.90)));
+            emit(key + "_p99", jsonNumber(h.quantile(0.99)));
+            break;
+          }
+        }
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace obs
+} // namespace cwsim

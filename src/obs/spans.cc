@@ -1,0 +1,139 @@
+#include "obs/spans.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace obs
+{
+
+TraceEventWriter::TraceEventWriter(const std::string &path)
+    : epoch(Clock::now())
+{
+    f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open trace-event file %s for writing",
+             path.c_str());
+        return;
+    }
+    std::fputs("[\n", f);
+}
+
+TraceEventWriter::~TraceEventWriter()
+{
+    finish();
+}
+
+uint64_t
+TraceEventWriter::tsUs(Clock::time_point t) const
+{
+    if (t <= epoch)
+        return 0;
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               t - epoch)
+        .count();
+}
+
+std::string
+TraceEventWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += strfmt("\\u%04x", c);
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+TraceEventWriter::argsJson(const Args &args)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &kv : args) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strfmt("\"%s\":\"%s\"", escape(kv.first).c_str(),
+                      escape(kv.second).c_str());
+    }
+    out += "}";
+    return out;
+}
+
+void
+TraceEventWriter::event(const std::string &body)
+{
+    if (!f)
+        return;
+    if (!firstEvent)
+        std::fputs(",\n", f);
+    firstEvent = false;
+    std::fputs(body.c_str(), f);
+}
+
+void
+TraceEventWriter::complete(const std::string &name, const std::string &cat,
+                           uint64_t pid, uint64_t tid, uint64_t tsUs,
+                           uint64_t durUs, const Args &args)
+{
+    event(strfmt("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                 "\"ts\":%llu,\"dur\":%llu,\"pid\":%llu,\"tid\":%llu,"
+                 "\"args\":%s}",
+                 escape(name).c_str(), escape(cat).c_str(),
+                 (unsigned long long)tsUs, (unsigned long long)durUs,
+                 (unsigned long long)pid, (unsigned long long)tid,
+                 argsJson(args).c_str()));
+}
+
+void
+TraceEventWriter::instant(const std::string &name, const std::string &cat,
+                          uint64_t pid, uint64_t tid, uint64_t tsUs,
+                          const Args &args)
+{
+    event(strfmt("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                 "\"s\":\"t\",\"ts\":%llu,\"pid\":%llu,\"tid\":%llu,"
+                 "\"args\":%s}",
+                 escape(name).c_str(), escape(cat).c_str(),
+                 (unsigned long long)tsUs, (unsigned long long)pid,
+                 (unsigned long long)tid, argsJson(args).c_str()));
+}
+
+void
+TraceEventWriter::metaProcessName(uint64_t pid, const std::string &name)
+{
+    event(strfmt("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%llu,"
+                 "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                 (unsigned long long)pid, escape(name).c_str()));
+}
+
+void
+TraceEventWriter::metaThreadName(uint64_t pid, uint64_t tid,
+                                 const std::string &name)
+{
+    event(strfmt("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%llu,"
+                 "\"tid\":%llu,\"args\":{\"name\":\"%s\"}}",
+                 (unsigned long long)pid, (unsigned long long)tid,
+                 escape(name).c_str()));
+}
+
+void
+TraceEventWriter::finish()
+{
+    if (!f)
+        return;
+    std::fputs("\n]\n", f);
+    std::fclose(f);
+    f = nullptr;
+}
+
+} // namespace obs
+} // namespace cwsim

@@ -1,0 +1,70 @@
+#include "svc/log.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "base/str.hh"
+
+namespace cwsim
+{
+namespace svc
+{
+
+namespace
+{
+
+std::mutex log_mutex;
+bool epoch_set = false;
+std::chrono::steady_clock::time_point epoch;
+
+std::chrono::steady_clock::time_point
+theEpoch()
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    if (!epoch_set) {
+        epoch = std::chrono::steady_clock::now();
+        epoch_set = true;
+    }
+    return epoch;
+}
+
+} // anonymous namespace
+
+void
+logInit()
+{
+    theEpoch();
+}
+
+std::string
+logPrefix(uint64_t clientId)
+{
+    auto monoMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - theEpoch())
+                      .count();
+
+    std::time_t now = std::time(nullptr);
+    struct tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    char wall[32];
+    std::strftime(wall, sizeof(wall), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
+    if (clientId == 0)
+        return strfmt("[%s +%lldms]", wall, (long long)monoMs);
+    return strfmt("[%s +%lldms client=%llu]", wall, (long long)monoMs,
+                  (unsigned long long)clientId);
+}
+
+void
+logLine(uint64_t clientId, const std::string &message)
+{
+    std::string line = logPrefix(clientId) + " " + message + "\n";
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace svc
+} // namespace cwsim

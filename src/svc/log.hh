@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structured daemon logging for cwsimd.
+ *
+ * Every operational log line shares one prefix —
+ *
+ *     [2026-08-08T12:34:56Z +1234ms client=7] message
+ *
+ * — ISO-8601 UTC wall time for the operator reading the log, monotonic
+ * milliseconds since process start for correlating with metrics and
+ * trace-event spans (both use the same steady clock), and the client
+ * id when the line concerns a specific session. This replaces the
+ * ad-hoc base/logging warn() calls the daemon used before, which
+ * carried no timestamps and no session context.
+ *
+ * base/logging stays what it is — panic/fatal for programmer errors,
+ * warn/inform for library-level diagnostics shared with the CLI tools.
+ * This module is only for the daemon's operational narrative: sessions
+ * opening and closing, submits accepted and rejected, drains.
+ */
+
+#ifndef CWSIM_SVC_LOG_HH
+#define CWSIM_SVC_LOG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cwsim
+{
+namespace svc
+{
+
+/**
+ * Pin the monotonic epoch that "+NNNms" counts from. Called once at
+ * daemon startup; a first logLine() call auto-pins if it was not.
+ */
+void logInit();
+
+/** The shared prefix; @p clientId 0 means "no session context". */
+std::string logPrefix(uint64_t clientId);
+
+/** Write "[prefix] message\n" to stderr. */
+void logLine(uint64_t clientId, const std::string &message);
+
+} // namespace svc
+} // namespace cwsim
+
+#endif // CWSIM_SVC_LOG_HH

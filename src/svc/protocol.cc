@@ -1,11 +1,29 @@
 #include "svc/protocol.hh"
 
 #include "base/logging.hh"
+#include "base/str.hh"
+#include "sweep/run_cache.hh"
+
+#ifndef CWSIM_BUILD_TYPE
+#define CWSIM_BUILD_TYPE "unknown"
+#endif
 
 namespace cwsim
 {
 namespace svc
 {
+
+std::string
+versionLine(const char *tool)
+{
+    const char *build = CWSIM_BUILD_TYPE;
+    return strfmt("%s (cwsim record-schema v%llu, protocol v%u, %s "
+                  "build)",
+                  tool,
+                  (unsigned long long)sweep::run_record_version,
+                  protocol_version,
+                  build[0] ? build : "unknown");
+}
 
 std::string
 mergeJson(const std::string &base, const std::string &extra)

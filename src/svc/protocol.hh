@@ -21,7 +21,9 @@
  *
  *   {"ev":"hello",...}                 handshake reply
  *   {"ev":"pong"}
- *   {"ev":"stats",...}
+ *   {"ev":"stats",...}                 legacy counters + the full
+ *                                      metrics-registry snapshot
+ *                                      (cwsimd_ and cwsim_ keys)
  *   {"ev":"accepted","id":...,"runs":N,"cached":N,"deduped":N,
  *    "queued":N}                       submit admitted (all-or-nothing)
  *   {"ev":"rejected","id":...,"reason":...}
@@ -76,6 +78,13 @@ std::string mergeJson(const std::string &base,
  * into @p line. Returns false when @p buf holds no complete line yet.
  */
 bool takeLine(std::string &buf, std::string &line);
+
+/**
+ * The shared --version line: "<tool> (cwsim record-schema vN,
+ * protocol vM, <BuildType> build)". One implementation so a daemon
+ * and the clients poking at it report comparable identities.
+ */
+std::string versionLine(const char *tool);
 
 } // namespace svc
 } // namespace cwsim

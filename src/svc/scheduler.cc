@@ -2,10 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+
 namespace cwsim
 {
 namespace svc
 {
+
+void
+Scheduler::setMetrics(obs::MetricsRegistry *registry)
+{
+    if (!registry)
+        return;
+    queueGauge = &registry->gauge(
+        "cwsimd_queue_depth", "Distinct run units awaiting dispatch.");
+    runningGauge = &registry->gauge(
+        "cwsimd_runs_running", "Run units currently executing.");
+    waitHistogram = &registry->histogram(
+        "cwsimd_queue_wait_seconds",
+        "Admission-to-dispatch wait per run unit, seconds.",
+        obs::Histogram::latencySeconds());
+    updateGauges();
+}
+
+void
+Scheduler::updateGauges() const
+{
+    if (queueGauge)
+        queueGauge->set(static_cast<double>(queued()));
+    if (runningGauge)
+        runningGauge->set(static_cast<double>(running()));
+}
 
 bool
 Scheduler::canAdmit(uint64_t client, size_t newUnits,
@@ -47,8 +74,10 @@ Scheduler::admit(const RunRef &ref, uint64_t fp,
     unit.intervalCycles = interval;
     unit.owner = ref.client;
     unit.refs.push_back(ref);
+    unit.admittedAt = std::chrono::steady_clock::now();
     ownerQueues[unit.owner].push_back(unit.key);
     units.emplace(unit.key, std::move(unit));
+    updateGauges();
     return true;
 }
 
@@ -80,6 +109,14 @@ Scheduler::next()
 
     RunUnit &unit = units.at(key);
     unit.state = RunUnit::State::Running;
+    unit.dispatchedAt = std::chrono::steady_clock::now();
+    if (waitHistogram) {
+        waitHistogram->observe(
+            std::chrono::duration<double>(unit.dispatchedAt -
+                                          unit.admittedAt)
+                .count());
+    }
+    updateGauges();
     return &unit;
 }
 
@@ -108,6 +145,7 @@ Scheduler::complete(uint64_t key)
             ownerQueues.erase(oq);
     }
     units.erase(it);
+    updateGauges();
     return refs;
 }
 

@@ -26,6 +26,7 @@
 #ifndef CWSIM_SVC_SCHEDULER_HH
 #define CWSIM_SVC_SCHEDULER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -36,6 +37,14 @@
 
 namespace cwsim
 {
+
+namespace obs
+{
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+} // namespace obs
+
 namespace svc
 {
 
@@ -62,6 +71,10 @@ struct RunUnit
     /** Admitting client; 0 once orphaned by a disconnect. */
     uint64_t owner = 0;
     std::vector<RunRef> refs;
+    /** When admit() created the unit (queue-wait + latency spans). */
+    std::chrono::steady_clock::time_point admittedAt;
+    /** When next() dispatched it (valid once Running). */
+    std::chrono::steady_clock::time_point dispatchedAt;
 };
 
 struct SchedulerLimits
@@ -131,7 +144,17 @@ class Scheduler
     /** Unfinished refs held by @p client. */
     size_t inflight(uint64_t client) const;
 
+    /**
+     * Register queue telemetry (depth/running gauges, queue-wait
+     * histogram) in @p registry. Optional — a scheduler without a
+     * registry records nothing; @p registry must outlive the
+     * scheduler.
+     */
+    void setMetrics(obs::MetricsRegistry *registry);
+
   private:
+    void updateGauges() const;
+
     SchedulerLimits limits;
     uint64_t nextKey = 1;
     /** All unfinished units, by key. */
@@ -140,6 +163,11 @@ class Scheduler
     std::map<uint64_t, std::deque<uint64_t>> ownerQueues;
     /** Round-robin position: the owner AFTER the last-dispatched one. */
     uint64_t rrCursor = 0;
+
+    // Optional telemetry handles (null without setMetrics).
+    obs::Gauge *queueGauge = nullptr;
+    obs::Gauge *runningGauge = nullptr;
+    obs::Histogram *waitHistogram = nullptr;
 };
 
 } // namespace svc

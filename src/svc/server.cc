@@ -11,12 +11,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <set>
 
 #include "base/logging.hh"
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "svc/log.hh"
 #include "svc/protocol.hh"
 #include "sweep/jsonl.hh"
 
@@ -45,6 +48,42 @@ closeFd(int &fd)
     }
 }
 
+double
+elapsedMs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    if (to <= from)
+        return 0;
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(to - from)
+        .count();
+}
+
+/** Stable label value for a submit-rejection reason. */
+const char *
+rejectReasonSlug(const std::string &reason)
+{
+    if (reason == "draining")
+        return "draining";
+    if (reason == "queue full")
+        return "queue_full";
+    if (reason == "quota exceeded")
+        return "quota";
+    if (reason == "sweep id already in flight")
+        return "duplicate_id";
+    return "bad_spec"; // parse errors carry free-form text
+}
+
+constexpr const char *reject_help =
+    "Whole-sweep submits rejected, by reason.";
+constexpr const char *result_help =
+    "Executed run outcomes, by failure kind (none = success).";
+
+// Trace-event track layout: one process row for client tracks, one
+// for worker-slot tracks (tid 0 is reserved for metadata).
+constexpr uint64_t trace_pid_clients = 1;
+constexpr uint64_t trace_pid_slots = 2;
+
 } // anonymous namespace
 
 Server::Server(ServerOptions o) : opts(std::move(o))
@@ -72,6 +111,11 @@ Server::start(std::string *err)
     // A client that disconnects mid-stream must cost us an EPIPE
     // errno, not a process-killing signal.
     ::signal(SIGPIPE, SIG_IGN);
+
+    logInit();
+    startedAt = std::chrono::steady_clock::now();
+    registerMetrics();
+    sched.setMetrics(&metrics);
 
     cache = std::make_unique<sweep::RunCache>(opts.cacheDir);
 
@@ -151,8 +195,106 @@ Server::start(std::string *err)
         iopts.memLimitMb = opts.memLimitMb;
         iopts.retries = opts.retries;
         pool = std::make_unique<sweep::IsolatePool>(iopts);
+        pool->setMetrics(&metrics);
+    }
+
+    if (!opts.traceEventsPath.empty()) {
+        trace = std::make_unique<obs::TraceEventWriter>(
+            opts.traceEventsPath);
+        if (!trace->ok()) {
+            trace.reset();
+        } else {
+            trace->metaProcessName(trace_pid_clients, "clients");
+            trace->metaProcessName(trace_pid_slots, "worker slots");
+            unsigned slots = std::max(1u, opts.slots);
+            for (unsigned i = 0; i < slots; i++) {
+                trace->metaThreadName(trace_pid_slots, i + 1,
+                                      strfmt("slot %u", i));
+            }
+        }
+    }
+
+    if (!opts.metricsPath.empty()) {
+        nextMetricsDump =
+            startedAt + std::chrono::microseconds(static_cast<int64_t>(
+                            opts.metricsPeriodSec * 1e6));
     }
     return true;
+}
+
+void
+Server::registerMetrics()
+{
+    sm.sessions = &metrics.counter("cwsimd_sessions_total",
+                                   "Client sessions accepted.");
+    sm.sessionsOpen =
+        &metrics.gauge("cwsimd_sessions_open", "Connected clients.");
+    sm.submits = &metrics.counter("cwsimd_submits_total",
+                                  "Sweep submits received.");
+    sm.submitsAccepted = &metrics.counter(
+        "cwsimd_submits_accepted_total", "Sweep submits admitted.");
+    // Pre-register every rejection reason and failure kind so the
+    // exposition (and a CI assertion on a zero crash count) always
+    // sees the series, not just the ones that fired.
+    for (const char *reason :
+         {"draining", "queue_full", "quota", "duplicate_id",
+          "bad_spec"}) {
+        metrics.counter("cwsimd_submits_rejected_total", reject_help,
+                        "reason", reason);
+    }
+    sm.runsAdmitted = &metrics.counter(
+        "cwsimd_runs_admitted_total",
+        "Fresh run units admitted to the execution queue.");
+    sm.dedupeHits = &metrics.counter(
+        "cwsimd_dedupe_hits_total",
+        "Runs served by subscribing to an in-flight unit.");
+    sm.cacheHits = &metrics.counter(
+        "cwsimd_cache_hits_total",
+        "Runs served from the shared run cache.");
+    sm.executed = &metrics.counter("cwsimd_runs_executed_total",
+                                   "Run units executed to completion.");
+    for (const char *kind :
+         {"none", "sim_error", "crash", "timeout", "oom", "protocol"}) {
+        metrics.counter("cwsimd_run_results_total", result_help,
+                        "kind", kind);
+    }
+    sm.runLatency = &metrics.histogram(
+        "cwsimd_run_latency_seconds",
+        "End-to-end run latency, admission to completion, seconds.",
+        obs::Histogram::latencySeconds());
+    sm.backlogDrops = &metrics.counter(
+        "cwsimd_backlog_drops_total",
+        "Sessions dropped for exceeding the output-backlog cap.");
+    sm.protocolErrors = &metrics.counter(
+        "cwsimd_protocol_errors_total",
+        "Malformed, unknown, or oversized client requests.");
+    sm.cacheSize = &metrics.gauge("cwsimd_cache_size",
+                                  "Records in the shared run cache.");
+    sm.uptimeMs =
+        &metrics.gauge("cwsimd_uptime_ms", "Daemon uptime, ms.");
+}
+
+void
+Server::refreshSnapshotGauges()
+{
+    sm.cacheSize->set(static_cast<double>(cache ? cache->size() : 0));
+    sm.uptimeMs->set(
+        elapsedMs(startedAt, std::chrono::steady_clock::now()));
+}
+
+void
+Server::dumpMetricsFile()
+{
+    refreshSnapshotGauges();
+    std::string tmp = opts.metricsPath + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return;
+    std::string text = metrics.prometheusText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    // Atomic publish: a scraper never sees a torn file.
+    std::rename(tmp.c_str(), opts.metricsPath.c_str());
 }
 
 void
@@ -193,9 +335,11 @@ Server::send(Session &s, const std::string &line)
     s.outBuf += line;
     s.outBuf += '\n';
     if (s.outBuf.size() > opts.maxOutBuf) {
-        warn("cwsimd: client %llu exceeded the %zu-byte output "
-             "backlog; dropping it",
-             static_cast<unsigned long long>(s.id), opts.maxOutBuf);
+        logLine(s.id, strfmt("dropped: output backlog exceeded the "
+                             "%zu-byte cap",
+                             opts.maxOutBuf));
+        if (sm.backlogDrops)
+            sm.backlogDrops->inc();
         s.dead = true;
         return;
     }
@@ -233,8 +377,19 @@ Server::acceptPending(int listenFd)
         Session s;
         s.id = nextClientId++;
         s.fd = fd;
+        uint64_t id = s.id;
         sessions.emplace(fd, std::move(s));
         ++totalSessions;
+        if (sm.sessions)
+            sm.sessions->inc();
+        if (sm.sessionsOpen)
+            sm.sessionsOpen->set(static_cast<double>(sessions.size()));
+        if (trace) {
+            trace->metaThreadName(trace_pid_clients, id,
+                                  strfmt("client %llu",
+                                         (unsigned long long)id));
+        }
+        logLine(id, "connected");
     }
 }
 
@@ -272,18 +427,79 @@ Server::deliverRecord(Session &s, const RunRef &ref,
 }
 
 void
-Server::finishUnit(uint64_t key, const harness::RunResult &r,
-                   const std::vector<std::string> &intervalLines)
+Server::emitRunSpans(const RunUnit &unit, const harness::RunResult &r,
+                     const ExecInfo &info,
+                     const std::vector<RunRef> &refs)
+{
+    if (!trace)
+        return;
+    uint64_t endUs = trace->nowUs();
+    uint64_t startUs = trace->tsUs(unit.admittedAt);
+    uint64_t dispatchUs = trace->tsUs(unit.dispatchedAt);
+    uint64_t execUs = static_cast<uint64_t>(info.execMs * 1000.0);
+    std::string name = unit.job.workload + " " + unit.job.config.name();
+    obs::TraceEventWriter::Args args = {
+        {"workload", unit.job.workload},
+        {"config", unit.job.config.name()},
+        {"result", harness::toString(r.failKind)},
+    };
+
+    // One span per executed run on its worker slot's track, sized by
+    // the parent-observed execute time.
+    uint64_t execStartUs = endUs > execUs ? endUs - execUs : 0;
+    trace->complete(name, "exec", trace_pid_slots, info.slot + 1,
+                    execStartUs, execUs, args);
+
+    // Each subscribed client's track gets the full lifecycle span
+    // (admitted → replied) with a nested queue-wait span; Perfetto
+    // shows the wait as the contained child.
+    uint64_t queuedUs = dispatchUs > startUs ? dispatchUs - startUs : 0;
+    for (const RunRef &ref : refs) {
+        trace->complete(name, "run", trace_pid_clients, ref.client,
+                        startUs, endUs > startUs ? endUs - startUs : 0,
+                        args);
+        trace->complete("queued", "queue", trace_pid_clients,
+                        ref.client, startUs, queuedUs);
+    }
+}
+
+void
+Server::finishUnit(uint64_t key, harness::RunResult r,
+                   const std::vector<std::string> &intervalLines,
+                   const ExecInfo &info)
 {
     RunUnit *unit = sched.find(key);
     if (!unit)
         return;
     uint64_t fp = unit->fp;
     uint64_t scale = unit->scale;
+
+    // Queue wait = scheduler queue (admit → dispatch) + executor queue
+    // (enqueue → fork); both are host-side and ride in the record as
+    // the queue_ms field next to wall_ms.
+    r.queueMs =
+        elapsedMs(unit->admittedAt, unit->dispatchedAt) + info.queueMs;
+
     cache->append(fp, scale, r);
     ++executedRuns;
+    if (sm.executed)
+        sm.executed->inc();
+    metrics
+        .counter("cwsimd_run_results_total", result_help, "kind",
+                 harness::toString(r.failKind))
+        .inc();
+    if (sm.runLatency) {
+        sm.runLatency->observe(
+            elapsedMs(unit->admittedAt,
+                      std::chrono::steady_clock::now()) /
+            1000.0);
+    }
 
+    // complete() erases the unit, so snapshot what the spans need
+    // first (the refs come back from complete itself).
+    RunUnit unitCopy = *unit;
     std::vector<RunRef> refs = sched.complete(key);
+    emitRunSpans(unitCopy, r, info, refs);
     for (const RunRef &ref : refs) {
         Session *s = sessionByClient(ref.client);
         if (!s || s->dead)
@@ -338,10 +554,13 @@ Server::runInlineUnit()
     // Runner::run is fail-soft (SimErrors come back in the record);
     // inline mode deliberately skips process isolation, so host-fault
     // workloads belong on the isolated executor.
+    auto t0 = std::chrono::steady_clock::now();
     harness::RunResult r =
         runnerFor(unit->scale).run(unit->job.workload,
                                    unit->job.config);
-    finishUnit(unit->key, r, {});
+    ExecInfo info;
+    info.execMs = elapsedMs(t0, std::chrono::steady_clock::now());
+    finishUnit(unit->key, r, {}, info);
 }
 
 void
@@ -349,7 +568,15 @@ Server::handleSubmit(Session &s,
                      const std::map<std::string, std::string> &req)
 {
     std::string id = field(req, "id");
+    if (sm.submits)
+        sm.submits->inc();
     auto reject = [&](const std::string &reason) {
+        metrics
+            .counter("cwsimd_submits_rejected_total", reject_help,
+                     "reason", rejectReasonSlug(reason))
+            .inc();
+        logLine(s.id, strfmt("submit '%s' rejected: %s", id.c_str(),
+                             reason.c_str()));
         sweep::JsonObject o;
         o.add("ev", "rejected").add("id", id).add("reason", reason);
         send(s, o.str());
@@ -397,6 +624,14 @@ Server::handleSubmit(Session &s,
     if (!sched.canAdmit(s.id, fresh, attached + fresh, reason))
         return reject(reason);
 
+    if (sm.submitsAccepted)
+        sm.submitsAccepted->inc();
+    logLine(s.id, strfmt("submit '%s' accepted: %zu runs (%llu "
+                         "cached, %llu deduped, %llu queued)",
+                         spec.id.c_str(), jobs.size(),
+                         (unsigned long long)cached,
+                         (unsigned long long)attached,
+                         (unsigned long long)fresh));
     sweep::JsonObject acc;
     acc.add("ev", "accepted")
         .add("id", spec.id)
@@ -413,12 +648,27 @@ Server::handleSubmit(Session &s,
             harness::RunResult hit;
             cache->lookup(fps[i], hit);
             hit.cacheHit = true;
+            // A hit never queued for THIS delivery; the stored
+            // queue_ms belongs to whoever paid for the run.
+            hit.queueMs = 0;
             ++cacheHitRuns;
+            if (sm.cacheHits)
+                sm.cacheHits->inc();
+            if (trace) {
+                trace->instant(
+                    jobs[i].workload + " " + jobs[i].config.name(),
+                    "cache_hit", trace_pid_clients, s.id,
+                    trace->nowUs());
+            }
             deliverRecord(s, ref, hit, fps[i], scale);
         } else {
             if (!sched.admit(ref, fps[i], jobs[i], scale,
                              spec.intervalCycles)) {
                 ++dedupedRuns;
+                if (sm.dedupeHits)
+                    sm.dedupeHits->inc();
+            } else if (sm.runsAdmitted) {
+                sm.runsAdmitted->inc();
             }
         }
     }
@@ -429,6 +679,8 @@ Server::handleLine(Session &s, const std::string &line)
 {
     std::map<std::string, std::string> req;
     if (!sweep::parseFlatJson(line, req)) {
+        if (sm.protocolErrors)
+            sm.protocolErrors->inc();
         sweep::JsonObject o;
         o.add("ev", "error").add("reason", "malformed request");
         send(s, o.str());
@@ -450,6 +702,7 @@ Server::handleLine(Session &s, const std::string &line)
         o.add("ev", "pong");
         send(s, o.str());
     } else if (cmd == "stats") {
+        refreshSnapshotGauges();
         sweep::JsonObject o;
         o.add("ev", "stats")
             .add("clients", static_cast<uint64_t>(sessions.size()))
@@ -460,8 +713,12 @@ Server::handleLine(Session &s, const std::string &line)
             .add("queued", static_cast<uint64_t>(sched.queued()))
             .add("running", static_cast<uint64_t>(sched.running()))
             .add("cache_size", static_cast<uint64_t>(cache->size()))
+            .add("slots", static_cast<uint64_t>(opts.slots))
             .add("draining", draining);
-        send(s, o.str());
+        // The full registry snapshot rides along: every metric name
+        // is cwsimd_/cwsim_-prefixed, so the legacy keys above stay
+        // collision-free.
+        send(s, mergeJson(o.str(), metrics.flatJson()));
     } else if (cmd == "corpus") {
         // The whole shared corpus, one record per event — what
         // `cwsim-report --connect` renders from.
@@ -483,6 +740,8 @@ Server::handleLine(Session &s, const std::string &line)
         // Same path as SIGTERM: drain, then the final shutdown event.
         requestStop();
     } else {
+        if (sm.protocolErrors)
+            sm.protocolErrors->inc();
         sweep::JsonObject o;
         o.add("ev", "error")
             .add("reason", strfmt("unknown cmd '%s'", cmd.c_str()));
@@ -500,9 +759,12 @@ Server::reapDeadSessions()
         }
         // The client's units become orphans and still execute; only
         // the subscriptions die with the session.
+        logLine(it->second.id, "disconnected");
         sched.dropClient(it->second.id);
         ::close(it->second.fd);
         it = sessions.erase(it);
+        if (sm.sessionsOpen)
+            sm.sessionsOpen->set(static_cast<double>(sessions.size()));
     }
 }
 
@@ -528,6 +790,14 @@ Server::run()
                 ::close(fd);
             }
             sessions.clear();
+            if (sm.sessionsOpen)
+                sm.sessionsOpen->set(0);
+            // Final telemetry: one last exposition dump and the
+            // trace-event array's closing bracket.
+            if (!opts.metricsPath.empty())
+                dumpMetricsFile();
+            if (trace)
+                trace->finish();
             // The address dies with the service, not the process: a
             // supervisor polling the path sees the drain finish even
             // though the Server object lingers.
@@ -563,6 +833,14 @@ Server::run()
             timeout = pool->timeoutMs();
         else if (sched.queued() > 0)
             timeout = 0; // inline executor has work now
+        if (!opts.metricsPath.empty()) {
+            // Wake in time for the next metrics-file dump too.
+            int dumpMs = static_cast<int>(std::max(
+                0.0, elapsedMs(std::chrono::steady_clock::now(),
+                               nextMetricsDump)));
+            timeout = timeout < 0 ? dumpMs + 1
+                                  : std::min(timeout, dumpMs + 1);
+        }
 
         int rc = ::poll(pfds.data(), pfds.size(), timeout);
         if (rc < 0) {
@@ -578,6 +856,9 @@ Server::run()
                 draining = true;
                 closeFd(unixFd);
                 closeFd(tcpFd);
+                logLine(0, strfmt("drain requested; listeners closed, "
+                                  "%zu run(s) still in flight",
+                                  sched.queued() + sched.running()));
             }
         }
         if (!draining) {
@@ -616,6 +897,8 @@ Server::run()
             std::string line;
             while (!s.dead && takeLine(s.inBuf, line)) {
                 if (line.size() > max_request_line) {
+                    if (sm.protocolErrors)
+                        sm.protocolErrors->inc();
                     sweep::JsonObject o;
                     o.add("ev", "error")
                         .add("reason", "request line too long");
@@ -629,6 +912,8 @@ Server::run()
             // An unterminated line beyond the cap is the same
             // violation as an oversized one — don't buffer it forever.
             if (!s.dead && s.inBuf.size() > max_request_line) {
+                if (sm.protocolErrors)
+                    sm.protocolErrors->inc();
                 sweep::JsonObject o;
                 o.add("ev", "error")
                     .add("reason", "request line too long");
@@ -638,10 +923,21 @@ Server::run()
         }
 
         if (pool) {
-            for (sweep::IsolatePool::Done &d : pool->service())
-                finishUnit(d.token, d.result, d.intervalLines);
+            for (sweep::IsolatePool::Done &d : pool->service()) {
+                ExecInfo info{d.slot, d.queueMs, d.execMs};
+                finishUnit(d.token, d.result, d.intervalLines, info);
+            }
         } else {
             runInlineUnit();
+        }
+
+        if (!opts.metricsPath.empty() &&
+            std::chrono::steady_clock::now() >= nextMetricsDump) {
+            dumpMetricsFile();
+            nextMetricsDump =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(static_cast<int64_t>(
+                    opts.metricsPeriodSec * 1e6));
         }
 
         reapDeadSessions();

@@ -41,12 +41,15 @@
 #ifndef CWSIM_SVC_SERVER_HH
 #define CWSIM_SVC_SERVER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "harness/harness.hh"
+#include "obs/metrics.hh"
+#include "obs/spans.hh"
 #include "svc/scheduler.hh"
 #include "svc/spec.hh"
 #include "sweep/isolate.hh"
@@ -79,6 +82,20 @@ struct ServerOptions
     SchedulerLimits limits;
     /** Output backlog cap per session before it is dropped. */
     size_t maxOutBuf = 64 * 1024 * 1024;
+
+    /**
+     * Periodically dump the metrics registry as Prometheus text
+     * exposition to this path (written atomically via rename), for
+     * file-based scrapers. Empty = off.
+     */
+    std::string metricsPath;
+    /** Seconds between metrics-file dumps. */
+    double metricsPeriodSec = 5;
+    /**
+     * Emit per-run lifecycle spans as Chrome trace-event JSON to this
+     * path (finalized at drain; loadable in Perfetto). Empty = off.
+     */
+    std::string traceEventsPath;
 };
 
 class Server
@@ -129,6 +146,15 @@ class Server
         std::map<std::string, SweepProgress> sweeps;
     };
 
+    /** How a unit actually executed, for telemetry and the
+     * queue/execute wallMs split (pool- or inline-observed). */
+    struct ExecInfo
+    {
+        unsigned slot = 0;  ///< Worker slot (0 for inline).
+        double queueMs = 0; ///< Executor-side queue wait.
+        double execMs = 0;  ///< Parent-observed execute time.
+    };
+
     harness::Runner &runnerFor(uint64_t scale);
     void acceptPending(int listenFd);
     void handleLine(Session &s, const std::string &line);
@@ -137,14 +163,21 @@ class Server
     void deliverRecord(Session &s, const RunRef &ref,
                        const harness::RunResult &r, uint64_t fp,
                        uint64_t scale);
-    void finishUnit(uint64_t key, const harness::RunResult &r,
-                    const std::vector<std::string> &intervalLines);
+    void finishUnit(uint64_t key, harness::RunResult r,
+                    const std::vector<std::string> &intervalLines,
+                    const ExecInfo &info);
     void dispatchReady();
     void runInlineUnit();
     void send(Session &s, const std::string &line);
     void flushSession(Session &s);
     void reapDeadSessions();
     Session *sessionByClient(uint64_t client);
+    void registerMetrics();
+    void refreshSnapshotGauges();
+    void dumpMetricsFile();
+    void emitRunSpans(const RunUnit &unit, const harness::RunResult &r,
+                      const ExecInfo &info,
+                      const std::vector<RunRef> &refs);
 
     ServerOptions opts;
     std::unique_ptr<sweep::RunCache> cache;
@@ -159,11 +192,37 @@ class Server
     bool draining = false;
     uint64_t nextClientId = 1;
 
-    // Counters surfaced by the stats event.
+    // Counters surfaced by the stats event (the legacy flat fields;
+    // the metrics registry below is the richer superset).
     uint64_t executedRuns = 0;
     uint64_t cacheHitRuns = 0;
     uint64_t dedupedRuns = 0;
     uint64_t totalSessions = 0;
+
+    // Telemetry: the registry snapshot rides in every stats event and
+    // in --metrics-file dumps; spans go to --trace-events.
+    obs::MetricsRegistry metrics;
+    std::unique_ptr<obs::TraceEventWriter> trace;
+    std::chrono::steady_clock::time_point startedAt;
+    std::chrono::steady_clock::time_point nextMetricsDump;
+
+    /** Hot-path metric handles, registered once in start(). */
+    struct
+    {
+        obs::Counter *sessions = nullptr;
+        obs::Gauge *sessionsOpen = nullptr;
+        obs::Counter *submits = nullptr;
+        obs::Counter *submitsAccepted = nullptr;
+        obs::Counter *runsAdmitted = nullptr;
+        obs::Counter *dedupeHits = nullptr;
+        obs::Counter *cacheHits = nullptr;
+        obs::Counter *executed = nullptr;
+        obs::Counter *backlogDrops = nullptr;
+        obs::Counter *protocolErrors = nullptr;
+        obs::Histogram *runLatency = nullptr;
+        obs::Gauge *cacheSize = nullptr;
+        obs::Gauge *uptimeMs = nullptr;
+    } sm;
 };
 
 } // namespace svc

@@ -21,6 +21,7 @@
 #include "base/logging.hh"
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
@@ -279,10 +280,69 @@ finalizeResult(const IsolatePool::Task &task, const Classified &cls,
     return r;
 }
 
+/** Milliseconds between two steady-clock points, clamped at 0. */
+double
+elapsedMs(Clock::time_point from, Clock::time_point to)
+{
+    if (to <= from)
+        return 0;
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(to - from)
+        .count();
+}
+
 } // anonymous namespace
 
-IsolatePool::IsolatePool(IsolateOptions opts) : opts(opts)
+IsolatePool::IsolatePool(IsolateOptions opts)
+    : opts(opts), slotBusy(std::max(1u, opts.slots), 0)
 {
+}
+
+void
+IsolatePool::setMetrics(obs::MetricsRegistry *registry)
+{
+    if (!registry)
+        return;
+    registry
+        ->gauge("cwsim_pool_slots",
+                "Configured worker slots (concurrent child processes).")
+        .set(std::max(1u, opts.slots));
+    busyGauge = &registry->gauge(
+        "cwsim_pool_busy", "Worker slots currently running a child.");
+    forksCounter = &registry->counter(
+        "cwsim_pool_forks_total", "Child processes forked (attempts).");
+    retriesCounter = &registry->counter(
+        "cwsim_pool_retries_total",
+        "Host-level failures requeued for another attempt.");
+    execMsCounter = &registry->counter(
+        "cwsim_pool_exec_ms_total",
+        "Total milliseconds worker slots spent occupied; divide by "
+        "uptime times slots for utilization.");
+    execHistogram = &registry->histogram(
+        "cwsim_pool_exec_seconds",
+        "Per-attempt execute time, fork to reap, seconds.",
+        obs::Histogram::latencySeconds());
+}
+
+unsigned
+IsolatePool::claimSlot()
+{
+    for (size_t i = 0; i < slotBusy.size(); i++) {
+        if (!slotBusy[i]) {
+            slotBusy[i] = 1;
+            return static_cast<unsigned>(i);
+        }
+    }
+    // pump() never forks past opts.slots, so this is unreachable; be
+    // lenient rather than panic in release builds.
+    return 0;
+}
+
+void
+IsolatePool::releaseSlot(unsigned slot)
+{
+    if (slot < slotBusy.size())
+        slotBusy[slot] = 0;
 }
 
 IsolatePool::~IsolatePool()
@@ -303,23 +363,35 @@ IsolatePool::~IsolatePool()
 void
 IsolatePool::enqueue(Task task)
 {
-    queue.push_back({std::move(task), 0, Clock::now()});
+    Clock::time_point now = Clock::now();
+    queue.push_back({std::move(task), 0, now, now});
 }
 
 bool
 IsolatePool::spawn(const Attempt &a, std::vector<Done> &out)
 {
     const Task &task = a.task;
+    auto runInProcess = [&]() {
+        Done d;
+        d.token = task.token;
+        d.queueMs = elapsedMs(a.enqueuedAt, Clock::now());
+        Clock::time_point t0 = Clock::now();
+        d.result = task.runner->run(task.job.workload,
+                                    task.job.config);
+        d.execMs = elapsedMs(t0, Clock::now());
+        d.result.queueMs = d.queueMs;
+        d.attempts = a.attempt + 1;
+        if (execHistogram)
+            execHistogram->observe(d.execMs / 1000.0);
+        if (execMsCounter)
+            execMsCounter->inc(static_cast<uint64_t>(d.execMs));
+        out.push_back(std::move(d));
+    };
     int fds[2];
     if (::pipe2(fds, O_CLOEXEC) < 0) {
         warn("isolate: pipe2 failed (%s); running %s in-process",
              std::strerror(errno), task.job.workload.c_str());
-        Done d;
-        d.token = task.token;
-        d.result = task.runner->run(task.job.workload,
-                                    task.job.config);
-        d.attempts = a.attempt + 1;
-        out.push_back(std::move(d));
+        runInProcess();
         return false;
     }
     // The child _exit()s, so any bytes sitting in stdio buffers
@@ -332,12 +404,7 @@ IsolatePool::spawn(const Attempt &a, std::vector<Done> &out)
         ::close(fds[1]);
         warn("isolate: fork failed (%s); running %s in-process",
              std::strerror(errno), task.job.workload.c_str());
-        Done d;
-        d.token = task.token;
-        d.result = task.runner->run(task.job.workload,
-                                    task.job.config);
-        d.attempts = a.attempt + 1;
-        out.push_back(std::move(d));
+        runInProcess();
         return false;
     }
     if (pid == 0) {
@@ -352,6 +419,9 @@ IsolatePool::spawn(const Attempt &a, std::vector<Done> &out)
     c.pid = pid;
     c.fd = fds[0];
     c.attempt = a.attempt;
+    c.slot = claimSlot();
+    c.spawnedAt = Clock::now();
+    c.enqueuedAt = a.enqueuedAt;
     if (opts.timeoutSec > 0) {
         c.deadline = Clock::now() +
                      std::chrono::microseconds(static_cast<int64_t>(
@@ -359,6 +429,10 @@ IsolatePool::spawn(const Attempt &a, std::vector<Done> &out)
         c.hasDeadline = true;
     }
     live.push_back(std::move(c));
+    if (forksCounter)
+        forksCounter->inc();
+    if (busyGauge)
+        busyGauge->set(static_cast<double>(live.size()));
     return true;
 }
 
@@ -465,12 +539,21 @@ IsolatePool::reap(std::vector<Done> &out)
         Child c = std::move(live[k]);
         live.erase(live.begin() + k);
         ::close(c.fd);
+        releaseSlot(c.slot);
         int status = 0;
         pid_t w;
         do {
             w = ::waitpid(c.pid, &status, 0);
         } while (w < 0 && errno == EINTR);
         Classified cls = classifyExit(c.buf, c.killed, status, opts);
+
+        double execMs = elapsedMs(c.spawnedAt, Clock::now());
+        if (busyGauge)
+            busyGauge->set(static_cast<double>(live.size()));
+        if (execHistogram)
+            execHistogram->observe(execMs / 1000.0);
+        if (execMsCounter)
+            execMsCounter->inc(static_cast<uint64_t>(execMs));
 
         if (retryable(cls.kind) && c.attempt < opts.retries) {
             warn("isolate: %s under %s died (%s, attempt %u/%u); "
@@ -479,17 +562,23 @@ IsolatePool::reap(std::vector<Done> &out)
                  c.task.job.config.name().c_str(),
                  cls.detail.c_str(), c.attempt + 1,
                  opts.retries + 1);
+            if (retriesCounter)
+                retriesCounter->inc();
             // Exponential backoff so a thrashing host gets air.
             auto backoff =
                 std::chrono::milliseconds(100u << c.attempt);
             queue.push_back({std::move(c.task), c.attempt + 1,
-                             Clock::now() + backoff});
+                             Clock::now() + backoff, c.enqueuedAt});
         } else {
             Done d;
             d.token = c.task.token;
             d.result = finalizeResult(c.task, cls, c.attempt + 1);
             d.intervalLines = std::move(cls.intervalLines);
             d.attempts = c.attempt + 1;
+            d.slot = c.slot;
+            d.queueMs = elapsedMs(c.enqueuedAt, c.spawnedAt);
+            d.execMs = execMs;
+            d.result.queueMs = d.queueMs;
             out.push_back(std::move(d));
         }
     }

@@ -60,6 +60,15 @@
 
 namespace cwsim
 {
+
+namespace obs
+{
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+} // namespace obs
+
 namespace sweep
 {
 
@@ -119,6 +128,15 @@ class IsolatePool
         std::vector<std::string> intervalLines;
         /** Attempts consumed (1 = no retries needed). */
         unsigned attempts = 1;
+        /** Worker slot the final attempt ran in (0-based). */
+        unsigned slot = 0;
+        /** Pool queue wait: enqueue() → final fork, milliseconds.
+         * Also stamped into result.queueMs. */
+        double queueMs = 0;
+        /** Parent-observed execute time of the final attempt: fork →
+         * reap, milliseconds (covers crashed children, whose own
+         * wallMs never made it back). */
+        double execMs = 0;
     };
 
     explicit IsolatePool(IsolateOptions opts);
@@ -174,6 +192,14 @@ class IsolatePool
      */
     std::vector<Done> service();
 
+    /**
+     * Register the pool's metrics (slot occupancy, forks, retries,
+     * execute-latency histogram) in @p registry. Optional; a pool
+     * without a registry records nothing. Must be called before the
+     * first enqueue() and outlive the pool.
+     */
+    void setMetrics(obs::MetricsRegistry *registry);
+
   private:
     struct Attempt
     {
@@ -181,6 +207,9 @@ class IsolatePool
         unsigned attempt = 0; ///< 0-based attempt number.
         /** Earliest fork time (retry backoff). */
         std::chrono::steady_clock::time_point notBefore;
+        /** First enqueue() time; survives retries so queueMs measures
+         * the task's whole wait, not the last backoff's. */
+        std::chrono::steady_clock::time_point enqueuedAt;
     };
 
     struct Child
@@ -194,12 +223,17 @@ class IsolatePool
         std::string buf; ///< Record + interval bytes read so far.
         std::chrono::steady_clock::time_point deadline;
         bool hasDeadline = false;
+        unsigned slot = 0; ///< Worker slot this child occupies.
+        std::chrono::steady_clock::time_point spawnedAt;
+        std::chrono::steady_clock::time_point enqueuedAt;
     };
 
     bool spawn(const Attempt &a, std::vector<Done> &out);
     void drainPipes();
     void enforceDeadlines();
     void reap(std::vector<Done> &out);
+    unsigned claimSlot();
+    void releaseSlot(unsigned slot);
 
     IsolateOptions opts;
     std::deque<Attempt> queue;
@@ -207,6 +241,16 @@ class IsolatePool
     /** Results finished synchronously (in-process fallback when
      * pipe2/fork fails), held for the next service() call. */
     std::vector<Done> fallbackDone;
+    /** Which worker slots hold a live child (lowest-free assignment,
+     * so trace tracks are stable). */
+    std::vector<char> slotBusy;
+
+    // Optional telemetry handles (null without setMetrics).
+    obs::Gauge *busyGauge = nullptr;
+    obs::Counter *forksCounter = nullptr;
+    obs::Counter *retriesCounter = nullptr;
+    obs::Counter *execMsCounter = nullptr;
+    obs::Histogram *execHistogram = nullptr;
 };
 
 /**

@@ -124,6 +124,10 @@ runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
         // sim_cycles_per_sec vary run to run; determinism comparisons
         // must ignore them.
         .add("wall_ms", r.wallMs)
+        // queue_ms rides along as a schema-compatible extra field
+        // (readers ignore unknown keys; runRecordParse treats it as
+        // optional), so no version bump is needed.
+        .add("queue_ms", r.queueMs)
         .add("sim_cycles_per_sec", r.simCyclesPerSec())
         .add("cache_hit", r.cacheHit)
         .add("diagnostic", r.diagnostic);
@@ -197,6 +201,9 @@ runRecordParse(const std::map<std::string, std::string> &fields,
             !getStr(fields, "diagnostic", r.diagnostic)) {
             return false;
         }
+        // Optional queue-wait split; records written before it
+        // existed simply leave it 0.
+        getF64(fields, "queue_ms", r.queueMs);
         auto hit = fields.find("cache_hit");
         if (hit == fields.end())
             return false;

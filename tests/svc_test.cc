@@ -13,7 +13,9 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -27,6 +29,7 @@
 #include "svc/scheduler.hh"
 #include "svc/server.hh"
 #include "svc/spec.hh"
+#include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
 
 namespace cwsim
@@ -667,6 +670,194 @@ TEST(SvcServer, IsolatedExecutorStreamsIntervalSamples)
     EXPECT_GT(samples, 0u) << "interval samples precede the record";
     ASSERT_TRUE(awaitEvent(c, "done", event));
     EXPECT_EQ(ev(event, "failed"), "0");
+}
+
+double
+statNum(const Event &event, const char *key)
+{
+    return std::strtod(ev(event, key).c_str(), nullptr);
+}
+
+TEST(SvcServer, StatsVerbCarriesTheMetricsRegistrySnapshot)
+{
+    LiveServer live("svc_stats", inlineOptions());
+    ASSERT_TRUE(live.started);
+    Client c = live.connect();
+    std::string err;
+    Event event;
+    // A fresh daemon already exposes the registry in the stats event,
+    // alongside the legacy keys, with everything at zero — including
+    // pre-registered label series that have never fired.
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"stats\"}", &err));
+    ASSERT_TRUE(awaitEvent(c, "stats", event));
+    EXPECT_EQ(ev(event, "cache_size"), "0") << "legacy keys intact";
+    EXPECT_EQ(ev(event, "cwsimd_runs_executed_total"), "0");
+    EXPECT_EQ(ev(event, "cwsimd_run_results_total_crash"), "0")
+        << "zero-count series still export";
+    EXPECT_EQ(statNum(event, "cwsimd_sessions_open"), 1.0);
+
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"m\","
+                           "\"workloads\":\"129.compress,130.li\"}",
+                           &err));
+    ASSERT_TRUE(awaitEvent(c, "done", event));
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"stats\"}", &err));
+    ASSERT_TRUE(awaitEvent(c, "stats", event));
+    EXPECT_EQ(ev(event, "cwsimd_submits_accepted_total"), "1");
+    EXPECT_EQ(ev(event, "cwsimd_runs_admitted_total"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_runs_executed_total"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_run_results_total_none"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_run_latency_seconds_count"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_queue_wait_seconds_count"), "2");
+    EXPECT_EQ(statNum(event, "cwsimd_queue_depth"), 0.0);
+    EXPECT_EQ(statNum(event, "cwsimd_runs_running"), 0.0);
+    EXPECT_EQ(statNum(event, "cwsimd_cache_size"), 2.0);
+    EXPECT_GT(statNum(event, "cwsimd_uptime_ms"), 0.0);
+
+    // Resubmitting the same spec is served from the corpus: the cache
+    // hit counter moves, the executed counter must not.
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"m2\","
+                           "\"workloads\":\"129.compress,130.li\"}",
+                           &err));
+    ASSERT_TRUE(awaitEvent(c, "done", event));
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"stats\"}", &err));
+    ASSERT_TRUE(awaitEvent(c, "stats", event));
+    EXPECT_EQ(ev(event, "cwsimd_cache_hits_total"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_runs_executed_total"), "2");
+    EXPECT_EQ(ev(event, "cwsimd_run_results_total_none"), "2");
+}
+
+TEST(SvcServer, RunRecordsCarryTheQueueWaitSplit)
+{
+    LiveServer live("svc_queuems", inlineOptions());
+    ASSERT_TRUE(live.started);
+    Client c = live.connect();
+    std::string err;
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"w\","
+                           "\"workloads\":\"129.compress\"}",
+                           &err));
+    Event event;
+    ASSERT_TRUE(awaitEvent(c, "run", event));
+    // The wait/execute split travels in the record; a freshly executed
+    // run spent a non-negative (tiny, here) time admitted-but-waiting.
+    ASSERT_TRUE(event.count("queue_ms")) << "queue_ms field missing";
+    EXPECT_GE(statNum(event, "queue_ms"), 0.0);
+    RunResult r;
+    ASSERT_TRUE(sweep::runRecordParse(event, r));
+    EXPECT_GE(r.queueMs, 0.0);
+    ASSERT_TRUE(awaitEvent(c, "done", event));
+
+    // A cache-served copy of the same run reports zero wait: nothing
+    // was queued the second time around.
+    ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"w2\","
+                           "\"workloads\":\"129.compress\"}",
+                           &err));
+    ASSERT_TRUE(awaitEvent(c, "run", event));
+    EXPECT_EQ(ev(event, "cache_hit"), "true");
+    EXPECT_EQ(statNum(event, "queue_ms"), 0.0);
+    ASSERT_TRUE(awaitEvent(c, "done", event));
+}
+
+TEST(SvcServer, TraceEventsFileIsValidAndCoversEveryExecutedRun)
+{
+    ServerOptions opts = inlineOptions();
+    const std::string tracePath =
+        "/tmp/svc_trace." + std::to_string(::getpid()) + ".json";
+    opts.traceEventsPath = tracePath;
+    LiveServer live("svc_trace", opts);
+    ASSERT_TRUE(live.started);
+    {
+        Client c = live.connect();
+        std::string err;
+        Event event;
+        ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"t\","
+                               "\"workloads\":\"129.compress,130.li\"}",
+                               &err));
+        ASSERT_TRUE(awaitEvent(c, "done", event));
+        // Cache-served resubmit: instants on the client track, no new
+        // exec spans.
+        ASSERT_TRUE(c.sendLine("{\"cmd\":\"submit\",\"id\":\"t2\","
+                               "\"workloads\":\"129.compress,130.li\"}",
+                               &err));
+        ASSERT_TRUE(awaitEvent(c, "done", event));
+    }
+    EXPECT_EQ(live.stopAndJoin(), 0) << "drain closes the JSON array";
+
+    std::ifstream in(tracePath);
+    ASSERT_TRUE(in.is_open()) << tracePath;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    std::remove(tracePath.c_str());
+
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines.front(), "[");
+    EXPECT_EQ(lines.back(), "]");
+
+    // One event object per interior line: strip the trailing comma and
+    // the one nested "args" object, then the flat-JSON parser validates
+    // the rest of each event.
+    struct Span
+    {
+        std::string name, cat;
+        double pid, tid, ts, dur;
+    };
+    std::vector<Span> spans;
+    size_t instants = 0;
+    for (size_t i = 1; i + 1 < lines.size(); ++i) {
+        std::string body = lines[i];
+        if (!body.empty() && body.back() == ',')
+            body.pop_back();
+        size_t at = body.find(",\"args\":{");
+        if (at != std::string::npos) {
+            size_t close = body.rfind('}', body.size() - 2);
+            ASSERT_NE(close, std::string::npos) << lines[i];
+            body = body.substr(0, at) + body.substr(close + 1);
+        }
+        Event evf;
+        ASSERT_TRUE(sweep::parseFlatJson(body, evf)) << lines[i];
+        ASSERT_TRUE(evf.count("ph")) << body;
+        if (ev(evf, "ph") == "X") {
+            Span s{ev(evf, "name"), ev(evf, "cat"),
+                   statNum(evf, "pid"), statNum(evf, "tid"),
+                   statNum(evf, "ts"), statNum(evf, "dur")};
+            EXPECT_GE(s.ts, 0.0) << body;
+            EXPECT_GE(s.dur, 0.0) << "negative duration: " << body;
+            spans.push_back(s);
+        } else if (ev(evf, "ph") == "i") {
+            ++instants;
+        }
+    }
+
+    size_t execSpans = 0, runSpans = 0, queuedSpans = 0;
+    for (const Span &s : spans) {
+        if (s.cat == "exec")
+            ++execSpans;
+        else if (s.cat == "run")
+            ++runSpans;
+        else if (s.cat == "queue")
+            ++queuedSpans;
+    }
+    EXPECT_EQ(execSpans, 2u) << "one exec span per executed run";
+    EXPECT_EQ(runSpans, 2u) << "one lifecycle span per delivered run";
+    EXPECT_EQ(queuedSpans, 2u);
+    EXPECT_EQ(instants, 2u) << "one cache_hit instant per cached run";
+
+    // Every queue-wait span nests inside a lifecycle span on the same
+    // client track.
+    for (const Span &q : spans) {
+        if (q.cat != "queue")
+            continue;
+        bool nested = false;
+        for (const Span &r : spans) {
+            if (r.cat == "run" && r.pid == q.pid && r.tid == q.tid &&
+                r.ts <= q.ts && r.ts + r.dur >= q.ts + q.dur) {
+                nested = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(nested) << "orphan queued span at ts " << q.ts;
+    }
 }
 
 TEST(SvcServer, CorpusStreamsEveryCachedRecord)

@@ -22,6 +22,7 @@
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
 #include "svc/client.hh"
+#include "svc/protocol.hh"
 
 namespace
 {
@@ -54,6 +55,7 @@ usage(const char *argv0, std::FILE *out)
         "  --stats           print server stats and exit\n"
         "  --shutdown        ask the server to drain and exit\n"
         "  --quiet           no per-run progress lines\n"
+        "  --version         print schema/protocol/build identity\n"
         "  --help            this message\n",
         argv0, argv0);
     return out == stdout ? 0 : 2;
@@ -90,7 +92,12 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h")
             return usage(argv[0], stdout);
-        else if (arg == "--socket")
+        else if (arg == "--version") {
+            std::printf(
+                "%s\n",
+                cwsim::svc::versionLine("cwsim-client").c_str());
+            return 0;
+        } else if (arg == "--socket")
             socketPath = value("--socket");
         else if (arg == "--tcp")
             tcpSpec = value("--tcp");

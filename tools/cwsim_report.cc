@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "base/str.hh"
 #include "svc/client.hh"
+#include "svc/protocol.hh"
 #include "sweep/report.hh"
 #include "sweep/run_cache.hh"
 
@@ -35,6 +37,7 @@ usage(const char *argv0)
         "usage: %s [--format md|html] [--out PATH] SWEEP.jsonl\n"
         "       %s --diff BASELINE.jsonl CURRENT.jsonl\n"
         "       %s --connect SOCKET [--format md|html] [--out PATH]\n"
+        "       %s --connect SOCKET --status\n"
         "\n"
         "Render a cwsim sweep JSONL file as a report, or compare two\n"
         "sweep files and flag any drift in simulated stats\n"
@@ -47,9 +50,135 @@ usage(const char *argv0)
         "  --connect SOCKET  pull the corpus from a running cwsimd\n"
         "                    (Unix socket) instead of a file; may also\n"
         "                    be the CURRENT side of a --diff\n"
+        "  --status          with --connect: render a live daemon\n"
+        "                    dashboard (uptime, queue, slots, latency\n"
+        "                    quantiles, failure counts) and exit\n"
+        "  --version         print schema/protocol/build identity\n"
         "  --help            show this message\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0);
     return 2;
+}
+
+/** A stats-event field as a double; NaN-tolerant ("nan" quantiles of
+ * an empty histogram come over the wire as quoted strings). */
+double
+statNum(const std::map<std::string, std::string> &ev, const char *key)
+{
+    auto it = ev.find(key);
+    if (it == ev.end())
+        return 0;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+fmtMs(double ms)
+{
+    if (ms != ms) // NaN: no samples yet
+        return "-";
+    if (ms >= 1000)
+        return cwsim::strfmt("%.2fs", ms / 1000.0);
+    return cwsim::strfmt("%.0fms", ms);
+}
+
+/**
+ * The live dashboard behind --connect --status: one stats round-trip
+ * rendered as markdown. Everything shown comes from the daemon's
+ * metrics registry (plus the legacy stats fields), so this doubles as
+ * a smoke test that the registry snapshot is coherent.
+ */
+int
+renderStatus(const std::string &socketPath, const std::string &outPath)
+{
+    cwsim::svc::Client client;
+    std::string err;
+    if (!client.connectUnix(socketPath, &err)) {
+        std::fprintf(stderr, "cwsim-report: %s\n", err.c_str());
+        return 2;
+    }
+    std::map<std::string, std::string> ev;
+    if (!client.sendLine("{\"cmd\":\"stats\"}", &err) ||
+        !client.nextEvent(ev, &err)) {
+        std::fprintf(stderr, "cwsim-report: %s\n",
+                     err.empty() ? "server closed" : err.c_str());
+        return 2;
+    }
+
+    double uptimeMs = statNum(ev, "cwsimd_uptime_ms");
+    double slots = statNum(ev, "cwsim_pool_slots");
+    double busy = statNum(ev, "cwsim_pool_busy");
+    double execMs = statNum(ev, "cwsim_pool_exec_ms_total");
+    // Slot utilization: occupied slot-time over available slot-time.
+    double util = (slots > 0 && uptimeMs > 0)
+                      ? 100.0 * execMs / (uptimeMs * slots)
+                      : 0;
+    double executed = statNum(ev, "cwsimd_runs_executed_total");
+    double cacheHits = statNum(ev, "cwsimd_cache_hits_total");
+    double served = executed + cacheHits;
+    double hitPct = served > 0 ? 100.0 * cacheHits / served : 0;
+
+    std::string md;
+    md += cwsim::strfmt("# cwsimd status — %s\n\n",
+                        socketPath.c_str());
+    md += cwsim::strfmt(
+        "- uptime: %.1fs, draining: %s\n", uptimeMs / 1000.0,
+        ev.count("draining") ? ev.at("draining").c_str() : "?");
+    md += cwsim::strfmt(
+        "- clients: %.0f open, %.0f lifetime\n",
+        statNum(ev, "cwsimd_sessions_open"),
+        statNum(ev, "cwsimd_sessions_total"));
+    md += cwsim::strfmt(
+        "- queue: %.0f queued, %.0f running; wait p50 %s, p90 %s, "
+        "p99 %s\n",
+        statNum(ev, "cwsimd_queue_depth"),
+        statNum(ev, "cwsimd_runs_running"),
+        fmtMs(statNum(ev, "cwsimd_queue_wait_seconds_p50") * 1000)
+            .c_str(),
+        fmtMs(statNum(ev, "cwsimd_queue_wait_seconds_p90") * 1000)
+            .c_str(),
+        fmtMs(statNum(ev, "cwsimd_queue_wait_seconds_p99") * 1000)
+            .c_str());
+    md += cwsim::strfmt(
+        "- slots: %.0f busy of %.0f (utilization %.1f%%)\n", busy,
+        slots, util);
+    md += cwsim::strfmt(
+        "- runs: %.0f executed, %.0f cache hits (%.1f%% hit ratio), "
+        "%.0f deduped\n",
+        executed, cacheHits, hitPct,
+        statNum(ev, "cwsimd_dedupe_hits_total"));
+    md += cwsim::strfmt(
+        "- run latency: p50 %s, p90 %s, p99 %s (n=%.0f)\n",
+        fmtMs(statNum(ev, "cwsimd_run_latency_seconds_p50") * 1000)
+            .c_str(),
+        fmtMs(statNum(ev, "cwsimd_run_latency_seconds_p90") * 1000)
+            .c_str(),
+        fmtMs(statNum(ev, "cwsimd_run_latency_seconds_p99") * 1000)
+            .c_str(),
+        statNum(ev, "cwsimd_run_latency_seconds_count"));
+    md += cwsim::strfmt("- corpus: %.0f cached record(s)\n",
+                        statNum(ev, "cwsimd_cache_size"));
+    md += "\n| outcome | count |\n|---|---|\n";
+    for (const char *kind :
+         {"none", "sim_error", "crash", "timeout", "oom",
+          "protocol"}) {
+        md += cwsim::strfmt(
+            "| %s | %.0f |\n", kind,
+            statNum(ev,
+                    (std::string("cwsimd_run_results_total_") + kind)
+                        .c_str()));
+    }
+
+    if (outPath.empty()) {
+        std::fputs(md.c_str(), stdout);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::fprintf(stderr, "cwsim-report: cannot write %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+        out << md;
+    }
+    return 0;
 }
 
 bool
@@ -152,7 +281,7 @@ fetchCorpus(const std::string &socketPath,
 int
 main(int argc, char **argv)
 {
-    bool diff = false;
+    bool diff = false, status = false;
     cwsim::sweep::ReportFormat format =
         cwsim::sweep::ReportFormat::Markdown;
     std::string out_path, connect_path;
@@ -164,8 +293,15 @@ main(int argc, char **argv)
             std::strcmp(arg, "-h") == 0) {
             usage(argv[0]);
             return 0;
+        } else if (std::strcmp(arg, "--version") == 0) {
+            std::printf(
+                "%s\n",
+                cwsim::svc::versionLine("cwsim-report").c_str());
+            return 0;
         } else if (std::strcmp(arg, "--diff") == 0) {
             diff = true;
+        } else if (std::strcmp(arg, "--status") == 0) {
+            status = true;
         } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
             std::string value = argv[++i];
             if (value == "md") {
@@ -190,6 +326,16 @@ main(int argc, char **argv)
         } else {
             inputs.push_back(arg);
         }
+    }
+
+    if (status) {
+        if (connect_path.empty() || diff || !inputs.empty()) {
+            std::fprintf(stderr,
+                         "cwsim-report: --status wants --connect "
+                         "SOCKET and nothing else\n");
+            return usage(argv[0]);
+        }
+        return renderStatus(connect_path, out_path);
     }
 
     if (diff) {

@@ -24,7 +24,10 @@
 #include <cstring>
 #include <string>
 
+#include "base/str.hh"
 #include "sweep/sweep.hh"
+#include "svc/log.hh"
+#include "svc/protocol.hh"
 #include "svc/server.hh"
 
 namespace
@@ -62,6 +65,13 @@ usage(const char *argv0, std::FILE *out)
         "                   of forked slots (tests; no containment)\n"
         "  --max-queued N   bounded admission queue (default 1024)\n"
         "  --quota N        per-client in-flight run cap (default 512)\n"
+        "  --metrics-file P dump Prometheus text exposition to P\n"
+        "                   periodically (atomic rename)\n"
+        "  --metrics-interval S\n"
+        "                   seconds between dumps (default 5)\n"
+        "  --trace-events P write per-run lifecycle spans as Chrome\n"
+        "                   trace-event JSON to P (Perfetto-loadable)\n"
+        "  --version        print schema/protocol/build identity\n"
         "  --help           this message\n",
         argv0);
     return out == stdout ? 0 : 2;
@@ -103,6 +113,22 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h") {
             return usage(argv[0], stdout);
+        } else if (arg == "--version") {
+            std::printf("%s\n",
+                        cwsim::svc::versionLine("cwsimd").c_str());
+            return 0;
+        } else if (arg == "--metrics-file") {
+            opts.metricsPath = value("--metrics-file");
+        } else if (arg == "--metrics-interval") {
+            opts.metricsPeriodSec =
+                std::strtod(value("--metrics-interval"), nullptr);
+            if (opts.metricsPeriodSec <= 0) {
+                std::fprintf(stderr, "cwsimd: --metrics-interval "
+                                     "must be positive\n");
+                return 2;
+            }
+        } else if (arg == "--trace-events") {
+            opts.traceEventsPath = value("--trace-events");
         } else if (arg == "--socket") {
             opts.socketPath = value("--socket");
         } else if (arg == "--tcp") {
@@ -158,12 +184,13 @@ main(int argc, char **argv)
     // runs still land in the shared corpus.
     ::sigaction(SIGHUP, &sa, nullptr);
 
-    std::fprintf(stderr,
-                 "cwsimd: listening on %s (%u slot(s), cache %s)\n",
-                 opts.socketPath.c_str(), opts.slots,
-                 opts.cacheDir.c_str());
+    cwsim::svc::logLine(
+        0, cwsim::strfmt(
+               "cwsimd: listening on %s (%u slot(s), cache %s)",
+               opts.socketPath.c_str(), opts.slots,
+               opts.cacheDir.c_str()));
     int rc = server.run();
-    std::fprintf(stderr, "cwsimd: drained, exiting\n");
+    cwsim::svc::logLine(0, "cwsimd: drained, exiting");
     g_server = nullptr;
     return rc;
 }
