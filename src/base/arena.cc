@@ -1,0 +1,16 @@
+#include "base/arena.hh"
+
+namespace cwsim
+{
+
+Arena &
+runArena()
+{
+    // One arena per thread: sweep workers are threads, and a run is
+    // pinned to the worker that executes it, so runs never contend for
+    // or observe each other's arena.
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace cwsim

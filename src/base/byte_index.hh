@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 
@@ -43,7 +44,7 @@ class ByteSeqIndex
     add(Addr addr, unsigned size, InstSeqNum seq, size_t slot)
     {
         for (unsigned i = 0; i < size; ++i) {
-            std::vector<Ref> &v = bytes[addr + i];
+            ArenaVec<Ref> &v = bytes[addr + i];
             // Mostly appended in age order; walk back over the few
             // younger entries when not.
             size_t pos = v.size();
@@ -62,15 +63,17 @@ class ByteSeqIndex
             auto it = bytes.find(addr + i);
             panic_if(it == bytes.end(),
                      "ByteSeqIndex::remove of unindexed byte");
-            std::vector<Ref> &v = it->second;
+            ArenaVec<Ref> &v = it->second;
             size_t pos = v.size();
             while (pos > 0 && v[pos - 1].seq != seq)
                 --pos;
             panic_if(pos == 0,
                      "ByteSeqIndex::remove of unindexed seq");
             v.erase(v.begin() + (pos - 1));
-            if (v.empty())
-                bytes.erase(it);
+            // Deliberately keep the now-empty list: program locality
+            // means the same byte is touched again almost immediately,
+            // and erasing would churn a map node (hash + allocation)
+            // per load per byte.
         }
         population -= size;
     }
@@ -85,7 +88,7 @@ class ByteSeqIndex
         auto it = bytes.find(byte_addr);
         if (it == bytes.end())
             return false;
-        const std::vector<Ref> &v = it->second;
+        const ArenaVec<Ref> &v = it->second;
         for (size_t pos = v.size(); pos-- > 0;) {
             if (v[pos].seq < before) {
                 out = v[pos];
@@ -108,7 +111,7 @@ class ByteSeqIndex
             auto it = bytes.find(addr + i);
             if (it == bytes.end())
                 continue;
-            const std::vector<Ref> &v = it->second;
+            const ArenaVec<Ref> &v = it->second;
             for (size_t pos = v.size(); pos-- > 0;) {
                 if (v[pos].seq <= after)
                     break;
@@ -136,9 +139,9 @@ class ByteSeqIndex
     selfCheck() const
     {
         size_t n = 0;
+        // Empty per-byte lists are legal: remove() keeps them so hot
+        // bytes don't churn map nodes.
         for (const auto &[addr, v] : bytes) {
-            if (v.empty())
-                return "empty per-byte list not erased";
             for (size_t i = 1; i < v.size(); ++i) {
                 if (v[i - 1].seq >= v[i].seq)
                     return "per-byte list out of order";
@@ -151,7 +154,12 @@ class ByteSeqIndex
     }
 
   private:
-    std::unordered_map<Addr, std::vector<Ref>> bytes;
+    /**
+     * Arena-backed: both instances (processor loadBytes, store-buffer
+     * dataBytes) live inside a per-run Processor, so every node comes
+     * from and returns to the run arena wholesale.
+     */
+    ArenaMap<Addr, ArenaVec<Ref>> bytes;
     size_t population = 0;
 };
 

@@ -26,6 +26,7 @@
 #include <set>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/byte_index.hh"
 #include "base/sim_error.hh"
 #include "base/slot_bitmap.hh"
@@ -36,6 +37,7 @@
 #include "check/watchdog.hh"
 #include "cpu/dyn_inst.hh"
 #include "cpu/store_buffer.hh"
+#include "cpu/window.hh"
 #include "isa/executor.hh"
 #include "isa/program.hh"
 #include "mdp/mdp_table.hh"
@@ -341,7 +343,12 @@ class Processor
     };
     std::array<RegMapEntry, num_arch_regs> regMap;
 
-    CircularQueue<DynInst> rob;
+    /**
+     * The instruction window, SoA-split: full DynInst records plus
+     * dense hot-field mirrors (see cpu/window.hh for the sync
+     * contract; heavyInvariants cross-checks the views at level 2).
+     */
+    Window rob;
     StoreBuffer sb;
     unsigned lsqCount; ///< Memory instructions resident in the window.
 
@@ -381,10 +388,13 @@ class Processor
     /** Scratch for violation-check candidate collection. */
     std::vector<ByteSeqIndex::Ref> checkScratch;
 
-    /** Un-executed stores, by sequence number (the NAS "NO" gate). */
-    std::set<InstSeqNum> unissuedStores;
+    /**
+     * Un-executed stores, by sequence number (the NAS "NO" gate).
+     * Arena-backed: one node churns per store, none outlive the run.
+     */
+    ArenaSet<InstSeqNum> unissuedStores;
     /** Un-executed barrier-predicted stores (the STORE gate). */
-    std::set<InstSeqNum> unissuedBarriers;
+    ArenaSet<InstSeqNum> unissuedBarriers;
 
     // ---- fetch state ------------------------------------------------------
     struct FetchedInst

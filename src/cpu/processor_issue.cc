@@ -45,7 +45,24 @@ Processor::doIssue()
             s = pendingBits.nextSet(0);
             continue;
         }
-        tryIssue(rob.slot(s), slots);
+        // Cheap rejection off the window's hot-flag array: most
+        // pending instructions are waiting on operands, and the
+        // predicates below reproduce tryIssue's early-outs exactly —
+        // the fat DynInst record is only touched when the instruction
+        // might actually do something this cycle.
+        uint8_t f = rob.flagsAt(s);
+        bool skip;
+        if (f & Window::FlagIsStore) {
+            skip = false; // store posting needs SB state; go in
+        } else if (f & Window::FlagIsLoad) {
+            skip = (f & (Window::FlagDone | Window::FlagMemIssued)) ||
+                   !(f & Window::FlagSrc1Ready);
+        } else {
+            skip = (f & (Window::FlagIssued | Window::FlagDone)) ||
+                   !(f & Window::FlagSrcsReady);
+        }
+        if (!skip)
+            tryIssue(rob.slot(s), slots);
         // Advance only after the visit: a selective replay inside it
         // may have set a bit between this slot and the next.
         s = pendingBits.nextSet(s + 1);
@@ -95,9 +112,11 @@ Processor::tryIssue(DynInst &inst, unsigned &slots)
             inst.effAddr =
                 exec::effectiveAddr(inst.si, inst.src1.value);
             if (!loadMayIssue(inst)) {
+                rob.sync(inst); // effAddr + gate verdict
                 noteFalseDepStall(inst);
                 return;
             }
+            rob.sync(inst);
             if (memPortsLeft == 0 || lsqInPortsLeft == 0)
                 return;
             executeLoad(inst);
@@ -123,6 +142,7 @@ Processor::tryIssue(DynInst &inst, unsigned &slots)
         inst.issued = true;
         inst.issuedAt = cycle;
         ++inst.epoch;
+        rob.sync(inst);
         pendingBits.clear(rob.slotOf(inst));
         if (inst.si.writesReg()) {
             inst.result = exec::compute(inst.si, inst.src1.value,
@@ -131,9 +151,13 @@ Processor::tryIssue(DynInst &inst, unsigned &slots)
         InstSeqNum seq = inst.seq;
         uint32_t epoch = inst.epoch;
         eq.scheduleIn(inst.si.latency(), [this, seq, epoch]() {
-            DynInst *p = findInst(seq);
-            if (p && p->epoch == epoch && p->issued && !p->done)
-                completeInst(*p);
+            // Precheck through the hot views; the full record is only
+            // touched when the completion is still current.
+            size_t s = rob.findSlot(seq);
+            if (s != Window::npos && rob.epochAt(s) == epoch &&
+                rob.isIssued(s) && !rob.isDone(s)) {
+                completeInst(rob.slot(s));
+            }
         });
     }
 }
@@ -325,10 +349,12 @@ Processor::executeLoad(DynInst &inst)
     uint32_t epoch = inst.epoch + 1;
 
     auto finish = [this, seq, epoch]() {
-        DynInst *p = findInst(seq);
-        if (p && p->epoch == epoch && p->memIssued && !p->done) {
-            p->memDone = true;
-            completeInst(*p);
+        size_t s = rob.findSlot(seq);
+        if (s != Window::npos && rob.epochAt(s) == epoch &&
+            rob.isMemIssued(s) && !rob.isDone(s)) {
+            DynInst &p = rob.slot(s);
+            p.memDone = true;
+            completeInst(p);
         }
     };
 
@@ -362,6 +388,7 @@ Processor::executeLoad(DynInst &inst)
     for (unsigned i = 0; i < inst.memSize; ++i)
         inst.loadByteSource[i] = sources[i];
     inst.result = exec::loadExtend(inst.si, raw);
+    rob.sync(inst);
     indexLoadBytes(inst);
     // Issued: completion arrives through the event queue; violation
     // checks reach the load through loadBytes, not the issue walk.
@@ -389,6 +416,7 @@ Processor::replayLoad(DynInst &inst)
     inst.memIssued = false;
     inst.memDone = false;
     inst.done = false;
+    rob.sync(inst);
     pendingBits.set(rob.slotOf(inst));
     ++inst.timesReplayed;
     ++pstats.loadReplays;
@@ -436,6 +464,7 @@ Processor::postStoreAddr(DynInst &inst)
     }
     sb.postAddr(slot, addr, visible_at, cycle);
     inst.effAddr = addr;
+    rob.sync(inst);
     CWSIM_TRACE(LSQ, "store addr posted: seq %llu pc 0x%llx "
                 "addr 0x%llx visible at cycle %llu",
                 static_cast<unsigned long long>(inst.seq),
@@ -468,6 +497,7 @@ Processor::storeBecameExecuted(DynInst &inst, SbEntry &entry)
     inst.issued = true;
     inst.done = true;
     inst.issuedAt = cycle;
+    rob.sync(inst);
     pendingBits.clear(rob.slotOf(inst));
 
     if (policy != SpecPolicy::Oracle) {
@@ -542,11 +572,12 @@ Processor::checkViolationsNas(const SbEntry &entry)
         if (ref.seq == visited)
             continue; // one ref per byte read; visit each load once
         visited = ref.seq;
-        if (!rob.slotLive(ref.slot))
+        // Validate through the hot views before touching the record.
+        if (!rob.refLive(ref.slot, ref.seq) ||
+            !rob.isMemIssuedLoad(ref.slot)) {
             continue;
+        }
         DynInst &load = rob.slot(ref.slot);
-        if (load.seq != ref.seq || !load.isLoad() || !load.memIssued)
-            continue;
         if (!loadHasStaleByteFrom(load, entry))
             continue; // every shared byte came from a younger store
 
@@ -607,6 +638,7 @@ Processor::resetForReplay(DynInst &inst)
     inst.memDone = false;
     inst.effAddr = invalid_addr;
     ++inst.timesReplayed;
+    rob.sync(inst);
     pendingBits.set(rob.slotOf(inst));
 
     if (inst.isStore() && inst.sbSlot >= 0) {
@@ -659,11 +691,9 @@ Processor::replayDependenceSlice(DynInst &victim)
         // stale value (issued, or posted it into the store buffer)
         // must replay.
         for (const ConsumerRef &ref : consumers[rob.slotOf(*inst)]) {
-            if (!rob.slotLive(ref.slot))
+            if (!rob.refLive(ref.slot, ref.seq))
                 continue;
             DynInst &c = rob.slot(ref.slot);
-            if (c.seq != ref.seq)
-                continue;
             bool consumes =
                 (c.src1.hasProducer && c.src1.producer == seq) ||
                 (c.src2.hasProducer && c.src2.producer == seq);
@@ -682,13 +712,11 @@ Processor::replayDependenceSlice(DynInst &victim)
                 loadBytes.collectYoungerThan(se.addr, se.size, seq,
                                              checkScratch);
                 for (const ByteSeqIndex::Ref &ref : checkScratch) {
-                    if (!rob.slotLive(ref.slot))
-                        continue;
-                    DynInst &c = rob.slot(ref.slot);
-                    if (c.seq != ref.seq || !c.isLoad() ||
-                        !c.memIssued) {
+                    if (!rob.refLive(ref.slot, ref.seq) ||
+                        !rob.isMemIssuedLoad(ref.slot)) {
                         continue;
                     }
+                    DynInst &c = rob.slot(ref.slot);
                     if (loadForwardedFrom(c, seq))
                         work.push_back(c.seq);
                 }
@@ -745,11 +773,11 @@ Processor::checkStaleLoadsAs(const SbEntry &entry)
         if (ref.seq == visited)
             continue; // one ref per byte; visit each load once
         visited = ref.seq;
-        if (!rob.slotLive(ref.slot))
+        if (!rob.refLive(ref.slot, ref.seq) ||
+            !rob.isMemIssuedLoad(ref.slot)) {
             continue;
+        }
         DynInst &load = rob.slot(ref.slot);
-        if (load.seq != ref.seq || !load.isLoad() || !load.memIssued)
-            continue;
         if (!loadHasStaleByteFrom(load, entry))
             continue;
 

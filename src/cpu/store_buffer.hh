@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "base/addr_range.hh"
+#include "base/arena.hh"
 #include "base/byte_index.hh"
 #include "base/circular_queue.hh"
 #include "base/types.hh"
@@ -218,31 +219,34 @@ class StoreBuffer
 
     bool slotLive(size_t slot_idx) const;
     void unindexEntry(const SbEntry &entry, size_t slot_idx);
-    static void eraseRef(std::vector<SlotRef> &v, size_t slot_idx);
+    static void eraseRef(ArenaVec<SlotRef> &v, size_t slot_idx);
 
     CircularQueue<SbEntry> q;
 
-    std::unordered_map<InstSeqNum, size_t> bySeq;
-    std::unordered_map<TraceIndex, size_t> byTrace;
+    // All index containers draw from the per-run arena: their nodes
+    // churn once per store, never outlive the Processor, and are
+    // reclaimed wholesale between runs.
+    ArenaMap<InstSeqNum, size_t> bySeq;
+    ArenaMap<TraceIndex, size_t> byTrace;
 
     /** Bytes of entries with addrValid && dataValid. */
     ByteSeqIndex dataBytes;
 
     /** Seqs of resident entries with no posted address, age-ordered. */
-    std::set<InstSeqNum> addrUnposted;
+    ArenaSet<InstSeqNum> addrUnposted;
 
     /**
      * Entries whose posted address is not visible yet (addrVisibleAt
      * in the future when posted). Compacted lazily as they become
      * visible or die; bounded by stores posted within asLatency.
      */
-    std::vector<SlotRef> addrInFlight;
+    ArenaVec<SlotRef> addrInFlight;
 
     /** Entries with a posted address awaiting data (AS two-phase). */
-    std::vector<SlotRef> awaitingData;
+    ArenaVec<SlotRef> awaitingData;
 
     /** SYNC: producer entries per synonym, in allocation (age) order. */
-    std::unordered_map<Synonym, std::vector<SlotRef>> bySynonym;
+    ArenaMap<Synonym, ArenaVec<SlotRef>> bySynonym;
 };
 
 } // namespace cwsim

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The instruction window as a structure-of-arrays hybrid: the
+ * CircularQueue of full DynInst records stays canonical, and the hot
+ * scheduling fields — seq, epoch, issue/done/mem flags, operand
+ * readiness, effective address/size, gate state — are mirrored into
+ * dense parallel arrays indexed by stable slot.
+ *
+ * Why: the issue walk, wakeup validation, completion events and
+ * violation scans each test a handful of one-byte predicates, but
+ * through the AoS layout every test dragged a whole ~250-byte DynInst
+ * line through the cache. The arrays pack the same predicates at a few
+ * bytes per slot, so a 128-entry window's entire scheduling state fits
+ * in a handful of cache lines.
+ *
+ * Contract (the PR-4 index idiom, same as StoreBuffer's): DynInst is
+ * the truth. Any mutation of a mirrored field must be followed by
+ * sync() (or the targeted setGate()) on that instruction before the
+ * next read of the hot views. Cold fields may be written freely
+ * through slot()/at(). crossCheck() rebuilds every array entry from
+ * the canonical DynInst and compares — heavyInvariants runs it at
+ * check level 2, so a missed sync fails loudly in the checked suite
+ * instead of silently desynchronizing the scheduler.
+ *
+ * Slots of squashed (truncated) instructions keep stale array values
+ * just like they keep stale DynInst contents; liveness (slotLive /
+ * refLive) gates every access, exactly as before.
+ */
+
+#ifndef CWSIM_CPU_WINDOW_HH
+#define CWSIM_CPU_WINDOW_HH
+
+#include <string>
+#include <vector>
+
+#include "base/circular_queue.hh"
+#include "base/str.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace cwsim
+{
+
+class Window
+{
+  public:
+    /** Packed per-slot scheduling flags (the hot one-byte predicates). */
+    enum Flag : uint8_t
+    {
+        FlagIssued = 1 << 0,
+        FlagDone = 1 << 1,
+        FlagMemIssued = 1 << 2,
+        FlagSrcsReady = 1 << 3,
+        FlagSrc1Ready = 1 << 4,
+        FlagIsLoad = 1 << 5,
+        FlagIsStore = 1 << 6,
+    };
+
+    explicit Window(size_t capacity)
+        : q(capacity), seqs(capacity), epochs(capacity), flags_(capacity),
+          effAddrs(capacity), memSizes(capacity), gates(capacity)
+    {
+    }
+
+    // ---- container interface (mirrors CircularQueue) -----------------
+    size_t capacity() const { return q.capacity(); }
+    size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.full(); }
+
+    size_t
+    pushBack(DynInst inst)
+    {
+        size_t s = q.pushBack(std::move(inst));
+        syncSlot(s);
+        return s;
+    }
+
+    void popFront() { q.popFront(); }
+    void truncate(size_t n) { q.truncate(n); }
+    void clear() { q.clear(); }
+
+    DynInst &front() { return q.front(); }
+    const DynInst &front() const { return q.front(); }
+    DynInst &back() { return q.back(); }
+    const DynInst &back() const { return q.back(); }
+    DynInst &at(size_t pos) { return q.at(pos); }
+    const DynInst &at(size_t pos) const { return q.at(pos); }
+    size_t physIndex(size_t pos) const { return q.physIndex(pos); }
+    DynInst &slot(size_t idx) { return q.slot(idx); }
+    const DynInst &slot(size_t idx) const { return q.slot(idx); }
+    bool slotLive(size_t idx) const { return q.slotLive(idx); }
+    size_t slotOf(const DynInst &inst) const { return q.slotOf(inst); }
+
+    // ---- hot views ---------------------------------------------------
+    InstSeqNum seqAt(size_t slot) const { return seqs[slot]; }
+    uint32_t epochAt(size_t slot) const { return epochs[slot]; }
+    uint8_t flagsAt(size_t slot) const { return flags_[slot]; }
+    bool isIssued(size_t slot) const { return flags_[slot] & FlagIssued; }
+    bool isDone(size_t slot) const { return flags_[slot] & FlagDone; }
+    bool
+    isMemIssued(size_t slot) const
+    {
+        return flags_[slot] & FlagMemIssued;
+    }
+    Addr effAddrAt(size_t slot) const { return effAddrs[slot]; }
+    unsigned memSizeAt(size_t slot) const { return memSizes[slot]; }
+    GateBlock gateAt(size_t slot) const { return gates[slot]; }
+
+    /**
+     * Is @p slot still occupied by the instruction with @p seq? The
+     * liveness + identity test every slot-holding index (consumer
+     * lists, loadBytes refs) performs before dereferencing.
+     */
+    bool
+    refLive(size_t slot, InstSeqNum seq) const
+    {
+        return q.slotLive(slot) && seqs[slot] == seq;
+    }
+
+    /** A memory-issued load currently resides in @p slot. */
+    bool
+    isMemIssuedLoad(size_t slot) const
+    {
+        constexpr uint8_t want = FlagIsLoad | FlagMemIssued;
+        return (flags_[slot] & want) == want;
+    }
+
+    /**
+     * Stable slot of the resident instruction with @p seq, or npos.
+     * Window entries are seq-sorted by position (squashes leave gaps),
+     * so binary-search positions — touching only the dense seq array,
+     * never the fat records.
+     */
+    static constexpr size_t npos = ~size_t(0);
+    size_t
+    findSlot(InstSeqNum seq) const
+    {
+        size_t lo = 0;
+        size_t hi = q.size();
+        while (lo < hi) {
+            size_t mid = lo + (hi - lo) / 2;
+            size_t s = q.physIndex(mid);
+            if (seqs[s] == seq)
+                return s;
+            if (seqs[s] < seq)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return npos;
+    }
+
+    // ---- mirror maintenance -------------------------------------------
+    /**
+     * Re-derive every mirrored field of @p inst (a live element of this
+     * window) from its canonical record. Call after any batch of writes
+     * to hot fields.
+     */
+    void sync(const DynInst &inst) { syncSlot(q.slotOf(inst)); }
+
+    /** Targeted variant for the per-attempt gate verdict update. */
+    void
+    setGate(const DynInst &inst)
+    {
+        gates[q.slotOf(inst)] = inst.gateBlock;
+    }
+
+    /**
+     * Rebuild the mirror of every live slot from the canonical records
+     * and compare with the incrementally-maintained arrays.
+     * @return "" when consistent, else a complaint naming the slot.
+     */
+    std::string
+    crossCheck() const
+    {
+        for (size_t pos = 0; pos < q.size(); ++pos) {
+            size_t s = q.physIndex(pos);
+            const DynInst &inst = q.slot(s);
+            if (seqs[s] != inst.seq)
+                return strfmt("window slot %zu: seq view %llu != %llu",
+                              s,
+                              static_cast<unsigned long long>(seqs[s]),
+                              static_cast<unsigned long long>(inst.seq));
+            if (epochs[s] != inst.epoch)
+                return strfmt("window slot %zu (seq %llu): epoch view "
+                              "%u != %u",
+                              s,
+                              static_cast<unsigned long long>(inst.seq),
+                              epochs[s], inst.epoch);
+            if (flags_[s] != flagsOf(inst))
+                return strfmt("window slot %zu (seq %llu): flags view "
+                              "0x%x != 0x%x",
+                              s,
+                              static_cast<unsigned long long>(inst.seq),
+                              flags_[s], flagsOf(inst));
+            if (effAddrs[s] != inst.effAddr)
+                return strfmt("window slot %zu (seq %llu): effAddr "
+                              "view 0x%llx != 0x%llx",
+                              s,
+                              static_cast<unsigned long long>(inst.seq),
+                              static_cast<unsigned long long>(
+                                  effAddrs[s]),
+                              static_cast<unsigned long long>(
+                                  inst.effAddr));
+            if (memSizes[s] != inst.memSize)
+                return strfmt("window slot %zu (seq %llu): memSize "
+                              "view %u != %u",
+                              s,
+                              static_cast<unsigned long long>(inst.seq),
+                              memSizes[s], inst.memSize);
+            if (gates[s] != inst.gateBlock)
+                return strfmt("window slot %zu (seq %llu): gate view "
+                              "%u != %u",
+                              s,
+                              static_cast<unsigned long long>(inst.seq),
+                              static_cast<unsigned>(gates[s]),
+                              static_cast<unsigned>(inst.gateBlock));
+        }
+        return "";
+    }
+
+  private:
+    static uint8_t
+    flagsOf(const DynInst &inst)
+    {
+        uint8_t f = 0;
+        if (inst.issued)
+            f |= FlagIssued;
+        if (inst.done)
+            f |= FlagDone;
+        if (inst.memIssued)
+            f |= FlagMemIssued;
+        if (inst.srcsReady())
+            f |= FlagSrcsReady;
+        if (inst.src1.ready)
+            f |= FlagSrc1Ready;
+        if (inst.isLoad())
+            f |= FlagIsLoad;
+        if (inst.isStore())
+            f |= FlagIsStore;
+        return f;
+    }
+
+    void
+    syncSlot(size_t s)
+    {
+        const DynInst &inst = q.slot(s);
+        seqs[s] = inst.seq;
+        epochs[s] = inst.epoch;
+        flags_[s] = flagsOf(inst);
+        effAddrs[s] = inst.effAddr;
+        memSizes[s] = inst.memSize;
+        gates[s] = inst.gateBlock;
+    }
+
+    CircularQueue<DynInst> q;
+
+    // Parallel hot arrays, indexed by stable slot.
+    std::vector<InstSeqNum> seqs;
+    std::vector<uint32_t> epochs;
+    std::vector<uint8_t> flags_;
+    std::vector<Addr> effAddrs;
+    std::vector<unsigned> memSizes;
+    std::vector<GateBlock> gates;
+};
+
+} // namespace cwsim
+
+#endif // CWSIM_CPU_WINDOW_HH

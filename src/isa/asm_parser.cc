@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "base/bitfield.hh"
@@ -104,10 +105,18 @@ parseReg(const std::string &text, RegId &reg)
         if (!isdigit(static_cast<unsigned char>(text[i])))
             return false;
     }
-    unsigned n = static_cast<unsigned>(std::stoul(text.substr(1)));
+    unsigned long n = 0;
+    try {
+        n = std::stoul(text.substr(1));
+    } catch (const std::out_of_range &) {
+        // An absurdly long digit string (e.g. r99999999999999999999)
+        // is a malformed operand, not a crash.
+        return false;
+    }
     if (n >= 32)
         return false;
-    reg = kind == 'r' ? ir(n) : fr(n);
+    unsigned rn = static_cast<unsigned>(n);
+    reg = kind == 'r' ? ir(rn) : fr(rn);
     return true;
 }
 

@@ -13,10 +13,16 @@ namespace cwsim
 
 SplitWindowSim::SplitWindowSim(const SplitConfig &cfg,
                                const std::vector<TraceEntry> &trace)
-    : cfg(cfg), nodes(trace.size()), mdpt(MdpConfig{}), headCommit(0),
-      headChunk(0), fetchCursor(cfg.numUnits, invalid_trace_index),
-      globalCursor(0), curCycle(0), numViolations(0), numCommitted(0),
-      numLoads(0), cpi(cfg.commitWidth)
+    : cfg(cfg), nodes(trace.size()), mdpt(MdpConfig{}),
+      dynFlags(trace.size(), 0), doneAt(trace.size(), 0),
+      addrPostedAt(trace.size(), 0),
+      sourceSeen(trace.size(), invalid_trace_index),
+      notBefore(trace.size(), 0), fetchedAt(trace.size(), 0),
+      issuedAt(trace.size(), 0), timesSquashed(trace.size(), 0),
+      headCommit(0), headChunk(0),
+      fetchCursor(cfg.numUnits, invalid_trace_index), globalCursor(0),
+      curCycle(0), numViolations(0), numCommitted(0), numLoads(0),
+      cpi(cfg.commitWidth)
 {
     fatal_if(cfg.numUnits == 0 || cfg.chunkSize == 0,
              "split config needs at least one unit and chunk");
@@ -91,19 +97,20 @@ SplitWindowSim::regReady(TraceIndex producer,
 {
     if (producer == invalid_trace_index)
         return true;
-    const Node &p = nodes[producer];
-    if (p.committed)
+    if (has(producer, DynCommitted))
         return true;
-    if (!p.done)
+    if (!has(producer, DynDone))
         return false;
-    Cycles forward =
-        p.chunk != consumer_chunk ? cfg.interUnitLatency : 0;
-    return p.doneAt + forward <= curCycle;
+    Cycles forward = nodes[producer].chunk != consumer_chunk
+                         ? cfg.interUnitLatency
+                         : 0;
+    return doneAt[producer] + forward <= curCycle;
 }
 
 bool
-SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
+SplitWindowSim::loadMayIssue(TraceIndex idx) const
 {
+    const Node &node = nodes[idx];
     bool speculate = cfg.policy != SpecPolicy::No;
 
     // SYNC: a load whose PC carries a synonym waits for the closest
@@ -117,19 +124,19 @@ SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
             bool found_producer = false;
             bool all_fetched = true;
             for (TraceIndex j = idx; j-- > headCommit;) {
-                const Node &older = nodes[j];
-                if (older.committed)
+                uint8_t f = dynFlags[j];
+                if (f & DynCommitted)
                     break;
-                if (!older.fetched) {
+                if (!(f & DynFetched)) {
                     all_fetched = false;
                     continue;
                 }
-                if (!older.isStore)
+                if (!nodes[j].isStore)
                     continue;
-                if (mdpt.synonymOf(older.pc) == syn) {
+                if (mdpt.synonymOf(nodes[j].pc) == syn) {
                     found_producer = true;
-                    if (!older.done || older.doneAt +
-                            cfg.interUnitLatency > curCycle) {
+                    if (!(f & DynDone) ||
+                        doneAt[j] + cfg.interUnitLatency > curCycle) {
                         return false;
                     }
                     break; // synchronized with the closest instance
@@ -146,25 +153,26 @@ SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
     bool ambiguous = false;
 
     for (TraceIndex j = headCommit; j < idx; ++j) {
-        const Node &older = nodes[j];
-        if (older.committed)
+        uint8_t f = dynFlags[j];
+        if (f & DynCommitted)
             continue;
-        if (!older.fetched) {
+        if (!(f & DynFetched)) {
             all_older_fetched = false;
             continue;
         }
-        if (!older.isStore)
+        if (!nodes[j].isStore)
             continue;
         if (cfg.lsqModel == LsqModel::AS) {
-            if (older.addrPosted && older.addrPostedAt <= curCycle) {
+            if ((f & DynAddrPosted) && addrPostedAt[j] <= curCycle) {
+                const Node &older = nodes[j];
                 bool overlap = rangesOverlap(older.addr, older.size,
                                              node.addr, node.size);
-                if (overlap && !older.done)
+                if (overlap && !(f & DynDone))
                     return false; // known true dependence: wait
             } else {
                 ambiguous = true;
             }
-        } else if (!older.done) {
+        } else if (!(f & DynDone)) {
             ambiguous = true; // NAS: unexecuted older store
         }
     }
@@ -175,26 +183,26 @@ SplitWindowSim::loadMayIssue(const Node &node, TraceIndex idx) const
 }
 
 void
-SplitWindowSim::executeStore(Node &store, TraceIndex idx)
+SplitWindowSim::executeStore(TraceIndex idx)
 {
-    store.issued = true;
-    store.issuedAt = curCycle;
-    store.done = true;
-    store.doneAt = curCycle;
+    const Node &store = nodes[idx];
+    set(idx, DynIssued | DynDone);
+    issuedAt[idx] = curCycle;
+    doneAt[idx] = curCycle;
 
     // Detect the oldest younger load that consumed a stale value.
     for (TraceIndex j = idx + 1;
          j < nodes.size() && nodes[j].chunk <=
              headChunk + cfg.numUnits; ++j) {
-        Node &load = nodes[j];
-        if (!load.isLoad || !load.done)
+        const Node &load = nodes[j];
+        if (!load.isLoad || !has(j, DynDone))
             continue;
         bool overlap = rangesOverlap(store.addr, store.size,
                                      load.addr, load.size);
         if (!overlap)
             continue;
-        if (load.sourceSeen != invalid_trace_index &&
-            load.sourceSeen >= idx) {
+        if (sourceSeen[j] != invalid_trace_index &&
+            sourceSeen[j] >= idx) {
             continue; // already forwarded from this store or younger
         }
         ++numViolations;
@@ -217,18 +225,17 @@ SplitWindowSim::squashFrom(TraceIndex idx)
 {
     unsigned squashed = 0;
     for (TraceIndex j = idx; j < nodes.size(); ++j) {
-        Node &node = nodes[j];
         // Only in-flight chunks can have made progress.
-        if (node.chunk > headChunk + cfg.numUnits)
+        if (nodes[j].chunk > headChunk + cfg.numUnits)
             break;
-        if (!node.fetched && !node.done && !node.addrPosted)
+        if (!(dynFlags[j] &
+              (DynFetched | DynDone | DynAddrPosted))) {
             continue;
-        node.issued = false;
-        node.done = false;
-        node.addrPosted = false;
-        node.sourceSeen = invalid_trace_index;
-        node.notBefore = curCycle + cfg.squashPenalty;
-        ++node.timesSquashed;
+        }
+        clr(j, DynIssued | DynDone | DynAddrPosted);
+        sourceSeen[j] = invalid_trace_index;
+        notBefore[j] = curCycle + cfg.squashPenalty;
+        ++timesSquashed[j];
         ++squashed;
     }
     CWSIM_TRACE(Split, "squash: %u insts from idx %llu, re-dispatch "
@@ -263,8 +270,8 @@ SplitWindowSim::run()
                 cfg.unitFetchWidth * cfg.numUnits;
             while (budget > 0 && globalCursor < n &&
                    globalCursor < window_end) {
-                nodes[globalCursor].fetched = true;
-                nodes[globalCursor].fetchedAt = curCycle;
+                set(globalCursor, DynFetched);
+                fetchedAt[globalCursor] = curCycle;
                 ++globalCursor;
                 --budget;
             }
@@ -284,8 +291,8 @@ SplitWindowSim::run()
                     n);
                 unsigned budget = cfg.unitFetchWidth;
                 while (budget > 0 && cursor < chunk_end) {
-                    nodes[cursor].fetched = true;
-                    nodes[cursor].fetchedAt = curCycle;
+                    set(cursor, DynFetched);
+                    fetchedAt[cursor] = curCycle;
                     ++cursor;
                     --budget;
                 }
@@ -321,29 +328,30 @@ SplitWindowSim::run()
                 std::min<TraceIndex>(begin + cfg.chunkSize, n);
             for (TraceIndex i = std::max(begin, headCommit);
                  i < end && budget > 0; ++i) {
-                Node &node = nodes[i];
-                if (!node.fetched || node.committed ||
-                    node.notBefore > curCycle) {
+                const Node &node = nodes[i];
+                uint8_t f = dynFlags[i];
+                if (!(f & DynFetched) || (f & DynCommitted) ||
+                    notBefore[i] > curCycle) {
                     continue;
                 }
 
                 // AS stores post addresses as soon as the base register
                 // arrives (no issue slot consumed).
                 if (node.isStore && cfg.lsqModel == LsqModel::AS &&
-                    !node.addrPosted &&
+                    !(f & DynAddrPosted) &&
                     regReady(node.src1Producer, node.chunk)) {
-                    node.addrPosted = true;
-                    node.addrPostedAt = curCycle + cfg.asLatency;
+                    set(i, DynAddrPosted);
+                    addrPostedAt[i] = curCycle + cfg.asLatency;
                 }
 
-                if (node.done)
+                if (f & DynDone)
                     continue;
 
                 if (node.isStore) {
                     if (regReady(node.src1Producer, node.chunk) &&
                         regReady(node.src2Producer, node.chunk)) {
                         --budget;
-                        executeStore(node, i);
+                        executeStore(i);
                     }
                     continue;
                 }
@@ -351,7 +359,7 @@ SplitWindowSim::run()
                 if (node.isLoad) {
                     if (!regReady(node.src1Producer, node.chunk))
                         continue;
-                    if (!loadMayIssue(node, i))
+                    if (!loadMayIssue(i))
                         continue;
                     --budget;
                     // Record the youngest older executed store the
@@ -359,21 +367,21 @@ SplitWindowSim::run()
                     TraceIndex source = invalid_trace_index;
                     for (TraceIndex j = headCommit; j < i; ++j) {
                         const Node &older = nodes[j];
-                        if (older.isStore && older.done &&
-                            !older.committed &&
+                        if (older.isStore &&
+                            (dynFlags[j] &
+                             (DynDone | DynCommitted)) == DynDone &&
                             rangesOverlap(older.addr, older.size,
                                           node.addr, node.size)) {
                             source = j;
                         }
                     }
-                    node.sourceSeen = source;
-                    node.issued = true;
-                    node.issuedAt = curCycle;
-                    node.done = true;
-                    node.doneAt = curCycle + cfg.memLatency +
-                                  (cfg.lsqModel == LsqModel::AS
-                                       ? cfg.asLatency
-                                       : 0);
+                    sourceSeen[i] = source;
+                    set(i, DynIssued | DynDone);
+                    issuedAt[i] = curCycle;
+                    doneAt[i] = curCycle + cfg.memLatency +
+                                (cfg.lsqModel == LsqModel::AS
+                                     ? cfg.asLatency
+                                     : 0);
                     continue;
                 }
 
@@ -381,10 +389,9 @@ SplitWindowSim::run()
                 if (regReady(node.src1Producer, node.chunk) &&
                     regReady(node.src2Producer, node.chunk)) {
                     --budget;
-                    node.issued = true;
-                    node.issuedAt = curCycle;
-                    node.done = true;
-                    node.doneAt = curCycle + node.latency;
+                    set(i, DynIssued | DynDone);
+                    issuedAt[i] = curCycle;
+                    doneAt[i] = curCycle + node.latency;
                 }
             }
         }
@@ -392,28 +399,31 @@ SplitWindowSim::run()
         // ---- commit: global, in order ----
         unsigned commits = 0;
         while (headCommit < n && commits < cfg.commitWidth) {
-            Node &head = nodes[headCommit];
-            if (!head.done || head.doneAt > curCycle)
+            const Node &head = nodes[headCommit];
+            if (!has(headCommit, DynDone) ||
+                doneAt[headCommit] > curCycle) {
                 break;
-            head.committed = true;
+            }
+            set(headCommit, DynCommitted);
             if (pipe) {
                 // Record fields are cycles; the writer scales to ticks.
                 obs::PipeViewWriter::Record r;
                 r.seq = headCommit + 1; // pipeview seqs start at 1
                 r.pc = head.pc;
-                r.fetch = head.fetchedAt;
+                r.fetch = fetchedAt[headCommit];
                 r.decode = r.fetch;
                 r.rename = r.fetch;
                 r.dispatch = r.fetch;
-                r.issue = head.issuedAt;
-                r.complete = head.doneAt;
+                r.issue = issuedAt[headCommit];
+                r.complete = doneAt[headCommit];
                 r.retire = curCycle;
                 if (head.isStore)
                     r.storeComplete = r.retire;
                 r.disasm = disasms[headCommit];
-                if (head.timesSquashed) {
-                    r.disasm += strfmt(" [squashed x%u]",
-                                       unsigned{head.timesSquashed});
+                if (timesSquashed[headCommit]) {
+                    r.disasm +=
+                        strfmt(" [squashed x%u]",
+                               unsigned{timesSquashed[headCommit]});
                 }
                 pipe->write(r);
             }
@@ -443,9 +453,12 @@ SplitWindowSim::run()
                        static_cast<unsigned long long>(headCommit),
                        nodes.size(), head.chunk,
                        static_cast<unsigned long long>(head.pc),
-                       head.fetched, head.issued, head.done,
-                       head.addrPosted,
-                       static_cast<unsigned long long>(head.notBefore),
+                       has(headCommit, DynFetched),
+                       has(headCommit, DynIssued),
+                       has(headCommit, DynDone),
+                       has(headCommit, DynAddrPosted),
+                       static_cast<unsigned long long>(
+                           notBefore[headCommit]),
                        headChunk));
         }
 
@@ -486,18 +499,19 @@ SplitWindowSim::classifyResidual() const
         return CpiCause::FrontEndIdle;
 
     const Node &head = nodes[headCommit];
-    if (!head.fetched)
+    if (!has(headCommit, DynFetched))
         return CpiCause::FrontEndIdle;
     // Squash penalty wait or post-squash re-execution: recovery cost.
-    if (head.timesSquashed > 0)
+    if (timesSquashed[headCommit] > 0)
         return CpiCause::MemDepSquash;
 
-    if (head.done) {
+    if (has(headCommit, DynDone)) {
         // In flight (doneAt > curCycle). AS loads spend the first
         // asLatency cycles in the address-scheduler pipeline.
         if (head.isLoad) {
             return (cfg.lsqModel == LsqModel::AS &&
-                    curCycle - head.issuedAt < Tick{cfg.asLatency})
+                    curCycle - issuedAt[headCommit] <
+                        Tick{cfg.asLatency})
                 ? CpiCause::AddrSched
                 : CpiCause::CacheMiss;
         }
@@ -505,7 +519,7 @@ SplitWindowSim::classifyResidual() const
     }
 
     if (head.isLoad && regReady(head.src1Producer, head.chunk) &&
-        !loadMayIssue(head, headCommit)) {
+        !loadMayIssue(headCommit)) {
         // Gate-blocked with a ready address: under SYNC a
         // synonym-carrying load is synchronizing; otherwise the hold
         // is a dependence wait — true when the trace's producing
@@ -514,9 +528,10 @@ SplitWindowSim::classifyResidual() const
             mdpt.synonymOf(head.pc) != invalid_synonym) {
             return CpiCause::SyncWait;
         }
-        bool true_dep = head.memProducer != invalid_trace_index &&
-                        !nodes[head.memProducer].committed &&
-                        !nodes[head.memProducer].done;
+        bool true_dep =
+            head.memProducer != invalid_trace_index &&
+            !(dynFlags[head.memProducer] &
+              (DynCommitted | DynDone));
         return true_dep ? CpiCause::TrueDep : CpiCause::FalseDep;
     }
 

@@ -126,9 +126,18 @@ class SplitWindowSim
     }
 
   private:
+    /**
+     * Static, precomputed description of one trace entry. The dynamic
+     * per-index execution state lives in the parallel arrays below
+     * (structure-of-arrays): the per-cycle scans — loadMayIssue's
+     * walk over every older in-flight instruction, executeStore's
+     * walk over every younger in-flight load — each test a couple of
+     * booleans per index, and packing those into a dense flag byte
+     * keeps a whole chunk window's scan state in a few cache lines
+     * instead of dragging one Node record per index.
+     */
     struct Node
     {
-        // Static (precomputed) information.
         TraceIndex src1Producer = invalid_trace_index;
         TraceIndex src2Producer = invalid_trace_index;
         TraceIndex memProducer = invalid_trace_index; ///< true producer
@@ -139,36 +148,49 @@ class SplitWindowSim
         Addr addr = invalid_addr;
         unsigned size = 0;
         Cycles latency = 1;
-
-        // Dynamic state.
-        bool fetched = false;
-        bool issued = false;
-        bool done = false;
-        Tick doneAt = 0;
-        bool addrPosted = false;
-        Tick addrPostedAt = 0;
-        bool committed = false;
-        /** For loads: youngest older store whose value was consumed. */
-        TraceIndex sourceSeen = invalid_trace_index;
-        /** Earliest re-issue time after a squash. */
-        Tick notBefore = 0;
-
-        // Pipeline timeline (O3PipeView traces).
-        Tick fetchedAt = 0;
-        Tick issuedAt = 0;
-        uint16_t timesSquashed = 0;
     };
 
+    /** Packed per-index dynamic flags (the hot scan predicates). */
+    enum DynFlag : uint8_t
+    {
+        DynFetched = 1 << 0,
+        DynIssued = 1 << 1,
+        DynDone = 1 << 2,
+        DynAddrPosted = 1 << 3,
+        DynCommitted = 1 << 4,
+    };
+
+    bool has(TraceIndex i, uint8_t f) const { return dynFlags[i] & f; }
+    void set(TraceIndex i, uint8_t f) { dynFlags[i] |= f; }
+    void clr(TraceIndex i, uint8_t f)
+    {
+        dynFlags[i] &= static_cast<uint8_t>(~f);
+    }
+
     bool regReady(TraceIndex producer, unsigned consumer_chunk) const;
-    bool loadMayIssue(const Node &node, TraceIndex idx) const;
-    void executeStore(Node &node, TraceIndex idx);
+    bool loadMayIssue(TraceIndex idx) const;
+    void executeStore(TraceIndex idx);
     void squashFrom(TraceIndex idx);
     /** Blame for this cycle's residual commit slots (DESIGN.md §11). */
     obs::CpiCause classifyResidual() const;
 
     SplitConfig cfg;
-    std::vector<Node> nodes;
+    std::vector<Node> nodes; ///< Static trace description (AoS).
     MdpTable mdpt;
+
+    // Dynamic state, indexed by trace position (SoA).
+    std::vector<uint8_t> dynFlags;  ///< DynFlag bits.
+    std::vector<Tick> doneAt;       ///< Completion time once DynDone.
+    std::vector<Tick> addrPostedAt; ///< AS address-post time.
+    /** For loads: youngest older store whose value was consumed. */
+    std::vector<TraceIndex> sourceSeen;
+    /** Earliest re-issue time after a squash. */
+    std::vector<Tick> notBefore;
+
+    // Pipeline timeline (O3PipeView traces) and squash counts.
+    std::vector<Tick> fetchedAt;
+    std::vector<Tick> issuedAt;
+    std::vector<uint16_t> timesSquashed;
 
     /** Pipeline-trace writer (nullptr when not recording). */
     obs::PipeViewWriter *pipe = nullptr;

@@ -1,6 +1,7 @@
 #include "sweep/report.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -301,8 +302,17 @@ loadRunRecords(const std::string &path, std::vector<ReportRecord> &out,
         }
         auto scale_it = fields.find("scale");
         if (scale_it != fields.end()) {
+            errno = 0;
+            char *end = nullptr;
             rec.scale =
-                std::strtoull(scale_it->second.c_str(), nullptr, 10);
+                std::strtoull(scale_it->second.c_str(), &end, 10);
+            if (end == scale_it->second.c_str() || *end != '\0' ||
+                errno == ERANGE) {
+                // A present-but-garbled scale is a malformed record,
+                // not a silent scale-0 row that skews the summary.
+                ++bad;
+                continue;
+            }
         }
         auto fp_it = fields.find("fp");
         if (fp_it != fields.end())

@@ -22,12 +22,18 @@ namespace sweep
 unsigned
 resolveJobs(unsigned requested)
 {
-    if (requested > 0)
-        return requested;
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
-    return static_cast<unsigned>(envUint64("CWSIM_JOBS", 1, hw));
+    // Clamp to the hardware: the workers are CPU-bound, so extra
+    // threads beyond the core count only time-slice — each run's
+    // wall time (and the summed-wall aggregate rate) inflates by
+    // the oversubscription factor while true throughput gains
+    // nothing. Results are worker-count independent either way.
+    if (requested > 0)
+        return std::min(requested, hw);
+    return std::min(
+        static_cast<unsigned>(envUint64("CWSIM_JOBS", 1, hw)), hw);
 }
 
 void

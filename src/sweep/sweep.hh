@@ -97,7 +97,11 @@ struct SweepOptions
     unsigned retries = 1;
 };
 
-/** Resolve a --jobs request: @p requested, CWSIM_JOBS, or core count. */
+/**
+ * Resolve a --jobs request: @p requested, CWSIM_JOBS, or core count —
+ * always clamped to the hardware thread count, since oversubscribing
+ * CPU-bound workers only inflates per-run wall time.
+ */
 unsigned resolveJobs(unsigned requested);
 
 class SweepEngine

@@ -275,6 +275,16 @@ TEST(AsmDeathTest, BadRegister)
                 ::testing::ExitedWithCode(1), "bad register");
 }
 
+TEST(AsmDeathTest, AbsurdlyLargeRegisterNumber)
+{
+    // A digit string past unsigned-long range used to escape as an
+    // uncaught std::out_of_range from the register parser; it must
+    // take the ordinary bad-register diagnostic path.
+    EXPECT_EXIT(
+        assembleText("addi r99999999999999999999, r0, 1\nhalt\n"),
+        ::testing::ExitedWithCode(1), "bad register");
+}
+
 TEST(AsmDeathTest, WrongOperandCount)
 {
     EXPECT_EXIT(assembleText("add r1, r2\nhalt\n"),

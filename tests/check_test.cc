@@ -303,6 +303,38 @@ TEST(WatchdogTrip, HealthyRunNeverTrips)
 }
 
 // ---------------------------------------------------------------- //
+// Window churn keeps the SoA mirror coherent                       //
+// ---------------------------------------------------------------- //
+
+TEST(WindowChurn, SoaMirrorSurvivesFillSquashRefill)
+{
+    // Hammer the window through fill/squash/refill churn under both
+    // recovery models with the level-2 checker on: a small window
+    // keeps constant fill pressure, and a high spurious-violation
+    // rate storms the recovery machinery. Every cycle the heavy
+    // invariants rebuild the window's structure-of-arrays mirror
+    // from the canonical DynInst records (Window::crossCheck), so a
+    // hot-field write that misses its sync() fails the run here.
+    harness::Runner runner(20'000);
+    for (RecoveryModel recovery :
+         {RecoveryModel::Squash, RecoveryModel::Selective}) {
+        SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                                   SpecPolicy::Naive);
+        cfg.core.windowSize = 32;
+        cfg.mdp.recovery = recovery;
+        cfg.check.level = 2;
+        cfg.check.faults.seed = 0xc4a11;
+        cfg.check.faults.spuriousViolationRate = 0.50;
+
+        harness::RunResult r = runner.run("126.gcc", cfg);
+        ASSERT_TRUE(r.ok) << r.config << ": " << r.error;
+        EXPECT_GE(r.injectedViolations, 100u) << r.config;
+        EXPECT_GT(r.squashedInsts + r.replays, 0u) << r.config;
+    }
+    EXPECT_TRUE(runner.failures().empty());
+}
+
+// ---------------------------------------------------------------- //
 // Fault-injected runs still commit the oracle's state              //
 // ---------------------------------------------------------------- //
 

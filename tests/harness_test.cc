@@ -108,6 +108,30 @@ TEST(RunnerTest, RunsAreDeterministic)
     EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
 }
 
+TEST(RunnerTest, ArenaReuseAcrossRunsIsBitIdentical)
+{
+    // Three consecutive runs in one process: the second and third
+    // bump through the per-run arena's recycled chunks (the harness
+    // resets it after each run), and recycled memory must not leak
+    // any state into the stats. Use a policy that exercises the
+    // store buffer's synonym lists and replay machinery.
+    Runner runner(10'000);
+    SimConfig cfg =
+        withPolicy(makeW128Config(), LsqModel::NAS, SpecPolicy::SpecSync);
+    harness::RunResult a = runner.run("126.gcc", cfg);
+    harness::RunResult b = runner.run("126.gcc", cfg);
+    harness::RunResult c = runner.run("126.gcc", cfg);
+    ASSERT_TRUE(a.ok);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(b.cycles, c.cycles);
+    EXPECT_EQ(a.violations, c.violations);
+    EXPECT_EQ(a.replays, c.replays);
+    EXPECT_EQ(a.squashedInsts, c.squashedInsts);
+    EXPECT_EQ(a.branchMispredicts, c.branchMispredicts);
+    for (size_t i = 0; i < a.cpiSlots.size(); ++i)
+        EXPECT_EQ(a.cpiSlots[i], c.cpiSlots[i]) << "cpi slot " << i;
+}
+
 TEST(RunnerTest, ShortNamesWork)
 {
     Runner runner(10'000);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <unistd.h>
 
@@ -291,6 +292,35 @@ TEST(ReportLoad, RoundTripsRunRecordLinesAndSkipsGarbage)
     EXPECT_FALSE(sweep::loadRunRecords("does-not-exist.jsonl", none,
                                        &err));
     EXPECT_FALSE(err.empty());
+}
+
+TEST(ReportLoad, RejectsGarbledScaleInsteadOfTruncating)
+{
+    // A record whose scale field holds trailing garbage used to parse
+    // as its numeric prefix (strtoull with no end check), silently
+    // mis-binning the run; it must count as malformed instead.
+    std::string path = "report_load_scale_test." +
+                       std::to_string(::getpid()) + ".jsonl";
+    ReportRecord rec = makeRun("129.compress", "NAS/NAV", 1000, 2800);
+    std::string good = sweep::runRecordLine(rec.run, 0xbeefull, 2000);
+    std::string garbled = good;
+    size_t at = garbled.find("\"scale\":2000");
+    ASSERT_NE(at, std::string::npos);
+    garbled.replace(at, strlen("\"scale\":2000"), "\"scale\":\"20x0\"");
+    {
+        std::ofstream out(path);
+        out << good << "\n" << garbled << "\n";
+    }
+
+    std::vector<ReportRecord> records;
+    std::string err;
+    size_t rejected = 0;
+    ASSERT_TRUE(
+        sweep::loadRunRecords(path, records, &err, &rejected));
+    EXPECT_EQ(records.size(), 1u);
+    EXPECT_EQ(rejected, 1u);
+    EXPECT_EQ(records[0].scale, 2000u);
+    std::remove(path.c_str());
 }
 
 } // anonymous namespace

@@ -93,6 +93,71 @@ TEST(EventQueueTest, DrainRunsEverything)
     EXPECT_EQ(eq.curTick(), 2000u);
 }
 
+TEST(EventQueueTest, ResetClearsCounters)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    eq.runUntil(1);
+    EXPECT_EQ(eq.scheduledCount(), 2u);
+    EXPECT_EQ(eq.firedCount(), 1u);
+
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    // A reused queue must start its statistics from zero, not bleed
+    // counts from the previous run.
+    EXPECT_EQ(eq.scheduledCount(), 0u);
+    EXPECT_EQ(eq.firedCount(), 0u);
+
+    eq.schedule(3, [&] { ++fired; });
+    eq.runUntil(3);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.scheduledCount(), 1u);
+    EXPECT_EQ(eq.firedCount(), 1u);
+}
+
+TEST(EventQueueTest, FarFutureEventsInterleaveWithNearOnes)
+{
+    // Events beyond the calendar ring's horizon take the far-heap lane;
+    // they must still fire in global (tick, priority, insertion) order.
+    EventQueue eq;
+    std::vector<Tick> fired_at;
+    auto rec = [&] { fired_at.push_back(eq.curTick()); };
+    eq.schedule(5000, rec);
+    eq.schedule(3, rec);
+    eq.schedule(1000, rec);
+    eq.schedule(999, rec);
+    eq.runUntil(10000);
+    ASSERT_EQ(fired_at.size(), 4u);
+    EXPECT_EQ(fired_at[0], 3u);
+    EXPECT_EQ(fired_at[1], 999u);
+    EXPECT_EQ(fired_at[2], 1000u);
+    EXPECT_EQ(fired_at[3], 5000u);
+    EXPECT_EQ(eq.firedCount(), 4u);
+}
+
+TEST(EventQueueTest, SameTickOrderSpansBothLanes)
+{
+    // Two events at the same tick, one scheduled while the tick was
+    // beyond the horizon (far lane) and one scheduled later from
+    // nearby (ring lane): priority then insertion order must still
+    // decide, exactly as with the single heap.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(400, [&] { order.push_back(1); }, 1); // far at schedule time
+    eq.schedule(200, [&] {
+        eq.schedule(400, [&] { order.push_back(0); }, 0); // near lane
+        eq.schedule(400, [&] { order.push_back(2); }, 1);
+    });
+    eq.runUntil(400);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+}
+
 TEST(StatsTest, ScalarAccumulates)
 {
     stats::Scalar s;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -762,6 +763,20 @@ TEST(JsonlTest, RejectsMalformedLines)
     EXPECT_TRUE(fields.empty());
 }
 
+TEST(ResolveJobsTest, ClampsRequestToHardwareConcurrency)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // An explicit request is honored up to the core count; CPU-bound
+    // workers beyond it only time-slice, inflating per-run wall time.
+    EXPECT_EQ(sweep::resolveJobs(1), 1u);
+    EXPECT_LE(sweep::resolveJobs(1000), hw);
+    // The default (0) resolves to at least one worker.
+    EXPECT_GE(sweep::resolveJobs(0), 1u);
+    EXPECT_LE(sweep::resolveJobs(0), hw);
+}
+
 TEST(BenchCliTest, ParsesSharedFlags)
 {
     const char *argv[] = {"bench",      "--jobs",  "3",
@@ -898,11 +913,14 @@ TEST(BenchCliTest, FilterNames)
 
 TEST(SweepJobs, ResolveJobsPrefersExplicitThenEnv)
 {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
     unsetenv("CWSIM_JOBS");
-    EXPECT_EQ(sweep::resolveJobs(5), 5u);
+    EXPECT_EQ(sweep::resolveJobs(5), std::min(5u, hw));
     EXPECT_GE(sweep::resolveJobs(0), 1u);
     setenv("CWSIM_JOBS", "3", 1);
-    EXPECT_EQ(sweep::resolveJobs(0), 3u);
+    EXPECT_EQ(sweep::resolveJobs(0), std::min(3u, hw));
     setenv("CWSIM_JOBS", "junk", 1);
     EXPECT_GE(sweep::resolveJobs(0), 1u); // falls back with a warn
     unsetenv("CWSIM_JOBS");
