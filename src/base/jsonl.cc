@@ -1,12 +1,10 @@
-#include "sweep/jsonl.hh"
+#include "base/jsonl.hh"
 
 #include <cctype>
 
 #include "base/str.hh"
 
 namespace cwsim
-{
-namespace sweep
 {
 
 std::string
@@ -252,5 +250,4 @@ parseFlatJson(const std::string &line,
     }
 }
 
-} // namespace sweep
 } // namespace cwsim

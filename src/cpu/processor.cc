@@ -115,11 +115,21 @@ Processor::Processor(const SimConfig &cfg, const Program &program,
         if (!sampler->valid())
             sampler.reset();
     }
+
+    if (obs::DepProfManager::instance().active()) {
+        std::string label = obs::runLabel().empty()
+            ? cfg.name()
+            : obs::runLabel();
+        dprof = std::make_unique<obs::DepProfile>("proc", label,
+                                                  &statGroup);
+        mdpTable.setProfile(dprof.get());
+    }
 }
 
 Processor::~Processor()
 {
     finishIntervalSampling();
+    finishDepProfile();
 }
 
 void
@@ -131,8 +141,10 @@ Processor::run()
     }
     // Flush the sampler's trailing partial interval now rather than at
     // destruction, so callers reading the interval file right after
-    // run() see the complete time series.
+    // run() see the complete time series. Same for the dependence
+    // profile: the harness harvests it right after run() returns.
     finishIntervalSampling();
+    finishDepProfile();
 }
 
 uint64_t
@@ -267,6 +279,13 @@ Processor::tick()
         emitIntervalSample();
 
     if (usesMdpt && cycle - lastMdptReset >= cfg.mdp.resetInterval) {
+        // Sample occupancy/confidence at the reset boundary — the one
+        // moment the predictor's learned state is fully mature — before
+        // the flush erases it.
+        if (__builtin_expect(dprof != nullptr, 0)) {
+            dprof->noteMdptSample(cycle, mdpTable.validEntries(),
+                                  mdpTable.meanConfidence());
+        }
         mdpTable.reset();
         lastMdptReset = cycle;
     }
@@ -325,6 +344,8 @@ Processor::doCommit()
             // queue models the D-cache write timing afterwards.
             funcMem.write(entry.addr, entry.size, entry.data);
             ++pstats.committedStores;
+            if (__builtin_expect(dprof != nullptr, 0))
+                dprof->noteStoreCommit(head.pc);
         }
         if (head.isLoad()) {
             deindexLoadBytes(head);
@@ -336,6 +357,15 @@ Processor::doCommit()
                         static_cast<double>(head.fdLatency));
                 } else {
                     ++pstats.trueDepStalledLoads;
+                }
+            }
+            if (__builtin_expect(dprof != nullptr, 0)) {
+                dprof->noteLoadCommit(head.pc);
+                if (head.fdEvaluated) {
+                    if (head.fdIsFalse)
+                        dprof->noteFalseDep(head.pc, head.fdLatency);
+                    else
+                        dprof->noteTrueDep(head.pc);
                 }
             }
         }
@@ -540,6 +570,8 @@ Processor::doDispatch()
                 mdpTable.predictsDependence(inst.pc)) {
                 sb.slot(inst.sbSlot).barrier = true;
                 unissuedBarriers.insert(inst.seq);
+                if (__builtin_expect(dprof != nullptr, 0))
+                    dprof->noteStoreBarrier(inst.pc);
                 CWSIM_TRACE(MDP, "STORE predicts dependence: store seq "
                             "%llu pc 0x%llx becomes a barrier",
                             static_cast<unsigned long long>(inst.seq),
@@ -559,6 +591,8 @@ Processor::doDispatch()
                 mdpTable.predictsDependence(inst.pc)) {
                 inst.waitAllStores = true;
                 ++pstats.selHolds;
+                if (__builtin_expect(dprof != nullptr, 0))
+                    dprof->noteSelHold(inst.pc);
                 CWSIM_TRACE(MDP, "SEL predicts dependence: load seq "
                             "%llu pc 0x%llx waits for all older stores",
                             static_cast<unsigned long long>(inst.seq),
@@ -576,6 +610,10 @@ Processor::doDispatch()
                         inst.waitedSync = true;
                         inst.syncWaitStore = e->seq;
                         ++pstats.syncWaits;
+                        if (__builtin_expect(dprof != nullptr, 0)) {
+                            dprof->noteSyncWait(inst.pc, e->pc,
+                                                inst.seq - e->seq);
+                        }
                         CWSIM_TRACE(MDP, "SYNC: load seq %llu pc "
                                     "0x%llx synchronizes on store "
                                     "seq %llu (synonym %u)",
@@ -1107,6 +1145,21 @@ Processor::finishIntervalSampling()
 {
     if (sampler)
         sampler->finalize(cycle, intervalCounters());
+}
+
+void
+Processor::finishDepProfile()
+{
+    if (!dprof || dprofWritten)
+        return;
+    dprofWritten = true;
+    // Final predictor snapshot: the interval since the last reset
+    // boundary would otherwise be invisible.
+    if (usesMdpt) {
+        dprof->noteMdptSample(cycle, mdpTable.validEntries(),
+                              mdpTable.meanConfidence());
+    }
+    obs::DepProfManager::instance().writeRun(*dprof);
 }
 
 obs::CpiCause

@@ -45,6 +45,7 @@
 #include "mem/functional_memory.hh"
 #include "mem/timing_cache.hh"
 #include "obs/cpi_stack.hh"
+#include "obs/depprof.hh"
 #include "obs/interval.hh"
 #include "obs/pipeview.hh"
 #include "sim/config.hh"
@@ -168,6 +169,8 @@ class Processor
     BranchPredictor &branchPredictor() { return bpred; }
     MdpTable &mdpt() { return mdpTable; }
     const check::FlightRecorder &flightRecorder() const { return frec; }
+    /** The run's dependence profile, or nullptr when profiling is off. */
+    const obs::DepProfile *depProfile() const { return dprof.get(); }
 
     Tick curCycle() const { return cycle; }
     uint64_t totalCommits() const { return commitCount; }
@@ -299,6 +302,11 @@ class Processor
     obs::IntervalCounters intervalCounters() const;
     /** Flush the sampler's trailing partial interval (idempotent). */
     void finishIntervalSampling();
+    /**
+     * Take a final MDPT sample and append the dependence profile to
+     * the process-wide profile file (idempotent, no-op without one).
+     */
+    void finishDepProfile();
     /**
      * Blame for this cycle's residual (non-committing) commit slots.
      * Called only when fewer than commitWidth instructions committed;
@@ -446,6 +454,14 @@ class Processor
     obs::PipeViewWriter *pipe;
     /** Interval stats sampler (nullptr when not sampling). */
     std::unique_ptr<obs::IntervalSampler> sampler;
+    /**
+     * Per-static-PC dependence attribution (nullptr when profiling is
+     * off — every hook below a single predicted-false pointer test).
+     * Observation only: the enabled path reads simulation state but
+     * never feeds back, so simulated stats stay bit-identical.
+     */
+    std::unique_ptr<obs::DepProfile> dprof;
+    bool dprofWritten = false;
 };
 
 } // namespace cwsim

@@ -223,8 +223,11 @@ Processor::gateStoreBarrier(const DynInst &inst)
 {
     bool blocked = !unissuedBarriers.empty() &&
                    *unissuedBarriers.begin() < inst.seq;
-    if (blocked && !inst.fdStallStarted)
+    if (blocked && !inst.fdStallStarted) {
         ++pstats.barrierHolds;
+        if (__builtin_expect(dprof != nullptr, 0))
+            dprof->noteBarrierHold(inst.pc);
+    }
     return !blocked;
 }
 
@@ -403,6 +406,8 @@ Processor::executeLoad(DynInst &inst)
                                 static_cast<unsigned long long>(source))
                              .c_str()
                        : "");
+    if (__builtin_expect(dprof != nullptr, 0))
+        dprof->noteLoadExec(inst.pc, all_forwarded);
     finishFalseDepStall(inst);
 }
 
@@ -420,6 +425,8 @@ Processor::replayLoad(DynInst &inst)
     pendingBits.set(rob.slotOf(inst));
     ++inst.timesReplayed;
     ++pstats.loadReplays;
+    if (__builtin_expect(dprof != nullptr, 0))
+        dprof->noteLoadReplay(inst.pc);
     CWSIM_TRACE(Recovery, "silent replay: load seq %llu pc 0x%llx "
                 "(replay #%u)",
                 static_cast<unsigned long long>(inst.seq),
@@ -582,6 +589,13 @@ Processor::checkViolationsNas(const SbEntry &entry)
             continue; // every shared byte came from a younger store
 
         ++pstats.memOrderViolations;
+        if (__builtin_expect(dprof != nullptr, 0)) {
+            dprof->noteViolation(
+                entry.pc, load.pc, load.seq - entry.seq,
+                entry.addr <= load.effAddr &&
+                    entry.addr + entry.size >=
+                        load.effAddr + load.memSize);
+        }
         CWSIM_TRACE(Recovery, "mem-order violation: load seq %llu "
                     "pc 0x%llx vs store seq %llu pc 0x%llx "
                     "addr 0x%llx",
@@ -788,6 +802,13 @@ Processor::checkStaleLoadsAs(const SbEntry &entry)
 
         if (anyConsumerIssued(load)) {
             ++pstats.memOrderViolations;
+            if (__builtin_expect(dprof != nullptr, 0)) {
+                dprof->noteViolation(
+                    entry.pc, load.pc, load.seq - entry.seq,
+                    entry.addr <= load.effAddr &&
+                        entry.addr + entry.size >=
+                            load.effAddr + load.memSize);
+            }
             CWSIM_TRACE(Recovery, "stale AS load with consumers: "
                         "seq %llu pc 0x%llx vs store seq %llu "
                         "pc 0x%llx",

@@ -172,6 +172,16 @@ Runner::run(const std::string &name, const SimConfig &cfg)
         for (size_t i = 0; i < obs::num_cpi_causes; ++i)
             r.cpiSlots[i] = cpi.slot(obs::CpiCause(i));
 
+        // Dependence-profile surface: the full profile already went to
+        // the .depprof.jsonl writer; the record carries the summary.
+        if (const obs::DepProfile *dp = proc.depProfile()) {
+            r.depProfiled = true;
+            r.depLoads = dp->numLoads();
+            r.depStores = dp->numStores();
+            r.depEdges = dp->numEdges();
+            r.depHotEdges = dp->hotEdges(8);
+        }
+
         // Architectural-state equivalence against the functional
         // pre-pass. Only meaningful when the timing run retired the
         // whole program (maxInsts == 0 means run to completion).

@@ -111,6 +111,17 @@ struct RunResult
      */
     std::string diagnostic;
 
+    // Dependence-profile surface (schema v5). Host-adjacent: the
+    // profile is deterministic per run but only collected when
+    // CWSIM_DEPPROF / --depprof is on, so diffRunRecords excludes
+    // these fields — dedicated tests compare them directly instead.
+    bool depProfiled = false; ///< A DepProfile was collected.
+    uint64_t depLoads = 0;    ///< Distinct load PCs profiled.
+    uint64_t depStores = 0;   ///< Distinct store PCs profiled.
+    uint64_t depEdges = 0;    ///< Distinct (store,load) edges.
+    /** Top edges, hotEdges() encoding: "0xS-0xL:viol:syncs;...". */
+    std::string depHotEdges;
+
     // Host-side profiling (not part of the simulated result; excluded
     // from determinism comparisons).
     double wallMs = 0;     ///< Wall-clock time of this run.

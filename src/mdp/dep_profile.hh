@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Loader/validator for .depprof.jsonl dependence profiles — the
+ * explicit input contract for profile-guided dependence policies
+ * (ROADMAP item 4): a policy consumes validated DepProfileRun blocks,
+ * never raw text.
+ *
+ * The writer side (format documentation included) is
+ * obs/depprof.hh. This reader is strict on purpose: every line must
+ * parse as flat JSON, carry the expected version, belong to the block
+ * its header opened, and the header's record counts must match what
+ * the block actually contains — a torn, interleaved, or truncated
+ * profile surfaces as validation errors, not as silently merged data.
+ */
+
+#ifndef CWSIM_MDP_DEP_PROFILE_HH
+#define CWSIM_MDP_DEP_PROFILE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "obs/depprof.hh"
+
+namespace cwsim
+{
+namespace mdp
+{
+
+/** One run's worth of profile records, as read back from disk. */
+struct DepProfileRun
+{
+    std::string run; ///< The run label ("workload config").
+    std::string sim; ///< Producing simulator ("proc" / "split").
+    std::map<Addr, obs::DepLoadCounters> loads;
+    std::map<Addr, obs::DepStoreCounters> stores;
+    std::map<obs::DepEdgeKey, obs::DepEdgeCounters> edges;
+    std::map<Addr, obs::DepMdptCounters> mdpt;
+    std::vector<obs::DepMdptSample> mdptSamples;
+};
+
+class DepProfileFile
+{
+  public:
+    /**
+     * Read and validate @p path. Returns false when the file cannot
+     * be opened (@p err filled) or any line fails validation (the
+     * complaints are in errors()). Runs that validated are available
+     * either way.
+     */
+    bool load(const std::string &path, std::string *err = nullptr);
+
+    /**
+     * Validate pre-split @p lines (the in-memory form of the file).
+     * Returns true iff no validation errors were recorded.
+     */
+    bool parseLines(const std::vector<std::string> &lines);
+
+    const std::vector<DepProfileRun> &runs() const { return runList; }
+    const std::vector<std::string> &errors() const { return errorList; }
+    bool valid() const { return errorList.empty(); }
+
+    /** The run block labeled @p label, or nullptr. */
+    const DepProfileRun *findRun(const std::string &label) const;
+
+  private:
+    std::vector<DepProfileRun> runList;
+    std::vector<std::string> errorList;
+};
+
+} // namespace mdp
+} // namespace cwsim
+
+#endif // CWSIM_MDP_DEP_PROFILE_HH

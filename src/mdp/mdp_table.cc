@@ -71,6 +71,13 @@ MdpTable::allocate(Addr pc)
             victim = &e;
     }
     ++allocations;
+    if (__builtin_expect(dprof != nullptr, 0)) {
+        // The victim still holding valid state means LRU displaced a
+        // live prediction: attribute the eviction to the displaced PC.
+        if (victim->valid)
+            dprof->noteMdptEvict(victim->tag);
+        dprof->noteMdptAlloc(pc);
+    }
     victim->valid = true;
     victim->tag = pc;
     victim->confidence = SatCounter(counterBits, 0);
@@ -85,6 +92,8 @@ MdpTable::recordMissSpeculation(Addr pc)
     Entry &e = allocate(pc);
     e.confidence.increment();
     bool predicts = e.confidence.value() >= predictThreshold;
+    if (__builtin_expect(dprof != nullptr, 0))
+        dprof->noteMdptMissSpec(pc);
     CWSIM_TRACE(MDP, "miss-speculation recorded: pc 0x%llx "
                 "confidence %u%s",
                 static_cast<unsigned long long>(pc),
@@ -123,8 +132,11 @@ MdpTable::pair(Addr load_pc, Addr store_pc)
     Synonym syn = store_syn;
     if (syn == invalid_synonym)
         syn = load_e.synonym;
-    if (syn == invalid_synonym)
+    bool merged = syn != invalid_synonym;
+    if (!merged)
         syn = nextSynonym++;
+    if (__builtin_expect(dprof != nullptr, 0))
+        dprof->noteMdptPair(load_pc, store_pc, merged);
 
     // Re-find the store: it may have been evicted by the load's
     // allocation, in which case only the load keeps the synonym (one
@@ -155,6 +167,20 @@ MdpTable::validEntries() const
     for (const Entry &e : entries)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+double
+MdpTable::meanConfidence() const
+{
+    uint64_t sum = 0;
+    size_t n = 0;
+    for (const Entry &e : entries) {
+        if (!e.valid)
+            continue;
+        sum += e.confidence.value();
+        ++n;
+    }
+    return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
 }
 
 bool

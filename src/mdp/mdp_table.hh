@@ -22,6 +22,7 @@
 #include "base/random.hh"
 #include "base/sat_counter.hh"
 #include "base/types.hh"
+#include "obs/depprof.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -87,6 +88,17 @@ class MdpTable
 
     size_t numEntries() const { return sets * assoc; }
     size_t validEntries() const;
+    /** Mean confidence-counter value over valid entries (0 if empty). */
+    double meanConfidence() const;
+
+    /**
+     * Attach a dependence-profile collector; allocations, evictions,
+     * pairings and miss-speculations are attributed to it from then
+     * on. Observation only — the table never reads the profile — so
+     * attaching one cannot change prediction behavior. nullptr (the
+     * default) keeps the hooks to a single predicted-false branch.
+     */
+    void setProfile(obs::DepProfile *profile) { dprof = profile; }
 
     /**
      * Fault injection: invalidate a random valid entry (a dropped
@@ -125,6 +137,7 @@ class MdpTable
     std::vector<Entry> entries;
     Synonym nextSynonym;
     uint64_t useCounter;
+    obs::DepProfile *dprof = nullptr;
 };
 
 } // namespace cwsim

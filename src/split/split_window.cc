@@ -38,6 +38,13 @@ SplitWindowSim::SplitWindowSim(const SplitConfig &cfg,
             disasms.push_back(te.inst.disassemble());
     }
 
+    if (obs::DepProfManager::instance().active()) {
+        dprof = std::make_unique<obs::DepProfile>(
+            "split",
+            obs::runLabel().empty() ? "split" : obs::runLabel());
+        mdpt.setProfile(dprof.get());
+    }
+
     // Precompute register and memory producers from the trace.
     std::unordered_map<unsigned, TraceIndex> reg_writer;
     std::unordered_map<Addr, TraceIndex> byte_writer;
@@ -137,6 +144,12 @@ SplitWindowSim::loadMayIssue(TraceIndex idx) const
                     found_producer = true;
                     if (!(f & DynDone) ||
                         doneAt[j] + cfg.interUnitLatency > curCycle) {
+                        // Per refused cycle, so the counter reads as
+                        // cycles spent synchronizing on this edge.
+                        if (__builtin_expect(dprof != nullptr, 0)) {
+                            dprof->noteSyncWait(node.pc, nodes[j].pc,
+                                                idx - j);
+                        }
                         return false;
                     }
                     break; // synchronized with the closest instance
@@ -206,6 +219,12 @@ SplitWindowSim::executeStore(TraceIndex idx)
             continue; // already forwarded from this store or younger
         }
         ++numViolations;
+        if (__builtin_expect(dprof != nullptr, 0)) {
+            dprof->noteViolation(
+                store.pc, load.pc, j - idx,
+                store.addr <= load.addr &&
+                    store.addr + store.size >= load.addr + load.size);
+        }
         CWSIM_TRACE(Split, "violation: load idx %llu pc 0x%llx "
                     "vs store idx %llu pc 0x%llx addr 0x%llx",
                     static_cast<unsigned long long>(j),
@@ -376,6 +395,10 @@ SplitWindowSim::run()
                         }
                     }
                     sourceSeen[i] = source;
+                    if (__builtin_expect(dprof != nullptr, 0)) {
+                        dprof->noteLoadExec(
+                            node.pc, source != invalid_trace_index);
+                    }
                     set(i, DynIssued | DynDone);
                     issuedAt[i] = curCycle;
                     doneAt[i] = curCycle + cfg.memLatency +
@@ -405,6 +428,12 @@ SplitWindowSim::run()
                 break;
             }
             set(headCommit, DynCommitted);
+            if (__builtin_expect(dprof != nullptr, 0)) {
+                if (head.isLoad)
+                    dprof->noteLoadCommit(head.pc);
+                else if (head.isStore)
+                    dprof->noteStoreCommit(head.pc);
+            }
             if (pipe) {
                 // Record fields are cycles; the writer scales to ticks.
                 obs::PipeViewWriter::Record r;
@@ -485,6 +514,14 @@ SplitWindowSim::run()
                  cpi.slot(obs::CpiCause::Committed)),
              static_cast<unsigned long long>(curCycle),
              cfg.commitWidth);
+    if (dprof) {
+        // Final predictor snapshot, then hand the block to the shared
+        // writer (SYNC is the only split policy with MDPT state, but
+        // the sample is cheap and keeps the block shape uniform).
+        dprof->noteMdptSample(curCycle, mdpt.validEntries(),
+                              mdpt.meanConfidence());
+        obs::DepProfManager::instance().writeRun(*dprof);
+    }
     return curCycle;
 }
 

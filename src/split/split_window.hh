@@ -26,12 +26,14 @@
 #define CWSIM_SPLIT_SPLIT_WINDOW_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/types.hh"
 #include "mdp/mdp_table.hh"
 #include "mdp/oracle.hh"
 #include "obs/cpi_stack.hh"
+#include "obs/depprof.hh"
 #include "obs/pipeview.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -110,6 +112,8 @@ class SplitWindowSim
     uint64_t committed() const { return numCommitted; }
     /** Commit-slot cycle accounting (conserves by construction). */
     const obs::CpiStack &cpiStack() const { return cpi; }
+    /** The run's dependence profile, or nullptr when profiling is off. */
+    const obs::DepProfile *depProfile() const { return dprof.get(); }
 
     double
     ipc() const
@@ -207,6 +211,12 @@ class SplitWindowSim
     uint64_t numCommitted;
     uint64_t numLoads;
     obs::CpiStack cpi;
+    /**
+     * Per-static-PC dependence attribution (nullptr when profiling is
+     * off). Stats-less here: the split model has no StatGroup, so the
+     * profile only feeds the .depprof.jsonl writer. Observation only.
+     */
+    std::unique_ptr<obs::DepProfile> dprof;
 };
 
 } // namespace cwsim

@@ -272,6 +272,15 @@ Server::registerMetrics()
                                   "Records in the shared run cache.");
     sm.uptimeMs =
         &metrics.gauge("cwsimd_uptime_ms", "Daemon uptime, ms.");
+    sm.depprofRuns = &metrics.counter(
+        "cwsimd_depprof_runs_total",
+        "Executed runs that carried a dependence profile.");
+    sm.depprofEdges = &metrics.counter(
+        "cwsimd_depprof_edges_total",
+        "Dependence edges summed over all profiled runs.");
+    sm.depprofLastEdges = &metrics.gauge(
+        "cwsimd_depprof_last_edges",
+        "Dependence edges of the most recent profiled run.");
 }
 
 void
@@ -484,6 +493,14 @@ Server::finishUnit(uint64_t key, harness::RunResult r,
     ++executedRuns;
     if (sm.executed)
         sm.executed->inc();
+    if (r.depProfiled) {
+        if (sm.depprofRuns)
+            sm.depprofRuns->inc();
+        if (sm.depprofEdges)
+            sm.depprofEdges->inc(r.depEdges);
+        if (sm.depprofLastEdges)
+            sm.depprofLastEdges->set(static_cast<double>(r.depEdges));
+    }
     metrics
         .counter("cwsimd_run_results_total", result_help, "kind",
                  harness::toString(r.failKind))

@@ -222,6 +222,9 @@ class Server
         obs::Histogram *runLatency = nullptr;
         obs::Gauge *cacheSize = nullptr;
         obs::Gauge *uptimeMs = nullptr;
+        obs::Counter *depprofRuns = nullptr;
+        obs::Counter *depprofEdges = nullptr;
+        obs::Gauge *depprofLastEdges = nullptr;
     } sm;
 };
 

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "obs/cpi_stack.hh"
+#include "obs/depprof.hh"
 #include "obs/trace.hh"
 #include "sim/config_parse.hh"
 #include "sim/table.hh"
@@ -58,6 +59,12 @@ printUsage(const char *prog, std::FILE *out)
          "CWSIM_INTERVAL"},
         {"--interval-file P", "interval-stats JSONL path",
          "CWSIM_INTERVAL_FILE"},
+        {"--depprof",
+         "collect per-static-PC dependence profiles (JSONL)",
+         "CWSIM_DEPPROF"},
+        {"--depprof-file P",
+         "dependence-profile path (implies --depprof)",
+         "CWSIM_DEPPROF"},
         {"--cpi-stack",
          "print the per-run CPI stack (commit-slot losses)",
          "CWSIM_CPI_STACK"},
@@ -198,6 +205,11 @@ parseBenchArgs(int argc, char **argv, uint64_t defaultScale)
                 parseCount("--interval", value(i, "--interval"), 1);
         } else if (arg == "--interval-file") {
             opts.intervalFile = value(i, "--interval-file");
+        } else if (arg == "--depprof") {
+            opts.depprof = true;
+        } else if (arg == "--depprof-file") {
+            opts.depprofFile = value(i, "--depprof-file");
+            opts.depprof = true;
         } else if (arg == "--cpi-stack") {
             opts.cpiStack = true;
         } else if (arg == "--isolate") {
@@ -267,6 +279,14 @@ BenchCli::BenchCli(int argc, char **argv, uint64_t defaultScale)
     }
     if (opts.intervalCycles > 0)
         tm.setInterval(opts.intervalCycles, opts.intervalFile);
+
+    // Dependence profiling follows the same contract: the state lives
+    // on the global DepProfManager, never in SimConfig, so enabling it
+    // cannot change fingerprints — and the collector only reads sim
+    // state, so it cannot change results either. CWSIM_DEPPROF is
+    // applied by the manager itself on first use; the flags override.
+    if (opts.depprof)
+        obs::DepProfManager::instance().enable(opts.depprofFile);
 
     // Cache maintenance short-circuits the bench entirely: report (or
     // rewrite) and exit before any workload is even built.

@@ -25,6 +25,11 @@
  *   --interval N    sample interval stats every N cycles (JSONL)
  *   --interval-file P  interval-stats path (default
  *                   cwsim-intervals.jsonl)
+ *   --depprof       collect per-static-PC dependence profiles (see
+ *                   src/obs/depprof.hh); simulation results are
+ *                   unaffected, the profile goes to
+ *                   cwsim.depprof.jsonl
+ *   --depprof-file P  dependence-profile path (implies --depprof)
  *   --cpi-stack     print a per-(workload, config) CPI-stack table
  *                   (commit-slot loss breakdown) after the sweep
  *   --isolate       run each simulation in a sandboxed child process:
@@ -84,6 +89,8 @@ struct BenchOptions
     std::string pipeviewPath;  ///< --pipeview ("" = off).
     uint64_t intervalCycles = 0; ///< --interval (0 = off).
     std::string intervalFile;  ///< --interval-file ("" = default).
+    bool depprof = false;      ///< --depprof / CWSIM_DEPPROF.
+    std::string depprofFile;   ///< --depprof-file ("" = default path).
 
     /**
      * --cpi-stack (or CWSIM_CPI_STACK=1): print the per-run commit-slot

@@ -1,58 +1,24 @@
 /**
  * @file
- * Minimal JSON-lines helpers for the sweep subsystem: building one
- * flat JSON object per line (run-cache entries, exported results) and
- * parsing such lines back. This is deliberately not a general JSON
- * parser — objects are flat (no nesting, no arrays), which is all the
- * cache and exporter emit — but the parser is defensive: a malformed
- * or truncated line yields false rather than garbage, so a corrupted
- * cache degrades to a cache miss.
+ * Forwarding header: the flat JSON-lines helpers moved to
+ * base/jsonl.hh when the dependence profiler needed them below the
+ * sweep layer. Existing sweep::-qualified callers keep compiling via
+ * the using-declarations; new code should include base/jsonl.hh.
  */
 
 #ifndef CWSIM_SWEEP_JSONL_HH
 #define CWSIM_SWEEP_JSONL_HH
 
-#include <map>
-#include <string>
-#include <vector>
+#include "base/jsonl.hh"
 
 namespace cwsim
 {
 namespace sweep
 {
 
-/** Escape @p s for use inside a JSON string literal. */
-std::string jsonEscape(const std::string &s);
-
-/**
- * Incrementally build one flat JSON object. Fields appear in insertion
- * order, so equal field sequences yield byte-identical lines —
- * required for the determinism guarantee on exported JSONL.
- */
-class JsonObject
-{
-  public:
-    JsonObject &add(const std::string &key, const std::string &value);
-    JsonObject &add(const std::string &key, const char *value);
-    JsonObject &add(const std::string &key, uint64_t value);
-    JsonObject &add(const std::string &key, double value);
-    JsonObject &add(const std::string &key, bool value);
-
-    /** The finished single-line object, e.g. {"a":"x","n":3}. */
-    std::string str() const;
-
-  private:
-    std::vector<std::string> fields;
-};
-
-/**
- * Parse one flat JSON object line into key -> raw value text. String
- * values are unescaped; numbers/booleans are returned as their
- * literal text ("123", "0.5", "true"). Returns false on malformed
- * input (including nested objects/arrays, which we never write).
- */
-bool parseFlatJson(const std::string &line,
-                   std::map<std::string, std::string> &out);
+using cwsim::jsonEscape;
+using cwsim::JsonObject;
+using cwsim::parseFlatJson;
 
 } // namespace sweep
 } // namespace cwsim

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "base/str.hh"
 #include "obs/cpi_stack.hh"
@@ -34,7 +36,25 @@ struct Table
 {
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
+    /** Optional note rendered after the table (dropped-row counts). */
+    std::string footer;
 };
+
+/**
+ * Apply the --top row cap: keep the first @p top rows and record what
+ * was cut in the footer, so a capped table can never be mistaken for
+ * the whole population. @p top == 0 means unlimited.
+ */
+void
+capRows(Table &t, size_t top)
+{
+    if (top == 0 || t.rows.size() <= top)
+        return;
+    size_t dropped = t.rows.size() - top;
+    t.rows.resize(top);
+    t.footer = strfmt("%zu more row(s) dropped; raise --top to see "
+                      "them.", dropped);
+}
 
 struct Section
 {
@@ -76,6 +96,8 @@ renderTableMd(std::ostringstream &os, const Table &t)
             os << " " << cell << " |";
         os << "\n";
     }
+    if (!t.footer.empty())
+        os << "\n_" << t.footer << "_\n";
     os << "\n";
 }
 
@@ -93,6 +115,8 @@ renderTableHtml(std::ostringstream &os, const Table &t)
         os << "</tr>\n";
     }
     os << "</table>\n";
+    if (!t.footer.empty())
+        os << "<p><em>" << htmlEscape(t.footer) << "</em></p>\n";
 }
 
 std::string
@@ -276,6 +300,225 @@ addSpeedupSummaryRows(Table &t, const RecordIndex &idx,
     }
 }
 
+// ---------------------------------------------------------------------
+// Dependence-profile rendering helpers (schema v5 / .depprof.jsonl).
+// ---------------------------------------------------------------------
+
+std::string
+fmtU64(uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+fmtPc(Addr pc)
+{
+    return strfmt("0x%llx", static_cast<unsigned long long>(pc));
+}
+
+/** One decoded dep_hot_edges entry. */
+struct HotEdge
+{
+    Addr storePc = 0;
+    Addr loadPc = 0;
+    uint64_t violations = 0;
+    uint64_t syncs = 0;
+};
+
+/**
+ * Decode a dep_hot_edges field ("0xS-0xL:viol:syncs;..."). Entries
+ * that fail to parse are skipped — a record written by a future
+ * encoding degrades to fewer rows, never to a broken report.
+ */
+std::vector<HotEdge>
+parseHotEdges(const std::string &text)
+{
+    std::vector<HotEdge> out;
+    for (const std::string &item : split(text, ';')) {
+        if (item.empty())
+            continue;
+        HotEdge e;
+        const char *s = item.c_str();
+        char *end = nullptr;
+        e.storePc = std::strtoull(s, &end, 16);
+        if (end == s || *end != '-')
+            continue;
+        s = end + 1;
+        e.loadPc = std::strtoull(s, &end, 16);
+        if (end == s || *end != ':')
+            continue;
+        s = end + 1;
+        e.violations = std::strtoull(s, &end, 10);
+        if (end == s || *end != ':')
+            continue;
+        s = end + 1;
+        e.syncs = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0')
+            continue;
+        out.push_back(e);
+    }
+    return out;
+}
+
+/** Non-empty distance buckets as "label:count, ..." ("-" when none). */
+std::string
+fmtDistHistogram(const std::array<uint64_t, obs::dep_dist_buckets> &d)
+{
+    std::string out;
+    for (size_t b = 0; b < obs::dep_dist_buckets; ++b) {
+        if (d[b] == 0)
+            continue;
+        out += (out.empty() ? "" : ", ") + obs::depDistBucketLabel(b) +
+               ":" + fmtU64(d[b]);
+    }
+    return out.empty() ? "-" : out;
+}
+
+/**
+ * The hot-edge and per-PC sections appended to a sweep report when any
+ * record carries a schema-v5 dependence-profile summary.
+ */
+void
+addDepSections(std::vector<Section> &sections, const RecordIndex &idx,
+               size_t top)
+{
+    size_t profiled = 0;
+    for (const auto &[key, rec] : idx.byKey) {
+        if (rec->run.depProfiled)
+            ++profiled;
+    }
+    if (profiled == 0)
+        return;
+
+    // ---- Per-config hot edges ---------------------------------------
+    {
+        Section s;
+        s.title = "Hot dependence edges";
+        s.paragraphs.push_back(strfmt(
+            "%zu run(s) carry a dependence-profile summary (collected "
+            "under --depprof / CWSIM_DEPPROF). Each table lists the "
+            "config's hottest (store PC, load PC) edges by violation "
+            "count; full per-PC detail is in the run's .depprof.jsonl "
+            "file.", profiled));
+        for (const auto &cfg : idx.configs) {
+            struct Row { std::string w; HotEdge e; };
+            std::vector<Row> rows;
+            for (const auto &w : idx.workloads) {
+                const ReportRecord *r = idx.find(w, cfg);
+                if (!r || !r->run.depProfiled)
+                    continue;
+                for (const HotEdge &e :
+                     parseHotEdges(r->run.depHotEdges))
+                    rows.push_back({w, e});
+            }
+            if (rows.empty())
+                continue;
+            std::sort(rows.begin(), rows.end(),
+                      [](const Row &a, const Row &b) {
+                          return std::tie(b.e.violations, b.e.syncs,
+                                          a.w, a.e.storePc,
+                                          a.e.loadPc) <
+                                 std::tie(a.e.violations, a.e.syncs,
+                                          b.w, b.e.storePc,
+                                          b.e.loadPc);
+                      });
+            Table t;
+            t.header = {cfg, "store PC", "load PC", "violations",
+                        "syncs"};
+            for (const Row &r : rows) {
+                t.rows.push_back({r.w, fmtPc(r.e.storePc),
+                                  fmtPc(r.e.loadPc),
+                                  fmtU64(r.e.violations),
+                                  fmtU64(r.e.syncs)});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        }
+        if (s.tables.empty()) {
+            s.paragraphs.push_back(
+                "The profiled runs recorded no hot edges (no "
+                "violations or synchronizations attributed).");
+        }
+        sections.push_back(std::move(s));
+    }
+
+    // ---- Sweep-level per-PC aggregation -----------------------------
+    {
+        struct PcAgg
+        {
+            uint64_t violations = 0;
+            uint64_t syncs = 0;
+            size_t runs = 0;
+        };
+        std::map<Addr, PcAgg> storeAgg, loadAgg;
+        for (const auto &[key, rec] : idx.byKey) {
+            if (!rec->run.depProfiled)
+                continue;
+            std::map<Addr, PcAgg> sLocal, lLocal;
+            for (const HotEdge &e :
+                 parseHotEdges(rec->run.depHotEdges)) {
+                PcAgg &sa = sLocal[e.storePc];
+                sa.violations += e.violations;
+                sa.syncs += e.syncs;
+                PcAgg &la = lLocal[e.loadPc];
+                la.violations += e.violations;
+                la.syncs += e.syncs;
+            }
+            for (const auto &[pc, a] : sLocal) {
+                PcAgg &g = storeAgg[pc];
+                g.violations += a.violations;
+                g.syncs += a.syncs;
+                ++g.runs;
+            }
+            for (const auto &[pc, a] : lLocal) {
+                PcAgg &g = loadAgg[pc];
+                g.violations += a.violations;
+                g.syncs += a.syncs;
+                ++g.runs;
+            }
+        }
+        if (storeAgg.empty() && loadAgg.empty())
+            return;
+
+        struct PcRow { Addr pc; const char *role; PcAgg a; };
+        std::vector<PcRow> rows;
+        for (const auto &[pc, a] : loadAgg)
+            rows.push_back({pc, "load", a});
+        for (const auto &[pc, a] : storeAgg)
+            rows.push_back({pc, "store", a});
+        std::sort(rows.begin(), rows.end(),
+                  [](const PcRow &a, const PcRow &b) {
+                      if (a.a.violations != b.a.violations)
+                          return a.a.violations > b.a.violations;
+                      if (a.a.syncs != b.a.syncs)
+                          return a.a.syncs > b.a.syncs;
+                      int role = std::strcmp(a.role, b.role);
+                      if (role != 0)
+                          return role < 0;
+                      return a.pc < b.pc;
+                  });
+
+        Section s;
+        s.title = "Dependence hot spots by static PC";
+        s.paragraphs.push_back(
+            "Hot-edge violation and synchronization counts summed per "
+            "static instruction across every profiled run in the "
+            "sweep; \"runs\" is how many profiled runs involve the "
+            "PC in that role.");
+        Table t;
+        t.header = {"static PC", "role", "violations", "syncs",
+                    "runs"};
+        for (const PcRow &r : rows) {
+            t.rows.push_back({fmtPc(r.pc), r.role,
+                              fmtU64(r.a.violations),
+                              fmtU64(r.a.syncs), fmtU64(r.a.runs)});
+        }
+        capRows(t, top);
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+}
+
 } // anonymous namespace
 
 bool
@@ -326,7 +569,7 @@ loadRunRecords(const std::string &path, std::vector<ReportRecord> &out,
 
 std::string
 renderReport(const std::vector<ReportRecord> &records,
-             ReportFormat format)
+             ReportFormat format, size_t top)
 {
     RecordIndex idx = indexRecords(records);
     std::vector<Section> sections;
@@ -565,6 +808,9 @@ renderReport(const std::vector<ReportRecord> &records,
         sections.push_back(std::move(s));
     }
 
+    // ---- Dependence profiles (schema v5) -----------------------------
+    addDepSections(sections, idx, top);
+
     // ---- Failed runs -------------------------------------------------
     {
         Table t;
@@ -580,6 +826,7 @@ renderReport(const std::vector<ReportRecord> &records,
             }
         }
         if (!t.rows.empty()) {
+            capRows(t, top);
             Section s;
             s.title = "Failed runs";
             s.tables.push_back(std::move(t));
@@ -588,6 +835,232 @@ renderReport(const std::vector<ReportRecord> &records,
     }
 
     return render("cwsim sweep report", sections, format);
+}
+
+std::string
+renderDepProfile(const mdp::DepProfileFile &profile,
+                 ReportFormat format, size_t top)
+{
+    std::vector<Section> sections;
+
+    // ---- Profile summary --------------------------------------------
+    {
+        Section s;
+        s.title = "Profile summary";
+        s.paragraphs.push_back(strfmt(
+            "%zu validated run block(s).", profile.runs().size()));
+        Table t;
+        t.header = {"run", "sim", "load PCs", "store PCs", "edges",
+                    "MDPT PCs", "MDPT samples"};
+        for (const mdp::DepProfileRun &r : profile.runs()) {
+            t.rows.push_back({r.run, r.sim, fmtU64(r.loads.size()),
+                              fmtU64(r.stores.size()),
+                              fmtU64(r.edges.size()),
+                              fmtU64(r.mdpt.size()),
+                              fmtU64(r.mdptSamples.size())});
+        }
+        capRows(t, top);
+        s.tables.push_back(std::move(t));
+        sections.push_back(std::move(s));
+    }
+
+    for (const mdp::DepProfileRun &run : profile.runs()) {
+        Section s;
+        s.title = strfmt("Run: %s (%s)", run.run.c_str(),
+                         run.sim.c_str());
+
+        // ---- Hot edges with distance histograms ---------------------
+        if (!run.edges.empty()) {
+            struct Row
+            {
+                obs::DepEdgeKey key;
+                const obs::DepEdgeCounters *e;
+            };
+            std::vector<Row> rows;
+            for (const auto &[key, e] : run.edges)
+                rows.push_back({key, &e});
+            std::sort(rows.begin(), rows.end(),
+                      [](const Row &a, const Row &b) {
+                          uint64_t av = a.e->violations.value();
+                          uint64_t bv = b.e->violations.value();
+                          if (av != bv)
+                              return av > bv;
+                          uint64_t as = a.e->syncs.value();
+                          uint64_t bs = b.e->syncs.value();
+                          if (as != bs)
+                              return as > bs;
+                          return a.key < b.key;
+                      });
+            Table t;
+            t.header = {"store PC", "load PC", "violations", "syncs",
+                        "full", "partial", "window distance"};
+            for (const Row &r : rows) {
+                t.rows.push_back(
+                    {fmtPc(r.key.first), fmtPc(r.key.second),
+                     fmtU64(r.e->violations.value()),
+                     fmtU64(r.e->syncs.value()),
+                     fmtU64(r.e->fullOverlaps.value()),
+                     fmtU64(r.e->partialOverlaps.value()),
+                     fmtDistHistogram(r.e->dist)});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        } else {
+            s.paragraphs.push_back("No dependence edges recorded.");
+        }
+
+        // ---- Most-involved load PCs ---------------------------------
+        if (!run.loads.empty()) {
+            struct Row
+            {
+                Addr pc;
+                const obs::DepLoadCounters *c;
+            };
+            std::vector<Row> rows;
+            for (const auto &[pc, c] : run.loads)
+                rows.push_back({pc, &c});
+            // "Involved" = touched by the dependence machinery at all;
+            // rank by violations, then total held cycles, then volume.
+            auto held = [](const obs::DepLoadCounters &c) {
+                return c.syncWaits.value() + c.selHolds.value() +
+                       c.barrierHolds.value();
+            };
+            std::sort(rows.begin(), rows.end(),
+                      [&](const Row &a, const Row &b) {
+                          uint64_t av = a.c->violations.value();
+                          uint64_t bv = b.c->violations.value();
+                          if (av != bv)
+                              return av > bv;
+                          uint64_t ah = held(*a.c), bh = held(*b.c);
+                          if (ah != bh)
+                              return ah > bh;
+                          uint64_t ae = a.c->execs.value();
+                          uint64_t be = b.c->execs.value();
+                          if (ae != be)
+                              return ae > be;
+                          return a.pc < b.pc;
+                      });
+            Table t;
+            t.header = {"load PC", "execs", "forwards", "replays",
+                        "violations", "sync waits", "sel holds",
+                        "barrier holds", "false dep", "stall cyc",
+                        "true dep", "commits"};
+            for (const Row &r : rows) {
+                t.rows.push_back(
+                    {fmtPc(r.pc), fmtU64(r.c->execs.value()),
+                     fmtU64(r.c->forwards.value()),
+                     fmtU64(r.c->replays.value()),
+                     fmtU64(r.c->violations.value()),
+                     fmtU64(r.c->syncWaits.value()),
+                     fmtU64(r.c->selHolds.value()),
+                     fmtU64(r.c->barrierHolds.value()),
+                     fmtU64(r.c->falseDepLoads.value()),
+                     fmtU64(r.c->falseDepCycles.value()),
+                     fmtU64(r.c->trueDepLoads.value()),
+                     fmtU64(r.c->commits.value())});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        }
+
+        // ---- Most-involved store PCs --------------------------------
+        if (!run.stores.empty()) {
+            struct Row
+            {
+                Addr pc;
+                const obs::DepStoreCounters *c;
+            };
+            std::vector<Row> rows;
+            for (const auto &[pc, c] : run.stores)
+                rows.push_back({pc, &c});
+            std::sort(rows.begin(), rows.end(),
+                      [](const Row &a, const Row &b) {
+                          uint64_t av = a.c->violationsCaused.value();
+                          uint64_t bv = b.c->violationsCaused.value();
+                          if (av != bv)
+                              return av > bv;
+                          uint64_t ac = a.c->commits.value();
+                          uint64_t bc = b.c->commits.value();
+                          if (ac != bc)
+                              return ac > bc;
+                          return a.pc < b.pc;
+                      });
+            Table t;
+            t.header = {"store PC", "commits", "violations caused",
+                        "barriers", "sync produces"};
+            for (const Row &r : rows) {
+                t.rows.push_back(
+                    {fmtPc(r.pc), fmtU64(r.c->commits.value()),
+                     fmtU64(r.c->violationsCaused.value()),
+                     fmtU64(r.c->barriers.value()),
+                     fmtU64(r.c->syncProduces.value())});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        }
+
+        // ---- MDPT per-PC introspection ------------------------------
+        if (!run.mdpt.empty()) {
+            struct Row
+            {
+                Addr pc;
+                const obs::DepMdptCounters *c;
+            };
+            std::vector<Row> rows;
+            for (const auto &[pc, c] : run.mdpt)
+                rows.push_back({pc, &c});
+            std::sort(rows.begin(), rows.end(),
+                      [](const Row &a, const Row &b) {
+                          uint64_t am = a.c->missSpecs.value();
+                          uint64_t bm = b.c->missSpecs.value();
+                          if (am != bm)
+                              return am > bm;
+                          uint64_t aa = a.c->allocs.value();
+                          uint64_t ba = b.c->allocs.value();
+                          if (aa != ba)
+                              return aa > ba;
+                          return a.pc < b.pc;
+                      });
+            Table t;
+            t.header = {"MDPT PC", "allocs", "evicts", "pairs",
+                        "merges", "miss specs"};
+            for (const Row &r : rows) {
+                t.rows.push_back(
+                    {fmtPc(r.pc), fmtU64(r.c->allocs.value()),
+                     fmtU64(r.c->evicts.value()),
+                     fmtU64(r.c->pairs.value()),
+                     fmtU64(r.c->merges.value()),
+                     fmtU64(r.c->missSpecs.value())});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        }
+
+        // ---- MDPT occupancy/confidence trajectory -------------------
+        if (!run.mdptSamples.empty()) {
+            Table t;
+            t.header = {"cycle", "occupancy", "mean confidence"};
+            for (const obs::DepMdptSample &ms : run.mdptSamples) {
+                t.rows.push_back({fmtU64(ms.cycle),
+                                  fmtU64(ms.occupancy),
+                                  strfmt("%.3f", ms.meanConfidence)});
+            }
+            capRows(t, top);
+            s.tables.push_back(std::move(t));
+        }
+
+        sections.push_back(std::move(s));
+    }
+
+    if (profile.runs().empty()) {
+        Section s;
+        s.title = "Profile summary";
+        s.paragraphs.push_back("No validated run blocks.");
+        sections.clear();
+        sections.push_back(std::move(s));
+    }
+
+    return render("cwsim dependence profile", sections, format);
 }
 
 // ---------------------------------------------------------------------
@@ -685,6 +1158,13 @@ diffRunRecords(const std::vector<ReportRecord> &baseline,
                   strfmt("%.17g", rc.falseDepLatency));
         diffU64(d, key, "injectedViolations", rb.injectedViolations,
                 rc.injectedViolations);
+
+        // The dep_* fields (schema v5) are deliberately NOT compared:
+        // they are populated only when the host ran with --depprof /
+        // CWSIM_DEPPROF, so a profiled current against an unprofiled
+        // baseline would flag a host-configuration difference as stat
+        // drift. The depprof bit-identity tests compare the profile
+        // surface directly instead.
 
         // CPI stacks only compare when both records carry them: a
         // baseline captured before schema v3 cannot constrain them.

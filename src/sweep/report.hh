@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "harness/harness.hh"
+#include "mdp/dep_profile.hh"
 
 namespace cwsim
 {
@@ -51,11 +52,28 @@ enum class ReportFormat { Markdown, Html };
  * Render @p records as a self-contained report: an IPC matrix over
  * every (workload, config) present, the paper's Figure 2 / 5 / 6
  * comparison tables when the relevant configs are present, per-config
- * CPI-stack loss breakdowns (schema-v3 records only), and a failed-run
- * table.
+ * CPI-stack loss breakdowns (schema-v3 records only), hot dependence
+ * edges (schema-v5 records carrying a profile summary), and a
+ * failed-run table.
+ *
+ * @param top Per-table row cap for the unbounded tables (hot edges,
+ *        per-PC aggregations); a "rows dropped" footer reports what
+ *        the cap cut. 0 means unlimited. The fixed-shape paper tables
+ *        (one row per workload) are never capped.
  */
 std::string renderReport(const std::vector<ReportRecord> &records,
-                         ReportFormat format);
+                         ReportFormat format, size_t top = 20);
+
+/**
+ * Render a validated .depprof.jsonl profile (see mdp::DepProfileFile)
+ * as a standalone report: per-run summary, the hottest dependence
+ * edges with their distance histograms, the most-involved load and
+ * store PCs, and the MDPT occupancy/confidence trajectory.
+ *
+ * @param top Row cap per table, "rows dropped" footer as above.
+ */
+std::string renderDepProfile(const mdp::DepProfileFile &profile,
+                             ReportFormat format, size_t top = 20);
 
 /** One drifting field of one (workload, config, scale) run. */
 struct DriftEntry

@@ -143,6 +143,14 @@ runRecordLine(const harness::RunResult &r, uint64_t fp, uint64_t scale)
         obj.add(std::string("cpi_") + obs::statKey(obs::CpiCause(i)),
                 r.cpiSlots[i]);
     }
+    // v5 dependence-profile summary. Host-adjacent (only filled when
+    // profiling was enabled for the run), so diffRunRecords leaves
+    // these out of the simulated-field comparison.
+    obj.add("dep_profiled", r.depProfiled)
+        .add("dep_loads", r.depLoads)
+        .add("dep_stores", r.depStores)
+        .add("dep_edges", r.depEdges)
+        .add("dep_hot_edges", r.depHotEdges);
     return obj.str();
 }
 
@@ -249,6 +257,24 @@ runRecordParse(const std::map<std::string, std::string> &fields,
                 std::string("cpi_") + obs::statKey(obs::CpiCause(i));
             if (!getU64(fields, key.c_str(), r.cpiSlots[i]))
                 return false;
+        }
+    }
+
+    if (version >= 5) {
+        auto profiled = fields.find("dep_profiled");
+        if (profiled == fields.end())
+            return false;
+        if (profiled->second == "true")
+            r.depProfiled = true;
+        else if (profiled->second == "false")
+            r.depProfiled = false;
+        else
+            return false;
+        if (!getU64(fields, "dep_loads", r.depLoads) ||
+            !getU64(fields, "dep_stores", r.depStores) ||
+            !getU64(fields, "dep_edges", r.depEdges) ||
+            !getStr(fields, "dep_hot_edges", r.depHotEdges)) {
+            return false;
         }
     }
 

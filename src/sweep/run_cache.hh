@@ -34,18 +34,21 @@ namespace sweep
 
 /**
  * Cache-entry schema; bump when RunResult's serialized shape changes.
- * v4 added the failure taxonomy (fail_kind, fail_detail,
- * fail_injected) introduced with the --isolate executor; v3 added the
- * commit-slot CPI stack (commit_width + one cpi_* field per
- * obs::CpiCause); v2 added host-profiling (wall_ms,
- * sim_cycles_per_sec, cache_hit) and the failure diagnostic. Older
- * records are still accepted on read with the newer fields defaulted —
- * a v1/v2 record parses with commit_width == 0 ("CPI stack unknown",
- * never zero loss), and a pre-v4 record's fail_kind is derived from
- * its ok flag (none when ok, sim_error otherwise — the only failure
- * class that existed before process isolation).
+ * v5 added the dependence-profile summary (dep_profiled, dep_loads,
+ * dep_stores, dep_edges, dep_hot_edges — filled only when CWSIM_DEPPROF
+ * / --depprof was on for the run); v4 added the failure taxonomy
+ * (fail_kind, fail_detail, fail_injected) introduced with the
+ * --isolate executor; v3 added the commit-slot CPI stack (commit_width
+ * + one cpi_* field per obs::CpiCause); v2 added host-profiling
+ * (wall_ms, sim_cycles_per_sec, cache_hit) and the failure diagnostic.
+ * Older records are still accepted on read with the newer fields
+ * defaulted — a v1/v2 record parses with commit_width == 0 ("CPI stack
+ * unknown", never zero loss), a pre-v4 record's fail_kind is derived
+ * from its ok flag (none when ok, sim_error otherwise — the only
+ * failure class that existed before process isolation), and a pre-v5
+ * record simply carries no dependence profile (dep_profiled == false).
  */
-constexpr unsigned run_record_version = 4;
+constexpr unsigned run_record_version = 5;
 
 /** Fingerprint of one run: workload name + scale + full config. */
 uint64_t fingerprintRun(const std::string &workload, uint64_t scale,

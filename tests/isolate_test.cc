@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "harness/harness.hh"
+#include "mdp/dep_profile.hh"
+#include "obs/depprof.hh"
 #include "sweep/report.hh"
 #include "sweep/run_cache.hh"
 #include "sweep/sweep.hh"
@@ -261,6 +263,72 @@ TEST(IsolateContainment, IsolatedCleanSweepMatchesDirectSweep)
         expectSameSimResult(direct[i], isolated[i]);
     }
     EXPECT_TRUE(isoRunner.failures().empty());
+}
+
+TEST(IsolateContainment, DepProfilesSurviveIsolationBitIdentical)
+{
+    // With profiling on, forked workers inherit the profiling state,
+    // write their blocks into the shared file, and ship the dep_*
+    // summary back over the result pipe — all of it bit-identical to
+    // an inline sweep, across the whole suite under both recovery
+    // models.
+    SweepPlan plan;
+    for (const auto &name : workloads::allNames()) {
+        SimConfig squash = baseConfig();
+        plan.add(name, squash);
+        SimConfig selective = squash;
+        selective.mdp.recovery = RecoveryModel::Selective;
+        plan.add(name, selective);
+    }
+
+    ScratchDir dir("isolate_depprof_test");
+    auto guard = [](const std::string &path) {
+        obs::DepProfManager::instance().resetForTesting();
+        obs::DepProfManager::instance().enable(path);
+    };
+
+    guard(dir.path + "/direct.depprof.jsonl");
+    Runner directRunner(3000);
+    SweepOptions directOpts;
+    directOpts.jobs = 1;
+    directOpts.useCache = false;
+    auto direct = SweepEngine(directRunner, directOpts).run(plan);
+
+    guard(dir.path + "/isolated.depprof.jsonl");
+    Runner isoRunner(3000);
+    SweepOptions isoOpts;
+    isoOpts.jobs = 4;
+    isoOpts.useCache = false;
+    isoOpts.isolate = true;
+    isoOpts.timeoutSec = 60.0;
+    auto isolated = SweepEngine(isoRunner, isoOpts).run(plan);
+    obs::DepProfManager::instance().resetForTesting();
+
+    ASSERT_EQ(direct.size(), plan.size());
+    ASSERT_EQ(isolated.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        SCOPED_TRACE(plan.jobs()[i].workload);
+        expectSameSimResult(direct[i], isolated[i]);
+        EXPECT_TRUE(isolated[i].depProfiled);
+        EXPECT_EQ(direct[i].depLoads, isolated[i].depLoads);
+        EXPECT_EQ(direct[i].depStores, isolated[i].depStores);
+        EXPECT_EQ(direct[i].depEdges, isolated[i].depEdges);
+        EXPECT_EQ(direct[i].depHotEdges, isolated[i].depHotEdges);
+    }
+    EXPECT_TRUE(isoRunner.failures().empty());
+
+    // Both profile files validate whole: concurrent forked appenders
+    // must land complete blocks, never interleaved lines.
+    mdp::DepProfileFile df, isof;
+    std::string err;
+    ASSERT_TRUE(df.load(dir.path + "/direct.depprof.jsonl", &err))
+        << err;
+    ASSERT_TRUE(isof.load(dir.path + "/isolated.depprof.jsonl", &err))
+        << err;
+    EXPECT_TRUE(df.valid());
+    EXPECT_TRUE(isof.valid());
+    EXPECT_EQ(df.runs().size(), plan.size());
+    EXPECT_EQ(isof.runs().size(), plan.size());
 }
 
 TEST(IsolateContainment, IsolatedResultsLandInTheRunCache)

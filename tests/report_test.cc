@@ -13,7 +13,9 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "mdp/dep_profile.hh"
 #include "obs/cpi_stack.hh"
+#include "obs/depprof.hh"
 #include "sweep/report.hh"
 #include "sweep/run_cache.hh"
 
@@ -321,6 +323,111 @@ TEST(ReportLoad, RejectsGarbledScaleInsteadOfTruncating)
     EXPECT_EQ(rejected, 1u);
     EXPECT_EQ(records[0].scale, 2000u);
     std::remove(path.c_str());
+}
+
+TEST(Report, RendersDependenceSectionsFromV5Summaries)
+{
+    std::vector<ReportRecord> records =
+        fig2Records("129.compress", 1600, 2800, 3360);
+    // No profiled records: the dep sections stay out of the report.
+    std::string bare =
+        sweep::renderReport(records, ReportFormat::Markdown);
+    EXPECT_EQ(bare.find("Hot dependence edges"), std::string::npos);
+
+    records[1].run.depProfiled = true;
+    records[1].run.depLoads = 5;
+    records[1].run.depStores = 3;
+    records[1].run.depEdges = 2;
+    records[1].run.depHotEdges = "0x200-0x100:7:0;0x210-0x104:2:1";
+
+    std::string md =
+        sweep::renderReport(records, ReportFormat::Markdown);
+    EXPECT_NE(md.find("## Hot dependence edges"), std::string::npos)
+        << md;
+    EXPECT_NE(md.find("1 run(s) carry a dependence-profile summary"),
+              std::string::npos) << md;
+    // The hottest edge leads its config table.
+    EXPECT_NE(md.find("| 129.compress | 0x200 | 0x100 | 7 | 0 |"),
+              std::string::npos) << md;
+    // And the per-PC rollup aggregates both roles.
+    EXPECT_NE(md.find("## Dependence hot spots by static PC"),
+              std::string::npos) << md;
+    EXPECT_NE(md.find("| 0x200 | store | 7 | 0 | 1 |"),
+              std::string::npos) << md;
+    EXPECT_NE(md.find("| 0x100 | load | 7 | 0 | 1 |"),
+              std::string::npos) << md;
+}
+
+TEST(Report, TopCapsOpenEndedTablesWithFooter)
+{
+    std::vector<ReportRecord> records =
+        fig2Records("129.compress", 1600, 2800, 3360);
+    records[1].run.depProfiled = true;
+    records[1].run.depHotEdges =
+        "0x200-0x100:9:0;0x210-0x104:8:0;0x220-0x108:7:0";
+    records[1].run.depEdges = 3;
+
+    std::string capped =
+        sweep::renderReport(records, ReportFormat::Markdown, 2);
+    EXPECT_NE(capped.find("_1 more row(s) dropped; raise --top to "
+                          "see them._"),
+              std::string::npos) << capped;
+    EXPECT_EQ(capped.find("0x220"), std::string::npos) << capped;
+
+    // top = 0 means unlimited: every row, no footer.
+    std::string full =
+        sweep::renderReport(records, ReportFormat::Markdown, 0);
+    EXPECT_EQ(full.find("more row(s) dropped"), std::string::npos);
+    EXPECT_NE(full.find("0x220"), std::string::npos);
+
+    // HTML renders the footer as an emphasized note after the table.
+    std::string html =
+        sweep::renderReport(records, ReportFormat::Html, 2);
+    EXPECT_NE(html.find("<p><em>1 more row(s) dropped; raise --top "
+                        "to see them.</em></p>"),
+              std::string::npos) << html;
+}
+
+TEST(Report, RendersDepProfileFiles)
+{
+    obs::DepProfile prof("proc", "129.compress NAS/NAV W128");
+    prof.noteLoadExec(0x100, true);
+    prof.noteLoadCommit(0x100);
+    prof.noteStoreCommit(0x200);
+    prof.noteViolation(0x200, 0x100, 5, true);
+    prof.noteSyncWait(0x100, 0x200, 9);
+    prof.noteMdptAlloc(0x100);
+    prof.noteMdptSample(1000, 2, 0.75);
+
+    std::vector<std::string> lines;
+    prof.serialize(lines);
+    mdp::DepProfileFile file;
+    ASSERT_TRUE(file.parseLines(lines));
+
+    std::string md =
+        sweep::renderDepProfile(file, ReportFormat::Markdown);
+    EXPECT_NE(md.find("cwsim dependence profile"), std::string::npos);
+    EXPECT_NE(md.find("1 validated run block(s)."), std::string::npos)
+        << md;
+    EXPECT_NE(md.find("## Run: 129.compress NAS/NAV W128 (proc)"),
+              std::string::npos) << md;
+    // The edge row carries overlap kinds and the distance histogram.
+    EXPECT_NE(md.find("| 0x200 | 0x100 | 1 | 1 | 1 | 0 |"),
+              std::string::npos) << md;
+    EXPECT_NE(md.find("4-7:1"), std::string::npos) << md;
+    EXPECT_NE(md.find("8-15:1"), std::string::npos) << md;
+    EXPECT_NE(md.find("0.750"), std::string::npos) << md;
+
+    std::string html = sweep::renderDepProfile(file, ReportFormat::Html);
+    EXPECT_NE(html.find("<table>"), std::string::npos);
+    EXPECT_NE(html.find("<td>0x200</td>"), std::string::npos);
+
+    // An empty profile still renders, saying so.
+    mdp::DepProfileFile empty;
+    std::string none =
+        sweep::renderDepProfile(empty, ReportFormat::Markdown);
+    EXPECT_NE(none.find("No validated run blocks."), std::string::npos)
+        << none;
 }
 
 } // anonymous namespace

@@ -345,6 +345,35 @@ TEST(StatsTest, JsonExportRoundTripsThroughFlatJsonParser)
     EXPECT_EQ(fields.at("proc.windowOccupancy.bucket1"), "1");
 }
 
+TEST(StatsTest, HexPcKeySegmentsSurviveJsonExport)
+{
+    // The dependence observatory registers per-PC counters whose key
+    // segments embed hex PCs ("depprof.load_0x1a2b.execs"). Those keys
+    // must survive the flat-JSON export byte-exact at the edges: PC 0,
+    // an all-ones 64-bit PC, and mixed-case hex digits.
+    stats::StatGroup root("proc");
+    stats::StatGroup depprof("depprof", &root);
+    stats::Scalar zero, big, mixed;
+    zero += 1;
+    big += 2;
+    mixed += 3;
+    depprof.addScalar("load_0x0.execs", &zero);
+    depprof.addScalar("load_0xffffffffffffffff.violations", &big);
+    depprof.addScalar("store_0xdeadBEEF.commits", &mixed);
+
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(root.jsonString(), fields));
+    EXPECT_EQ(fields.at("proc.depprof.load_0x0.execs"), "1");
+    EXPECT_EQ(
+        fields.at("proc.depprof.load_0xffffffffffffffff.violations"),
+        "2");
+    EXPECT_EQ(fields.at("proc.depprof.store_0xdeadBEEF.commits"), "3");
+    // And the find API resolves them like any other stat.
+    ASSERT_NE(root.findScalar("proc.depprof.load_0x0.execs"), nullptr);
+    EXPECT_EQ(root.findScalar("proc.depprof.load_0x0.execs")->value(),
+              1u);
+}
+
 TEST(TableTest, AlignsColumns)
 {
     TextTable t;

@@ -18,7 +18,9 @@
 #include <thread>
 #include <unistd.h>
 
+#include "mdp/dep_profile.hh"
 #include "obs/cpi_stack.hh"
+#include "obs/depprof.hh"
 #include "sweep/bench_cli.hh"
 #include "sweep/jsonl.hh"
 #include "sweep/run_cache.hh"
@@ -126,6 +128,117 @@ TEST(SweepDeterminism, SerialVsParallelFullSuite)
     }
     EXPECT_TRUE(serialRunner.failures().empty());
     EXPECT_TRUE(parallelRunner.failures().empty());
+}
+
+/** RAII: route dependence profiling to @p path, reset on the way out. */
+struct DepProfGuard
+{
+    explicit DepProfGuard(const std::string &path)
+    {
+        obs::DepProfManager::instance().resetForTesting();
+        obs::DepProfManager::instance().enable(path);
+    }
+
+    ~DepProfGuard() { obs::DepProfManager::instance().resetForTesting(); }
+};
+
+TEST(DepProfiling, EnabledRunIsBitIdenticalToDisabled)
+{
+    SimConfig cfg = withPolicy(makeW128Config(), LsqModel::NAS,
+                               SpecPolicy::Naive);
+
+    obs::DepProfManager::instance().resetForTesting();
+    Runner off(3000);
+    RunResult plain = off.run("129.compress", cfg);
+    ASSERT_TRUE(plain.ok) << plain.error;
+    EXPECT_FALSE(plain.depProfiled);
+    EXPECT_EQ(plain.depLoads, 0u);
+    EXPECT_TRUE(plain.depHotEdges.empty());
+
+    ScratchDir dir("depprof_identity_test");
+    std::string path = dir.path + "/one.depprof.jsonl";
+    RunResult profiled;
+    {
+        DepProfGuard guard(path);
+        Runner on(3000);
+        profiled = on.run("129.compress", cfg);
+    }
+    ASSERT_TRUE(profiled.ok) << profiled.error;
+
+    // The observatory contract: profiling only observes, so every
+    // simulated stat is bit-identical either way (expectSameResult
+    // covers them all; the dep_* summary is host-side by design).
+    expectSameResult(plain, profiled);
+    EXPECT_TRUE(profiled.depProfiled);
+    EXPECT_GT(profiled.depLoads, 0u);
+    EXPECT_GT(profiled.depStores, 0u);
+
+    // The written block validates and agrees with the summary.
+    mdp::DepProfileFile file;
+    std::string err;
+    ASSERT_TRUE(file.load(path, &err)) << err;
+    EXPECT_TRUE(file.valid());
+    ASSERT_EQ(file.runs().size(), 1u);
+    const mdp::DepProfileRun *run =
+        file.findRun("129.compress " + cfg.name());
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->sim, "proc");
+    EXPECT_EQ(run->loads.size(), profiled.depLoads);
+    EXPECT_EQ(run->stores.size(), profiled.depStores);
+    EXPECT_EQ(run->edges.size(), profiled.depEdges);
+}
+
+TEST(DepProfiling, SerialVsParallelDepSummariesMatchFullSuite)
+{
+    SweepPlan plan = fullSuitePlan();
+    ScratchDir dir("depprof_parallel_test");
+
+    std::vector<RunResult> serial;
+    {
+        DepProfGuard guard(dir.path + "/serial.depprof.jsonl");
+        Runner runner(4000);
+        SweepOptions opts;
+        opts.jobs = 1;
+        opts.useCache = false;
+        serial = SweepEngine(runner, opts).run(plan);
+    }
+    std::vector<RunResult> parallel;
+    {
+        DepProfGuard guard(dir.path + "/parallel.depprof.jsonl");
+        Runner runner(4000);
+        SweepOptions opts;
+        opts.jobs = 8;
+        opts.useCache = false;
+        parallel = SweepEngine(runner, opts).run(plan);
+    }
+
+    ASSERT_EQ(serial.size(), plan.size());
+    ASSERT_EQ(parallel.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        SCOPED_TRACE(plan.jobs()[i].workload + " / " +
+                     plan.jobs()[i].config.name());
+        expectSameResult(serial[i], parallel[i]);
+        EXPECT_TRUE(serial[i].depProfiled);
+        EXPECT_EQ(serial[i].depLoads, parallel[i].depLoads);
+        EXPECT_EQ(serial[i].depStores, parallel[i].depStores);
+        EXPECT_EQ(serial[i].depEdges, parallel[i].depEdges);
+        EXPECT_EQ(serial[i].depHotEdges, parallel[i].depHotEdges);
+    }
+
+    // Both profile files validate whole — the block writer's mutex
+    // means concurrent workers never interleave lines — and carry one
+    // block per run (order may differ; content identity is already
+    // proven by the dep_hot_edges comparison above).
+    mdp::DepProfileFile sf, pf;
+    std::string err;
+    ASSERT_TRUE(sf.load(dir.path + "/serial.depprof.jsonl", &err))
+        << err;
+    ASSERT_TRUE(pf.load(dir.path + "/parallel.depprof.jsonl", &err))
+        << err;
+    EXPECT_TRUE(sf.valid());
+    EXPECT_TRUE(pf.valid());
+    EXPECT_EQ(sf.runs().size(), plan.size());
+    EXPECT_EQ(pf.runs().size(), plan.size());
 }
 
 TEST(SweepEngine, ResultsComeBackInSpecOrder)
@@ -306,7 +419,7 @@ TEST(SweepRecord, V2RoundTripsHostProfilingFields)
     std::string line = sweep::runRecordLine(r, 0xabcdull, 3000);
     std::map<std::string, std::string> fields;
     ASSERT_TRUE(sweep::parseFlatJson(line, fields));
-    EXPECT_EQ(fields.at("v"), "4");
+    EXPECT_EQ(fields.at("v"), "5");
     EXPECT_EQ(fields.at("wall_ms"), "250");
     EXPECT_EQ(fields.at("sim_cycles_per_sec"), "20000");
     EXPECT_EQ(fields.at("cache_hit"), "true");
@@ -452,6 +565,59 @@ TEST(SweepRecord, V4RoundTripsFailureTaxonomy)
     EXPECT_EQ(parsed.failKind, harness::FailKind::SimError);
     EXPECT_TRUE(parsed.failDetail.empty());
     EXPECT_FALSE(parsed.injectedHostFault);
+}
+
+TEST(SweepRecord, V5RoundTripsDependenceProfileSummary)
+{
+    RunResult r;
+    r.workload = "129.compress";
+    r.config = "NAS/NAV W128";
+    r.cycles = 1000;
+    r.commits = 900;
+    r.depProfiled = true;
+    r.depLoads = 12;
+    r.depStores = 7;
+    r.depEdges = 3;
+    r.depHotEdges = "0x200-0x100:5:0;0x210-0x104:2:1";
+
+    std::string line = sweep::runRecordLine(r, 0x1234ull, 3000);
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(sweep::parseFlatJson(line, fields));
+    EXPECT_EQ(fields.at("dep_profiled"), "true");
+    EXPECT_EQ(fields.at("dep_loads"), "12");
+    EXPECT_EQ(fields.at("dep_stores"), "7");
+    EXPECT_EQ(fields.at("dep_edges"), "3");
+    EXPECT_EQ(fields.at("dep_hot_edges"), r.depHotEdges);
+
+    RunResult parsed;
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    expectSameResult(r, parsed);
+    EXPECT_TRUE(parsed.depProfiled);
+    EXPECT_EQ(parsed.depLoads, 12u);
+    EXPECT_EQ(parsed.depStores, 7u);
+    EXPECT_EQ(parsed.depEdges, 3u);
+    EXPECT_EQ(parsed.depHotEdges, r.depHotEdges);
+
+    // A v5 record missing any dependence-summary field is malformed,
+    // as is a non-boolean dep_profiled.
+    auto broken = fields;
+    broken.erase("dep_profiled");
+    EXPECT_FALSE(sweep::runRecordParse(broken, parsed));
+    broken = fields;
+    broken.erase("dep_hot_edges");
+    EXPECT_FALSE(sweep::runRecordParse(broken, parsed));
+    broken = fields;
+    broken["dep_profiled"] = "maybe";
+    EXPECT_FALSE(sweep::runRecordParse(broken, parsed));
+
+    // The same fields relabeled v4 parse fine: the summary columns
+    // are unknown to that schema, so they come back defaulted.
+    fields["v"] = "4";
+    ASSERT_TRUE(sweep::runRecordParse(fields, parsed));
+    EXPECT_FALSE(parsed.depProfiled);
+    EXPECT_EQ(parsed.depLoads, 0u);
+    EXPECT_EQ(parsed.depEdges, 0u);
+    EXPECT_TRUE(parsed.depHotEdges.empty());
 }
 
 TEST(FailKindTest, NamesRoundTrip)
@@ -824,6 +990,31 @@ TEST(BenchCliTest, AcceptsInlineFlagValues)
     EXPECT_EQ(opts.scale, 9000u);
     EXPECT_EQ(opts.intervalCycles, 250u);
     EXPECT_EQ(opts.filter, "compress");
+}
+
+TEST(BenchCliTest, ParsesDepProfFlags)
+{
+    const char *bare[] = {"bench", "--depprof"};
+    sweep::BenchOptions opts =
+        sweep::parseBenchArgs(2, const_cast<char **>(bare));
+    EXPECT_TRUE(opts.depprof);
+    EXPECT_TRUE(opts.depprofFile.empty());
+
+    // --depprof-file implies --depprof; both value forms work.
+    const char *with_file[] = {"bench", "--depprof-file",
+                               "prof.depprof.jsonl"};
+    opts = sweep::parseBenchArgs(3, const_cast<char **>(with_file));
+    EXPECT_TRUE(opts.depprof);
+    EXPECT_EQ(opts.depprofFile, "prof.depprof.jsonl");
+
+    const char *inlined[] = {"bench", "--depprof-file=p.jsonl"};
+    opts = sweep::parseBenchArgs(2, const_cast<char **>(inlined));
+    EXPECT_TRUE(opts.depprof);
+    EXPECT_EQ(opts.depprofFile, "p.jsonl");
+
+    const char *off[] = {"bench"};
+    opts = sweep::parseBenchArgs(1, const_cast<char **>(off));
+    EXPECT_FALSE(opts.depprof);
 }
 
 TEST(BenchCliTest, ParsesIsolationFlags)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "base/str.hh"
+#include "mdp/dep_profile.hh"
 #include "svc/client.hh"
 #include "svc/protocol.hh"
 #include "sweep/report.hh"
@@ -34,10 +35,12 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--format md|html] [--out PATH] SWEEP.jsonl\n"
+        "usage: %s [--format md|html] [--out PATH] [--top N] "
+        "SWEEP.jsonl\n"
         "       %s --diff BASELINE.jsonl CURRENT.jsonl\n"
         "       %s --connect SOCKET [--format md|html] [--out PATH]\n"
         "       %s --connect SOCKET --status\n"
+        "       %s --depprof PROFILE.depprof.jsonl [--format md|html]\n"
         "\n"
         "Render a cwsim sweep JSONL file as a report, or compare two\n"
         "sweep files and flag any drift in simulated stats\n"
@@ -46,7 +49,13 @@ usage(const char *argv0)
         "\n"
         "  --format md|html  report output format (default: md)\n"
         "  --out PATH        write the report to PATH (default: stdout)\n"
+        "  --top N           cap the open-ended tables (hot edges,\n"
+        "                    per-PC detail) at N rows, 0 = unlimited\n"
+        "                    (default: 20)\n"
         "  --diff            compare two files instead of rendering\n"
+        "  --depprof FILE    render a .depprof.jsonl dependence\n"
+        "                    profile (validates it first; exit 2 on\n"
+        "                    validation errors)\n"
         "  --connect SOCKET  pull the corpus from a running cwsimd\n"
         "                    (Unix socket) instead of a file; may also\n"
         "                    be the CURRENT side of a --diff\n"
@@ -55,7 +64,7 @@ usage(const char *argv0)
         "                    quantiles, failure counts) and exit\n"
         "  --version         print schema/protocol/build identity\n"
         "  --help            show this message\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -284,7 +293,8 @@ main(int argc, char **argv)
     bool diff = false, status = false;
     cwsim::sweep::ReportFormat format =
         cwsim::sweep::ReportFormat::Markdown;
-    std::string out_path, connect_path;
+    std::string out_path, connect_path, depprof_path;
+    size_t top = 20;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -316,6 +326,19 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(arg, "--top") == 0 && i + 1 < argc) {
+            const char *value = argv[++i];
+            char *end = nullptr;
+            top = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0') {
+                std::fprintf(stderr,
+                             "cwsim-report: --top wants a number, "
+                             "got '%s'\n", value);
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--depprof") == 0 &&
+                   i + 1 < argc) {
+            depprof_path = argv[++i];
         } else if (std::strcmp(arg, "--connect") == 0 &&
                    i + 1 < argc) {
             connect_path = argv[++i];
@@ -326,6 +349,49 @@ main(int argc, char **argv)
         } else {
             inputs.push_back(arg);
         }
+    }
+
+    if (!depprof_path.empty()) {
+        if (diff || status || !connect_path.empty() ||
+            !inputs.empty()) {
+            std::fprintf(stderr,
+                         "cwsim-report: --depprof wants a profile "
+                         "file and nothing else\n");
+            return usage(argv[0]);
+        }
+        cwsim::mdp::DepProfileFile profile;
+        std::string err;
+        if (!profile.load(depprof_path, &err) &&
+            profile.errors().empty()) {
+            // The file itself could not be read.
+            std::fprintf(stderr, "cwsim-report: %s\n", err.c_str());
+            return 2;
+        }
+        if (!profile.valid()) {
+            for (const std::string &e : profile.errors())
+                std::fprintf(stderr, "cwsim-report: %s: %s\n",
+                             depprof_path.c_str(), e.c_str());
+            std::fprintf(stderr,
+                         "cwsim-report: %s failed validation (%zu "
+                         "error(s); %zu run block(s) salvaged)\n",
+                         depprof_path.c_str(), profile.errors().size(),
+                         profile.runs().size());
+            return 2;
+        }
+        std::string report =
+            cwsim::sweep::renderDepProfile(profile, format, top);
+        if (out_path.empty()) {
+            std::fputs(report.c_str(), stdout);
+        } else {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::fprintf(stderr, "cwsim-report: cannot write %s\n",
+                             out_path.c_str());
+                return 2;
+            }
+            out << report;
+        }
+        return 0;
     }
 
     if (status) {
@@ -361,7 +427,8 @@ main(int argc, char **argv)
     if (connect_path.empty() ? !load(inputs[0], records)
                              : !fetchCorpus(connect_path, records))
         return 2;
-    std::string report = cwsim::sweep::renderReport(records, format);
+    std::string report =
+        cwsim::sweep::renderReport(records, format, top);
     if (out_path.empty()) {
         std::fputs(report.c_str(), stdout);
     } else {
